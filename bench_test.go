@@ -1,0 +1,320 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls out.
+//
+//	BenchmarkFigure7/*        the Figure 7 efficiency matrix (5 engines × 5 tests)
+//	BenchmarkExample6Plans/*  the QP0 → QP1 → QP2 progression of Example 6 / Figure 6
+//	BenchmarkMilestones/*     one bulk query across all milestone engines
+//	BenchmarkAblation*        merging, INL joins, order strategies, label index,
+//	                          buffer pool size
+//	BenchmarkLoad*            shredding + bulk-load throughput
+//
+// Absolute numbers depend on the host; the paper's claims are about the
+// relative shape (who wins, by what orders of magnitude), which these
+// benchmarks reproduce at a laptop-friendly scale.
+package xqdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"xqdb/internal/core"
+	"xqdb/internal/opt"
+	"xqdb/internal/store"
+	"xqdb/internal/testbed"
+)
+
+const (
+	benchEntries = 1500
+	benchSeed    = 1
+	benchTimeout = 5 * time.Second
+)
+
+var benchState struct {
+	once sync.Once
+	dir  string
+	st   *store.Store // DBLP-shaped document with all indexes
+	err  error
+}
+
+// benchStore lazily loads the shared DBLP-shaped benchmark document.
+func benchStore(b *testing.B) *store.Store {
+	b.Helper()
+	benchState.once.Do(func() {
+		dir, err := os.MkdirTemp("", "xqdb-bench-*")
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		benchState.dir = dir
+		st, err := store.Open(filepath.Join(dir, "dblp"), store.Options{})
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		if err := st.LoadString(testbed.EfficiencyDoc(benchEntries, benchSeed)); err != nil {
+			benchState.err = err
+			return
+		}
+		benchState.st = st
+	})
+	if benchState.err != nil {
+		b.Fatalf("bench fixture: %v", benchState.err)
+	}
+	return benchState.st
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchState.st != nil {
+		benchState.st.Close()
+	}
+	if benchState.dir != "" {
+		os.RemoveAll(benchState.dir)
+	}
+	os.Exit(code)
+}
+
+// runQuery executes one query on one engine configuration, converting
+// timeouts into the paper's assigned-cap rule.
+func runQuery(b *testing.B, e *core.Engine, query string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(query); err != nil {
+			if IsTimeout(err) {
+				b.ReportMetric(1, "timeouts")
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the Figure 7 matrix: five engine
+// configurations on the five efficiency tests over the DBLP-shaped
+// document. Timed-out cells report a "timeouts" metric (the paper assigns
+// the cap).
+func BenchmarkFigure7(b *testing.B) {
+	st := benchStore(b)
+	modes := []core.Mode{core.ModeM4, core.ModeM4BadStats, core.ModeM3, core.ModeNaiveTPM, core.ModeM2}
+	tests := testbed.EfficiencyTests()
+	for _, m := range modes {
+		e := core.New(st, core.Config{Mode: m, Timeout: benchTimeout})
+		for _, t := range tests {
+			b.Run(fmt.Sprintf("%s/%s", m, t.Name), func(b *testing.B) {
+				runQuery(b, e, t.Query)
+			})
+		}
+	}
+}
+
+// BenchmarkExample6Plans regenerates the Example 6 / Figure 6 plan
+// progression: QP0 (mirror the query), QP1 (merged + heuristics), QP2
+// (cost-based with semijoin push and INL joins).
+func BenchmarkExample6Plans(b *testing.B) {
+	st := benchStore(b)
+	const example6 = `for $x in //article return
+		if (some $v in $x/volume satisfies true())
+		then for $y in $x//author return $y else ()`
+	for _, step := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{"QP0-mirror", core.ModeNaiveTPM},
+		{"QP1-heuristic", core.ModeM3},
+		{"QP2-costbased", core.ModeM4},
+	} {
+		e := core.New(st, core.Config{Mode: step.mode, Timeout: benchTimeout})
+		b.Run(step.name, func(b *testing.B) { runQuery(b, e, example6) })
+	}
+}
+
+// BenchmarkMilestones compares all milestone engines on a bulk navigation
+// query (the milestone 1 engine includes DOM reconstruction cost once).
+func BenchmarkMilestones(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //inproceedings return for $y in $x//author return $y`
+	for _, m := range core.Modes() {
+		e := core.New(st, core.Config{Mode: m, Timeout: benchTimeout})
+		b.Run(m.String(), func(b *testing.B) { runQuery(b, e, q) })
+	}
+}
+
+// BenchmarkAblationMerging isolates the relfor merging rule: the same
+// cost-based engine with and without merging on a nested-loop query.
+func BenchmarkAblationMerging(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //article return for $y in $x//author return $y`
+	for _, step := range []struct {
+		name    string
+		noMerge bool
+	}{{"merged", false}, {"unmerged", true}} {
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, NoMerge: step.noMerge})
+		b.Run(step.name, func(b *testing.B) { runQuery(b, e, q) })
+	}
+}
+
+// BenchmarkAblationINL isolates index nested-loops joins against
+// materialized nested loops within the otherwise unchanged M4 planner.
+func BenchmarkAblationINL(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //article return for $y in $x//author return $y`
+	withINL := opt.M4()
+	withoutINL := opt.M4()
+	withoutINL.UseINL = false
+	for _, step := range []struct {
+		name string
+		cfg  opt.Config
+	}{{"inl", withINL}, {"nl", withoutINL}} {
+		cfg := step.cfg
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
+		b.Run(step.name, func(b *testing.B) { runQuery(b, e, q) })
+	}
+}
+
+// BenchmarkAblationOrderStrategy compares the paper's three answers to
+// the ordering problem on the Example 6 query: (c) order-preserving
+// only, (b) semijoin projection push, (a) external sort.
+func BenchmarkAblationOrderStrategy(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //article return
+		if (some $v in $x/volume satisfies true())
+		then for $y in $x//author return $y else ()`
+	for _, step := range []struct {
+		name string
+		s    opt.Strategy
+	}{
+		{"preserve", opt.OrderPreserve},
+		{"semijoin", opt.OrderPreserve | opt.OrderSemijoin},
+		{"sort", opt.OrderPreserve | opt.OrderSemijoin | opt.OrderSort},
+	} {
+		cfg := opt.M4()
+		cfg.Strategies = step.s
+		cfg.UseBNL = step.s&opt.OrderSort != 0
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
+		b.Run(step.name, func(b *testing.B) { runQuery(b, e, q) })
+	}
+}
+
+// BenchmarkAblationLabelIndex measures index-based selection (milestone
+// 4) against pure primary-tree access on a selective label query. The two
+// stores differ only in the presence of the secondary indexes.
+func BenchmarkAblationLabelIndex(b *testing.B) {
+	doc := testbed.EfficiencyDoc(benchEntries, benchSeed)
+	const q = `for $x in //phdthesis return for $t in $x/title return $t`
+	for _, step := range []struct {
+		name string
+		opts store.Options
+	}{
+		{"with-indexes", store.Options{}},
+		{"primary-only", store.Options{NoLabelIndex: true, NoParentIndex: true}},
+	} {
+		st, err := store.Open(b.TempDir(), step.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.LoadString(doc); err != nil {
+			b.Fatal(err)
+		}
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout})
+		b.Run(step.name, func(b *testing.B) { runQuery(b, e, q) })
+		st.Close()
+	}
+}
+
+// BenchmarkAblationBufferPool sweeps the buffer pool size (the paper's
+// 20 MB memory cap is 5120 frames of 4 KiB) on a scan-heavy query.
+func BenchmarkAblationBufferPool(b *testing.B) {
+	doc := testbed.EfficiencyDoc(benchEntries, benchSeed)
+	const q = `for $x in //inproceedings return for $y in $x//author return $y`
+	for _, frames := range []int{64, 256, 1024, 5120} {
+		st, err := store.Open(b.TempDir(), store.Options{CacheFrames: frames})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.LoadString(doc); err != nil {
+			b.Fatal(err)
+		}
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout})
+		b.Run(fmt.Sprintf("frames-%d", frames), func(b *testing.B) { runQuery(b, e, q) })
+		st.Close()
+	}
+}
+
+// BenchmarkLoadDBLP measures shredding + external sort + bulk load
+// throughput for shallow documents.
+func BenchmarkLoadDBLP(b *testing.B) {
+	doc := testbed.EfficiencyDoc(benchEntries, benchSeed)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.LoadString(doc); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}
+
+// BenchmarkLoadTreebank measures load throughput for deep documents.
+func BenchmarkLoadTreebank(b *testing.B) {
+	doc := GenerateTreebank(100, benchSeed)
+	b.SetBytes(int64(len(doc)))
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.LoadString(doc); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+}
+
+// BenchmarkSerializeDocument measures reconstruction of the stored
+// document from the XASR relation.
+func BenchmarkSerializeDocument(b *testing.B) {
+	st := benchStore(b)
+	var out []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = st.AppendSubtree(out[:0], store.RootIn)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(out)))
+}
+
+// BenchmarkCompile measures the full compilation pipeline (parse, TPM
+// rewriting, merging, cost-based planning) without execution.
+func BenchmarkCompile(b *testing.B) {
+	st := benchStore(b)
+	e := core.New(st, core.Config{Mode: core.ModeM4})
+	const q = `for $x in //article return
+		if (some $v in $x/volume satisfies true())
+		then for $y in $x//author return $y else ()`
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Explain(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalInMemory measures the milestone 1 evaluator alone on a
+// small document (no storage involved).
+func BenchmarkEvalInMemory(b *testing.B) {
+	doc := GenerateDBLP(200, benchSeed)
+	const q = `for $x in //article return for $t in $x/title return $t`
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(doc, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

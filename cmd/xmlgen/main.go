@@ -1,0 +1,56 @@
+// Command xmlgen generates the synthetic testbed documents: DBLP-shaped
+// shallow bibliography data, TREEBANK-shaped deeply nested parse trees,
+// and the handmade Figure 2 document.
+//
+// Usage:
+//
+//	xmlgen -kind dblp -entries 100000 -seed 1 -o dblp.xml
+//	xmlgen -kind treebank -sentences 5000 -seed 1 -o treebank.xml
+//	xmlgen -kind figure2 -o journal.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xqdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "dblp", "document kind: dblp, treebank, figure2")
+	entries := flag.Int("entries", 10000, "DBLP entries")
+	sentences := flag.Int("sentences", 1000, "Treebank sentences")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *kind {
+	case "dblp":
+		return xqdb.WriteDBLP(w, *entries, *seed)
+	case "treebank":
+		return xqdb.WriteTreebank(w, *sentences, *seed)
+	case "figure2":
+		_, err := io.WriteString(w, xqdb.Figure2)
+		return err
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}

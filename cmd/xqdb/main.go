@@ -1,0 +1,143 @@
+// Command xqdb is the command-line shell of the XML-DBMS: it loads XML
+// documents into database directories and runs or explains XQ queries
+// against them under any of the engine configurations.
+//
+// Usage (all flags come before the command):
+//
+//	xqdb -db DIR -doc NAME load FILE.xml
+//	xqdb -db DIR -doc NAME [-mode m4|m3|m2|m1|tpm|badstats] query 'QUERY'
+//	xqdb -db DIR -doc NAME [-mode ...] explain 'QUERY'
+//	xqdb -db DIR -doc NAME stats
+//	xqdb -db DIR -doc NAME dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xqdb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xqdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("xqdb", flag.ContinueOnError)
+	dbDir := fs.String("db", "xqdb-data", "database directory")
+	docName := fs.String("doc", "doc", "document name")
+	mode := fs.String("mode", "m4", "engine: m4, m3, m2, m1, tpm, badstats")
+	timeout := fs.Duration("timeout", 0, "per-query timeout (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command (load, query, explain, stats, dump)")
+	}
+	cmd, rest := rest[0], rest[1:]
+
+	db, err := xqdb.Open(*dbDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	switch cmd {
+	case "load":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: load FILE.xml")
+		}
+		f, err := os.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		start := time.Now()
+		doc, err := db.CreateDocument(*docName, f)
+		if err != nil {
+			return err
+		}
+		st := doc.Stats()
+		fmt.Printf("loaded %q: %d nodes (%d elements, %d text) in %v\n",
+			*docName, st.Nodes, st.Elements, st.Texts, time.Since(start).Round(time.Millisecond))
+		return nil
+	case "query", "explain":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: %s 'QUERY'", cmd)
+		}
+		doc, err := db.OpenDocument(*docName)
+		if err != nil {
+			return err
+		}
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		opts := xqdb.QueryOptions{Mode: m, Timeout: *timeout}
+		if cmd == "explain" {
+			out, err := doc.Explain(rest[0], opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		start := time.Now()
+		out, err := doc.Query(rest[0], opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "(%s, %v)\n", m, time.Since(start).Round(time.Microsecond))
+		return nil
+	case "stats":
+		doc, err := db.OpenDocument(*docName)
+		if err != nil {
+			return err
+		}
+		st := doc.Stats()
+		fmt.Printf("nodes:     %d\nelements:  %d\ntexts:     %d\nmax depth: %d\navg depth: %.2f\nlabels:\n",
+			st.Nodes, st.Elements, st.Texts, st.MaxDepth, st.AvgDepth)
+		for label, n := range st.Labels {
+			fmt.Printf("  %-20s %d\n", label, n)
+		}
+		return nil
+	case "dump":
+		doc, err := db.OpenDocument(*docName)
+		if err != nil {
+			return err
+		}
+		xml, err := doc.XML()
+		if err != nil {
+			return err
+		}
+		fmt.Println(xml)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseMode(s string) (xqdb.Mode, error) {
+	switch s {
+	case "m4":
+		return xqdb.M4, nil
+	case "m3":
+		return xqdb.M3, nil
+	case "m2":
+		return xqdb.M2, nil
+	case "m1":
+		return xqdb.M1, nil
+	case "tpm":
+		return xqdb.NaiveTPM, nil
+	case "badstats":
+		return xqdb.M4BadStats, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}

@@ -1,0 +1,69 @@
+// DBLP analytics: load a DBLP-shaped bibliography and run the kinds of
+// queries the paper's efficiency tests are built from, comparing the
+// milestone 3 and milestone 4 engines.
+//
+// Run with: go run ./examples/dblp
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"xqdb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "xqdb-dblp-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := xqdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const entries = 5000
+	fmt.Printf("generating DBLP-shaped document with %d entries...\n", entries)
+	doc, err := db.CreateDocument("dblp", strings.NewReader(xqdb.GenerateDBLP(entries, 42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := doc.Stats()
+	fmt.Printf("loaded: %d nodes; %d article, %d author, %d volume elements\n\n",
+		st.Nodes, st.Labels["article"], st.Labels["author"], st.Labels["volume"])
+
+	queries := []struct{ name, q string }{
+		{"titles of theses", `for $p in //phdthesis return for $t in $p/title return $t`},
+		{"authors of articles with volumes (Example 6)",
+			`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`},
+		{"publications from 1995",
+			`<hits>{ for $y in //year/text() return if ($y = "1995") then <hit/> else () }</hits>`},
+	}
+	for _, q := range queries {
+		fmt.Println("--", q.name)
+		for _, mode := range []xqdb.Mode{xqdb.M3, xqdb.M4} {
+			start := time.Now()
+			res, err := doc.Query(q.q, xqdb.QueryOptions{Mode: mode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   %-13s %8v   (%d bytes of result)\n", mode, time.Since(start).Round(time.Microsecond), len(res))
+		}
+	}
+
+	// EXPLAIN shows why milestone 4 wins on the Example 6 query.
+	fmt.Println("\n-- milestone 4 plan for the Example 6 query --")
+	plan, err := doc.Explain(queries[1].q, xqdb.QueryOptions{Mode: xqdb.M4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if i := strings.Index(plan, "-- physical plan --"); i >= 0 {
+		fmt.Println(plan[i:])
+	}
+}

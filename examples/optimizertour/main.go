@@ -1,0 +1,75 @@
+// Optimizer tour: reproduce the plan progression of Example 6 of the
+// paper (QP0 → QP1 → QP2). The same query — authors of articles that have
+// volume information — is compiled by the naive TPM engine (mirroring the
+// query structure, the QP0 shape), the milestone 3 heuristic optimizer,
+// and the milestone 4 cost-based optimizer whose plan pushes a projection
+// below the outermost join to simulate a semijoin and evaluates the more
+// selective join first with index nested loops (the QP2 shape of
+// Figure 6).
+//
+// Run with: go run ./examples/optimizertour
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"xqdb"
+)
+
+// The Example 6 query: "the list of authors of articles that have
+// information on proceedings volume", on a document with many authors and
+// few articles that have volumes.
+const example6 = `for $x in //article return
+	if (some $v in $x/volume satisfies true())
+	then for $y in $x//author return $y
+	else ()`
+
+func main() {
+	dir, err := os.MkdirTemp("", "xqdb-opt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := xqdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	doc, err := db.CreateDocument("dblp", strings.NewReader(xqdb.GenerateDBLP(8000, 6)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := doc.Stats()
+	fmt.Printf("document: %d articles, %d authors, %d volumes\n\n",
+		st.Labels["article"], st.Labels["author"], st.Labels["volume"])
+
+	for _, step := range []struct {
+		mode xqdb.Mode
+		name string
+	}{
+		{xqdb.NaiveTPM, "QP0: mirror the query structure (unmerged relfors, products)"},
+		{xqdb.M3, "QP1: merged relfor, selections pushed, order-preserving joins"},
+		{xqdb.M4, "QP2: cost-based join order, semijoin projection push, INL joins"},
+	} {
+		fmt.Println("==", step.name)
+		plan, err := doc.Explain(example6, xqdb.QueryOptions{Mode: step.mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i := strings.Index(plan, "-- physical plan --"); i >= 0 {
+			fmt.Println(plan[i:])
+		}
+		start := time.Now()
+		res, err := doc.Query(example6, xqdb.QueryOptions{Mode: step.mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("execution: %v, %d result bytes\n\n", time.Since(start).Round(time.Microsecond), len(res))
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: load the paper's Figure 2 document and run Example 2.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xqdb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "xqdb-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := xqdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The handmade document of Figure 2:
+	// <journal><authors><name>Ana</name><name>Bob</name></authors>
+	// <title>DB</title></journal>
+	doc, err := db.CreateDocument("journal", strings.NewReader(xqdb.Figure2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Example 2 of the paper: collect the names below each journal.
+	query := `<names>{ for $j in /journal return for $n in $j//name return $n }</names>`
+	result, err := doc.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query: ", query)
+	fmt.Println("result:", result)
+
+	// The same query runs identically on every milestone engine.
+	for _, mode := range []xqdb.Mode{xqdb.M1, xqdb.M2, xqdb.M3, xqdb.M4} {
+		r, err := doc.Query(query, xqdb.QueryOptions{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %s\n", mode, r)
+	}
+
+	// Documents can be serialized back from the XASR relation.
+	xml, err := doc.XML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stored document:", xml)
+
+	st := doc.Stats()
+	fmt.Printf("statistics: %d nodes, %d elements, avg depth %.2f\n",
+		st.Nodes, st.Elements, st.AvgDepth)
+}

@@ -1,0 +1,57 @@
+// Treebank navigation: query deeply nested parse trees — the workload
+// shape of the paper's 80 MB TREEBANK document — and observe how the
+// average-depth statistic drives descendant-join estimates.
+//
+// Run with: go run ./examples/treebank
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"xqdb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "xqdb-treebank-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := xqdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	doc, err := db.CreateDocument("treebank", strings.NewReader(xqdb.GenerateTreebank(500, 7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := doc.Stats()
+	fmt.Printf("loaded: %d nodes, max depth %d, avg depth %.2f\n\n", st.Nodes, st.MaxDepth, st.AvgDepth)
+
+	queries := []struct{ name, q string }{
+		{"noun phrases containing a nested verb",
+			`<hits>{ for $np in //NP return if (some $vb in $np//VB satisfies true()) then <hit/> else () }</hits>`},
+		{"prepositional phrases directly under verb phrases",
+			`<count>{ for $vp in //VP return for $pp in $vp/PP return <pp/> }</count>`},
+		{"sentences with an empty constituent",
+			`<empties>{ for $s in //S return if (some $e in $s//EMPTY satisfies true()) then <s/> else () }</empties>`},
+	}
+	for _, q := range queries {
+		for _, mode := range []xqdb.Mode{xqdb.M2, xqdb.M4} {
+			start := time.Now()
+			res, err := doc.Query(q.q, xqdb.QueryOptions{Mode: mode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-45s %-12s %8v  (%d hits)\n",
+				q.name, mode, time.Since(start).Round(time.Microsecond), strings.Count(res, "/>"))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package btree
+
+import (
+	"bytes"
+
+	"xqdb/internal/pager"
+)
+
+// Cursor iterates leaf cells in key order. The cursor keeps the current
+// leaf page pinned; Close must be called when done. Key and Value return
+// slices into the pinned page, valid only until the next Next or Close —
+// copy them to retain.
+type Cursor struct {
+	t    *Tree
+	page *pager.Page
+	idx  int
+	err  error
+}
+
+// First positions a new cursor at the smallest key.
+func (t *Tree) First() (*Cursor, error) {
+	id := t.root
+	for {
+		p, err := t.pg.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		d := p.Data()
+		if nodeType(d) == typeLeaf {
+			c := &Cursor{t: t, page: p, idx: 0}
+			if err := c.skipEmpty(); err != nil {
+				c.Close()
+				return nil, err
+			}
+			return c, nil
+		}
+		id = link(d)
+		p.Unpin()
+	}
+}
+
+// Seek positions a new cursor at the first key >= key.
+func (t *Tree) Seek(key []byte) (*Cursor, error) {
+	id := t.root
+	for {
+		p, err := t.pg.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		d := p.Data()
+		if nodeType(d) == typeInternal {
+			_, next := childFor(d, key)
+			p.Unpin()
+			id = next
+			continue
+		}
+		c := &Cursor{t: t, page: p, idx: findInLeaf(d, key)}
+		if err := c.skipEmpty(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+}
+
+// Valid reports whether the cursor is positioned on a cell.
+func (c *Cursor) Valid() bool { return c.page != nil && c.err == nil }
+
+// Err returns the first error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current key (valid until Next or Close).
+func (c *Cursor) Key() []byte {
+	k, _ := leafCell(c.page.Data(), c.idx)
+	return k
+}
+
+// Value returns the current value (valid until Next or Close).
+func (c *Cursor) Value() []byte {
+	_, v := leafCell(c.page.Data(), c.idx)
+	return v
+}
+
+// Next advances to the following key, crossing leaf boundaries.
+func (c *Cursor) Next() error {
+	if c.page == nil {
+		return nil
+	}
+	c.idx++
+	return c.skipEmpty()
+}
+
+// skipEmpty advances across exhausted/empty leaves until a cell is found
+// or the chain ends (page set to nil).
+func (c *Cursor) skipEmpty() error {
+	for c.page != nil && c.idx >= nkeys(c.page.Data()) {
+		next := link(c.page.Data())
+		c.page.Unpin()
+		c.page = nil
+		if next == pager.NilPage {
+			return nil
+		}
+		p, err := c.t.pg.Read(next)
+		if err != nil {
+			c.err = err
+			return err
+		}
+		c.page = p
+		c.idx = 0
+	}
+	return nil
+}
+
+// Close releases the pinned page. The cursor must not be used afterwards.
+func (c *Cursor) Close() {
+	if c.page != nil {
+		c.page.Unpin()
+		c.page = nil
+	}
+}
+
+// ScanPrefix calls fn for every (key, value) whose key begins with prefix,
+// in key order. The slices passed to fn are only valid during the call.
+// fn returning false stops the scan early.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(k, v []byte) bool) error {
+	c, err := t.Seek(prefix)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for c.Valid() {
+		k := c.Key()
+		if !bytes.HasPrefix(k, prefix) {
+			return nil
+		}
+		if !fn(k, c.Value()) {
+			return nil
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return c.Err()
+}
+
+// ScanRange calls fn for every (key, value) with lo <= key < hi in key
+// order. A nil hi means "to the end".
+func (t *Tree) ScanRange(lo, hi []byte, fn func(k, v []byte) bool) error {
+	c, err := t.Seek(lo)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for c.Valid() {
+		k := c.Key()
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return nil
+		}
+		if !fn(k, c.Value()) {
+			return nil
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return c.Err()
+}

@@ -1,0 +1,260 @@
+// Package core assembles the native XML-DBMS: parse → rewrite to TPM →
+// merge relfors → optimize → execute. An Engine is one configuration of
+// that pipeline over one stored document.
+//
+// The configurations correspond to the course milestones and to the
+// engines compared in Figure 7 of the paper:
+//
+//	ModeM1         milestone 1: in-memory evaluation over the DOM
+//	ModeM2         milestone 2: node-at-a-time over secondary storage
+//	ModeNaiveTPM   TPM without merging or optimization (plan QP0 shape)
+//	ModeM3         milestone 3: merged relfors, heuristic optimization
+//	ModeM4         milestone 4: cost-based optimization with indexes
+//	ModeM4BadStats milestone 4 with uniform statistics (the paper's
+//	               engine 2, whose "unlucky estimates" pick a disastrous
+//	               join order on efficiency test 5)
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"xqdb/internal/dom"
+	"xqdb/internal/exec"
+	"xqdb/internal/limit"
+	"xqdb/internal/mem"
+	"xqdb/internal/naive"
+	"xqdb/internal/opt"
+	"xqdb/internal/store"
+	"xqdb/internal/tpm"
+	"xqdb/internal/xq"
+)
+
+// Mode selects an engine configuration.
+type Mode int
+
+// Engine configurations (see package comment).
+const (
+	ModeM1 Mode = iota
+	ModeM2
+	ModeNaiveTPM
+	ModeM3
+	ModeM4
+	ModeM4BadStats
+)
+
+// String returns the short engine name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeM1:
+		return "M1-mem"
+	case ModeM2:
+		return "M2-naive"
+	case ModeNaiveTPM:
+		return "TPM-naive"
+	case ModeM3:
+		return "M3-heuristic"
+	case ModeM4:
+		return "M4-costbased"
+	case ModeM4BadStats:
+		return "M4-badstats"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Modes lists all engine configurations.
+func Modes() []Mode {
+	return []Mode{ModeM1, ModeM2, ModeNaiveTPM, ModeM3, ModeM4, ModeM4BadStats}
+}
+
+// Config tunes an Engine beyond its Mode.
+type Config struct {
+	Mode Mode
+	// Timeout bounds each query (0 = unlimited); timed-out queries
+	// return limit.ErrTimeout, which the testbed converts into the
+	// paper's "assigned the cap" rule.
+	Timeout time.Duration
+	// SortBudget bounds operator memory (spools, sorts) in bytes.
+	SortBudget int
+	// Opt overrides the optimizer configuration derived from Mode
+	// (used by the ablation benchmarks).
+	Opt *opt.Config
+	// NoMerge disables relfor merging regardless of Mode (ablations).
+	NoMerge bool
+}
+
+// Engine evaluates XQ queries over one stored document under a fixed
+// configuration.
+type Engine struct {
+	st  *store.Store
+	cfg Config
+
+	domRoot  *dom.Node // lazily reconstructed for ModeM1
+	counters exec.Counters
+}
+
+// New returns an engine over st.
+func New(st *store.Store, cfg Config) *Engine {
+	return &Engine{st: st, cfg: cfg}
+}
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Mode returns the engine's mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Counters returns the physical-operator counters of the last query
+// (milestone 3/4 modes only).
+func (e *Engine) Counters() exec.Counters { return e.counters }
+
+// optConfig derives the optimizer configuration for the mode.
+func (e *Engine) optConfig() opt.Config {
+	if e.cfg.Opt != nil {
+		return *e.cfg.Opt
+	}
+	var cfg opt.Config
+	switch e.cfg.Mode {
+	case ModeNaiveTPM:
+		cfg = opt.NaiveTPM()
+	case ModeM3:
+		cfg = opt.M3()
+	case ModeM4BadStats:
+		cfg = opt.M4BadStats()
+	default:
+		cfg = opt.M4()
+	}
+	cfg.SpoolBudget = e.cfg.SortBudget
+	return cfg
+}
+
+func (e *Engine) merging() bool {
+	if e.cfg.NoMerge {
+		return false
+	}
+	return e.cfg.Mode != ModeNaiveTPM
+}
+
+// Query parses and evaluates an XQ query, returning serialized XML.
+func (e *Engine) Query(src string) (string, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return e.QueryExpr(q)
+}
+
+// QueryExpr evaluates a parsed query.
+func (e *Engine) QueryExpr(q xq.Expr) (string, error) {
+	dl := limit.After(e.cfg.Timeout)
+	switch e.cfg.Mode {
+	case ModeM1:
+		root, err := e.domDocument()
+		if err != nil {
+			return "", err
+		}
+		res, err := mem.New(root).Eval(q)
+		if err != nil {
+			return "", err
+		}
+		return dom.SerializeForest(res), nil
+	case ModeM2:
+		ev := naive.New(e.st)
+		ev.Deadline = dl
+		return ev.Eval(q)
+	default:
+		xplan, err := e.compile(q)
+		if err != nil {
+			return "", err
+		}
+		ctx, err := e.execCtx(dl)
+		if err != nil {
+			return "", err
+		}
+		out, err := exec.Run(ctx, xplan)
+		e.counters = ctx.Counters
+		if err != nil {
+			return "", err
+		}
+		return string(out), nil
+	}
+}
+
+func (e *Engine) execCtx(dl *limit.Deadline) (*exec.Ctx, error) {
+	tmp, err := e.st.TempDir()
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Ctx{
+		Store:      e.st,
+		TempDir:    tmp,
+		Deadline:   dl,
+		Env:        exec.Env{},
+		SortBudget: e.cfg.SortBudget,
+	}, nil
+}
+
+// compile runs the milestone 3/4 pipeline up to the executable plan.
+func (e *Engine) compile(q xq.Expr) (exec.XPlan, error) {
+	plan := tpm.Rewrite(q)
+	if e.merging() {
+		plan = tpm.Merge(plan)
+	}
+	planner := opt.New(e.st, e.optConfig())
+	return planner.Plan(plan)
+}
+
+// domDocument reconstructs the in-memory DOM from the store (milestone 1
+// operates on the parsed document; the store is the single source of
+// truth here).
+func (e *Engine) domDocument() (*dom.Node, error) {
+	if e.domRoot != nil {
+		return e.domRoot, nil
+	}
+	xml, err := e.st.AppendSubtree(nil, store.RootIn)
+	if err != nil {
+		return nil, err
+	}
+	root, err := dom.Parse(bytes.NewReader(xml))
+	if err != nil {
+		return nil, err
+	}
+	e.domRoot = root
+	return root, nil
+}
+
+// Explain compiles the query and renders every pipeline stage: the parsed
+// query, the TPM plan before and after merging, and the physical plan
+// with cost estimates.
+func (e *Engine) Explain(src string) (string, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %s\nquery:  %s\n\n", e.cfg.Mode, q)
+	switch e.cfg.Mode {
+	case ModeM1, ModeM2:
+		b.WriteString("(no algebraic plan: this mode evaluates the query directly)\n")
+		return b.String(), nil
+	}
+	plan := tpm.Rewrite(q)
+	b.WriteString("-- TPM (rewritten) --\n")
+	b.WriteString(tpm.Format(plan))
+	if e.merging() {
+		plan = tpm.Merge(plan)
+		b.WriteString("\n-- TPM (merged) --\n")
+		b.WriteString(tpm.Format(plan))
+	}
+	planner := opt.New(e.st, e.optConfig())
+	xplan, err := planner.Plan(plan)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\n-- physical plan --\n")
+	b.WriteString(exec.Explain(xplan))
+	fmt.Fprintf(&b, "\nestimated total cost: %.1f\n", exec.PlanCost(xplan))
+	return b.String(), nil
+}

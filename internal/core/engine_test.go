@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xqdb/internal/limit"
+	"xqdb/internal/store"
+)
+
+const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+
+// library is a small mixed-shape document exercising nesting, repeated
+// labels, text comparisons and empty elements.
+const library = `<lib><shelf><book><title>Go</title><author>Ann</author><year>2015</year></book>` +
+	`<book><title>DB</title><author>Bob</author><author>Cyn</author></book></shelf>` +
+	`<shelf><book><title>XML</title><volume>7</volume><author>Ann</author></book><empty/></shelf>` +
+	`<magazine><title>DB</title></magazine></lib>`
+
+// queries is the differential battery: every engine must produce exactly
+// the M1 reference output on every document.
+var queries = []string{
+	`()`,
+	`<out/>`,
+	`/journal`,
+	`/lib`,
+	`//name`,
+	`//author`,
+	`//nosuchlabel`,
+	`/journal/authors/name`,
+	`//book/title`,
+	`for $x in //name return $x`,
+	`for $x in //book return for $t in $x/title return $t`,
+	`for $x in //book return for $a in $x//author return $a`,
+	`<names>{ for $j in /journal return for $n in $j//name return $n }</names>`,
+	`<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>`,
+	`for $j in /journal return if (some $t in $j//text() satisfies true()) then for $n in $j//name return $n else ()`,
+	`for $b in //book return if (some $v in $b/volume satisfies true()) then for $a in $b//author return $a else ()`,
+	`for $b in //book return if (some $t in $b/title/text() satisfies $t = "DB") then $b else ()`,
+	`for $b in //book return if (not(some $v in $b/volume satisfies true())) then <novol/> else ()`,
+	`for $b in //book return if (some $v in $b/volume satisfies true() and some $a in $b/author satisfies true()) then $b else ()`,
+	`for $x in //title/text() return for $y in //magazine/title/text() return if ($x = $y) then <dup/> else ()`,
+	`for $s in /lib/shelf return <shelf>{ for $t in $s//title return $t }</shelf>`,
+	`for $s in /lib/* return $s`,
+	`//book/text()`,
+	`for $b in //book return <b>{ $b/title, $b/author }</b>`,
+	`for $x in //year/text() return if ($x = "2015") then <y2015/> else ()`,
+	`for $j in /journal return if (some $t in $j//text() satisfies ($t = "Ana" or $t = "Zed")) then <hit/> else ()`,
+	`<wrap>literal text</wrap>`,
+	`for $b in //book return if (some $t1 in $b/title/text() satisfies some $t2 in //magazine/title/text() satisfies $t1 = $t2) then $b else ()`,
+}
+
+func newEngines(t testing.TB, doc string) map[Mode]*Engine {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(doc); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	engines := map[Mode]*Engine{}
+	for _, m := range Modes() {
+		engines[m] = New(st, Config{Mode: m})
+	}
+	return engines
+}
+
+// TestEnginesAgree is the correctness-suite core: every mode must return
+// the milestone 1 reference result on every query/document combination.
+func TestEnginesAgree(t *testing.T) {
+	for docName, doc := range map[string]string{"figure2": figure2, "library": library} {
+		engines := newEngines(t, doc)
+		ref := engines[ModeM1]
+		for _, q := range queries {
+			want, err := ref.Query(q)
+			if err != nil {
+				t.Fatalf("[%s] reference failed on %q: %v", docName, q, err)
+			}
+			for _, m := range Modes() {
+				if m == ModeM1 {
+					continue
+				}
+				got, err := engines[m].Query(q)
+				if err != nil {
+					t.Errorf("[%s] %s failed on %q: %v", docName, m, q, err)
+					continue
+				}
+				if got != want {
+					t.Errorf("[%s] %s disagrees on %q:\n got: %s\nwant: %s", docName, m, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExample2AllEngines(t *testing.T) {
+	engines := newEngines(t, figure2)
+	want := `<names><name>Ana</name><name>Bob</name></names>`
+	for _, m := range Modes() {
+		got, err := engines[m].Query(`<names>{ for $j in /journal return for $n in $j//name return $n }</names>`)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != want {
+			t.Errorf("%s: got %s", m, got)
+		}
+	}
+}
+
+// TestMergeStrictnessSemantics verifies the paper's empty-<j/> example:
+// journals without names still produce a <j/> element.
+func TestMergeStrictnessSemantics(t *testing.T) {
+	doc := `<lib><journal><name>A</name></journal><journal><nothing/></journal></lib>`
+	engines := newEngines(t, doc)
+	q := `<names>{ for $j in //journal return <j>{ for $n in $j//name return $n }</j> }</names>`
+	want := `<names><j><name>A</name></j><j/></names>`
+	for _, m := range Modes() {
+		got, err := engines[m].Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != want {
+			t.Errorf("%s: got %s want %s", m, got, want)
+		}
+	}
+}
+
+// TestDuplicateElimination exercises the ordering example of milestone 3:
+// a some-condition with multiple witnesses must not duplicate output.
+func TestDuplicateElimination(t *testing.T) {
+	// Two text nodes below each journal (two witnesses for the some).
+	doc := `<j2><journal><a>x</a><b>y</b><name>N1</name><name>N2</name></journal></j2>`
+	engines := newEngines(t, doc)
+	q := `for $j in //journal return if (some $t in $j//text() satisfies true()) then for $n in $j//name return $n else ()`
+	want := `<name>N1</name><name>N2</name>`
+	for _, m := range Modes() {
+		got, err := engines[m].Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != want {
+			t.Errorf("%s duplicated or reordered output: %s", m, got)
+		}
+	}
+}
+
+func TestDocumentOrderAcrossSubtrees(t *testing.T) {
+	doc := `<r><a><b>1</b></a><c><b>2</b></c><a><b>3</b></a></r>`
+	engines := newEngines(t, doc)
+	for _, m := range Modes() {
+		got, err := engines[m].Query(`for $b in //b return $b/text()`)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != "123" {
+			t.Errorf("%s: order broken: %q", m, got)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A cross-product query on a document big enough to out-run a 1 ns
+	// deadline.
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "<x>%d</x>", i)
+	}
+	b.WriteString("</r>")
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LoadString(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	e := New(st, Config{Mode: ModeM3, Timeout: time.Nanosecond})
+	_, err = e.Query(`for $x in //x return for $y in //x return if ($x/text() = $y/text()) then <m/> else ()`)
+	if !errors.Is(err, limit.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestExplainStages(t *testing.T) {
+	engines := newEngines(t, figure2)
+	out, err := engines[ModeM4].Explain(`<names>{ for $j in /journal return for $n in $j//name return $n }</names>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TPM (rewritten)", "TPM (merged)", "physical plan", "relfor", "estimated total cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// M1 explain degrades gracefully.
+	out, err = engines[ModeM1].Explain(`/journal`)
+	if err != nil || !strings.Contains(out, "no algebraic plan") {
+		t.Errorf("M1 explain: %v / %s", err, out)
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	engines := newEngines(t, library)
+	e := engines[ModeM4]
+	if _, err := e.Query(`for $b in //book return $b`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Counters().RowsScanned == 0 {
+		t.Error("no rows scanned recorded")
+	}
+	if e.Counters().RowsEmitted == 0 {
+		t.Error("no rows emitted recorded")
+	}
+}

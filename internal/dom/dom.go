@@ -1,0 +1,265 @@
+// Package dom implements the in-memory XML document tree used by the
+// milestone 1 evaluator, together with the depth-first in/out preorder
+// numbering from Figure 2 of the paper and an XML serializer.
+//
+// Attributes are accepted by the parser but are not part of the XQ data
+// model: the paper's XASR schema knows only root, element and text nodes,
+// so attributes are carried on Node for inspection but ignored by the
+// numbering, the serializer and query evaluation. This keeps the in-memory
+// and secondary-storage engines observationally identical.
+package dom
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xqdb/internal/xmltok"
+)
+
+// Kind is the type of a document node, mirroring the XASR "type" column.
+type Kind uint8
+
+// Node kinds. Root is the document node (the XASR tuple with value NULL).
+const (
+	Root Kind = iota
+	Element
+	Text
+)
+
+// String returns the XASR-style name of the kind ("root", "elem", "text").
+func (k Kind) String() string {
+	switch k {
+	case Root:
+		return "root"
+	case Element:
+		return "elem"
+	case Text:
+		return "text"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Node is one node of an XML document tree or of a constructed result tree.
+type Node struct {
+	Kind     Kind
+	Label    string        // element label; "" for root and text nodes
+	Text     string        // character data; "" for root and element nodes
+	Attrs    []xmltok.Attr // parsed attributes (not part of the data model)
+	Parent   *Node
+	Children []*Node
+
+	// In and Out are the preorder tag-counting labels of Figure 2,
+	// assigned by Number. They are zero until Number is called and on
+	// freshly constructed result nodes.
+	In, Out uint32
+}
+
+// Value returns the XASR "value" of the node: its label for elements, its
+// text for text nodes, and "" (NULL) for the root.
+func (n *Node) Value() string {
+	switch n.Kind {
+	case Element:
+		return n.Label
+	case Text:
+		return n.Text
+	}
+	return ""
+}
+
+// NewRoot returns an empty document node.
+func NewRoot() *Node { return &Node{Kind: Root} }
+
+// NewElement returns a fresh element node with the given label.
+func NewElement(label string) *Node { return &Node{Kind: Element, Label: label} }
+
+// NewText returns a fresh text node with the given content.
+func NewText(text string) *Node { return &Node{Kind: Text, Text: text} }
+
+// Append adds child to n, setting the parent pointer.
+func (n *Node) Append(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// Parse reads an XML document from r and returns its root (document) node
+// with in/out numbering already assigned.
+func Parse(r io.Reader) (*Node, error) {
+	return ParseTokens(xmltok.New(r))
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseTokens builds a document tree from an already-configured tokenizer.
+func ParseTokens(tz *xmltok.Tokenizer) (*Node, error) {
+	root := NewRoot()
+	cur := root
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			el := NewElement(tok.Name)
+			if len(tok.Attrs) > 0 {
+				el.Attrs = append([]xmltok.Attr(nil), tok.Attrs...)
+			}
+			cur.Append(el)
+			cur = el
+		case xmltok.EndElement:
+			cur = cur.Parent
+		case xmltok.Text:
+			cur.Append(NewText(tok.Text))
+		}
+	}
+	if len(root.Children) == 0 {
+		return nil, fmt.Errorf("dom: empty document")
+	}
+	root.Number()
+	return root, nil
+}
+
+// Number assigns in/out labels to the subtree rooted at n using the
+// depth-first left-to-right preorder tag count of Figure 2: a node's "in"
+// is one plus the number of opening and closing tags encountered before its
+// opening tag, and "out" likewise for its closing tag. The root of Figure 2
+// receives (1, 18).
+func (n *Node) Number() {
+	c := uint32(1)
+	n.number(&c)
+}
+
+func (n *Node) number(c *uint32) {
+	n.In = *c
+	*c++
+	for _, ch := range n.Children {
+		ch.number(c)
+	}
+	n.Out = *c
+	*c++
+}
+
+// Size returns the number of nodes in the subtree rooted at n, including n.
+func (n *Node) Size() int {
+	total := 1
+	for _, ch := range n.Children {
+		total += ch.Size()
+	}
+	return total
+}
+
+// Depth returns the length of the path from the document root to n, with
+// the root itself at depth 0.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Walk visits the subtree rooted at n in document order, calling fn for
+// each node. If fn returns false the walk stops.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, ch := range n.Children {
+		if !ch.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendXML serializes the subtree rooted at n onto dst and returns the
+// extended slice. Root nodes serialize their children; childless elements
+// serialize as <a/>. Attributes are not serialized (see package comment).
+func (n *Node) AppendXML(dst []byte) []byte {
+	switch n.Kind {
+	case Root:
+		for _, ch := range n.Children {
+			dst = ch.AppendXML(dst)
+		}
+	case Text:
+		dst = xmltok.AppendEscaped(dst, n.Text)
+	case Element:
+		if len(n.Children) == 0 {
+			dst = append(dst, '<')
+			dst = append(dst, n.Label...)
+			dst = append(dst, '/', '>')
+			return dst
+		}
+		dst = append(dst, '<')
+		dst = append(dst, n.Label...)
+		dst = append(dst, '>')
+		for _, ch := range n.Children {
+			dst = ch.AppendXML(dst)
+		}
+		dst = append(dst, '<', '/')
+		dst = append(dst, n.Label...)
+		dst = append(dst, '>')
+	}
+	return dst
+}
+
+// XML returns the serialized subtree rooted at n.
+func (n *Node) XML() string { return string(n.AppendXML(nil)) }
+
+// Copy returns a deep copy of the subtree rooted at n. The copy has no
+// parent and no in/out labels; attributes are shared (they are immutable).
+func (n *Node) Copy() *Node {
+	c := &Node{Kind: n.Kind, Label: n.Label, Text: n.Text, Attrs: n.Attrs}
+	for _, ch := range n.Children {
+		c.Append(ch.Copy())
+	}
+	return c
+}
+
+// Equal reports whether two subtrees are structurally identical (kind,
+// label, text and children; parents, attributes and numbering ignored).
+func Equal(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Label != b.Label || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FindByIn returns the node of the numbered tree rooted at n whose In label
+// equals in, or nil. It runs in O(depth) using the in/out interval
+// property: a node contains `in` iff node.In <= in < node.Out.
+func (n *Node) FindByIn(in uint32) *Node {
+	if n.In == in {
+		return n
+	}
+	if in < n.In || in > n.Out {
+		return nil
+	}
+	for _, ch := range n.Children {
+		if ch.In <= in && in <= ch.Out {
+			return ch.FindByIn(in)
+		}
+	}
+	return nil
+}
+
+// SerializeForest serializes a sequence of result trees in order.
+func SerializeForest(nodes []*Node) string {
+	var dst []byte
+	for _, n := range nodes {
+		dst = n.AppendXML(dst)
+	}
+	return string(dst)
+}

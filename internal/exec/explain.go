@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders an executable plan, including the physical operator
+// trees inside each relfor with the optimizer's row and cost estimates —
+// the output of `xqdb explain` and the plan snapshots in EXPERIMENTS.md.
+func Explain(p XPlan) string {
+	var b strings.Builder
+	explainX(&b, p, 0)
+	return b.String()
+}
+
+func pad(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func explainX(b *strings.Builder, p XPlan, depth int) {
+	pad(b, depth)
+	switch p := p.(type) {
+	case XEmpty:
+		b.WriteString("()\n")
+	case *XText:
+		fmt.Fprintf(b, "text(%q)\n", p.Content)
+	case *XEmit:
+		fmt.Fprintf(b, "emit($%s)\n", p.Var)
+	case *XConstr:
+		fmt.Fprintf(b, "constr(%s)\n", p.Label)
+		explainX(b, p.Body, depth+1)
+	case *XSeq:
+		b.WriteString("seq\n")
+		for _, it := range p.Items {
+			explainX(b, it, depth+1)
+		}
+	case *XIf:
+		fmt.Fprintf(b, "if[runtime] %s\n", p.Cond)
+		explainX(b, p.Then, depth+1)
+	case *XRelFor:
+		vars := make([]string, len(p.Vars))
+		for i, v := range p.Vars {
+			vars[i] = "$" + v
+		}
+		fmt.Fprintf(b, "relfor (%s)\n", strings.Join(vars, ", "))
+		ExplainNode(b, p.Root, depth+1)
+		pad(b, depth+1)
+		b.WriteString("return\n")
+		explainX(b, p.Body, depth+2)
+	default:
+		fmt.Fprintf(b, "?%T\n", p)
+	}
+}
+
+// ExplainNode renders one physical operator subtree.
+func ExplainNode(b *strings.Builder, n PlanNode, depth int) {
+	pad(b, depth)
+	est := n.Estimate()
+	if est.Rows != 0 || est.Cost != 0 {
+		fmt.Fprintf(b, "%s  (rows≈%.0f cost≈%.0f)\n", n.Describe(), est.Rows, est.Cost)
+	} else {
+		fmt.Fprintf(b, "%s\n", n.Describe())
+	}
+	for _, ch := range n.Children() {
+		ExplainNode(b, ch, depth+1)
+	}
+}
+
+// PlanCost sums the estimated cost over the physical trees of a plan.
+func PlanCost(p XPlan) float64 {
+	total := 0.0
+	var walkX func(XPlan)
+	walkX = func(p XPlan) {
+		switch p := p.(type) {
+		case *XConstr:
+			walkX(p.Body)
+		case *XSeq:
+			for _, it := range p.Items {
+				walkX(it)
+			}
+		case *XIf:
+			walkX(p.Then)
+		case *XRelFor:
+			total += p.Root.Estimate().Cost
+			walkX(p.Body)
+		}
+	}
+	walkX(p)
+	return total
+}

@@ -1,0 +1,1064 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"xqdb/internal/recfile"
+	"xqdb/internal/store"
+	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
+)
+
+// PlanNode is a physical operator in the plan tree.
+type PlanNode interface {
+	// Schema lists the relation aliases present in output rows.
+	Schema() *Schema
+	// Children returns the child operators (for EXPLAIN).
+	Children() []PlanNode
+	// Describe returns a one-line operator description (for EXPLAIN).
+	Describe() string
+	// Estimate returns the optimizer's row/cost estimates (may be zero).
+	Estimate() Est
+	// open returns a row iterator; outer/outerSchema are non-nil only for
+	// the parameterized inner side of an index nested-loops join.
+	open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
+}
+
+// Est holds optimizer estimates, attached to nodes for EXPLAIN output.
+type Est struct {
+	Rows float64
+	Cost float64
+}
+
+type rowIter interface {
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// ---------------------------------------------------------------- access
+
+// AccessKind selects the access path of a Scan.
+type AccessKind uint8
+
+// Access paths of milestone 4: the full scan and primary range scan use
+// the clustered tree from milestone 2; the label- and parent-index paths
+// are the "index-based selection" students added in milestone 4.
+const (
+	AccessFull AccessKind = iota
+	AccessRange
+	AccessLabel
+	AccessParent
+)
+
+// Access describes how a Scan fetches tuples.
+type Access struct {
+	Kind AccessKind
+	// Type/Value select the label-index prefix (AccessLabel).
+	Type  xasr.NodeType
+	Value string
+	// Bounded restricts AccessRange and AccessLabel to an in-interval:
+	// resolve(Lo)+LoAdd <= in < resolve(Hi)+HiAdd. Hi of kind OpConstIn
+	// with In=0 and HiAdd=0 means unbounded above.
+	Bounded      bool
+	Lo, Hi       tpm.Operand
+	LoAdd, HiAdd uint32
+	// Parent is the parent_in source for AccessParent.
+	Parent tpm.Operand
+}
+
+// String renders the access path for EXPLAIN.
+func (a Access) String() string {
+	switch a.Kind {
+	case AccessFull:
+		return "full scan"
+	case AccessRange:
+		if a.Bounded {
+			return fmt.Sprintf("range scan in ∈ [%s, %s)", boundStr(a.Lo, a.LoAdd), boundStr(a.Hi, a.HiAdd))
+		}
+		return "range scan"
+	case AccessLabel:
+		if a.Bounded {
+			return fmt.Sprintf("label index (%s, %q) in ∈ [%s, %s)", a.Type, a.Value, boundStr(a.Lo, a.LoAdd), boundStr(a.Hi, a.HiAdd))
+		}
+		return fmt.Sprintf("label index (%s, %q)", a.Type, a.Value)
+	case AccessParent:
+		return fmt.Sprintf("parent index (parent_in = %s)", a.Parent)
+	}
+	return "?"
+}
+
+// boundStr renders an access bound operand with its additive offset.
+func boundStr(op tpm.Operand, add uint32) string {
+	if add == 0 {
+		return op.String()
+	}
+	return fmt.Sprintf("%s+%d", op, add)
+}
+
+// Scan is the leaf operator: one XASR relation instance with pushed-down
+// selections. As the inner of an index nested-loops join its bounds may
+// reference attributes of the outer row.
+type Scan struct {
+	Alias  string
+	Access Access
+	// Conds are residual single-relation selections evaluated per tuple
+	// (conditions subsumed by the access path are omitted by the planner).
+	Conds []tpm.Cmp
+	Est_  Est
+
+	schema *Schema
+}
+
+// NewScan builds a scan node.
+func NewScan(alias string, access Access, conds []tpm.Cmp) *Scan {
+	return &Scan{Alias: alias, Access: access, Conds: conds, schema: NewSchema(alias)}
+}
+
+// Schema implements PlanNode.
+func (s *Scan) Schema() *Schema { return s.schema }
+
+// Children implements PlanNode.
+func (s *Scan) Children() []PlanNode { return nil }
+
+// Estimate implements PlanNode.
+func (s *Scan) Estimate() Est { return s.Est_ }
+
+// Describe implements PlanNode.
+func (s *Scan) Describe() string {
+	d := fmt.Sprintf("scan %s: %s", s.Alias, s.Access)
+	if len(s.Conds) > 0 {
+		d += fmt.Sprintf(" σ(%s)", condsString(s.Conds))
+	}
+	return d
+}
+
+func condsString(conds []tpm.Cmp) string {
+	var b bytes.Buffer
+	for i, c := range conds {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+func (s *Scan) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	var lo, hi uint32
+	if s.Access.Bounded {
+		v, err := resolveIn(s.Access.Lo, outer, outerSchema, ctx.Env)
+		if err != nil {
+			return nil, err
+		}
+		lo = v + s.Access.LoAdd
+		hv, err := resolveIn(s.Access.Hi, outer, outerSchema, ctx.Env)
+		if err != nil {
+			return nil, err
+		}
+		if hv != 0 || s.Access.HiAdd != 0 {
+			hi = hv + s.Access.HiAdd
+		}
+	}
+	it := &scanIter{ctx: ctx, scan: s}
+	switch s.Access.Kind {
+	case AccessFull:
+		c, err := ctx.Store.OpenRange(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		it.prim = c
+	case AccessRange:
+		if s.Access.Bounded && hi != 0 && lo >= hi {
+			return emptyIter{}, nil
+		}
+		c, err := ctx.Store.OpenRange(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		it.prim = c
+	case AccessLabel:
+		if s.Access.Bounded && hi != 0 && lo >= hi {
+			return emptyIter{}, nil
+		}
+		c, err := ctx.Store.OpenLabelRange(s.Access.Type, s.Access.Value, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		it.label = c
+	case AccessParent:
+		p, err := resolveIn(s.Access.Parent, outer, outerSchema, ctx.Env)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ctx.Store.OpenChildren(p)
+		if err != nil {
+			return nil, err
+		}
+		it.child = c
+	default:
+		return nil, fmt.Errorf("exec: unknown access kind %d", s.Access.Kind)
+	}
+	return it, nil
+}
+
+type emptyIter struct{}
+
+func (emptyIter) Next() (Row, bool, error) { return nil, false, nil }
+func (emptyIter) Close() error             { return nil }
+
+type scanIter struct {
+	ctx   *Ctx
+	scan  *Scan
+	prim  *store.TupleCursor
+	label *store.LabelRangeCursor
+	child *store.ChildCursor
+}
+
+func (it *scanIter) Next() (Row, bool, error) {
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		var t xasr.Tuple
+		var ok bool
+		var err error
+		switch {
+		case it.prim != nil:
+			t, ok, err = it.prim.Next()
+		case it.label != nil:
+			var e store.LabelEntry
+			e, ok, err = it.label.Next()
+			if ok {
+				t = xasr.Tuple{In: e.In, Out: e.Out, ParentIn: e.ParentIn,
+					Type: it.scan.Access.Type, Value: it.scan.Access.Value}
+			}
+		case it.child != nil:
+			t, ok, err = it.child.Next()
+		}
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.ctx.Counters.RowsScanned++
+		row := Row{t}
+		pass, err := evalConds(it.scan.Conds, row, it.scan.schema, it.ctx.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *scanIter) Close() error {
+	switch {
+	case it.prim != nil:
+		it.prim.Close()
+	case it.label != nil:
+		it.label.Close()
+	case it.child != nil:
+		it.child.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- filter
+
+// Filter applies residual conditions.
+type Filter struct {
+	Child PlanNode
+	Conds []tpm.Cmp
+	Est_  Est
+}
+
+// Schema implements PlanNode.
+func (f *Filter) Schema() *Schema { return f.Child.Schema() }
+
+// Children implements PlanNode.
+func (f *Filter) Children() []PlanNode { return []PlanNode{f.Child} }
+
+// Estimate implements PlanNode.
+func (f *Filter) Estimate() Est { return f.Est_ }
+
+// Describe implements PlanNode.
+func (f *Filter) Describe() string { return fmt.Sprintf("filter σ(%s)", condsString(f.Conds)) }
+
+func (f *Filter) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	child, err := f.Child.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{ctx: ctx, f: f, child: child}, nil
+}
+
+type filterIter struct {
+	ctx   *Ctx
+	f     *Filter
+	child rowIter
+}
+
+func (it *filterIter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := evalConds(it.f.Conds, row, it.f.Schema(), it.ctx.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error { return it.child.Close() }
+
+// ---------------------------------------------------------------- spool
+
+// spool materializes rows, in memory up to the budget and spilling to a
+// temp record file beyond it. It supports repeated sequential replay —
+// milestone 3's "write each intermediate result to disk, re-read it
+// whenever necessary".
+type spool struct {
+	slots  int
+	mem    []Row
+	bytes  int
+	budget int
+	file   *recfile.Writer
+	path   string
+	count  int64
+}
+
+func newSpool(ctx *Ctx, slots int) *spool {
+	budget := ctx.SortBudget
+	if budget <= 0 {
+		budget = recfile.DefaultSortBudget
+	}
+	return &spool{slots: slots, budget: budget}
+}
+
+func (sp *spool) add(ctx *Ctx, row Row) error {
+	sp.count++
+	if sp.file == nil {
+		sp.mem = append(sp.mem, append(Row(nil), row...))
+		for _, t := range row {
+			sp.bytes += 32 + len(t.Value)
+		}
+		if sp.bytes <= sp.budget {
+			return nil
+		}
+		// Overflow: move everything to disk.
+		sp.path = recfile.TempPath(ctx.TempDir, "spool")
+		w, err := recfile.CreateWriter(sp.path)
+		if err != nil {
+			return err
+		}
+		sp.file = w
+		var rec []byte
+		for _, r := range sp.mem {
+			rec = appendRow(rec[:0], r)
+			if err := sp.file.Append(rec); err != nil {
+				return err
+			}
+			ctx.Counters.SpilledTuples++
+		}
+		sp.mem = nil
+		return nil
+	}
+	rec := appendRow(nil, row)
+	ctx.Counters.SpilledTuples++
+	return sp.file.Append(rec)
+}
+
+func (sp *spool) finish() error {
+	if sp.file != nil {
+		return sp.file.Finish()
+	}
+	return nil
+}
+
+// replay returns an iterator over the spooled rows.
+func (sp *spool) replay() (*spoolIter, error) {
+	it := &spoolIter{sp: sp}
+	if sp.file != nil {
+		r, err := recfile.OpenReader(sp.path)
+		if err != nil {
+			return nil, err
+		}
+		it.r = r
+	}
+	return it, nil
+}
+
+func (sp *spool) remove() {
+	if sp.file != nil {
+		// The writer is already finished; drop the file.
+		if r, err := recfile.OpenReader(sp.path); err == nil {
+			r.Remove()
+		}
+	}
+}
+
+type spoolIter struct {
+	sp  *spool
+	idx int
+	r   *recfile.Reader
+}
+
+func (it *spoolIter) Next() (Row, bool, error) {
+	if it.r == nil {
+		if it.idx >= len(it.sp.mem) {
+			return nil, false, nil
+		}
+		row := it.sp.mem[it.idx]
+		it.idx++
+		return row, true, nil
+	}
+	rec, err := it.r.Next()
+	if err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	row, err := decodeRow(rec, it.sp.slots)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (it *spoolIter) Close() error {
+	if it.r != nil {
+		return it.r.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- NL join
+
+// NLJoin is the order-preserving tuple nested-loops join: the inner input
+// is materialized once and replayed per outer row, so output order is the
+// lexicographic (outer, inner) order the relfor semantics requires.
+type NLJoin struct {
+	Left, Right PlanNode
+	Conds       []tpm.Cmp
+	Est_        Est
+
+	schema *Schema
+}
+
+// NewNLJoin builds a nested-loops join node.
+func NewNLJoin(left, right PlanNode, conds []tpm.Cmp) *NLJoin {
+	return &NLJoin{Left: left, Right: right, Conds: conds,
+		schema: left.Schema().Concat(right.Schema())}
+}
+
+// Schema implements PlanNode.
+func (j *NLJoin) Schema() *Schema { return j.schema }
+
+// Children implements PlanNode.
+func (j *NLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Right} }
+
+// Estimate implements PlanNode.
+func (j *NLJoin) Estimate() Est { return j.Est_ }
+
+// Describe implements PlanNode.
+func (j *NLJoin) Describe() string {
+	return fmt.Sprintf("nl-join(%s) [materialized inner]", condsString(j.Conds))
+}
+
+func (j *NLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	left, err := j.Left.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	// The inner is materialized lazily, on the first outer row: an empty
+	// outer (e.g. a scan for a non-existent label) must cost nothing.
+	return &nlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
+}
+
+// materializeInner spools the full inner input once.
+func materializeInner(ctx *Ctx, inner PlanNode, outer Row, outerSchema *Schema) (*spool, error) {
+	rIt, err := inner.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	defer rIt.Close()
+	sp := newSpool(ctx, len(inner.Schema().Aliases))
+	for {
+		row, ok, err := rIt.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := sp.add(ctx, row); err != nil {
+			return nil, err
+		}
+	}
+	if err := sp.finish(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+type nlJoinIter struct {
+	ctx         *Ctx
+	j           *NLJoin
+	left        rowIter
+	outer       Row
+	outerSchema *Schema
+	sp          *spool
+	lRow        Row
+	haveL       bool
+	inner       *spoolIter
+}
+
+func (it *nlJoinIter) Next() (Row, bool, error) {
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		if !it.haveL {
+			row, ok, err := it.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if it.sp == nil {
+				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema)
+				if err != nil {
+					return nil, false, err
+				}
+				it.sp = sp
+			}
+			it.lRow = row
+			it.haveL = true
+			inner, err := it.sp.replay()
+			if err != nil {
+				return nil, false, err
+			}
+			it.inner = inner
+			it.ctx.Counters.InnerRescans++
+		}
+		rRow, ok, err := it.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.inner.Close()
+			it.haveL = false
+			continue
+		}
+		joined := make(Row, 0, len(it.lRow)+len(rRow))
+		joined = append(joined, it.lRow...)
+		joined = append(joined, rRow...)
+		pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			it.ctx.Counters.RowsJoined++
+			return joined, true, nil
+		}
+	}
+}
+
+func (it *nlJoinIter) Close() error {
+	if it.inner != nil {
+		it.inner.Close()
+	}
+	if it.sp != nil {
+		it.sp.remove()
+	}
+	return it.left.Close()
+}
+
+// ---------------------------------------------------------------- BNL join
+
+// BNLJoin is the block nested-loops join: outer rows are read in blocks
+// and the materialized inner is scanned once per block instead of once per
+// row. It is NOT order-preserving (within a block, output order follows
+// the inner), which is exactly why the paper's order-conscious plans avoid
+// it; it exists for order strategy (a), where a final sort restores order.
+type BNLJoin struct {
+	Left, Right PlanNode
+	Conds       []tpm.Cmp
+	BlockRows   int
+	Est_        Est
+
+	schema *Schema
+}
+
+// NewBNLJoin builds a block nested-loops join node.
+func NewBNLJoin(left, right PlanNode, conds []tpm.Cmp, blockRows int) *BNLJoin {
+	if blockRows <= 0 {
+		blockRows = 1024
+	}
+	return &BNLJoin{Left: left, Right: right, Conds: conds, BlockRows: blockRows,
+		schema: left.Schema().Concat(right.Schema())}
+}
+
+// Schema implements PlanNode.
+func (j *BNLJoin) Schema() *Schema { return j.schema }
+
+// Children implements PlanNode.
+func (j *BNLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Right} }
+
+// Estimate implements PlanNode.
+func (j *BNLJoin) Estimate() Est { return j.Est_ }
+
+// Describe implements PlanNode.
+func (j *BNLJoin) Describe() string {
+	return fmt.Sprintf("bnl-join(%s) [block %d, not order-preserving]", condsString(j.Conds), j.BlockRows)
+}
+
+func (j *BNLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	left, err := j.Left.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &bnlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
+}
+
+type bnlJoinIter struct {
+	ctx         *Ctx
+	j           *BNLJoin
+	left        rowIter
+	outer       Row
+	outerSchema *Schema
+	sp          *spool
+	block       []Row
+	inner       *spoolIter
+	rRow        Row
+	haveR       bool
+	bIdx        int
+	done        bool
+}
+
+func (it *bnlJoinIter) fillBlock() error {
+	it.block = it.block[:0]
+	for len(it.block) < it.j.BlockRows {
+		row, ok, err := it.left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.block = append(it.block, row)
+	}
+	return nil
+}
+
+func (it *bnlJoinIter) Next() (Row, bool, error) {
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		if it.inner == nil {
+			if err := it.fillBlock(); err != nil {
+				return nil, false, err
+			}
+			if len(it.block) == 0 {
+				it.done = true
+				return nil, false, nil
+			}
+			if it.sp == nil {
+				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema)
+				if err != nil {
+					return nil, false, err
+				}
+				it.sp = sp
+			}
+			inner, err := it.sp.replay()
+			if err != nil {
+				return nil, false, err
+			}
+			it.inner = inner
+			it.ctx.Counters.InnerRescans++
+			it.haveR = false
+		}
+		if !it.haveR {
+			rRow, ok, err := it.inner.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				it.inner.Close()
+				it.inner = nil
+				continue
+			}
+			// Copy: the spool iterator reuses its buffer.
+			it.rRow = append(Row(nil), rRow...)
+			it.haveR = true
+			it.bIdx = 0
+		}
+		for it.bIdx < len(it.block) {
+			l := it.block[it.bIdx]
+			it.bIdx++
+			joined := make(Row, 0, len(l)+len(it.rRow))
+			joined = append(joined, l...)
+			joined = append(joined, it.rRow...)
+			pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				it.ctx.Counters.RowsJoined++
+				return joined, true, nil
+			}
+		}
+		it.haveR = false
+	}
+}
+
+func (it *bnlJoinIter) Close() error {
+	if it.inner != nil {
+		it.inner.Close()
+	}
+	if it.sp != nil {
+		it.sp.remove()
+	}
+	return it.left.Close()
+}
+
+// ---------------------------------------------------------------- INL join
+
+// INLJoin is the index nested-loops join of milestone 4: for every outer
+// row the inner Scan is (re)opened with access-path bounds taken from the
+// outer row's attributes. Output order is (outer, inner-index) order,
+// which is order-preserving for hierarchical document order.
+type INLJoin struct {
+	Left  PlanNode
+	Inner *Scan
+	// Conds are residual conditions not subsumed by the inner access path.
+	Conds []tpm.Cmp
+	Est_  Est
+
+	schema *Schema
+}
+
+// NewINLJoin builds an index nested-loops join node.
+func NewINLJoin(left PlanNode, inner *Scan, conds []tpm.Cmp) *INLJoin {
+	return &INLJoin{Left: left, Inner: inner, Conds: conds,
+		schema: left.Schema().Concat(inner.Schema())}
+}
+
+// Schema implements PlanNode.
+func (j *INLJoin) Schema() *Schema { return j.schema }
+
+// Children implements PlanNode.
+func (j *INLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Inner} }
+
+// Estimate implements PlanNode.
+func (j *INLJoin) Estimate() Est { return j.Est_ }
+
+// Describe implements PlanNode.
+func (j *INLJoin) Describe() string {
+	d := fmt.Sprintf("inl-join → %s", j.Inner.Describe())
+	if len(j.Conds) > 0 {
+		d += fmt.Sprintf(" σ(%s)", condsString(j.Conds))
+	}
+	return d
+}
+
+func (j *INLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	if outer != nil {
+		// Nested INL: compose schemas so inner bounds can reference both.
+		return nil, fmt.Errorf("exec: INL join cannot itself be an INL inner")
+	}
+	left, err := j.Left.open(ctx, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &inlJoinIter{ctx: ctx, j: j, left: left}, nil
+}
+
+type inlJoinIter struct {
+	ctx   *Ctx
+	j     *INLJoin
+	left  rowIter
+	lRow  Row
+	inner rowIter
+}
+
+func (it *inlJoinIter) Next() (Row, bool, error) {
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		if it.inner == nil {
+			row, ok, err := it.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.lRow = row
+			inner, err := it.j.Inner.open(it.ctx, row, it.j.Left.Schema())
+			if err != nil {
+				return nil, false, err
+			}
+			it.inner = inner
+			it.ctx.Counters.IndexProbes++
+		}
+		rRow, ok, err := it.inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			it.inner.Close()
+			it.inner = nil
+			continue
+		}
+		joined := make(Row, 0, len(it.lRow)+len(rRow))
+		joined = append(joined, it.lRow...)
+		joined = append(joined, rRow...)
+		pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			it.ctx.Counters.RowsJoined++
+			return joined, true, nil
+		}
+	}
+}
+
+func (it *inlJoinIter) Close() error {
+	if it.inner != nil {
+		it.inner.Close()
+	}
+	return it.left.Close()
+}
+
+// ---------------------------------------------------------------- project
+
+// Project narrows rows to the vartuple relations. With Dedup set it also
+// removes duplicates in one pass, which is valid exactly when the input is
+// hierarchically sorted on the kept attributes — the order invariant the
+// paper's milestone 3 strategies are about.
+type Project struct {
+	Child PlanNode
+	Keep  []string
+	Dedup bool
+	Est_  Est
+
+	schema *Schema
+	slots  []int
+}
+
+// NewProject builds a projection node keeping the given aliases in order.
+func NewProject(child PlanNode, keep []string, dedup bool) *Project {
+	p := &Project{Child: child, Keep: append([]string(nil), keep...), Dedup: dedup,
+		schema: NewSchema(keep...)}
+	for _, alias := range p.Keep {
+		p.slots = append(p.slots, child.Schema().Slot(alias))
+	}
+	return p
+}
+
+// Schema implements PlanNode.
+func (p *Project) Schema() *Schema { return p.schema }
+
+// Children implements PlanNode.
+func (p *Project) Children() []PlanNode { return []PlanNode{p.Child} }
+
+// Estimate implements PlanNode.
+func (p *Project) Estimate() Est { return p.Est_ }
+
+// Describe implements PlanNode.
+func (p *Project) Describe() string {
+	var b bytes.Buffer
+	for i, a := range p.Keep {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a)
+		b.WriteString(".in")
+	}
+	if p.Dedup {
+		return fmt.Sprintf("project π(%s) [one-pass dedup]", b.String())
+	}
+	return fmt.Sprintf("project π(%s)", b.String())
+}
+
+func (p *Project) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	child, err := p.Child.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{p: p, child: child}, nil
+}
+
+type projectIter struct {
+	p     *Project
+	child rowIter
+	prev  Row
+	have  bool
+}
+
+func (it *projectIter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := make(Row, len(it.p.slots))
+		for i, s := range it.p.slots {
+			out[i] = row[s]
+		}
+		if it.p.Dedup && it.have && sameBindings(it.prev, out) {
+			continue
+		}
+		it.prev = out
+		it.have = true
+		return out, true, nil
+	}
+}
+
+func sameBindings(a, b Row) bool {
+	for i := range a {
+		if a[i].In != b[i].In {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *projectIter) Close() error { return it.child.Close() }
+
+// ---------------------------------------------------------------- sort
+
+// Sort restores hierarchical document order by externally sorting rows on
+// the in-labels of the given aliases — order strategy (a) of the paper.
+// With Dedup set, duplicate bindings are dropped while emitting.
+type Sort struct {
+	Child PlanNode
+	By    []string
+	Dedup bool
+	Est_  Est
+
+	keySlots []int
+}
+
+// NewSort builds a sort node ordering by the in-labels of the given
+// aliases.
+func NewSort(child PlanNode, by []string, dedup bool) *Sort {
+	s := &Sort{Child: child, By: append([]string(nil), by...), Dedup: dedup}
+	for _, alias := range s.By {
+		s.keySlots = append(s.keySlots, child.Schema().Slot(alias))
+	}
+	return s
+}
+
+// Schema implements PlanNode.
+func (s *Sort) Schema() *Schema { return s.Child.Schema() }
+
+// Children implements PlanNode.
+func (s *Sort) Children() []PlanNode { return []PlanNode{s.Child} }
+
+// Estimate implements PlanNode.
+func (s *Sort) Estimate() Est { return s.Est_ }
+
+// Describe implements PlanNode.
+func (s *Sort) Describe() string {
+	var b bytes.Buffer
+	for i, a := range s.By {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a)
+		b.WriteString(".in")
+	}
+	if s.Dedup {
+		return fmt.Sprintf("sort [external, by %s, dedup]", b.String())
+	}
+	return fmt.Sprintf("sort [external, by %s]", b.String())
+}
+
+func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	child, err := s.Child.open(ctx, outer, outerSchema)
+	if err != nil {
+		return nil, err
+	}
+	defer child.Close()
+	keyLen := 4 * len(s.keySlots)
+	sorter := recfile.NewSorter(ctx.TempDir, func(a, b []byte) int {
+		return bytes.Compare(a[:keyLen], b[:keyLen])
+	}, ctx.SortBudget)
+	var rec []byte
+	for {
+		if err := ctx.Deadline.Check(); err != nil {
+			return nil, err
+		}
+		row, ok, err := child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rec = rec[:0]
+		for _, slot := range s.keySlots {
+			var kb [4]byte
+			kb[0] = byte(row[slot].In >> 24)
+			kb[1] = byte(row[slot].In >> 16)
+			kb[2] = byte(row[slot].In >> 8)
+			kb[3] = byte(row[slot].In)
+			rec = append(rec, kb[:]...)
+		}
+		rec = appendRow(rec, row)
+		if err := sorter.Add(rec); err != nil {
+			return nil, err
+		}
+		ctx.Counters.SortedRows++
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return nil, err
+	}
+	return &sortIter{ctx: ctx, s: s, it: it, keyLen: keyLen, slots: len(s.Schema().Aliases)}, nil
+}
+
+type sortIter struct {
+	ctx     *Ctx
+	s       *Sort
+	it      *recfile.Iterator
+	keyLen  int
+	slots   int
+	prevKey []byte
+	have    bool
+}
+
+func (it *sortIter) Next() (Row, bool, error) {
+	for {
+		rec, err := it.it.Next()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		key := rec[:it.keyLen]
+		if it.s.Dedup && it.have && bytes.Equal(key, it.prevKey) {
+			continue
+		}
+		it.prevKey = append(it.prevKey[:0], key...)
+		it.have = true
+		row, err := decodeRow(rec[it.keyLen:], it.slots)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
+	}
+}
+
+func (it *sortIter) Close() error { return it.it.Close() }

@@ -1,0 +1,58 @@
+// Package limit provides the per-query resource limits of the efficiency
+// testbed: a cheap cooperative deadline that evaluators and physical
+// operators poll while producing tuples (the paper's "2 or 30 minutes per
+// query", after which an engine is stopped and assigned the cap).
+package limit
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is returned when a query exceeds its deadline.
+var ErrTimeout = errors.New("query deadline exceeded")
+
+// checkMask controls how often Check consults the clock: every 1024 calls.
+const checkMask = 1023
+
+// Deadline is a cooperative query deadline. The zero value and the nil
+// pointer never expire, so code can call Check unconditionally.
+type Deadline struct {
+	at    time.Time
+	count int
+}
+
+// After returns a Deadline expiring d from now. A non-positive d returns
+// nil (no limit).
+func After(d time.Duration) *Deadline {
+	if d <= 0 {
+		return nil
+	}
+	return &Deadline{at: time.Now().Add(d)}
+}
+
+// Check returns ErrTimeout once the deadline has passed. It samples the
+// clock only every few hundred calls, so it is cheap enough to call per
+// tuple.
+func (d *Deadline) Check() error {
+	if d == nil || d.at.IsZero() {
+		return nil
+	}
+	d.count++
+	if d.count&checkMask != 0 {
+		return nil
+	}
+	if time.Now().After(d.at) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Expired reports whether the deadline has passed, checking the clock
+// immediately.
+func (d *Deadline) Expired() bool {
+	if d == nil || d.at.IsZero() {
+		return false
+	}
+	return time.Now().After(d.at)
+}

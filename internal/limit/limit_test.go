@@ -1,0 +1,57 @@
+package limit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilDeadlineNeverExpires(t *testing.T) {
+	var d *Deadline
+	for i := 0; i < 5000; i++ {
+		if err := d.Check(); err != nil {
+			t.Fatal("nil deadline expired")
+		}
+	}
+	if d.Expired() {
+		t.Fatal("nil deadline Expired")
+	}
+}
+
+func TestZeroValueNeverExpires(t *testing.T) {
+	d := &Deadline{}
+	for i := 0; i < 5000; i++ {
+		if err := d.Check(); err != nil {
+			t.Fatal("zero deadline expired")
+		}
+	}
+}
+
+func TestAfterNonPositive(t *testing.T) {
+	if After(0) != nil || After(-time.Second) != nil {
+		t.Fatal("non-positive durations must return nil")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	d := After(time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if !d.Expired() {
+		t.Fatal("deadline not expired")
+	}
+	var err error
+	for i := 0; i < 2000 && err == nil; i++ {
+		err = d.Check()
+	}
+	if err != ErrTimeout {
+		t.Fatalf("Check returned %v", err)
+	}
+}
+
+func TestGenerousDeadlineHolds(t *testing.T) {
+	d := After(time.Hour)
+	for i := 0; i < 5000; i++ {
+		if err := d.Check(); err != nil {
+			t.Fatal("generous deadline expired")
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package mem is milestone 1 of the paper: a purely main-memory evaluator
+// for XQ over the DOM tree of the input document, implementing the
+// denotational semantics of composition-free XQuery.
+//
+// It is deliberately simple and serves as the reference implementation that
+// the secondary-storage engines are differentially tested against. Per the
+// paper, comparisons are only defined when both operands bind to text
+// nodes; anything else stops evaluation with ErrNonTextComparison.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"xqdb/internal/dom"
+	"xqdb/internal/xq"
+)
+
+// ErrNonTextComparison is returned when a comparison is applied to a node
+// that is not a text node, per the paper's milestone 1 restriction.
+var ErrNonTextComparison = errors.New("mem: comparison of non-text nodes")
+
+// Env is an environment binding variables to single document nodes. In XQ
+// variables always bind to single nodes, never to sequences.
+type Env map[string]*dom.Node
+
+// Evaluator evaluates XQ queries against one in-memory document.
+type Evaluator struct {
+	root *dom.Node
+}
+
+// New returns an evaluator for the document rooted at root (a dom.Root
+// node as produced by dom.Parse).
+func New(root *dom.Node) *Evaluator { return &Evaluator{root: root} }
+
+// Eval evaluates the query and returns the result forest. Constructed
+// elements contain deep copies of the nodes produced by their body, per
+// XQuery construction semantics; navigation results reference document
+// nodes directly.
+func (ev *Evaluator) Eval(q xq.Expr) ([]*dom.Node, error) {
+	env := Env{xq.RootVar: ev.root}
+	return ev.eval(q, env)
+}
+
+// EvalString parses and evaluates a query in one step.
+func (ev *Evaluator) EvalString(src string) ([]*dom.Node, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Eval(q)
+}
+
+// QueryXML evaluates a query and serializes the result forest.
+func (ev *Evaluator) QueryXML(src string) (string, error) {
+	res, err := ev.EvalString(src)
+	if err != nil {
+		return "", err
+	}
+	return dom.SerializeForest(res), nil
+}
+
+func (ev *Evaluator) eval(q xq.Expr, env Env) ([]*dom.Node, error) {
+	switch q := q.(type) {
+	case xq.Empty:
+		return nil, nil
+	case *xq.TextLit:
+		return []*dom.Node{dom.NewText(q.Text)}, nil
+	case *xq.VarRef:
+		n, err := lookup(env, q.Name)
+		if err != nil {
+			return nil, err
+		}
+		return []*dom.Node{n}, nil
+	case *xq.Seq:
+		var out []*dom.Node
+		for _, item := range q.Items {
+			r, err := ev.eval(item, env)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r...)
+		}
+		return out, nil
+	case *xq.Constr:
+		body, err := ev.eval(q.Body, env)
+		if err != nil {
+			return nil, err
+		}
+		el := dom.NewElement(q.Label)
+		for _, ch := range body {
+			el.Append(ch.Copy())
+		}
+		return []*dom.Node{el}, nil
+	case *xq.PathExpr:
+		return ev.step(q.Step, env)
+	case *xq.For:
+		seq, err := ev.step(q.In, env)
+		if err != nil {
+			return nil, err
+		}
+		var out []*dom.Node
+		for _, n := range seq {
+			env[q.Var] = n
+			r, err := ev.eval(q.Body, env)
+			if err != nil {
+				delete(env, q.Var)
+				return nil, err
+			}
+			out = append(out, r...)
+		}
+		delete(env, q.Var)
+		return out, nil
+	case *xq.If:
+		ok, err := ev.cond(q.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return ev.eval(q.Then, env)
+	default:
+		return nil, fmt.Errorf("mem: unknown expression %T", q)
+	}
+}
+
+func lookup(env Env, name string) (*dom.Node, error) {
+	n, ok := env[name]
+	if !ok {
+		return nil, fmt.Errorf("mem: unbound variable $%s", name)
+	}
+	return n, nil
+}
+
+// step evaluates a single navigation step in document order.
+func (ev *Evaluator) step(s xq.Step, env Env) ([]*dom.Node, error) {
+	base, err := lookup(env, s.Base)
+	if err != nil {
+		return nil, err
+	}
+	var out []*dom.Node
+	if s.Axis == xq.Child {
+		for _, ch := range base.Children {
+			if matches(ch, s.Test) {
+				out = append(out, ch)
+			}
+		}
+		return out, nil
+	}
+	// Descendant: proper descendants in document order.
+	var walk func(n *dom.Node)
+	walk = func(n *dom.Node) {
+		for _, ch := range n.Children {
+			if matches(ch, s.Test) {
+				out = append(out, ch)
+			}
+			walk(ch)
+		}
+	}
+	walk(base)
+	return out, nil
+}
+
+// matches implements the node test ν: a label test matches elements with
+// that label, * matches any element, text() matches text nodes.
+func matches(n *dom.Node, t xq.NodeTest) bool {
+	switch t.Kind {
+	case xq.TestStar:
+		return n.Kind == dom.Element
+	case xq.TestText:
+		return n.Kind == dom.Text
+	default:
+		return n.Kind == dom.Element && n.Label == t.Label
+	}
+}
+
+func (ev *Evaluator) cond(c xq.Cond, env Env) (bool, error) {
+	switch c := c.(type) {
+	case xq.True:
+		return true, nil
+	case *xq.VarEqVar:
+		l, err := lookup(env, c.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := lookup(env, c.Right)
+		if err != nil {
+			return false, err
+		}
+		lt, err := textValue(l)
+		if err != nil {
+			return false, err
+		}
+		rt, err := textValue(r)
+		if err != nil {
+			return false, err
+		}
+		return lt == rt, nil
+	case *xq.VarEqStr:
+		n, err := lookup(env, c.Var)
+		if err != nil {
+			return false, err
+		}
+		t, err := textValue(n)
+		if err != nil {
+			return false, err
+		}
+		return t == c.Str, nil
+	case *xq.Some:
+		seq, err := ev.step(c.In, env)
+		if err != nil {
+			return false, err
+		}
+		for _, n := range seq {
+			env[c.Var] = n
+			ok, err := ev.cond(c.Sat, env)
+			if err != nil {
+				delete(env, c.Var)
+				return false, err
+			}
+			if ok {
+				delete(env, c.Var)
+				return true, nil
+			}
+		}
+		delete(env, c.Var)
+		return false, nil
+	case *xq.And:
+		l, err := ev.cond(c.Left, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.cond(c.Right, env)
+	case *xq.Or:
+		l, err := ev.cond(c.Left, env)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return ev.cond(c.Right, env)
+	case *xq.Not:
+		inner, err := ev.cond(c.Inner, env)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	default:
+		return false, fmt.Errorf("mem: unknown condition %T", c)
+	}
+}
+
+// textValue returns the content of a text node, or ErrNonTextComparison
+// for any other node kind (the paper's runtime check).
+func textValue(n *dom.Node) (string, error) {
+	if n.Kind != dom.Text {
+		return "", fmt.Errorf("%w: got %s node %q", ErrNonTextComparison, n.Kind, n.Value())
+	}
+	return n.Text, nil
+}

@@ -1,0 +1,185 @@
+package mem
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xqdb/internal/dom"
+	"xqdb/internal/xq"
+)
+
+// figure2 is the handmade document of Figure 2 of the paper.
+const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+
+func mustDoc(t *testing.T, src string) *dom.Node {
+	t.Helper()
+	root, err := dom.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse document: %v", err)
+	}
+	return root
+}
+
+func evalXML(t *testing.T, doc, query string) string {
+	t.Helper()
+	ev := New(mustDoc(t, doc))
+	out, err := ev.QueryXML(query)
+	if err != nil {
+		t.Fatalf("eval %q: %v", query, err)
+	}
+	return out
+}
+
+func TestExample2(t *testing.T) {
+	// Example 2 of the paper: names of the journal, wrapped in <names>.
+	got := evalXML(t, figure2, `<names>{ for $j in /journal return for $n in $j//name return $n }</names>`)
+	want := `<names><name>Ana</name><name>Bob</name></names>`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestExample5ShapedQuery(t *testing.T) {
+	// Example 5: if some text exists below $j, return its names.
+	got := evalXML(t, figure2, `<names>{ for $j in /journal return
+		if (some $t in $j//text() satisfies true()) then for $n in $j//name return $n else () }</names>`)
+	want := `<names><name>Ana</name><name>Bob</name></names>`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestChildVsDescendant(t *testing.T) {
+	if got := evalXML(t, figure2, `for $j in /journal return $j/name`); got != "" {
+		t.Errorf("child axis should not find nested names, got %s", got)
+	}
+	if got := evalXML(t, figure2, `for $j in /journal return $j//name`); got != `<name>Ana</name><name>Bob</name>` {
+		t.Errorf("descendant axis: got %s", got)
+	}
+}
+
+func TestStarAndTextTests(t *testing.T) {
+	got := evalXML(t, figure2, `for $a in /journal/authors return $a/*`)
+	want := `<name>Ana</name><name>Bob</name>`
+	if got != want {
+		t.Errorf("star test: got %s, want %s", got, want)
+	}
+	got = evalXML(t, figure2, `for $j in /journal return $j//text()`)
+	want = `AnaBobDB`
+	if got != want {
+		t.Errorf("text test: got %s, want %s", got, want)
+	}
+}
+
+func TestComparisonStringAndVar(t *testing.T) {
+	q := `for $n in /journal//name return for $t in $n/text() return if ($t = "Ana") then $n else ()`
+	if got := evalXML(t, figure2, q); got != `<name>Ana</name>` {
+		t.Errorf("string comparison: got %s", got)
+	}
+	// Two different text nodes with equal content compare equal.
+	doc := `<r><a>x</a><b>x</b></r>`
+	q = `for $a in /r/a/text() return for $b in /r/b/text() return if ($a = $b) then <eq/> else ()`
+	if got := evalXML(t, doc, q); got != `<eq/>` {
+		t.Errorf("var comparison: got %s", got)
+	}
+}
+
+func TestNonTextComparisonError(t *testing.T) {
+	ev := New(mustDoc(t, figure2))
+	_, err := ev.QueryXML(`for $n in /journal//name return if ($n = "Ana") then $n else ()`)
+	if !errors.Is(err, ErrNonTextComparison) {
+		t.Fatalf("want ErrNonTextComparison, got %v", err)
+	}
+}
+
+func TestConstructionCopies(t *testing.T) {
+	got := evalXML(t, figure2, `<j>{ for $n in /journal//name return $n }</j>, <k>{ for $n in /journal//name return $n }</k>`)
+	want := `<j><name>Ana</name><name>Bob</name></j><k><name>Ana</name><name>Bob</name></k>`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestEmptyAndSeq(t *testing.T) {
+	if got := evalXML(t, figure2, `()`); got != "" {
+		t.Errorf("empty: got %q", got)
+	}
+	got := evalXML(t, figure2, `<a/>, <b/>`)
+	if got != `<a/><b/>` {
+		t.Errorf("seq: got %s", got)
+	}
+}
+
+func TestMultiStepPathDesugaring(t *testing.T) {
+	got := evalXML(t, figure2, `/journal/authors/name`)
+	want := `<name>Ana</name><name>Bob</name>`
+	if got != want {
+		t.Errorf("multi-step path: got %s, want %s", got, want)
+	}
+	got = evalXML(t, figure2, `for $x in /journal/authors//text() return $x`)
+	if got != `AnaBob` {
+		t.Errorf("multi-step for binding: got %s", got)
+	}
+}
+
+func TestCondOrAndNot(t *testing.T) {
+	q := `for $j in /journal return if (some $t in $j//text() satisfies ($t = "Zed" or $t = "DB")) then <hit/> else ()`
+	if got := evalXML(t, figure2, q); got != `<hit/>` {
+		t.Errorf("or: got %s", got)
+	}
+	q = `for $j in /journal return if (not(some $t in $j//text() satisfies $t = "Zed")) then <miss/> else ()`
+	if got := evalXML(t, figure2, q); got != `<miss/>` {
+		t.Errorf("not: got %s", got)
+	}
+	q = `for $j in /journal return if (some $t in $j//text() satisfies $t = "DB" and some $u in $j//text() satisfies $u = "Ana") then <both/> else ()`
+	if got := evalXML(t, figure2, q); got != `<both/>` {
+		t.Errorf("and: got %s", got)
+	}
+}
+
+func TestElseBranchDesugaring(t *testing.T) {
+	q := `for $j in /journal return if (some $t in $j//text() satisfies $t = "Zed") then <yes/> else <no/>`
+	if got := evalXML(t, figure2, q); got != `<no/>` {
+		t.Errorf("else branch: got %s", got)
+	}
+}
+
+func TestDocumentOrderOfResults(t *testing.T) {
+	doc := `<r><a><b>1</b></a><b>2</b><a><b>3</b></a></r>`
+	got := evalXML(t, doc, `for $b in /r//b return $b/text()`)
+	if got != "123" {
+		t.Errorf("document order: got %q, want 123", got)
+	}
+}
+
+func TestUnboundVariableRejected(t *testing.T) {
+	if _, err := xq.Parse(`for $x in /a return $y`); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Fatalf("want unbound variable error, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`for $x in return $x`,
+		`for $x in $y`,
+		`<a>{`,
+		`<a></b>`,
+		`if true() then`,
+		`$`,
+		`for $x in /a return $x extra`,
+	}
+	for _, src := range bad {
+		if _, err := xq.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNestedConstructors(t *testing.T) {
+	got := evalXML(t, figure2, `<out><inner>{ /journal/title/text() }</inner>hello</out>`)
+	want := `<out><inner>DB</inner>hello</out>`
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,313 @@
+// Package naive is milestone 2 of the paper: an XQ evaluator over
+// secondary storage that never builds the DOM tree of the input document.
+//
+// In XQ, variables always bind to single nodes, so a query can be
+// evaluated keeping only the current variable bindings in memory; each
+// binding here is one XASR tuple. Navigation fetches only the needed nodes
+// through the storage manager: child steps use the parent index (or a
+// primary range scan restricted to the parent's in/out interval when the
+// index is absent), descendant steps scan the subtree interval of the
+// clustered primary tree. There is no algebra and no optimizer — this is
+// the evaluation strategy milestones 3 and 4 are measured against.
+package naive
+
+import (
+	"fmt"
+
+	"xqdb/internal/limit"
+	"xqdb/internal/store"
+	"xqdb/internal/xasr"
+	"xqdb/internal/xmltok"
+	"xqdb/internal/xq"
+)
+
+// Evaluator evaluates XQ queries node-at-a-time against a Store.
+type Evaluator struct {
+	st *store.Store
+	// UseParentIndex selects the child-step access path; it defaults to
+	// whether the store has the index.
+	UseParentIndex bool
+	// Deadline, if non-nil, bounds evaluation time.
+	Deadline *limit.Deadline
+}
+
+// New returns an evaluator over st.
+func New(st *store.Store) *Evaluator {
+	return &Evaluator{st: st, UseParentIndex: st.HasParentIndex()}
+}
+
+// env binds variables to XASR tuples.
+type env map[string]xasr.Tuple
+
+// EvalString parses and evaluates a query, returning serialized XML.
+func (ev *Evaluator) EvalString(src string) (string, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return ev.Eval(q)
+}
+
+// Eval evaluates a parsed query, returning serialized XML.
+func (ev *Evaluator) Eval(q xq.Expr) (string, error) {
+	root, err := ev.st.Root()
+	if err != nil {
+		return "", err
+	}
+	e := env{xq.RootVar: root}
+	var out []byte
+	out, err = ev.eval(out, q, e)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// eval appends the serialized result of q to out. Serializing directly is
+// sound because XQ queries emit results strictly in document order of
+// evaluation, so no result tree ever needs to be materialized.
+func (ev *Evaluator) eval(out []byte, q xq.Expr, e env) ([]byte, error) {
+	if err := ev.Deadline.Check(); err != nil {
+		return out, err
+	}
+	switch q := q.(type) {
+	case xq.Empty:
+		return out, nil
+	case *xq.TextLit:
+		return xmltok.AppendEscaped(out, q.Text), nil
+	case *xq.VarRef:
+		t, err := ev.lookup(e, q.Name)
+		if err != nil {
+			return out, err
+		}
+		return ev.st.AppendSubtreeTuple(out, t)
+	case *xq.Seq:
+		var err error
+		for _, item := range q.Items {
+			out, err = ev.eval(out, item, e)
+			if err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	case *xq.Constr:
+		inner, err := ev.eval(nil, q.Body, e)
+		if err != nil {
+			return out, err
+		}
+		if len(inner) == 0 {
+			out = append(out, '<')
+			out = append(out, q.Label...)
+			return append(out, '/', '>'), nil
+		}
+		out = append(out, '<')
+		out = append(out, q.Label...)
+		out = append(out, '>')
+		out = append(out, inner...)
+		out = append(out, '<', '/')
+		out = append(out, q.Label...)
+		return append(out, '>'), nil
+	case *xq.PathExpr:
+		return ev.evalStepEmit(out, q.Step, e)
+	case *xq.For:
+		base, err := ev.lookup(e, q.In.Base)
+		if err != nil {
+			return out, err
+		}
+		err = ev.forEachStep(base, q.In, func(t xasr.Tuple) error {
+			e[q.Var] = t
+			var innerErr error
+			out, innerErr = ev.eval(out, q.Body, e)
+			return innerErr
+		})
+		delete(e, q.Var)
+		return out, err
+	case *xq.If:
+		ok, err := ev.cond(q.Cond, e)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		return ev.eval(out, q.Then, e)
+	default:
+		return out, fmt.Errorf("naive: unknown expression %T", q)
+	}
+}
+
+// CondHolds evaluates an XQ condition under the given bindings, using the
+// milestone 2 node-at-a-time machinery. The milestone 3/4 engines call
+// this for conditions outside the TPM-rewritable fragment (or, not).
+func (ev *Evaluator) CondHolds(c xq.Cond, bindings map[string]xasr.Tuple) (bool, error) {
+	return ev.cond(c, env(bindings))
+}
+
+func (ev *Evaluator) lookup(e env, name string) (xasr.Tuple, error) {
+	t, ok := e[name]
+	if !ok {
+		return xasr.Tuple{}, fmt.Errorf("naive: unbound variable $%s", name)
+	}
+	return t, nil
+}
+
+// evalStepEmit serializes every node reached by the step.
+func (ev *Evaluator) evalStepEmit(out []byte, s xq.Step, e env) ([]byte, error) {
+	base, err := ev.lookup(e, s.Base)
+	if err != nil {
+		return out, err
+	}
+	err = ev.forEachStep(base, s, func(t xasr.Tuple) error {
+		var innerErr error
+		out, innerErr = ev.st.AppendSubtreeTuple(out, t)
+		return innerErr
+	})
+	return out, err
+}
+
+// forEachStep enumerates the nodes reached from base by the step, in
+// document order.
+func (ev *Evaluator) forEachStep(base xasr.Tuple, s xq.Step, fn func(xasr.Tuple) error) error {
+	var iterErr error
+	visit := func(t xasr.Tuple) bool {
+		if err := ev.Deadline.Check(); err != nil {
+			iterErr = err
+			return false
+		}
+		if !matches(t, s.Test) {
+			return true
+		}
+		if err := fn(t); err != nil {
+			iterErr = err
+			return false
+		}
+		return true
+	}
+	var err error
+	if s.Axis == xq.Child {
+		if ev.UseParentIndex {
+			err = ev.st.ScanChildren(base.In, visit)
+		} else {
+			// Children are the subtree nodes whose parent_in equals
+			// base.in; scan the interval and filter.
+			err = ev.st.ScanRange(base.In+1, base.Out, func(t xasr.Tuple) bool {
+				if t.ParentIn != base.In {
+					return true
+				}
+				return visit(t)
+			})
+		}
+	} else {
+		err = ev.st.ScanDescendants(base.In, base.Out, visit)
+	}
+	if iterErr != nil {
+		return iterErr
+	}
+	return err
+}
+
+// matches implements the node test against an XASR tuple.
+func matches(t xasr.Tuple, test xq.NodeTest) bool {
+	switch test.Kind {
+	case xq.TestStar:
+		return t.Type == xasr.TypeElem
+	case xq.TestText:
+		return t.Type == xasr.TypeText
+	default:
+		return t.Type == xasr.TypeElem && t.Value == test.Label
+	}
+}
+
+func (ev *Evaluator) cond(c xq.Cond, e env) (bool, error) {
+	if err := ev.Deadline.Check(); err != nil {
+		return false, err
+	}
+	switch c := c.(type) {
+	case xq.True:
+		return true, nil
+	case *xq.VarEqVar:
+		l, err := ev.lookup(e, c.Left)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.lookup(e, c.Right)
+		if err != nil {
+			return false, err
+		}
+		lt, err := textValue(l)
+		if err != nil {
+			return false, err
+		}
+		rt, err := textValue(r)
+		if err != nil {
+			return false, err
+		}
+		return lt == rt, nil
+	case *xq.VarEqStr:
+		n, err := ev.lookup(e, c.Var)
+		if err != nil {
+			return false, err
+		}
+		tv, err := textValue(n)
+		if err != nil {
+			return false, err
+		}
+		return tv == c.Str, nil
+	case *xq.Some:
+		base, err := ev.lookup(e, c.In.Base)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		err = ev.forEachStep(base, c.In, func(t xasr.Tuple) error {
+			e[c.Var] = t
+			ok, err := ev.cond(c.Sat, e)
+			if err != nil {
+				return err
+			}
+			if ok {
+				found = true
+				return errStopIteration
+			}
+			return nil
+		})
+		delete(e, c.Var)
+		if err == errStopIteration {
+			err = nil
+		}
+		return found, err
+	case *xq.And:
+		l, err := ev.cond(c.Left, e)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.cond(c.Right, e)
+	case *xq.Or:
+		l, err := ev.cond(c.Left, e)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return ev.cond(c.Right, e)
+	case *xq.Not:
+		inner, err := ev.cond(c.Inner, e)
+		if err != nil {
+			return false, err
+		}
+		return !inner, nil
+	default:
+		return false, fmt.Errorf("naive: unknown condition %T", c)
+	}
+}
+
+var errStopIteration = fmt.Errorf("naive: stop iteration")
+
+// textValue enforces the paper's text-node-only comparison rule.
+func textValue(t xasr.Tuple) (string, error) {
+	if t.Type != xasr.TypeText {
+		return "", fmt.Errorf("naive: comparison of non-text %s node %q", t.Type, t.Value)
+	}
+	return t.Value, nil
+}

@@ -1,0 +1,114 @@
+package naive
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xqdb/internal/limit"
+	"xqdb/internal/store"
+	"xqdb/internal/xasr"
+	"xqdb/internal/xq"
+)
+
+const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+
+func newEval(t testing.TB, doc string) *Evaluator {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(doc); err != nil {
+		t.Fatal(err)
+	}
+	return New(st)
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	ev := newEval(t, figure2)
+	got, err := ev.EvalString(`<names>{ for $j in /journal return for $n in $j//name return $n }</names>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<names><name>Ana</name><name>Bob</name></names>` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestChildWithoutParentIndex(t *testing.T) {
+	// The fallback path: children via a primary range scan.
+	st, err := store.Open(t.TempDir(), store.Options{NoParentIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.LoadString(figure2); err != nil {
+		t.Fatal(err)
+	}
+	ev := New(st)
+	if ev.UseParentIndex {
+		t.Fatal("UseParentIndex true without the index")
+	}
+	got, err := ev.EvalString(`/journal/authors/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `<name>Ana</name><name>Bob</name>` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	ev := newEval(t, figure2)
+	root, err := ev.st.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := xq.MustParse(`for $x in /journal return if (some $t in $x//text() satisfies $t = "DB") then $x else ()`)
+	iff := cond.(*xq.For).Body.(*xq.If)
+	journal, _, err := ev.st.Lookup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ev.CondHolds(iff.Cond, map[string]xasr.Tuple{"x": journal, xq.RootVar: root})
+	if err != nil || !ok {
+		t.Errorf("CondHolds: %v %v", ok, err)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("<x>v</x>")
+	}
+	b.WriteString("</r>")
+	ev := newEval(t, b.String())
+	ev.Deadline = limit.After(time.Nanosecond)
+	_, err := ev.EvalString(`for $a in //x return for $b in //x return if ($a/text() = $b/text()) then <m/> else ()`)
+	if err != limit.ErrTimeout {
+		t.Fatalf("want timeout, got %v", err)
+	}
+}
+
+func TestNonTextComparisonRejected(t *testing.T) {
+	ev := newEval(t, figure2)
+	_, err := ev.EvalString(`for $n in //name return if ($n = "Ana") then $n else ()`)
+	if err == nil || !strings.Contains(err.Error(), "non-text") {
+		t.Fatalf("want non-text comparison error, got %v", err)
+	}
+}
+
+func TestLiteralTextEscaped(t *testing.T) {
+	ev := newEval(t, figure2)
+	got, err := ev.EvalString(`<a>x &amp; y</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parser takes constructor text verbatim; serialization escapes.
+	if got != `<a>x &amp;amp; y</a>` && got != `<a>x &amp; y</a>` {
+		t.Errorf("got %s", got)
+	}
+}

@@ -1,0 +1,274 @@
+package opt
+
+import (
+	"xqdb/internal/exec"
+	"xqdb/internal/tpm"
+)
+
+// accessChoice is one candidate access path for a relation together with
+// the conditions it subsumes and the residual selections.
+type accessChoice struct {
+	access   exec.Access
+	residual []tpm.Cmp // single-relation conds still to check per tuple
+	// scanned estimates the tuples the access path touches (before
+	// residual filtering); rows after filtering is the same for every
+	// choice and computed by the caller.
+	scanned float64
+	// cost is the page+CPU cost of running this access once.
+	cost float64
+}
+
+// resolvableOperand reports whether an operand can provide an access-path
+// bound: constants and external variables always can; attributes only if
+// they belong to the prefix schema of an index nested-loops join.
+func resolvableOperand(op tpm.Operand, prefix map[string]bool) bool {
+	switch op.Kind {
+	case tpm.OpConstIn, tpm.OpVarIn, tpm.OpVarOut:
+		return true
+	case tpm.OpAttr:
+		return prefix != nil && prefix[op.Attr.Rel]
+	default:
+		return false
+	}
+}
+
+// sameBase reports whether lo and hi are the in/out pair of one base node
+// (the canonical descendant interval, which is equivalent to the pair of
+// conditions it came from).
+func sameBase(lo, hi tpm.Operand) bool {
+	if lo.Kind == tpm.OpVarIn && hi.Kind == tpm.OpVarOut {
+		return lo.Var == hi.Var
+	}
+	if lo.Kind == tpm.OpAttr && hi.Kind == tpm.OpAttr {
+		return lo.Attr.Rel == hi.Attr.Rel && lo.Attr.Col == tpm.ColIn && hi.Attr.Col == tpm.ColOut
+	}
+	return false
+}
+
+// condRef pairs a condition normalized to "alias attribute on the left"
+// with the original condition (for subsumption bookkeeping).
+type condRef struct {
+	norm tpm.Cmp
+	orig tpm.Cmp
+}
+
+// localCondParts classifies the single-relation conditions of one alias.
+type localCondParts struct {
+	typeEq   *condRef // alias.type = const
+	valueEq  *condRef // alias.value = conststr
+	parentEq *condRef // alias.parent_in = resolvable
+	inEq     *condRef // alias.in = resolvable
+	inLo     *condRef // alias.in > resolvable
+	outHi    *condRef // alias.out < resolvable
+	others   []tpm.Cmp
+}
+
+func classify(alias string, conds []tpm.Cmp, prefix map[string]bool) localCondParts {
+	var p localCondParts
+	for i := range conds {
+		orig := conds[i]
+		c := orig
+		l, r := c.Left, c.Right
+		// Normalize so the alias attribute is on the left.
+		if !(l.Kind == tpm.OpAttr && l.Attr.Rel == alias) {
+			if r.Kind == tpm.OpAttr && r.Attr.Rel == alias {
+				l, r = r, l
+				switch c.Op {
+				case tpm.CmpLt:
+					c = tpm.Cmp{Op: tpm.CmpGt, Left: l, Right: r}
+				case tpm.CmpGt:
+					c = tpm.Cmp{Op: tpm.CmpLt, Left: l, Right: r}
+				default:
+					c = tpm.Cmp{Op: c.Op, Left: l, Right: r}
+				}
+			} else {
+				p.others = append(p.others, c)
+				continue
+			}
+		}
+		l, r = c.Left, c.Right
+		ref := &condRef{norm: c, orig: orig}
+		switch {
+		case l.Attr.Col == tpm.ColType && c.Op == tpm.CmpEq && r.Kind == tpm.OpConstType && p.typeEq == nil:
+			p.typeEq = ref
+		case l.Attr.Col == tpm.ColValue && c.Op == tpm.CmpEq && r.Kind == tpm.OpConstStr && p.valueEq == nil:
+			p.valueEq = ref
+		case l.Attr.Col == tpm.ColParentIn && c.Op == tpm.CmpEq && resolvableOperand(r, prefix) && p.parentEq == nil:
+			p.parentEq = ref
+		case l.Attr.Col == tpm.ColIn && c.Op == tpm.CmpEq && resolvableOperand(r, prefix) && p.inEq == nil:
+			p.inEq = ref
+		case l.Attr.Col == tpm.ColIn && c.Op == tpm.CmpGt && resolvableOperand(r, prefix) && p.inLo == nil:
+			p.inLo = ref
+		case l.Attr.Col == tpm.ColOut && c.Op == tpm.CmpLt && resolvableOperand(r, prefix) && p.outHi == nil:
+			p.outHi = ref
+		default:
+			p.others = append(p.others, c)
+		}
+	}
+	return p
+}
+
+// planAccess derives the candidate access paths for alias from its local
+// conditions. prefix is nil for leading scans and nested-loops inners (the
+// access must then be runnable without an outer row); for INL inners it
+// holds the aliases of the outer side. The returned choices are ordered by
+// estimated cost; at least one choice (full scan) is always present unless
+// cfg forbids nothing.
+func (p *Planner) planAccess(alias string, conds []tpm.Cmp, prefix map[string]bool) []accessChoice {
+	parts := classify(alias, conds, prefix)
+	e := p.est
+	N := e.Relation()
+	var out []accessChoice
+
+	residualExcept := func(subsumed ...*condRef) []tpm.Cmp {
+		skip := map[string]bool{}
+		for _, s := range subsumed {
+			if s != nil {
+				skip[s.orig.String()] = true
+			}
+		}
+		var res []tpm.Cmp
+		for _, c := range conds {
+			if !skip[c.String()] {
+				res = append(res, c)
+			}
+		}
+		return res
+	}
+
+	// In-interval bounds usable by range/label accesses.
+	var lo, hi tpm.Operand
+	var loAdd, hiAdd uint32
+	var loCond, hiCond *condRef
+	bounded := false
+	canonical := false
+	switch {
+	case parts.inEq != nil:
+		lo, hi = parts.inEq.norm.Right, parts.inEq.norm.Right
+		loAdd, hiAdd = 0, 1
+		loCond = parts.inEq
+		bounded = true
+		canonical = true // in = X is exactly the interval [X, X+1)
+	case parts.inLo != nil && parts.outHi != nil && sameBase(parts.inLo.norm.Right, parts.outHi.norm.Right):
+		// Canonical descendant interval: in ∈ (base.in, base.out) is
+		// equivalent to the (in >, out <) pair, so both conds are
+		// subsumed.
+		lo, hi = parts.inLo.norm.Right, parts.outHi.norm.Right
+		loAdd = 1
+		loCond, hiCond = parts.inLo, parts.outHi
+		bounded = true
+		canonical = true
+	case parts.inLo != nil:
+		lo = parts.inLo.norm.Right
+		loAdd = 1
+		hi = tpm.InOp(0) // unbounded
+		loCond = parts.inLo
+		bounded = true
+		// in > X alone is equivalent to the half-open interval.
+		canonical = parts.outHi == nil
+	case parts.outHi != nil:
+		// out < Y implies in < Y (in < out), usable as an upper bound but
+		// NOT equivalent — the cond stays residual.
+		lo = tpm.InOp(0)
+		hi = parts.outHi.norm.Right
+		bounded = true
+	}
+
+	// Estimated scan volumes.
+	rowsAll := N
+	subtree := e.AvgSubtree()
+	rangeRows := rowsAll
+	if bounded {
+		switch {
+		case parts.inEq != nil:
+			rangeRows = 1
+		case lo.Kind == tpm.OpConstIn && hi.Kind == tpm.OpConstIn && hi.In == 0:
+			rangeRows = rowsAll // descendants of the root
+		default:
+			rangeRows = subtree
+		}
+	}
+
+	// Label index access.
+	if p.cfg.UseLabelIndex && p.st.HasLabelIndex() && parts.typeEq != nil && parts.valueEq != nil {
+		labelRows := N * e.PairSelectivity([]tpm.Cmp{parts.typeEq.norm, parts.valueEq.norm})
+		scanned := labelRows
+		acc := exec.Access{
+			Kind:  exec.AccessLabel,
+			Type:  parts.typeEq.norm.Right.Type,
+			Value: parts.valueEq.norm.Right.Str,
+		}
+		subsumed := []*condRef{parts.typeEq, parts.valueEq}
+		if bounded {
+			acc.Bounded = true
+			acc.Lo, acc.Hi = lo, hi
+			acc.LoAdd, acc.HiAdd = loAdd, hiAdd
+			scanned = labelRows * clamp01(rangeRows/maxf(rowsAll, 1))
+			if scanned < 1 {
+				scanned = 1
+			}
+			if canonical {
+				subsumed = append(subsumed, loCond, hiCond)
+			} else if loCond != nil {
+				subsumed = append(subsumed, loCond)
+			}
+		}
+		out = append(out, accessChoice{
+			access:   acc,
+			residual: residualExcept(subsumed...),
+			scanned:  scanned,
+			cost:     e.Height() + Pages(scanned) + scanned*cpuPerTuple,
+		})
+	}
+
+	// Parent index access.
+	if p.cfg.UseParentIndex && p.st.HasParentIndex() && parts.parentEq != nil {
+		fan := e.AvgFanout()
+		out = append(out, accessChoice{
+			access:   exec.Access{Kind: exec.AccessParent, Parent: parts.parentEq.norm.Right},
+			residual: residualExcept(parts.parentEq),
+			scanned:  fan,
+			cost:     e.Height() + Pages(fan) + fan*cpuPerTuple,
+		})
+	}
+
+	// Primary range scan.
+	if bounded {
+		subsumed := []*condRef{}
+		if canonical {
+			subsumed = append(subsumed, loCond, hiCond)
+		} else if loCond != nil {
+			subsumed = append(subsumed, loCond)
+		}
+		out = append(out, accessChoice{
+			access: exec.Access{
+				Kind: exec.AccessRange, Bounded: true,
+				Lo: lo, Hi: hi, LoAdd: loAdd, HiAdd: hiAdd,
+			},
+			residual: residualExcept(subsumed...),
+			scanned:  rangeRows,
+			cost:     e.Height() + Pages(rangeRows) + rangeRows*cpuPerTuple,
+		})
+	}
+
+	// Full scan (always available).
+	out = append(out, accessChoice{
+		access:   exec.Access{Kind: exec.AccessFull},
+		residual: residualExcept(),
+		scanned:  rowsAll,
+		cost:     Pages(rowsAll) + rowsAll*cpuPerTuple,
+	})
+	return out
+}
+
+// bestAccess returns the cheapest candidate.
+func (p *Planner) bestAccess(alias string, conds []tpm.Cmp, prefix map[string]bool) accessChoice {
+	choices := p.planAccess(alias, conds, prefix)
+	best := choices[0]
+	for _, c := range choices[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	return best
+}

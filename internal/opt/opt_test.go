@@ -1,0 +1,244 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"xqdb/internal/exec"
+	"xqdb/internal/store"
+	"xqdb/internal/tpm"
+	"xqdb/internal/xmlgen"
+	"xqdb/internal/xq"
+)
+
+func loadStore(t testing.TB, doc string) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(doc); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func planFor(t *testing.T, st *store.Store, cfg Config, query string) exec.XPlan {
+	t.Helper()
+	plan := tpm.Merge(tpm.Rewrite(xq.MustParse(query)))
+	xplan, err := New(st, cfg).Plan(plan)
+	if err != nil {
+		t.Fatalf("plan %q: %v", query, err)
+	}
+	return xplan
+}
+
+func explain(t *testing.T, st *store.Store, cfg Config, query string) string {
+	t.Helper()
+	return exec.Explain(planFor(t, st, cfg, query))
+}
+
+func dblpStore(t testing.TB) *store.Store {
+	return loadStore(t, xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 800, Seed: 5}))
+}
+
+func TestM4PicksLabelIndexForSelectiveLabel(t *testing.T) {
+	st := dblpStore(t)
+	out := explain(t, st, M4(), `for $x in //phdthesis return $x`)
+	if !strings.Contains(out, `label index (elem, "phdthesis")`) {
+		t.Errorf("no label index chosen:\n%s", out)
+	}
+}
+
+func TestM3UsesNoIndexes(t *testing.T) {
+	st := dblpStore(t)
+	out := explain(t, st, M3(), `for $x in //phdthesis return $x`)
+	if strings.Contains(out, "label index") || strings.Contains(out, "parent index") {
+		t.Errorf("M3 used a milestone 4 index:\n%s", out)
+	}
+	if !strings.Contains(out, "scan") {
+		t.Errorf("no scan in plan:\n%s", out)
+	}
+}
+
+func TestM4PicksINLForDescendantJoin(t *testing.T) {
+	st := dblpStore(t)
+	out := explain(t, st, M4(), `for $x in //article return for $y in $x//author return $y`)
+	if !strings.Contains(out, "inl-join") {
+		t.Errorf("no INL join chosen:\n%s", out)
+	}
+	// The inner must be bounded by the outer's interval.
+	if !strings.Contains(out, "A2.in+1") && !strings.Contains(out, "A.in+1") {
+		t.Errorf("inner not interval-bounded:\n%s", out)
+	}
+}
+
+func TestM3KeepsSyntacticOrder(t *testing.T) {
+	st := dblpStore(t)
+	// Example 6 query: M3 must keep article first (bind order), with the
+	// volume condition relation after the binds.
+	out := explain(t, st, M3(),
+		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`)
+	if !strings.Contains(out, "nl-join") {
+		t.Errorf("M3 without NL joins:\n%s", out)
+	}
+	if strings.Contains(out, "inl-join") || strings.Contains(out, "sort") {
+		t.Errorf("M3 used milestone 4 machinery:\n%s", out)
+	}
+}
+
+func TestM4NonexistentLabelEstimatedEmpty(t *testing.T) {
+	st := dblpStore(t)
+	// The inner loop's label does not exist; with accurate statistics the
+	// plan must carry a ~zero row estimate (and avoid per-article index
+	// probes — either the cdrom relation leads, or it is the inner of a
+	// lazily materialized nested-loops join that costs one empty scan).
+	xplan := planFor(t, st, M4(), `for $x in //article return for $y in $x//cdrom return $y`)
+	rf := findRelFor(xplan)
+	if rf == nil {
+		t.Fatal("no relfor in plan")
+	}
+	if est := rf.Root.Estimate(); est.Rows > 1 {
+		t.Errorf("estimated %.1f rows for a non-existent label:\n%s", est.Rows, exec.Explain(xplan))
+	}
+	if out := explain(t, st, M4(), `for $x in //article return for $y in $x//cdrom return $y`); strings.Contains(out, "inl-join") {
+		t.Errorf("per-article probes chosen for an empty relation:\n%s", out)
+	}
+}
+
+func TestBadStatsKeepsUnselectiveOrder(t *testing.T) {
+	st := dblpStore(t)
+	// The engine 2 model: order-preserving only, uniform estimates. The
+	// author loop must stay at the bottom (leading) despite the rare
+	// note relation.
+	xplan := planFor(t, st, M4BadStats(), `for $y in //author return for $x in $y/note return $x`)
+	rf := findRelFor(xplan)
+	lead := leftmostScan(rf.Root)
+	if lead == nil || lead.Access.Value != "author" {
+		t.Errorf("bad-stats engine reordered away from author:\n%s", exec.Explain(xplan))
+	}
+	// Accurate M4 anchors at note instead.
+	xplan = planFor(t, st, M4(), `for $y in //author return for $x in $y/note return $x`)
+	rf = findRelFor(xplan)
+	lead = leftmostScan(rf.Root)
+	if lead == nil || lead.Access.Value != "note" {
+		t.Errorf("accurate engine did not anchor at note:\n%s", exec.Explain(xplan))
+	}
+}
+
+func TestSemijoinProjectionPush(t *testing.T) {
+	st := dblpStore(t)
+	cfg := M4()
+	cfg.Strategies = OrderPreserve | OrderSemijoin // no sort: force QP2 shape
+	cfg.UseBNL = false
+	out := explain(t, st, cfg,
+		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`)
+	// The projection must appear below the top (two projections total:
+	// the semijoin push and the final one).
+	if strings.Count(out, "project") < 2 {
+		t.Errorf("no pushed projection (QP2 shape):\n%s", out)
+	}
+}
+
+func TestEstimatorModes(t *testing.T) {
+	st := dblpStore(t)
+	acc := NewEstimator(st, StatsAccurate)
+	uni := NewEstimator(st, StatsUniform)
+	authorAcc := acc.labelCard("author")
+	authorUni := uni.labelCard("author")
+	noteAcc := acc.labelCard("note")
+	noteUni := uni.labelCard("note")
+	if authorAcc <= noteAcc {
+		t.Errorf("accurate cards not skewed: author=%f note=%f", authorAcc, noteAcc)
+	}
+	if authorUni != noteUni {
+		t.Errorf("uniform cards differ: author=%f note=%f", authorUni, noteUni)
+	}
+	// Nonexistent labels: accurate sees zero, uniform does not.
+	if acc.labelCard("cdrom") != 0 {
+		t.Errorf("accurate card for missing label: %f", acc.labelCard("cdrom"))
+	}
+	if uni.labelCard("cdrom") == 0 {
+		t.Error("uniform card for missing label is zero")
+	}
+}
+
+func TestDescendantSelectivityUsesAvgDepth(t *testing.T) {
+	st := dblpStore(t)
+	e := NewEstimator(st, StatsAccurate)
+	pair := []tpm.Cmp{
+		tpm.Gt(tpm.AttrOp("B", tpm.ColIn), tpm.AttrOp("A", tpm.ColIn)),
+		tpm.Lt(tpm.AttrOp("B", tpm.ColOut), tpm.AttrOp("A", tpm.ColOut)),
+	}
+	sel := 1.0
+	for _, c := range pair {
+		sel *= e.condSelectivity(c)
+	}
+	want := e.AvgSubtree() / e.Relation()
+	if sel < want/2 || sel > want*2 {
+		t.Errorf("descendant pair selectivity %g, want ≈ %g (avgDepth/N)", sel, want)
+	}
+}
+
+func TestPlansExecuteCorrectly(t *testing.T) {
+	// Every configuration must produce the same answer on the Example 6
+	// query (plan choice must never change semantics).
+	st := dblpStore(t)
+	const q = `for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`
+	var want string
+	for i, cfg := range []Config{M4(), M4BadStats(), M3(), NaiveTPM()} {
+		xplan := planFor(t, st, cfg, q)
+		tmp, err := st.TempDir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		if i == 0 {
+			want = string(out)
+			continue
+		}
+		if string(out) != want {
+			t.Errorf("config %d result diverges (%d vs %d bytes)", i, len(out), len(want))
+		}
+	}
+	if want == "" {
+		t.Error("Example 6 query returned no results; generator shape wrong?")
+	}
+}
+
+// findRelFor returns the first XRelFor in the plan.
+func findRelFor(p exec.XPlan) *exec.XRelFor {
+	switch p := p.(type) {
+	case *exec.XRelFor:
+		return p
+	case *exec.XConstr:
+		return findRelFor(p.Body)
+	case *exec.XSeq:
+		for _, it := range p.Items {
+			if rf := findRelFor(it); rf != nil {
+				return rf
+			}
+		}
+	case *exec.XIf:
+		return findRelFor(p.Then)
+	}
+	return nil
+}
+
+// leftmostScan descends to the leading scan of a physical tree.
+func leftmostScan(n exec.PlanNode) *exec.Scan {
+	for {
+		if s, ok := n.(*exec.Scan); ok {
+			return s
+		}
+		ch := n.Children()
+		if len(ch) == 0 {
+			return nil
+		}
+		n = ch[0]
+	}
+}

@@ -1,0 +1,555 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"xqdb/internal/exec"
+	"xqdb/internal/recfile"
+	"xqdb/internal/store"
+	"xqdb/internal/tpm"
+)
+
+// spoolBytesPerRow approximates the memory footprint of one spooled row.
+const spoolBytesPerRow = 40
+
+// Planner compiles TPM plans into executable physical plans for one store.
+type Planner struct {
+	st  *store.Store
+	cfg Config
+	est *Estimator
+}
+
+// New returns a planner using the given configuration.
+func New(st *store.Store, cfg Config) *Planner {
+	if cfg.MaxEnumRels == 0 {
+		cfg.MaxEnumRels = 8
+	}
+	return &Planner{st: st, cfg: cfg, est: NewEstimator(st, cfg.Stats)}
+}
+
+// Estimator exposes the planner's estimator (for tests and EXPLAIN).
+func (p *Planner) Estimator() *Estimator { return p.est }
+
+// Plan compiles a TPM plan into an executable plan, choosing a physical
+// operator tree for every relfor.
+func (p *Planner) Plan(t tpm.Plan) (exec.XPlan, error) {
+	switch t := t.(type) {
+	case tpm.Empty:
+		return exec.XEmpty{}, nil
+	case *tpm.Text:
+		return &exec.XText{Content: t.Content}, nil
+	case *tpm.Emit:
+		return &exec.XEmit{Var: t.Var}, nil
+	case *tpm.Constr:
+		body, err := p.Plan(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.XConstr{Label: t.Label, Body: body}, nil
+	case *tpm.Seq:
+		items := make([]exec.XPlan, len(t.Items))
+		for i, it := range t.Items {
+			x, err := p.Plan(it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = x
+		}
+		return &exec.XSeq{Items: items}, nil
+	case *tpm.RuntimeIf:
+		then, err := p.Plan(t.Then)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.XIf{Cond: t.Cond, Then: then}, nil
+	case *tpm.RelFor:
+		root, err := p.PlanPSX(t.Alg)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.Plan(t.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.XRelFor{Vars: t.Vars, Root: root, Body: body}, nil
+	default:
+		return nil, fmt.Errorf("opt: unknown plan node %T", t)
+	}
+}
+
+// psxInfo is the precomputed analysis of one PSX expression.
+type psxInfo struct {
+	bindRels []string // vartuple relations, in vartuple order
+	local    map[string][]tpm.Cmp
+	cross    []tpm.Cmp
+	// filteredRows estimates each relation after local selections.
+	filteredRows map[string]float64
+}
+
+func (p *Planner) analyze(psx *tpm.PSX) *psxInfo {
+	info := &psxInfo{
+		local:        map[string][]tpm.Cmp{},
+		filteredRows: map[string]float64{},
+	}
+	for _, b := range psx.Bind {
+		info.bindRels = append(info.bindRels, b.Rel)
+	}
+	for _, c := range psx.Conds {
+		rels := c.Rels()
+		switch len(rels) {
+		case 1:
+			info.local[rels[0]] = append(info.local[rels[0]], c)
+		case 2:
+			info.cross = append(info.cross, c)
+		default:
+			// Constant conditions cannot arise from the rewriting; keep
+			// them on the first relation defensively.
+			if len(psx.Rels) > 0 {
+				info.local[psx.Rels[0]] = append(info.local[psx.Rels[0]], c)
+			}
+		}
+	}
+	for _, r := range psx.Rels {
+		info.filteredRows[r] = p.est.Relation() * p.est.PairSelectivity(info.local[r])
+	}
+	return info
+}
+
+// built is a candidate physical plan under construction.
+type built struct {
+	node     exec.PlanNode
+	orderSeq []string // aliases whose ins the output is sorted by (nil = unordered)
+	present  map[string]bool
+	rows     float64
+	cost     float64
+	// rowsBefore remembers, per joined alias, the row estimate before its
+	// join, for the semijoin-projection row estimate.
+	rowsBefore map[string]float64
+	applied    map[string]bool // cond strings already applied
+	usedEager  bool
+}
+
+func (b *built) clone() *built {
+	nb := *b
+	nb.orderSeq = append([]string(nil), b.orderSeq...)
+	nb.present = make(map[string]bool, len(b.present))
+	for k, v := range b.present {
+		nb.present[k] = v
+	}
+	nb.rowsBefore = make(map[string]float64, len(b.rowsBefore))
+	for k, v := range b.rowsBefore {
+		nb.rowsBefore[k] = v
+	}
+	nb.applied = make(map[string]bool, len(b.applied))
+	for k, v := range b.applied {
+		nb.applied[k] = v
+	}
+	return &nb
+}
+
+// PlanPSX chooses a physical plan for one PSX expression. For cost-based
+// configurations it enumerates join orders (vartuple relations constrained
+// to vartuple order unless a final sort is permitted); otherwise it keeps
+// the syntactic order.
+func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
+	if len(psx.Rels) == 0 {
+		return nil, fmt.Errorf("opt: PSX without relations: %s", psx)
+	}
+	info := p.analyze(psx)
+
+	if !p.cfg.CostBased || len(psx.Rels) > p.cfg.MaxEnumRels {
+		order := syntacticOrder(psx, info)
+		b, err := p.buildOrder(info, order, false)
+		if err != nil {
+			return nil, err
+		}
+		node, _, err := p.finalize(psx, info, b)
+		return node, err
+	}
+
+	var best exec.PlanNode
+	bestCost := math.Inf(1)
+	perms := p.enumerateOrders(psx, info)
+	for _, order := range perms {
+		for _, allowBNL := range p.bnlOptions() {
+			b, err := p.buildOrder(info, order, allowBNL)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				continue
+			}
+			node, cost, err := p.finalize(psx, info, b)
+			if err != nil || node == nil {
+				continue
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = node
+			}
+		}
+	}
+	if best == nil {
+		// No enumerated order produced a valid plan (should not happen —
+		// the syntactic order is always valid); fall back.
+		order := syntacticOrder(psx, info)
+		b, err := p.buildOrder(info, order, false)
+		if err != nil {
+			return nil, err
+		}
+		node, _, err := p.finalize(psx, info, b)
+		return node, err
+	}
+	return best, nil
+}
+
+func (p *Planner) bnlOptions() []bool {
+	if p.cfg.UseBNL && p.cfg.allow(OrderSort) {
+		return []bool{false, true}
+	}
+	return []bool{false}
+}
+
+// syntacticOrder mirrors the query structure: vartuple relations first in
+// vartuple order, then condition relations in their syntactic order.
+func syntacticOrder(psx *tpm.PSX, info *psxInfo) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range info.bindRels {
+		if !seen[r] {
+			seen[r] = true
+			order = append(order, r)
+		}
+	}
+	for _, r := range psx.Rels {
+		if !seen[r] {
+			seen[r] = true
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// enumerateOrders yields the join orders to cost. Vartuple relations must
+// stay in vartuple order unless OrderSort can repair arbitrary orders.
+func (p *Planner) enumerateOrders(psx *tpm.PSX, info *psxInfo) [][]string {
+	rels := psx.Rels
+	bindPos := map[string]int{}
+	for i, r := range info.bindRels {
+		bindPos[r] = i
+	}
+	freeOrder := p.cfg.allow(OrderSort)
+	var out [][]string
+	used := make([]bool, len(rels))
+	cur := make([]string, 0, len(rels))
+	var rec func(nextBind int)
+	rec = func(nextBind int) {
+		if len(cur) == len(rels) {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i, r := range rels {
+			if used[i] {
+				continue
+			}
+			nb := nextBind
+			if pos, isBind := bindPos[r]; isBind {
+				if !freeOrder && pos != nextBind {
+					continue // vartuple order violated
+				}
+				if pos == nextBind {
+					nb = nextBind + 1
+				}
+			}
+			used[i] = true
+			cur = append(cur, r)
+			rec(nb)
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// buildOrder constructs the physical plan for one join order.
+func (p *Planner) buildOrder(info *psxInfo, order []string, useBNL bool) (*built, error) {
+	first := order[0]
+	lead := p.bestAccess(first, info.local[first], nil)
+	scan := exec.NewScan(first, lead.access, lead.residual)
+	b := &built{
+		node:       scan,
+		orderSeq:   []string{first},
+		present:    map[string]bool{first: true},
+		rows:       info.filteredRows[first],
+		cost:       lead.cost,
+		rowsBefore: map[string]float64{},
+		applied:    map[string]bool{},
+	}
+	for _, c := range info.local[first] {
+		b.applied[c.String()] = true
+	}
+	scan.Est_ = exec.Est{Rows: b.rows, Cost: b.cost}
+
+	for _, r := range order[1:] {
+		if err := p.joinNext(info, b, r, useBNL); err != nil {
+			return nil, err
+		}
+		p.eagerProject(info, b)
+	}
+	return b, nil
+}
+
+// applicableCross returns the cross conditions joining r to the present
+// prefix.
+func applicableCross(info *psxInfo, b *built, r string) []tpm.Cmp {
+	var out []tpm.Cmp
+	for _, c := range info.cross {
+		if b.applied[c.String()] {
+			continue
+		}
+		rels := c.Rels()
+		if len(rels) != 2 {
+			continue
+		}
+		var other string
+		switch {
+		case rels[0] == r:
+			other = rels[1]
+		case rels[1] == r:
+			other = rels[0]
+		default:
+			continue
+		}
+		if b.present[other] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// joinNext extends the plan with relation r.
+func (p *Planner) joinNext(info *psxInfo, b *built, r string, useBNL bool) error {
+	cross := applicableCross(info, b, r)
+	joinSel := 1.0
+	for _, c := range cross {
+		joinSel *= p.est.condSelectivity(c)
+	}
+	innerRows := info.filteredRows[r]
+	outRows := b.rows * innerRows * joinSel
+	if outRows < 0.01 {
+		outRows = 0.01
+	}
+
+	prefixSet := map[string]bool{}
+	for _, a := range b.node.Schema().Aliases {
+		prefixSet[a] = true
+	}
+
+	b.rowsBefore[r] = b.rows
+
+	// Candidate A: index nested-loops with a parameterized inner access.
+	var inlChoice *accessChoice
+	if p.cfg.UseINL {
+		all := append(append([]tpm.Cmp(nil), info.local[r]...), cross...)
+		choices := p.planAccess(r, all, prefixSet)
+		for i := range choices {
+			if !accessUsesPrefix(choices[i].access, prefixSet) {
+				continue
+			}
+			if inlChoice == nil || choices[i].cost < inlChoice.cost {
+				inlChoice = &choices[i]
+			}
+		}
+	}
+	inlCost := math.Inf(1)
+	if inlChoice != nil {
+		inlCost = b.cost + b.rows*(probeBase+inlChoice.cost) + outRows*cpuPerTuple
+	}
+
+	// Candidate B: (block) nested loops with a materialized inner scan.
+	// Inners that fit in the operator memory budget replay at CPU cost;
+	// spilled inners are re-read from disk per outer row.
+	nlAccess := p.bestAccess(r, info.local[r], nil)
+	innerScanCost := nlAccess.cost
+	budget := float64(p.cfg.SpoolBudget)
+	if budget <= 0 {
+		budget = float64(recfile.DefaultSortBudget)
+	}
+	rescan := Pages(innerRows)
+	if innerRows*spoolBytesPerRow <= budget {
+		rescan = innerRows * cpuPerTuple
+	}
+	nlCost := b.cost + innerScanCost + b.rows*rescan + b.rows*innerRows*cpuPerTuple
+	blockRows := 1024.0
+	bnlCost := b.cost + innerScanCost + math.Ceil(b.rows/blockRows)*Pages(innerRows) + b.rows*innerRows*cpuPerTuple
+
+	mark := func(conds []tpm.Cmp) {
+		for _, c := range conds {
+			b.applied[c.String()] = true
+		}
+	}
+
+	switch {
+	case useBNL && bnlCost < nlCost && bnlCost < inlCost:
+		inner := exec.NewScan(r, nlAccess.access, nlAccess.residual)
+		inner.Est_ = exec.Est{Rows: innerRows, Cost: innerScanCost}
+		join := exec.NewBNLJoin(b.node, inner, cross, int(blockRows))
+		join.Est_ = exec.Est{Rows: outRows, Cost: bnlCost}
+		b.node = join
+		b.orderSeq = nil // BNL destroys document order
+		b.cost = bnlCost
+	case inlCost <= nlCost && inlChoice != nil:
+		// Residual single-relation conds stay in the inner scan; cross
+		// conds not subsumed by the access go to the join.
+		var scanConds, joinConds []tpm.Cmp
+		for _, c := range inlChoice.residual {
+			if len(c.Rels()) == 1 {
+				scanConds = append(scanConds, c)
+			} else {
+				joinConds = append(joinConds, c)
+			}
+		}
+		inner := exec.NewScan(r, inlChoice.access, scanConds)
+		inner.Est_ = exec.Est{Rows: innerRows * joinSel, Cost: inlChoice.cost}
+		join := exec.NewINLJoin(b.node, inner, joinConds)
+		join.Est_ = exec.Est{Rows: outRows, Cost: inlCost}
+		b.node = join
+		if b.orderSeq != nil {
+			b.orderSeq = append(b.orderSeq, r)
+		}
+		b.cost = inlCost
+	default:
+		inner := exec.NewScan(r, nlAccess.access, nlAccess.residual)
+		inner.Est_ = exec.Est{Rows: innerRows, Cost: innerScanCost}
+		join := exec.NewNLJoin(b.node, inner, cross)
+		join.Est_ = exec.Est{Rows: outRows, Cost: nlCost}
+		b.node = join
+		if b.orderSeq != nil {
+			b.orderSeq = append(b.orderSeq, r)
+		}
+		b.cost = nlCost
+	}
+	mark(info.local[r])
+	mark(cross)
+	b.present[r] = true
+	b.rows = outRows
+	return nil
+}
+
+// accessUsesPrefix reports whether an access path is parameterized by
+// outer-row attributes (making it a genuine index nested-loops inner).
+func accessUsesPrefix(a exec.Access, prefix map[string]bool) bool {
+	isPrefixAttr := func(op tpm.Operand) bool {
+		return op.Kind == tpm.OpAttr && prefix[op.Attr.Rel]
+	}
+	if a.Kind == exec.AccessParent && isPrefixAttr(a.Parent) {
+		return true
+	}
+	if a.Bounded && (isPrefixAttr(a.Lo) || isPrefixAttr(a.Hi)) {
+		return true
+	}
+	return false
+}
+
+// eagerProject applies the semijoin-style projection push (strategy (b),
+// plan QP2): trailing condition relations whose conditions are all applied
+// are projected away with one-pass duplicate elimination, keeping the
+// sorted prefix property for the relations that remain.
+func (p *Planner) eagerProject(info *psxInfo, b *built) {
+	if !p.cfg.allow(OrderSemijoin) || b.orderSeq == nil {
+		return
+	}
+	bindSet := map[string]bool{}
+	for _, r := range info.bindRels {
+		bindSet[r] = true
+	}
+	referenced := map[string]bool{}
+	for _, c := range info.cross {
+		if b.applied[c.String()] {
+			continue
+		}
+		for _, r := range c.Rels() {
+			referenced[r] = true
+		}
+	}
+	cut := len(b.orderSeq)
+	for cut > 0 {
+		r := b.orderSeq[cut-1]
+		if bindSet[r] || referenced[r] {
+			break
+		}
+		cut--
+	}
+	if cut == len(b.orderSeq) || cut == 0 {
+		return
+	}
+	// Project to the live prefix; estimate the semijoin row reduction.
+	rows := b.rows
+	for i := len(b.orderSeq) - 1; i >= cut; i-- {
+		r := b.orderSeq[i]
+		before := b.rowsBefore[r]
+		if before > 0 {
+			mult := rows / before
+			if mult > 1 {
+				mult = 1
+			}
+			rows = before * mult
+		}
+	}
+	keep := append([]string(nil), b.orderSeq[:cut]...)
+	proj := exec.NewProject(b.node, keep, true)
+	b.cost += b.rows * cpuPerTuple
+	b.rows = rows
+	proj.Est_ = exec.Est{Rows: b.rows, Cost: b.cost}
+	b.node = proj
+	b.orderSeq = keep
+	b.usedEager = true
+}
+
+// finalize adds the order/duplicate handling and the final projection,
+// returning nil if the order cannot be made valid under the configured
+// strategies.
+func (p *Planner) finalize(psx *tpm.PSX, info *psxInfo, b *built) (exec.PlanNode, float64, error) {
+	if len(info.bindRels) == 0 {
+		// Nullary pass-fail check: no projection or order requirement
+		// (the driver stops at the first row).
+		return b.node, b.cost, nil
+	}
+	if b.orderSeq != nil && isPrefix(info.bindRels, b.orderSeq) {
+		if b.usedEager && !p.cfg.allow(OrderSemijoin) {
+			return nil, 0, nil
+		}
+		proj := exec.NewProject(b.node, info.bindRels, true)
+		cost := b.cost + b.rows*cpuPerTuple
+		proj.Est_ = exec.Est{Rows: b.rows, Cost: cost}
+		return proj, cost, nil
+	}
+	if !p.cfg.allow(OrderSort) {
+		return nil, 0, nil
+	}
+	// Strategy (a): restore order with an external sort, dedup while
+	// emitting, then project.
+	sorted := exec.NewSort(b.node, info.bindRels, true)
+	sortCost := b.cost + 2*Pages(b.rows) + b.rows*cpuPerTuple*log2(b.rows+2)
+	sorted.Est_ = exec.Est{Rows: b.rows, Cost: sortCost}
+	proj := exec.NewProject(sorted, info.bindRels, false)
+	cost := sortCost + b.rows*cpuPerTuple
+	proj.Est_ = exec.Est{Rows: b.rows, Cost: cost}
+	return proj, cost, nil
+}
+
+func isPrefix(prefix, seq []string) bool {
+	if len(prefix) > len(seq) {
+		return false
+	}
+	for i, r := range prefix {
+		if seq[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

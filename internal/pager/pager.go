@@ -1,0 +1,489 @@
+// Package pager implements the page-based storage manager underneath the
+// B+-trees: a single file of fixed-size pages fronted by a bounded buffer
+// pool with pinning, clock eviction and write-back.
+//
+// It is one half of this project's substitution for the Berkeley DB storage
+// manager the paper's students used (the other half is package btree). The
+// buffer pool size bounds the memory the query engines may use, which is
+// how the testbed enforces the paper's "20 MB of memory" efficiency-test
+// cap; the pool also counts page reads, writes, hits and misses so the cost
+// model can be calibrated against observed I/O.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page within the file. Page 0 is the meta page and is
+// never handed out; 0 therefore doubles as a nil page id.
+type PageID uint32
+
+// NilPage is the zero PageID, used as a null pointer.
+const NilPage PageID = 0
+
+const (
+	magic        = "XQDBPG01"
+	metaPageID   = PageID(0)
+	offMagic     = 0
+	offPageSize  = 8
+	offNumPages  = 12
+	offFreeHead  = 16
+	offAppHeader = 24
+	// AppHeaderSize is the number of bytes of the meta page reserved for
+	// the client (the store layer keeps B+-tree roots and counters there).
+	AppHeaderSize = 128
+)
+
+// DefaultPageSize is the page size used when Options.PageSize is zero.
+const DefaultPageSize = 4096
+
+// DefaultCacheFrames is the buffer pool size used when Options.CacheFrames
+// is zero: 1024 frames of 4 KiB = 4 MiB.
+const DefaultCacheFrames = 1024
+
+// ErrClosed is returned by operations on a closed Pager.
+var ErrClosed = errors.New("pager: closed")
+
+// Options configures Open.
+type Options struct {
+	// PageSize is the page size in bytes for newly created files. It must
+	// be a power of two >= 512. Existing files keep their page size.
+	PageSize int
+	// CacheFrames is the number of pages the buffer pool may hold.
+	CacheFrames int
+	// ReadOnly opens the file for reading only.
+	ReadOnly bool
+}
+
+// Stats counts buffer pool and file I/O activity since Open.
+type Stats struct {
+	PagesRead    int64 // pages fetched from the OS file
+	PagesWritten int64 // pages written back to the OS file
+	CacheHits    int64 // page requests served from the pool
+	CacheMisses  int64 // page requests that went to the file
+	Allocations  int64 // pages allocated
+}
+
+// frame is one buffer-pool slot.
+type frame struct {
+	id     PageID
+	data   []byte
+	pins   int
+	dirty  bool
+	refbit bool
+	valid  bool
+}
+
+// Pager manages the page file and its buffer pool. All methods are safe
+// for concurrent use.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	readOnly bool
+	closed   bool
+
+	numPages  uint32 // including the meta page
+	freeHead  PageID
+	appHdr    [AppHeaderSize]byte
+	metaDirty bool
+
+	frames []frame
+	table  map[PageID]int // pageID -> frame index
+	clock  int
+
+	stats Stats
+}
+
+// Open opens or creates the page file at path.
+func Open(path string, opts Options) (*Pager, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = DefaultPageSize
+	}
+	if opts.PageSize < 512 || opts.PageSize&(opts.PageSize-1) != 0 {
+		return nil, fmt.Errorf("pager: page size %d is not a power of two >= 512", opts.PageSize)
+	}
+	if opts.CacheFrames <= 0 {
+		opts.CacheFrames = DefaultCacheFrames
+	}
+	if opts.CacheFrames < 8 {
+		opts.CacheFrames = 8 // below this, B+-tree descents can deadlock on pins
+	}
+	flag := os.O_RDWR | os.O_CREATE
+	if opts.ReadOnly {
+		flag = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	p := &Pager{
+		f:        f,
+		pageSize: opts.PageSize,
+		readOnly: opts.ReadOnly,
+		table:    make(map[PageID]int, opts.CacheFrames),
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	if fi.Size() == 0 {
+		if opts.ReadOnly {
+			f.Close()
+			return nil, fmt.Errorf("pager: %s is empty", path)
+		}
+		p.numPages = 1
+		p.metaDirty = true
+		if err := p.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		if err := p.readMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	p.frames = make([]frame, opts.CacheFrames)
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, p.pageSize)
+	}
+	return p, nil
+}
+
+func (p *Pager) readMeta() error {
+	hdr := make([]byte, 512)
+	if _, err := p.f.ReadAt(hdr, 0); err != nil && err != io.EOF {
+		return fmt.Errorf("pager: reading meta page: %w", err)
+	}
+	if string(hdr[offMagic:offMagic+8]) != magic {
+		return fmt.Errorf("pager: bad magic, not a xqdb page file")
+	}
+	ps := binary.LittleEndian.Uint32(hdr[offPageSize:])
+	if ps < 512 || ps&(ps-1) != 0 {
+		return fmt.Errorf("pager: corrupt page size %d", ps)
+	}
+	p.pageSize = int(ps)
+	p.numPages = binary.LittleEndian.Uint32(hdr[offNumPages:])
+	p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[offFreeHead:]))
+	copy(p.appHdr[:], hdr[offAppHeader:offAppHeader+AppHeaderSize])
+	return nil
+}
+
+func (p *Pager) writeMeta() error {
+	if !p.metaDirty {
+		return nil
+	}
+	buf := make([]byte, p.pageSize)
+	copy(buf[offMagic:], magic)
+	binary.LittleEndian.PutUint32(buf[offPageSize:], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(buf[offNumPages:], p.numPages)
+	binary.LittleEndian.PutUint32(buf[offFreeHead:], uint32(p.freeHead))
+	copy(buf[offAppHeader:], p.appHdr[:])
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: writing meta page: %w", err)
+	}
+	p.stats.PagesWritten++
+	p.metaDirty = false
+	return nil
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of pages in the file, including the meta
+// page and freed pages.
+func (p *Pager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.numPages)
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters (used between benchmark phases).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// AppHeader returns a copy of the client header area of the meta page.
+func (p *Pager) AppHeader() [AppHeaderSize]byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.appHdr
+}
+
+// SetAppHeader replaces the client header area. It is persisted on the
+// next Flush or Close.
+func (p *Pager) SetAppHeader(hdr [AppHeaderSize]byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.appHdr = hdr
+	p.metaDirty = true
+}
+
+// Page is a pinned page. Callers must Unpin it when done; pages written to
+// must be marked dirty before unpinning.
+type Page struct {
+	ID    PageID
+	p     *Pager
+	frame int
+}
+
+// Data returns the page contents. The slice is only valid while the page
+// is pinned.
+func (pg *Page) Data() []byte { return pg.p.frames[pg.frame].data }
+
+// MarkDirty records that the page was modified.
+func (pg *Page) MarkDirty() {
+	pg.p.mu.Lock()
+	pg.p.frames[pg.frame].dirty = true
+	pg.p.mu.Unlock()
+}
+
+// Unpin releases the page back to the pool.
+func (pg *Page) Unpin() {
+	pg.p.mu.Lock()
+	fr := &pg.p.frames[pg.frame]
+	if fr.pins > 0 {
+		fr.pins--
+	}
+	pg.p.mu.Unlock()
+}
+
+// Allocate returns a new zeroed page, reusing freed pages when possible.
+// The page is returned pinned and dirty.
+func (p *Pager) Allocate() (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if p.readOnly {
+		return nil, errors.New("pager: allocate on read-only file")
+	}
+	var id PageID
+	if p.freeHead != NilPage {
+		id = p.freeHead
+		// The next free page id is stored in the first 4 bytes.
+		fi, err := p.fetchLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		p.freeHead = PageID(binary.LittleEndian.Uint32(p.frames[fi].data))
+		for i := range p.frames[fi].data {
+			p.frames[fi].data[i] = 0
+		}
+		p.frames[fi].dirty = true
+		p.metaDirty = true
+		p.stats.Allocations++
+		return &Page{ID: id, p: p, frame: fi}, nil
+	}
+	id = PageID(p.numPages)
+	p.numPages++
+	p.metaDirty = true
+	p.stats.Allocations++
+	fi, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	p.frames[fi].dirty = true
+	return &Page{ID: id, p: p, frame: fi}, nil
+}
+
+// Free returns a page to the freelist.
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if id == metaPageID || uint32(id) >= p.numPages {
+		return fmt.Errorf("pager: free of invalid page %d", id)
+	}
+	fi, err := p.fetchLocked(id)
+	if err != nil {
+		return err
+	}
+	fr := &p.frames[fi]
+	binary.LittleEndian.PutUint32(fr.data, uint32(p.freeHead))
+	fr.dirty = true
+	fr.pins--
+	p.freeHead = id
+	p.metaDirty = true
+	return nil
+}
+
+// Read pins and returns the page with the given id.
+func (p *Pager) Read(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if id == metaPageID || uint32(id) >= p.numPages {
+		return nil, fmt.Errorf("pager: read of invalid page %d", id)
+	}
+	fi, err := p.fetchLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Page{ID: id, p: p, frame: fi}, nil
+}
+
+// fetchLocked returns the frame index of page id, loading it from the file
+// if necessary. The frame is returned pinned (pins incremented).
+func (p *Pager) fetchLocked(id PageID) (int, error) {
+	if fi, ok := p.table[id]; ok {
+		p.stats.CacheHits++
+		p.frames[fi].pins++
+		p.frames[fi].refbit = true
+		return fi, nil
+	}
+	p.stats.CacheMisses++
+	fi, err := p.victimLocked()
+	if err != nil {
+		return 0, err
+	}
+	fr := &p.frames[fi]
+	off := int64(id) * int64(p.pageSize)
+	n, err := p.f.ReadAt(fr.data, off)
+	if err != nil && err != io.EOF {
+		return 0, fmt.Errorf("pager: reading page %d: %w", id, err)
+	}
+	if n < p.pageSize {
+		// Page beyond EOF (allocated but never written): zero-fill.
+		for i := n; i < p.pageSize; i++ {
+			fr.data[i] = 0
+		}
+	}
+	p.stats.PagesRead++
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	fr.refbit = true
+	fr.valid = true
+	p.table[id] = fi
+	return fi, nil
+}
+
+// newFrameLocked claims a frame for a brand-new page without reading the
+// file. The frame is returned pinned and zeroed.
+func (p *Pager) newFrameLocked(id PageID) (int, error) {
+	fi, err := p.victimLocked()
+	if err != nil {
+		return 0, err
+	}
+	fr := &p.frames[fi]
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	fr.refbit = true
+	fr.valid = true
+	p.table[id] = fi
+	return fi, nil
+}
+
+// victimLocked finds a free or evictable frame using the clock algorithm,
+// writing back a dirty victim.
+func (p *Pager) victimLocked() (int, error) {
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		fi := p.clock
+		p.clock = (p.clock + 1) % n
+		fr := &p.frames[fi]
+		if !fr.valid {
+			return fi, nil
+		}
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.refbit {
+			fr.refbit = false
+			continue
+		}
+		if fr.dirty {
+			if err := p.writeFrameLocked(fr); err != nil {
+				return 0, err
+			}
+		}
+		delete(p.table, fr.id)
+		fr.valid = false
+		return fi, nil
+	}
+	return 0, fmt.Errorf("pager: buffer pool exhausted (%d frames, all pinned)", n)
+}
+
+func (p *Pager) writeFrameLocked(fr *frame) error {
+	off := int64(fr.id) * int64(p.pageSize)
+	if _, err := p.f.WriteAt(fr.data, off); err != nil {
+		return fmt.Errorf("pager: writing page %d: %w", fr.id, err)
+	}
+	p.stats.PagesWritten++
+	fr.dirty = false
+	return nil
+}
+
+// Flush writes all dirty pages and the meta page to the file.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	return p.flushLocked()
+}
+
+func (p *Pager) flushLocked() error {
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if fr.valid && fr.dirty {
+			if err := p.writeFrameLocked(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return p.writeMeta()
+}
+
+// Sync flushes and fsyncs the file.
+func (p *Pager) Sync() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	var err error
+	if !p.readOnly {
+		err = p.flushLocked()
+	}
+	p.closed = true
+	if cerr := p.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,203 @@
+package pager
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.db")
+	p, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, path
+}
+
+func TestAllocateReadWrite(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 16})
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	if id == NilPage {
+		t.Fatal("allocated the nil page")
+	}
+	copy(pg.Data(), "hello page")
+	pg.MarkDirty()
+	pg.Unpin()
+
+	rd, err := p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Data()[:10]) != "hello page" {
+		t.Fatalf("read back %q", rd.Data()[:10])
+	}
+	rd.Unpin()
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 8})
+	var ids []PageID
+	// Allocate more pages than frames so eviction must occur.
+	for i := 0; i < 64; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(pg.Data(), uint32(i)+1000)
+		pg.MarkDirty()
+		ids = append(ids, pg.ID)
+		pg.Unpin()
+	}
+	for i, id := range ids {
+		pg, err := p.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := binary.LittleEndian.Uint32(pg.Data())
+		if got != uint32(i)+1000 {
+			t.Fatalf("page %d: got %d want %d", id, got, i+1000)
+		}
+		pg.Unpin()
+	}
+	st := p.Stats()
+	if st.PagesWritten == 0 || st.CacheMisses == 0 {
+		t.Fatalf("expected eviction traffic, stats=%+v", st)
+	}
+}
+
+func TestPinnedPagesSurviveEviction(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 8})
+	pinned, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pinned.Data(), "pinned!")
+	pinned.MarkDirty()
+	// Thrash the pool while the page stays pinned.
+	for i := 0; i < 32; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.MarkDirty()
+		pg.Unpin()
+	}
+	if string(pinned.Data()[:7]) != "pinned!" {
+		t.Fatal("pinned page content lost")
+	}
+	pinned.Unpin()
+}
+
+func TestAllPinnedExhaustsPool(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 8})
+	var pages []*Page
+	defer func() {
+		for _, pg := range pages {
+			pg.Unpin()
+		}
+	}()
+	for i := 0; ; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			if i < 8 {
+				t.Fatalf("pool exhausted too early at %d: %v", i, err)
+			}
+			return // expected failure once all frames are pinned
+		}
+		pages = append(pages, pg)
+		if i > 100 {
+			t.Fatal("pool never exhausted")
+		}
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 16})
+	pg, _ := p.Allocate()
+	id := pg.ID
+	pg.Unpin()
+	before := p.NumPages()
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Unpin()
+	if pg2.ID != id {
+		t.Fatalf("freed page not reused: got %d want %d", pg2.ID, id)
+	}
+	if p.NumPages() != before {
+		t.Fatalf("file grew despite freelist: %d -> %d", before, p.NumPages())
+	}
+	// Reused page must be zeroed.
+	for _, b := range pg2.Data() {
+		if b != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.db")
+	p, err := Open(path, Options{CacheFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := p.Allocate()
+	id := pg.ID
+	copy(pg.Data(), "persist me")
+	pg.MarkDirty()
+	pg.Unpin()
+	var hdr [AppHeaderSize]byte
+	copy(hdr[:], "app header data")
+	p.SetAppHeader(hdr)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, Options{CacheFrames: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got := p2.AppHeader()
+	if string(got[:15]) != "app header data" {
+		t.Fatalf("app header lost: %q", got[:15])
+	}
+	rd, err := p2.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Unpin()
+	if string(rd.Data()[:10]) != "persist me" {
+		t.Fatalf("page content lost: %q", rd.Data()[:10])
+	}
+}
+
+func TestInvalidReads(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 16})
+	if _, err := p.Read(0); err == nil {
+		t.Fatal("read of meta page allowed")
+	}
+	if _, err := p.Read(9999); err == nil {
+		t.Fatal("read past end allowed")
+	}
+	if err := p.Free(0); err == nil {
+		t.Fatal("free of meta page allowed")
+	}
+}
+
+func TestBadPageSizeRejected(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "x.db"), Options{PageSize: 1000}); err == nil {
+		t.Fatal("non-power-of-two page size accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package recfile provides block-buffered sequential record files for
+// intermediate query results, plus a k-way external merge sort.
+//
+// Milestone 3 of the paper allows engines to "write to disk each
+// intermediate result, and re-read it whenever necessary"; recfile is that
+// facility. The paper also notes that the public Berkeley DB distribution
+// supported only block-based reading, making textbook external sort and
+// block-nested-loop join awkward — our own files buffer both directions,
+// so both algorithms are implemented properly.
+package recfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// BlockSize is the buffer size used for reading and writing record files.
+const BlockSize = 64 << 10
+
+var tempSeq atomic.Uint64
+
+// TempPath returns a fresh temp-file path inside dir.
+func TempPath(dir, prefix string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%d.tmp", prefix, tempSeq.Add(1)))
+}
+
+// Writer appends length-prefixed records to a file through a block buffer.
+type Writer struct {
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	count  int64
+	bytes  int64
+	lenbuf [binary.MaxVarintLen64]byte
+}
+
+// CreateWriter creates (truncating) a record file at path.
+func CreateWriter(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("recfile: %w", err)
+	}
+	return &Writer{f: f, w: bufio.NewWriterSize(f, BlockSize), path: path}, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(rec []byte) error {
+	n := binary.PutUvarint(w.lenbuf[:], uint64(len(rec)))
+	if _, err := w.w.Write(w.lenbuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(rec); err != nil {
+		return err
+	}
+	w.count++
+	w.bytes += int64(n + len(rec))
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Bytes returns the encoded size written so far.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Path returns the file path.
+func (w *Writer) Path() string { return w.path }
+
+// Finish flushes and closes the file, leaving it on disk for reading.
+func (w *Writer) Finish() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Abort closes and deletes the file.
+func (w *Writer) Abort() {
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// Reader reads a record file sequentially through a block buffer.
+type Reader struct {
+	f    *os.File
+	r    *bufio.Reader
+	path string
+	buf  []byte
+}
+
+// OpenReader opens a record file for sequential reading.
+func OpenReader(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("recfile: %w", err)
+	}
+	return &Reader{f: f, r: bufio.NewReaderSize(f, BlockSize), path: path}, nil
+}
+
+// Next returns the next record, or io.EOF. The returned slice is valid
+// only until the next call to Next.
+func (r *Reader) Next() ([]byte, error) {
+	size, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("recfile: corrupt record length: %w", err)
+	}
+	if uint64(cap(r.buf)) < size {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("recfile: truncated record: %w", err)
+	}
+	return r.buf, nil
+}
+
+// Reset rewinds the reader to the beginning of the file, so the stream can
+// be scanned again (used by the nested-loops join inner input).
+func (r *Reader) Reset() error {
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r.r.Reset(r.f)
+	return nil
+}
+
+// Close closes the underlying file (the file itself is kept).
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Remove closes the reader and deletes the file.
+func (r *Reader) Remove() error {
+	err := r.f.Close()
+	if rerr := os.Remove(r.path); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,266 @@
+package recfile
+
+import (
+	"container/heap"
+	"io"
+	"os"
+	"sort"
+)
+
+// DefaultSortBudget is the in-memory run size used when Sorter.Budget is
+// zero (4 MiB).
+const DefaultSortBudget = 4 << 20
+
+// DefaultFanin is the merge fan-in used when Sorter.Fanin is zero.
+const DefaultFanin = 16
+
+// SortStats reports what the external sort did.
+type SortStats struct {
+	Records     int64
+	Runs        int   // initial sorted runs spilled
+	MergePasses int   // extra merge passes beyond the final one
+	Spilled     int64 // bytes written to run files
+	InMemory    bool  // true if everything fit in the budget
+}
+
+// Sorter accumulates records and produces them in sorted order, spilling
+// sorted runs to disk when the memory budget is exceeded and k-way merging
+// them (textbook external merge sort).
+type Sorter struct {
+	dir    string
+	cmp    func(a, b []byte) int
+	budget int
+	fanin  int
+
+	cur      [][]byte
+	curBytes int
+	runs     []string
+	stats    SortStats
+}
+
+// NewSorter returns a Sorter writing run files into dir, ordering records
+// by cmp. A budget of 0 selects DefaultSortBudget.
+func NewSorter(dir string, cmp func(a, b []byte) int, budget int) *Sorter {
+	if budget <= 0 {
+		budget = DefaultSortBudget
+	}
+	return &Sorter{dir: dir, cmp: cmp, budget: budget, fanin: DefaultFanin}
+}
+
+// Add appends one record (the slice is copied).
+func (s *Sorter) Add(rec []byte) error {
+	cp := append([]byte(nil), rec...)
+	s.cur = append(s.cur, cp)
+	s.curBytes += len(cp) + 24
+	s.stats.Records++
+	if s.curBytes >= s.budget {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter) sortCur() {
+	sort.SliceStable(s.cur, func(i, j int) bool { return s.cmp(s.cur[i], s.cur[j]) < 0 })
+}
+
+func (s *Sorter) spill() error {
+	if len(s.cur) == 0 {
+		return nil
+	}
+	s.sortCur()
+	path := TempPath(s.dir, "sortrun")
+	w, err := CreateWriter(path)
+	if err != nil {
+		return err
+	}
+	for _, rec := range s.cur {
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return err
+	}
+	s.stats.Spilled += w.Bytes()
+	s.runs = append(s.runs, path)
+	s.cur = nil
+	s.curBytes = 0
+	return nil
+}
+
+// Stats returns sort statistics; complete after Sort has been called.
+func (s *Sorter) Stats() SortStats { return s.stats }
+
+// Iterator yields sorted records. Close releases and deletes any run files.
+type Iterator struct {
+	// in-memory case
+	mem [][]byte
+	idx int
+	// merge case
+	h       *mergeHeap
+	readers []*Reader
+}
+
+// Sort finishes accumulation and returns an iterator over all records in
+// cmp order. The Sorter must not be used after Sort.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if len(s.runs) == 0 {
+		s.sortCur()
+		s.stats.InMemory = true
+		return &Iterator{mem: s.cur}, nil
+	}
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	// Reduce the number of runs to at most fanin with intermediate passes.
+	for len(s.runs) > s.fanin {
+		var next []string
+		for i := 0; i < len(s.runs); i += s.fanin {
+			end := i + s.fanin
+			if end > len(s.runs) {
+				end = len(s.runs)
+			}
+			merged, err := s.mergeToFile(s.runs[i:end])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		s.runs = next
+		s.stats.MergePasses++
+	}
+	return s.openMerge(s.runs)
+}
+
+func (s *Sorter) mergeToFile(runs []string) (string, error) {
+	it, err := s.openMerge(runs)
+	if err != nil {
+		return "", err
+	}
+	defer it.Close()
+	path := TempPath(s.dir, "sortmerge")
+	w, err := CreateWriter(path)
+	if err != nil {
+		return "", err
+	}
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Abort()
+			return "", err
+		}
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return "", err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return "", err
+	}
+	s.stats.Spilled += w.Bytes()
+	return path, nil
+}
+
+func (s *Sorter) openMerge(runs []string) (*Iterator, error) {
+	h := &mergeHeap{cmp: s.cmp}
+	it := &Iterator{h: h}
+	for runIdx, path := range runs {
+		r, err := OpenReader(path)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.readers = append(it.readers, r)
+		rec, err := r.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		h.items = append(h.items, mergeItem{rec: append([]byte(nil), rec...), src: r, run: runIdx})
+	}
+	heap.Init(h)
+	return it, nil
+}
+
+// Next returns the next record in sorted order, or io.EOF. The slice is
+// valid until the following Next call.
+func (it *Iterator) Next() ([]byte, error) {
+	if it.h == nil {
+		if it.idx >= len(it.mem) {
+			return nil, io.EOF
+		}
+		rec := it.mem[it.idx]
+		it.idx++
+		return rec, nil
+	}
+	if it.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	top := it.h.items[0]
+	out := top.rec
+	// Refill from the same source.
+	rec, err := top.src.Next()
+	if err == io.EOF {
+		heap.Pop(it.h)
+		return out, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	it.h.items[0] = mergeItem{rec: append([]byte(nil), rec...), src: top.src, run: top.run}
+	heap.Fix(it.h, 0)
+	return out, nil
+}
+
+// Close releases readers and deletes run files.
+func (it *Iterator) Close() error {
+	var err error
+	for _, r := range it.readers {
+		if e := r.f.Close(); err == nil {
+			err = e
+		}
+		if e := os.Remove(r.path); err == nil {
+			err = e
+		}
+	}
+	it.readers = nil
+	it.h = nil
+	it.mem = nil
+	return err
+}
+
+type mergeItem struct {
+	rec []byte
+	src *Reader
+	run int // run index; ties break toward earlier runs to keep Sort stable
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	cmp   func(a, b []byte) int
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.items[i].rec, h.items[j].rec)
+	if c != 0 {
+		return c < 0
+	}
+	return h.items[i].run < h.items[j].run
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

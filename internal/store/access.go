@@ -1,0 +1,300 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+
+	"xqdb/internal/btree"
+	"xqdb/internal/xasr"
+)
+
+// Lookup fetches the tuple with the given in label from the primary tree.
+func (s *Store) Lookup(in uint32) (xasr.Tuple, bool, error) {
+	if !s.loaded {
+		return xasr.Tuple{}, false, ErrNotLoaded
+	}
+	val, ok, err := s.primary.Get(xasr.PrimaryKey(in))
+	if err != nil || !ok {
+		return xasr.Tuple{}, ok, err
+	}
+	t, err := xasr.DecodePrimary(xasr.PrimaryKey(in), val)
+	return t, err == nil, err
+}
+
+// Root returns the document root tuple.
+func (s *Store) Root() (xasr.Tuple, error) {
+	t, ok, err := s.Lookup(RootIn)
+	if err != nil {
+		return xasr.Tuple{}, err
+	}
+	if !ok {
+		return xasr.Tuple{}, ErrNotLoaded
+	}
+	return t, nil
+}
+
+// ScanAll iterates the full XASR relation in document (in) order.
+// fn returning false stops the scan.
+func (s *Store) ScanAll(fn func(xasr.Tuple) bool) error {
+	return s.ScanRange(0, 0, fn)
+}
+
+// ScanRange iterates tuples with lo <= in < hi in document order. hi = 0
+// means "to the end of the relation".
+func (s *Store) ScanRange(lo, hi uint32, fn func(xasr.Tuple) bool) error {
+	if !s.loaded {
+		return ErrNotLoaded
+	}
+	var hiKey []byte
+	if hi != 0 {
+		hiKey = xasr.PrimaryKey(hi)
+	}
+	var scanErr error
+	err := s.primary.ScanRange(xasr.PrimaryKey(lo), hiKey, func(k, v []byte) bool {
+		t, err := xasr.DecodePrimary(k, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(t)
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// LabelEntry is an index-only row from the label index: the identity of a
+// node with a known (type, value).
+type LabelEntry struct {
+	In, Out, ParentIn uint32
+}
+
+// ScanLabel iterates the label index entries for (typ, value) in document
+// order, index-only. Returns ErrNoLabelIndex if the index is absent.
+func (s *Store) ScanLabel(typ xasr.NodeType, value string, fn func(LabelEntry) bool) error {
+	return s.ScanLabelRange(typ, value, 0, 0, fn)
+}
+
+// ErrNoLabelIndex is returned when the label index was disabled at load.
+var ErrNoLabelIndex = fmt.Errorf("store: label index not built")
+
+// ErrNoParentIndex is returned when the parent index was disabled at load.
+var ErrNoParentIndex = fmt.Errorf("store: parent index not built")
+
+// ScanLabelRange iterates label-index entries for (typ, value) restricted
+// to lo <= in < hi (hi = 0 means unbounded). This is the access path for
+// index nested-loop descendant joins: the descendants of a node x with a
+// given label lie exactly in the in-range (x.in, x.out).
+func (s *Store) ScanLabelRange(typ xasr.NodeType, value string, lo, hi uint32, fn func(LabelEntry) bool) error {
+	if !s.loaded {
+		return ErrNotLoaded
+	}
+	if s.labelIdx == nil {
+		return ErrNoLabelIndex
+	}
+	loKey := xasr.LabelKey(typ, value, lo)
+	var hiKey []byte
+	if hi != 0 {
+		hiKey = xasr.LabelKey(typ, value, hi)
+	} else {
+		// One past the last possible in for this (type, value) prefix.
+		hiKey = xasr.LabelKey(typ, value, ^uint32(0))
+		hiKey = append(hiKey, 0)
+	}
+	var scanErr error
+	err := s.labelIdx.ScanRange(loKey, hiKey, func(k, v []byte) bool {
+		in, out, parent, err := xasr.DecodeLabelEntry(k, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(LabelEntry{In: in, Out: out, ParentIn: parent})
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// TupleCursor is a pull-style cursor over a primary-tree in-range, used by
+// the physical scan operators of milestones 3 and 4.
+type TupleCursor struct {
+	c  *btree.Cursor
+	hi []byte // exclusive upper key; nil = to the end
+}
+
+// OpenRange returns a cursor over tuples with lo <= in < hi in document
+// order (hi = 0 means unbounded).
+func (s *Store) OpenRange(lo, hi uint32) (*TupleCursor, error) {
+	if !s.loaded {
+		return nil, ErrNotLoaded
+	}
+	c, err := s.primary.Seek(xasr.PrimaryKey(lo))
+	if err != nil {
+		return nil, err
+	}
+	tc := &TupleCursor{c: c}
+	if hi != 0 {
+		tc.hi = xasr.PrimaryKey(hi)
+	}
+	return tc, nil
+}
+
+// Next returns the next tuple, or ok=false at the end of the range.
+func (tc *TupleCursor) Next() (xasr.Tuple, bool, error) {
+	if !tc.c.Valid() {
+		return xasr.Tuple{}, false, tc.c.Err()
+	}
+	k := tc.c.Key()
+	if tc.hi != nil && bytes.Compare(k, tc.hi) >= 0 {
+		return xasr.Tuple{}, false, nil
+	}
+	t, err := xasr.DecodePrimary(k, tc.c.Value())
+	if err != nil {
+		return xasr.Tuple{}, false, err
+	}
+	if err := tc.c.Next(); err != nil {
+		return xasr.Tuple{}, false, err
+	}
+	return t, true, nil
+}
+
+// Close releases the cursor.
+func (tc *TupleCursor) Close() { tc.c.Close() }
+
+// LabelRangeCursor is a pull-style cursor over label-index entries for one
+// (type, value), optionally restricted to an in-range.
+type LabelRangeCursor struct {
+	c  *btree.Cursor
+	hi []byte
+}
+
+// OpenLabelRange returns a cursor over the label-index entries for
+// (typ, value) with lo <= in < hi in document order (hi = 0 unbounded).
+func (s *Store) OpenLabelRange(typ xasr.NodeType, value string, lo, hi uint32) (*LabelRangeCursor, error) {
+	if !s.loaded {
+		return nil, ErrNotLoaded
+	}
+	if s.labelIdx == nil {
+		return nil, ErrNoLabelIndex
+	}
+	c, err := s.labelIdx.Seek(xasr.LabelKey(typ, value, lo))
+	if err != nil {
+		return nil, err
+	}
+	var hiKey []byte
+	if hi != 0 {
+		hiKey = xasr.LabelKey(typ, value, hi)
+	} else {
+		hiKey = xasr.LabelKey(typ, value, ^uint32(0))
+		hiKey = append(hiKey, 0)
+	}
+	return &LabelRangeCursor{c: c, hi: hiKey}, nil
+}
+
+// Next returns the next entry, or ok=false at the end of the range.
+func (lc *LabelRangeCursor) Next() (LabelEntry, bool, error) {
+	if !lc.c.Valid() {
+		return LabelEntry{}, false, lc.c.Err()
+	}
+	k := lc.c.Key()
+	if bytes.Compare(k, lc.hi) >= 0 {
+		return LabelEntry{}, false, nil
+	}
+	in, out, parent, err := xasr.DecodeLabelEntry(k, lc.c.Value())
+	if err != nil {
+		return LabelEntry{}, false, err
+	}
+	if err := lc.c.Next(); err != nil {
+		return LabelEntry{}, false, err
+	}
+	return LabelEntry{In: in, Out: out, ParentIn: parent}, true, nil
+}
+
+// Close releases the cursor.
+func (lc *LabelRangeCursor) Close() { lc.c.Close() }
+
+// ChildCursor is a pull-style cursor over the children of one node via the
+// parent index.
+type ChildCursor struct {
+	c      *btree.Cursor
+	prefix []byte
+}
+
+// OpenChildren returns a cursor over the children of parentIn in document
+// order.
+func (s *Store) OpenChildren(parentIn uint32) (*ChildCursor, error) {
+	if !s.loaded {
+		return nil, ErrNotLoaded
+	}
+	if s.parentIdx == nil {
+		return nil, ErrNoParentIndex
+	}
+	prefix := xasr.ParentPrefix(parentIn)
+	c, err := s.parentIdx.Seek(prefix)
+	if err != nil {
+		return nil, err
+	}
+	return &ChildCursor{c: c, prefix: prefix}, nil
+}
+
+// Next returns the next child tuple, or ok=false past the last child.
+func (cc *ChildCursor) Next() (xasr.Tuple, bool, error) {
+	if !cc.c.Valid() {
+		return xasr.Tuple{}, false, cc.c.Err()
+	}
+	k := cc.c.Key()
+	if !bytes.HasPrefix(k, cc.prefix) {
+		return xasr.Tuple{}, false, nil
+	}
+	t, err := xasr.DecodeParentEntry(k, cc.c.Value())
+	if err != nil {
+		return xasr.Tuple{}, false, err
+	}
+	if err := cc.c.Next(); err != nil {
+		return xasr.Tuple{}, false, err
+	}
+	return t, true, nil
+}
+
+// Close releases the cursor.
+func (cc *ChildCursor) Close() { cc.c.Close() }
+
+// ScanChildren iterates the children of parentIn in document order using
+// the parent index, yielding full tuples index-only.
+func (s *Store) ScanChildren(parentIn uint32, fn func(xasr.Tuple) bool) error {
+	if !s.loaded {
+		return ErrNotLoaded
+	}
+	if s.parentIdx == nil {
+		return ErrNoParentIndex
+	}
+	var scanErr error
+	err := s.parentIdx.ScanPrefix(xasr.ParentPrefix(parentIn), func(k, v []byte) bool {
+		t, err := xasr.DecodeParentEntry(k, v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(t)
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// ScanDescendants iterates the proper descendants of the node (in, out) in
+// document order via a primary range scan.
+func (s *Store) ScanDescendants(in, out uint32, fn func(xasr.Tuple) bool) error {
+	return s.ScanRange(in+1, out, fn)
+}
+
+// CardLabel returns the statistics cardinality for an element label.
+func (s *Store) CardLabel(label string) int64 {
+	if s.stats == nil {
+		return 0
+	}
+	return s.stats.Card(label)
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+
+	"xqdb/internal/xasr"
+	"xqdb/internal/xmltok"
+)
+
+// AppendSubtree serializes the subtree rooted at the node with the given
+// in label onto dst, reconstructing the XML from the XASR relation with a
+// single primary range scan (the reconstruction property of Section 2 of
+// the paper: parent_in preserves the child relation and in/out preserve
+// sibling order).
+//
+// The output is byte-identical to dom.Node.AppendXML on the same subtree:
+// childless elements serialize as <a/>, text is entity-escaped, the
+// document root serializes its children only.
+func (s *Store) AppendSubtree(dst []byte, in uint32) ([]byte, error) {
+	root, ok, err := s.Lookup(in)
+	if err != nil {
+		return dst, err
+	}
+	if !ok {
+		return dst, fmt.Errorf("store: no node with in=%d", in)
+	}
+	return s.AppendSubtreeTuple(dst, root)
+}
+
+// AppendSubtreeTuple is AppendSubtree when the root tuple is already at
+// hand (saves the point lookup).
+func (s *Store) AppendSubtreeTuple(dst []byte, root xasr.Tuple) ([]byte, error) {
+	switch root.Type {
+	case xasr.TypeText:
+		return xmltok.AppendEscaped(dst, root.Value), nil
+	case xasr.TypeElem:
+		if root.Out == root.In+1 {
+			dst = append(dst, '<')
+			dst = append(dst, root.Value...)
+			return append(dst, '/', '>'), nil
+		}
+		dst = append(dst, '<')
+		dst = append(dst, root.Value...)
+		dst = append(dst, '>')
+	case xasr.TypeRoot:
+		// The document node has no tags of its own.
+	}
+
+	// Scan the descendants in document order, maintaining a stack of open
+	// element out-labels to emit closing tags at the right points.
+	type openElem struct {
+		out   uint32
+		label string
+	}
+	var stack []openElem
+	closeUpTo := func(nextIn uint32) {
+		for len(stack) > 0 && stack[len(stack)-1].out < nextIn {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			dst = append(dst, '<', '/')
+			dst = append(dst, top.label...)
+			dst = append(dst, '>')
+		}
+	}
+	err := s.ScanDescendants(root.In, root.Out, func(t xasr.Tuple) bool {
+		closeUpTo(t.In)
+		switch t.Type {
+		case xasr.TypeText:
+			dst = xmltok.AppendEscaped(dst, t.Value)
+		case xasr.TypeElem:
+			if t.Out == t.In+1 {
+				dst = append(dst, '<')
+				dst = append(dst, t.Value...)
+				dst = append(dst, '/', '>')
+			} else {
+				dst = append(dst, '<')
+				dst = append(dst, t.Value...)
+				dst = append(dst, '>')
+				stack = append(stack, openElem{out: t.Out, label: t.Value})
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return dst, err
+	}
+	closeUpTo(^uint32(0))
+	if root.Type == xasr.TypeElem {
+		dst = append(dst, '<', '/')
+		dst = append(dst, root.Value...)
+		dst = append(dst, '>')
+	}
+	return dst, nil
+}

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqdb/internal/dom"
+	"xqdb/internal/xasr"
+)
+
+// figure2 is the handmade document of Figure 2 of the paper.
+const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+
+func newStore(t testing.TB, doc string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if doc != "" {
+		if err := s.LoadString(doc); err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+	}
+	return s
+}
+
+// TestFigure2Labels checks the exact in/out assignment of Figure 2.
+func TestFigure2Labels(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	want := []xasr.Tuple{
+		{In: 1, Out: 18, ParentIn: 0, Type: xasr.TypeRoot, Value: ""},
+		{In: 2, Out: 17, ParentIn: 1, Type: xasr.TypeElem, Value: "journal"},
+		{In: 3, Out: 12, ParentIn: 2, Type: xasr.TypeElem, Value: "authors"},
+		{In: 4, Out: 7, ParentIn: 3, Type: xasr.TypeElem, Value: "name"},
+		{In: 5, Out: 6, ParentIn: 4, Type: xasr.TypeText, Value: "Ana"},
+		{In: 8, Out: 11, ParentIn: 3, Type: xasr.TypeElem, Value: "name"},
+		{In: 9, Out: 10, ParentIn: 8, Type: xasr.TypeText, Value: "Bob"},
+		{In: 13, Out: 16, ParentIn: 2, Type: xasr.TypeElem, Value: "title"},
+		{In: 14, Out: 15, ParentIn: 13, Type: xasr.TypeText, Value: "DB"},
+	}
+	var got []xasr.Tuple
+	if err := s.ScanAll(func(tp xasr.Tuple) bool {
+		got = append(got, tp)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tuple %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestExample1Tuples checks the two tuples spelled out in Example 1.
+func TestExample1Tuples(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	journal, ok, err := s.Lookup(2)
+	if err != nil || !ok {
+		t.Fatalf("lookup journal: ok=%v err=%v", ok, err)
+	}
+	if journal.String() != "(2, 17, 1, elem, journal)" {
+		t.Errorf("journal tuple: %s", journal)
+	}
+	ana, ok, err := s.Lookup(5)
+	if err != nil || !ok {
+		t.Fatalf("lookup Ana: ok=%v err=%v", ok, err)
+	}
+	if ana.String() != "(5, 6, 4, text, Ana)" {
+		t.Errorf("Ana tuple: %s", ana)
+	}
+}
+
+func TestReconstructionMatchesDOM(t *testing.T) {
+	docs := []string{
+		figure2,
+		`<a/>`,
+		`<a><b/><b/><b><c>deep</c></b></a>`,
+		`<r>text<e>mixed</e>tail</r>`,
+		`<r><x>a&amp;b &lt;tag&gt;</x></r>`,
+	}
+	for _, doc := range docs {
+		s := newStore(t, doc, Options{})
+		got, err := s.AppendSubtree(nil, RootIn)
+		if err != nil {
+			t.Fatalf("serialize %q: %v", doc, err)
+		}
+		root, err := dom.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := root.XML()
+		if string(got) != want {
+			t.Errorf("reconstruction of %q:\n got %s\nwant %s", doc, got, want)
+		}
+		s.Close()
+	}
+}
+
+func TestSubtreeSerialization(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	got, err := s.AppendSubtree(nil, 3) // <authors>
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<authors><name>Ana</name><name>Bob</name></authors>`
+	if string(got) != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+	got, err = s.AppendSubtree(nil, 5) // text node Ana
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "Ana" {
+		t.Errorf("text subtree: got %q", got)
+	}
+}
+
+func TestScanLabelAndChildren(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	var ins []uint32
+	if err := s.ScanLabel(xasr.TypeElem, "name", func(e LabelEntry) bool {
+		ins = append(ins, e.In)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ins) != "[4 8]" {
+		t.Errorf("name label scan: %v", ins)
+	}
+
+	// Children of authors (in=3).
+	var kids []string
+	if err := s.ScanChildren(3, func(tp xasr.Tuple) bool {
+		kids = append(kids, fmt.Sprintf("%s@%d", tp.Value, tp.In))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(kids) != "[name@4 name@8]" {
+		t.Errorf("children scan: %v", kids)
+	}
+}
+
+func TestScanLabelRangeForDescendants(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	// Descendant names of journal (2,17): in-range (2, 17).
+	var ins []uint32
+	if err := s.ScanLabelRange(xasr.TypeElem, "name", 3, 17, func(e LabelEntry) bool {
+		ins = append(ins, e.In)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ins) != "[4 8]" {
+		t.Errorf("descendant label range: %v", ins)
+	}
+	// Range excluding the second name.
+	ins = nil
+	s.ScanLabelRange(xasr.TypeElem, "name", 3, 8, func(e LabelEntry) bool {
+		ins = append(ins, e.In)
+		return true
+	})
+	if fmt.Sprint(ins) != "[4]" {
+		t.Errorf("restricted label range: %v", ins)
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	st := s.Stats()
+	if st.Nodes != 9 || st.Elems != 5 || st.Texts != 3 {
+		t.Errorf("counts: nodes=%d elems=%d texts=%d", st.Nodes, st.Elems, st.Texts)
+	}
+	if st.Card("name") != 2 || st.Card("journal") != 1 || st.Card("nosuch") != 0 {
+		t.Errorf("label cards: name=%d journal=%d", st.Card("name"), st.Card("journal"))
+	}
+	if st.MaxIn != 18 {
+		t.Errorf("maxIn=%d want 18", st.MaxIn)
+	}
+	// Deepest node is a text node: root=0, journal=1, authors=2, name=3, text=4.
+	if st.MaxDepth != 4 {
+		t.Errorf("maxDepth=%d want 4", st.MaxDepth)
+	}
+	if st.AvgDepth() <= 0 {
+		t.Errorf("avgDepth=%f", st.AvgDepth())
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadString(figure2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Loaded() {
+		t.Fatal("document lost across reopen")
+	}
+	got, err := s2.AppendSubtree(nil, RootIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != figure2 {
+		t.Errorf("reopened content: %s", got)
+	}
+	if s2.Stats().Card("name") != 2 {
+		t.Error("stats lost across reopen")
+	}
+}
+
+func TestLoadReplacesDocument(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	if err := s.LoadString(`<solo>only</solo>`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.AppendSubtree(nil, RootIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `<solo>only</solo>` {
+		t.Errorf("after replace: %s", got)
+	}
+	if s.Stats().Card("journal") != 0 {
+		t.Error("stale stats after replace")
+	}
+}
+
+func TestIndexlessStore(t *testing.T) {
+	s := newStore(t, figure2, Options{NoLabelIndex: true, NoParentIndex: true})
+	if s.HasLabelIndex() || s.HasParentIndex() {
+		t.Fatal("indexes built despite options")
+	}
+	if err := s.ScanLabel(xasr.TypeElem, "name", func(LabelEntry) bool { return true }); err != ErrNoLabelIndex {
+		t.Fatalf("want ErrNoLabelIndex, got %v", err)
+	}
+	if err := s.ScanChildren(1, func(xasr.Tuple) bool { return true }); err != ErrNoParentIndex {
+		t.Fatalf("want ErrNoParentIndex, got %v", err)
+	}
+	// The primary tree still answers everything.
+	got, err := s.AppendSubtree(nil, RootIn)
+	if err != nil || string(got) != figure2 {
+		t.Fatalf("primary-only reconstruction failed: %s / %v", got, err)
+	}
+}
+
+func TestNotLoadedErrors(t *testing.T) {
+	s := newStore(t, "", Options{})
+	if _, _, err := s.Lookup(1); err != ErrNotLoaded {
+		t.Fatalf("want ErrNotLoaded, got %v", err)
+	}
+}
+
+func TestLargeDocumentSpillsAndLoads(t *testing.T) {
+	// Build a document big enough to exercise the external sort path with
+	// a small budget.
+	var b strings.Builder
+	b.WriteString("<dblp>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&b, "<article><author>A%d</author><title>T%d</title></article>", i%97, i)
+	}
+	b.WriteString("</dblp>")
+	s := newStore(t, b.String(), Options{SortBudget: 16 << 10, CacheFrames: 64})
+	st := s.Stats()
+	if st.Card("article") != 2000 || st.Card("author") != 2000 {
+		t.Fatalf("cards: article=%d author=%d", st.Card("article"), st.Card("author"))
+	}
+	// Spot-check order and containment invariants over a scan.
+	var prevIn uint32
+	err := s.ScanAll(func(tp xasr.Tuple) bool {
+		if tp.In <= prevIn {
+			t.Errorf("scan out of order: %d after %d", tp.In, prevIn)
+			return false
+		}
+		if tp.Out <= tp.In {
+			t.Errorf("bad interval %v", tp)
+			return false
+		}
+		prevIn = tp.In
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

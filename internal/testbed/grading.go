@@ -1,0 +1,106 @@
+package testbed
+
+import "fmt"
+
+// Grading implements the point system of Section 3 of the paper:
+//
+//   - The best grade is 100 points, obtainable solely in the final exam;
+//     passing requires at least 50 exam points.
+//   - Admission to the exam requires a runnable engine at latest one week
+//     before the exam.
+//   - A successful milestone submission by its early-bird review earns two
+//     points; missed deadlines cost negative points growing with the
+//     number of weeks of delay.
+//   - The 10% and 25% most scalable engines earn bonus points, so that
+//     some students finish with more than 100 points.
+//   - Small teams completing the final milestones earn a few extra points.
+const (
+	// MilestoneCount is the number of project milestones.
+	MilestoneCount = 4
+	// EarlyBirdPoints per milestone submitted by the early-bird review.
+	EarlyBirdPoints = 2
+	// Top10Bonus and Top25Bonus are the scalability bonuses.
+	Top10Bonus = 6
+	Top25Bonus = 3
+	// SmallTeamBonus rewards teams of at most two completing milestones
+	// three and four.
+	SmallTeamBonus = 2
+	// PassThreshold is the minimum exam score to pass.
+	PassThreshold = 50
+)
+
+// GradeInput describes one team's course record.
+type GradeInput struct {
+	// ExamPoints out of 100.
+	ExamPoints int
+	// RunnableEngine reports whether a runnable engine was submitted at
+	// latest one week before the exam (exam admission).
+	RunnableEngine bool
+	// EarlyBird[i] reports milestone i+1 submitted by its early-bird
+	// review.
+	EarlyBird [MilestoneCount]bool
+	// WeeksLate[i] is the delay of milestone i+1 in weeks (0 = on time).
+	WeeksLate [MilestoneCount]int
+	// ScalabilityPercentile ranks the engine's efficiency-test total
+	// among all engines (0 = most scalable, 1 = least).
+	ScalabilityPercentile float64
+	// SmallTeam reports a team of at most two members in milestones 3/4.
+	SmallTeam bool
+	// CompletedMilestone4 reports completion of the final milestone.
+	CompletedMilestone4 bool
+}
+
+// GradeResult is the computed course outcome.
+type GradeResult struct {
+	Admitted bool
+	Passed   bool
+	Total    int
+	Detail   string
+}
+
+// latePenalty grows with the number of weeks of delay (1, 3, 6, 10, ...:
+// the materialized "negative points" of Section 3).
+func latePenalty(weeks int) int {
+	p := 0
+	for w := 1; w <= weeks; w++ {
+		p += w
+	}
+	return p
+}
+
+// Grade computes the outcome of the Section 3 grading system.
+func Grade(in GradeInput) GradeResult {
+	r := GradeResult{Admitted: in.RunnableEngine}
+	if !r.Admitted {
+		r.Detail = "not admitted: no runnable engine one week before the exam"
+		return r
+	}
+	total := in.ExamPoints
+	detail := fmt.Sprintf("exam %d", in.ExamPoints)
+	for i := 0; i < MilestoneCount; i++ {
+		if in.EarlyBird[i] {
+			total += EarlyBirdPoints
+			detail += fmt.Sprintf(" +%d(early M%d)", EarlyBirdPoints, i+1)
+		}
+		if p := latePenalty(in.WeeksLate[i]); p > 0 {
+			total -= p
+			detail += fmt.Sprintf(" -%d(late M%d)", p, i+1)
+		}
+	}
+	switch {
+	case in.ScalabilityPercentile <= 0.10:
+		total += Top10Bonus
+		detail += fmt.Sprintf(" +%d(top 10%% scalable)", Top10Bonus)
+	case in.ScalabilityPercentile <= 0.25:
+		total += Top25Bonus
+		detail += fmt.Sprintf(" +%d(top 25%% scalable)", Top25Bonus)
+	}
+	if in.SmallTeam && in.CompletedMilestone4 {
+		total += SmallTeamBonus
+		detail += fmt.Sprintf(" +%d(small team)", SmallTeamBonus)
+	}
+	r.Total = total
+	r.Passed = in.ExamPoints >= PassThreshold
+	r.Detail = detail
+	return r
+}

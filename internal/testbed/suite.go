@@ -1,0 +1,225 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"xqdb/internal/core"
+	"xqdb/internal/limit"
+	"xqdb/internal/store"
+)
+
+// CorrectnessOutcome records one (document, query, engine) check against
+// the milestone 1 reference.
+type CorrectnessOutcome struct {
+	Doc   string
+	Query int // 1-based index into CorrectnessQueries
+	Mode  core.Mode
+	Pass  bool
+	Err   error
+	Got   string
+	Want  string
+}
+
+// RunCorrectness loads each document into a store under dir and runs the
+// correctness queries on every engine mode, comparing against the
+// milestone 1 reference output.
+func RunCorrectness(dir string, docs []Doc, modes []core.Mode) ([]CorrectnessOutcome, error) {
+	var out []CorrectnessOutcome
+	queries := CorrectnessQueries()
+	for _, doc := range docs {
+		st, err := store.Open(filepath.Join(dir, "correctness-"+doc.Name), store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := st.LoadString(doc.XML); err != nil {
+			st.Close()
+			return nil, err
+		}
+		ref := core.New(st, core.Config{Mode: core.ModeM1})
+		for qi, q := range queries {
+			want, err := ref.Query(q)
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("testbed: reference failed on %q over %s: %w", q, doc.Name, err)
+			}
+			for _, m := range modes {
+				if m == core.ModeM1 {
+					continue
+				}
+				e := core.New(st, core.Config{Mode: m})
+				got, err := e.Query(q)
+				oc := CorrectnessOutcome{Doc: doc.Name, Query: qi + 1, Mode: m, Got: got, Want: want, Err: err}
+				oc.Pass = err == nil && got == want
+				out = append(out, oc)
+			}
+		}
+		st.Close()
+	}
+	return out, nil
+}
+
+// SummarizeCorrectness renders a pass/fail matrix.
+func SummarizeCorrectness(outcomes []CorrectnessOutcome) string {
+	type key struct {
+		doc  string
+		mode core.Mode
+	}
+	pass := map[key]int{}
+	total := map[key]int{}
+	var docs []string
+	var modes []core.Mode
+	seenDoc := map[string]bool{}
+	seenMode := map[core.Mode]bool{}
+	for _, o := range outcomes {
+		k := key{o.Doc, o.Mode}
+		total[k]++
+		if o.Pass {
+			pass[k]++
+		}
+		if !seenDoc[o.Doc] {
+			seenDoc[o.Doc] = true
+			docs = append(docs, o.Doc)
+		}
+		if !seenMode[o.Mode] {
+			seenMode[o.Mode] = true
+			modes = append(modes, o.Mode)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "engine")
+	for _, d := range docs {
+		fmt.Fprintf(&b, " %14s", d)
+	}
+	b.WriteString("\n")
+	for _, m := range modes {
+		fmt.Fprintf(&b, "%-14s", m)
+		for _, d := range docs {
+			k := key{d, m}
+			fmt.Fprintf(&b, " %7d/%-6d", pass[k], total[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// EffConfig parameterizes the efficiency suite.
+type EffConfig struct {
+	// Entries scales the DBLP-shaped document.
+	Entries int
+	// Seed makes the document deterministic.
+	Seed int64
+	// Timeout is the per-query cap; timed-out engines are assigned the
+	// cap, as in the paper ("engines that needed more than 2400 seconds
+	// were stopped and assigned 2400").
+	Timeout time.Duration
+	// CacheFrames bounds the buffer pool (the paper's 20 MB memory cap:
+	// frames × page size). 0 = pager default.
+	CacheFrames int
+	// SortBudget bounds operator memory.
+	SortBudget int
+	// Modes are the engines to compare.
+	Modes []core.Mode
+}
+
+// EffCell is one engine/test measurement.
+type EffCell struct {
+	Seconds  float64
+	TimedOut bool
+	Err      error
+}
+
+// EffRow is one engine's row of the Figure 7 table.
+type EffRow struct {
+	Mode  core.Mode
+	Cells [5]EffCell
+	Total float64
+}
+
+// RunEfficiency loads the efficiency document once and times every engine
+// on the five tests.
+func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 2000
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []core.Mode{core.ModeM4, core.ModeM4BadStats, core.ModeM3, core.ModeNaiveTPM, core.ModeM2}
+	}
+	st, err := store.Open(filepath.Join(dir, "efficiency"), store.Options{
+		CacheFrames: cfg.CacheFrames,
+		SortBudget:  cfg.SortBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	if err := st.LoadString(EfficiencyDoc(cfg.Entries, cfg.Seed)); err != nil {
+		return nil, err
+	}
+
+	tests := EfficiencyTests()
+	capSec := cfg.Timeout.Seconds()
+	var rows []EffRow
+	for _, m := range cfg.Modes {
+		row := EffRow{Mode: m}
+		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget})
+		for i, test := range tests {
+			start := time.Now()
+			_, err := e.Query(test.Query)
+			elapsed := time.Since(start).Seconds()
+			cell := EffCell{Seconds: elapsed}
+			if errors.Is(err, limit.ErrTimeout) {
+				cell.TimedOut = true
+				cell.Seconds = capSec // assigned the cap, per the paper
+			} else if err != nil {
+				cell.Err = err
+				cell.Seconds = capSec
+			}
+			row.Cells[i] = cell
+			row.Total += cell.Seconds
+		}
+		rows = append(rows, row)
+	}
+	// Figure 7 lists engines by total time.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Total < rows[j].Total })
+	return rows, nil
+}
+
+// FormatFigure7 renders the efficiency results in the layout of Figure 7:
+// one row per engine, user time per test in seconds, and the total.
+func FormatFigure7(rows []EffRow) string {
+	var b strings.Builder
+	b.WriteString("Engine          Test 1    Test 2    Test 3    Test 4    Test 5     Total\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Mode)
+		for _, c := range r.Cells {
+			mark := " "
+			if c.TimedOut {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%9.2f%s", c.Seconds, mark)
+		}
+		fmt.Fprintf(&b, "%9.2f\n", r.Total)
+	}
+	b.WriteString("(* = stopped at the cap and assigned the cap, as in the paper)\n")
+	return b.String()
+}
+
+// WriteReport writes a full testbed report (correctness matrix + Figure 7
+// table) to path.
+func WriteReport(path, correctness, figure7 string) error {
+	var b strings.Builder
+	b.WriteString("# Testbed report\n\n## Correctness tests (passed/total per document)\n\n")
+	b.WriteString(correctness)
+	b.WriteString("\n## Efficiency tests (Figure 7)\n\n")
+	b.WriteString(figure7)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

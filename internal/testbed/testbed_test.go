@@ -1,0 +1,145 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xqdb/internal/core"
+)
+
+func TestCorrectnessSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("correctness suite in -short mode")
+	}
+	outcomes, err := RunCorrectness(t.TempDir(), Documents(1), core.Modes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for _, o := range outcomes {
+		if !o.Pass {
+			failures++
+			if failures <= 5 {
+				t.Errorf("%s query %d on %s: err=%v\n got: %.120s\nwant: %.120s",
+					o.Mode, o.Query, o.Doc, o.Err, o.Got, o.Want)
+			}
+		}
+	}
+	if failures > 0 {
+		t.Fatalf("%d/%d correctness checks failed", failures, len(outcomes))
+	}
+	summary := SummarizeCorrectness(outcomes)
+	if !strings.Contains(summary, "dblp") || !strings.Contains(summary, "treebank") {
+		t.Errorf("summary incomplete:\n%s", summary)
+	}
+	t.Logf("correctness matrix:\n%s", summary)
+}
+
+func TestEfficiencySuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency suite in -short mode")
+	}
+	rows, err := RunEfficiency(t.TempDir(), EffConfig{
+		Entries: 3000,
+		Seed:    7,
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := FormatFigure7(rows)
+	t.Logf("Figure 7 (scaled):\n%s", table)
+
+	byMode := map[core.Mode]EffRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	m4 := byMode[core.ModeM4]
+	bad := byMode[core.ModeM4BadStats]
+	m3 := byMode[core.ModeM3]
+
+	// Shape checks from the paper:
+	// (1) The cost-based engine has the best total.
+	if rows[0].Mode != core.ModeM4 {
+		t.Errorf("expected M4-costbased to win overall, got %s\n%s", rows[0].Mode, table)
+	}
+	// (2) Test 4's non-existent label is ~free for the stats-aware engine.
+	if m4.Cells[3].Seconds > 0.5*m3.Cells[3].Seconds+0.05 {
+		t.Errorf("T4: M4 (%0.3fs) not clearly faster than M3 (%0.3fs)", m4.Cells[3].Seconds, m3.Cells[3].Seconds)
+	}
+	// (3) The bad-statistics engine loses dramatically on test 5 while
+	// staying competitive elsewhere (the engine 2 anomaly).
+	if bad.Cells[4].Seconds < 10*m4.Cells[4].Seconds || bad.Cells[4].Seconds < m4.Cells[4].Seconds+0.005 {
+		t.Errorf("T5: bad-stats engine (%0.4fs) did not blow up vs M4 (%0.4fs)", bad.Cells[4].Seconds, m4.Cells[4].Seconds)
+	}
+	for i := 0; i < 4; i++ {
+		if bad.Cells[i].Seconds > 5*m4.Cells[i].Seconds+0.5 {
+			t.Errorf("T%d: bad-stats engine (%0.3fs) should stay competitive with M4 (%0.3fs)", i+1, bad.Cells[i].Seconds, m4.Cells[i].Seconds)
+		}
+	}
+	// (4) The Example 6 semijoin test separates M4 from M3.
+	if m4.Cells[2].Seconds > m3.Cells[2].Seconds {
+		t.Errorf("T3: M4 (%0.3fs) slower than M3 (%0.3fs)", m4.Cells[2].Seconds, m3.Cells[2].Seconds)
+	}
+}
+
+func TestGrading(t *testing.T) {
+	// A strong student: all milestones early, top-10% engine, small team.
+	res := Grade(GradeInput{
+		ExamPoints:            95,
+		RunnableEngine:        true,
+		EarlyBird:             [4]bool{true, true, true, true},
+		ScalabilityPercentile: 0.05,
+		SmallTeam:             true,
+		CompletedMilestone4:   true,
+	})
+	if !res.Admitted || !res.Passed {
+		t.Fatalf("strong student rejected: %+v", res)
+	}
+	// 95 + 4*2 + 6 + 2 = 111 > 100: the paper notes 25% of passing
+	// students got more than 100 points.
+	if res.Total != 111 {
+		t.Errorf("total = %d, want 111 (%s)", res.Total, res.Detail)
+	}
+
+	// No runnable engine: not admitted regardless of anything else.
+	res = Grade(GradeInput{ExamPoints: 100})
+	if res.Admitted || res.Passed {
+		t.Errorf("unadmitted student passed: %+v", res)
+	}
+
+	// Late milestones accumulate growing penalties.
+	res = Grade(GradeInput{
+		ExamPoints:            60,
+		RunnableEngine:        true,
+		WeeksLate:             [4]int{0, 1, 2, 3},
+		ScalabilityPercentile: 0.9,
+	})
+	// 60 - 1 - 3 - 6 = 50.
+	if res.Total != 50 || !res.Passed {
+		t.Errorf("late student: total=%d passed=%v (%s)", res.Total, res.Passed, res.Detail)
+	}
+
+	// Exam below 50: fail even with bonuses.
+	res = Grade(GradeInput{
+		ExamPoints:            49,
+		RunnableEngine:        true,
+		EarlyBird:             [4]bool{true, true, true, true},
+		ScalabilityPercentile: 0.01,
+	})
+	if res.Passed {
+		t.Errorf("failing exam passed via bonuses: %+v", res)
+	}
+}
+
+func TestEfficiencyTestsWellFormed(t *testing.T) {
+	for _, et := range EfficiencyTests() {
+		if et.Name == "" || et.Query == "" || et.Why == "" {
+			t.Errorf("incomplete efficiency test: %+v", et)
+		}
+	}
+	if len(CorrectnessQueries()) != 16 {
+		t.Errorf("correctness suite has %d queries, want 16 (the paper's 'up to 16')", len(CorrectnessQueries()))
+	}
+}

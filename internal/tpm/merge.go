@@ -1,0 +1,171 @@
+package tpm
+
+// Merge applies the paper's relfor merging rule throughout the plan:
+//
+//	relfor X in PSX(A, φ, R) return relfor Y in PSX(B, ψ, S) return α
+//	⊢ relfor X·Y in PSX(A·B, φ ∧ ψ′, R·S) return α
+//
+// where ψ′ replaces each occurrence of an outer variable $xi by its bound
+// attribute. The rule is applied only to *directly* nested relfors — if a
+// construction (or anything else) sits between them, the paper shows that
+// merging would lose empty constructions, so those stay separate. After
+// merging, redundant relation copies joined on in-equality are eliminated
+// ("because N1.in = $j = J.in, the relations J and N1 are the same and we
+// can safely drop N1", Example 4).
+func Merge(p Plan) Plan {
+	switch p := p.(type) {
+	case *Constr:
+		return &Constr{Label: p.Label, Body: Merge(p.Body)}
+	case *Seq:
+		items := make([]Plan, len(p.Items))
+		for i, it := range p.Items {
+			items[i] = Merge(it)
+		}
+		return &Seq{Items: items}
+	case *RuntimeIf:
+		return &RuntimeIf{Cond: p.Cond, Then: Merge(p.Then)}
+	case *RelFor:
+		body := Merge(p.Body)
+		alg := p.Alg.Clone()
+		vars := append([]string(nil), p.Vars...)
+		for {
+			inner, ok := body.(*RelFor)
+			if !ok {
+				break
+			}
+			// Substitute outer bindings into the inner conditions (ψ → ψ′).
+			subConds := make([]Cmp, len(inner.Alg.Conds))
+			for i, c := range inner.Alg.Conds {
+				subConds[i] = substituteVars(c, alg)
+			}
+			alg.Bind = append(alg.Bind, inner.Alg.Bind...)
+			alg.Conds = append(alg.Conds, subConds...)
+			alg.Rels = append(alg.Rels, inner.Alg.Rels...)
+			vars = append(vars, inner.Vars...)
+			body = inner.Body
+		}
+		alg = EliminateRedundantRels(alg)
+		return &RelFor{Vars: vars, Alg: alg, Body: body}
+	default:
+		return p
+	}
+}
+
+// substituteVars replaces external references to variables bound by alg
+// with the corresponding relation attributes.
+func substituteVars(c Cmp, alg *PSX) Cmp {
+	c.Left = substituteOperand(c.Left, alg)
+	c.Right = substituteOperand(c.Right, alg)
+	return c
+}
+
+func substituteOperand(o Operand, alg *PSX) Operand {
+	switch o.Kind {
+	case OpVarIn:
+		if rel := alg.BindingRel(o.Var); rel != "" {
+			return AttrOp(rel, ColIn)
+		}
+	case OpVarOut:
+		if rel := alg.BindingRel(o.Var); rel != "" {
+			return AttrOp(rel, ColOut)
+		}
+	}
+	return o
+}
+
+// EliminateRedundantRels unifies relation instances that an in-equality
+// condition forces to denote the same tuple (in is the primary key), then
+// drops tautologies and duplicate conditions. It returns a new PSX.
+func EliminateRedundantRels(p *PSX) *PSX {
+	out := p.Clone()
+	for {
+		var victim, survivor string
+		for _, c := range out.Conds {
+			if c.Op != CmpEq || c.Left.Kind != OpAttr || c.Right.Kind != OpAttr {
+				continue
+			}
+			if c.Left.Attr.Col != ColIn || c.Right.Attr.Col != ColIn {
+				continue
+			}
+			a, b := c.Left.Attr.Rel, c.Right.Attr.Rel
+			if a == b {
+				continue
+			}
+			// Keep the relation that appears first (typically the one a
+			// variable is bound to), drop the later copy.
+			if relIndex(out.Rels, a) <= relIndex(out.Rels, b) {
+				survivor, victim = a, b
+			} else {
+				survivor, victim = b, a
+			}
+			break
+		}
+		if victim == "" {
+			break
+		}
+		out = renameRel(out, victim, survivor)
+	}
+	out.Conds = simplifyConds(out.Conds)
+	return out
+}
+
+func relIndex(rels []string, alias string) int {
+	for i, r := range rels {
+		if r == alias {
+			return i
+		}
+	}
+	return len(rels)
+}
+
+// renameRel rewrites every occurrence of alias "from" to "to" and removes
+// "from" from the relation list.
+func renameRel(p *PSX, from, to string) *PSX {
+	out := &PSX{}
+	for _, b := range p.Bind {
+		if b.Rel == from {
+			b.Rel = to
+		}
+		out.Bind = append(out.Bind, b)
+	}
+	for _, c := range p.Conds {
+		if c.Left.Kind == OpAttr && c.Left.Attr.Rel == from {
+			c.Left.Attr.Rel = to
+		}
+		if c.Right.Kind == OpAttr && c.Right.Attr.Rel == from {
+			c.Right.Attr.Rel = to
+		}
+		out.Conds = append(out.Conds, c)
+	}
+	for _, r := range p.Rels {
+		if r != from {
+			out.Rels = append(out.Rels, r)
+		}
+	}
+	return out
+}
+
+// simplifyConds drops tautologies (x = x) and duplicate conditions.
+func simplifyConds(conds []Cmp) []Cmp {
+	seen := map[string]bool{}
+	var out []Cmp
+	for _, c := range conds {
+		if c.Op == CmpEq && c.Left == c.Right {
+			continue
+		}
+		key := c.String()
+		// Normalize symmetric equality for deduplication.
+		if c.Op == CmpEq {
+			alt := Cmp{Op: CmpEq, Left: c.Right, Right: c.Left}.String()
+			if alt < key {
+				key = alt
+			}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package tpm
+
+import "xqdb/internal/xq"
+
+// Plan is the operator tree a query compiles to: structural operators
+// (construction, sequence, output) with relfor-expressions at the
+// iteration points, exactly the shape of the operator trees in Figures 3-6
+// of the paper.
+type Plan interface {
+	isPlan()
+}
+
+// Empty produces nothing.
+type Empty struct{}
+
+// Text emits a literal text node (constructor convenience extension).
+type Text struct {
+	Content string
+}
+
+// Emit outputs the subtree bound to a variable ($x as a query).
+type Emit struct {
+	Var string
+}
+
+// Constr wraps the output of Body in an element with the given label; the
+// constr(a) nodes at the roots of the paper's operator trees.
+type Constr struct {
+	Label string
+	Body  Plan
+}
+
+// Seq concatenates the outputs of its items in order.
+type Seq struct {
+	Items []Plan
+}
+
+// RelFor is the paper's "super-for-loop":
+//
+//	relfor vartuple in xasr-alg return body
+//
+// The algebra result is iterated in hierarchical document order; for each
+// result tuple the vartuple variables are bound (to in/out pairs) and the
+// body is evaluated. An empty vartuple implements the pass-fail semantics
+// of rewritten if-conditions: the body runs exactly once if the nullary
+// algebra result is nonempty ("true"), not at all otherwise.
+type RelFor struct {
+	Vars []string
+	Alg  *PSX
+	Body Plan
+}
+
+// RuntimeIf guards Body with a condition that cannot be mapped to the TPM
+// fragment (the paper excludes "or", "not" and "every" from rewriting);
+// such conditions are evaluated per binding by the milestone 2 machinery.
+type RuntimeIf struct {
+	Cond xq.Cond
+	Then Plan
+}
+
+func (Empty) isPlan()      {}
+func (*Text) isPlan()      {}
+func (*Emit) isPlan()      {}
+func (*Constr) isPlan()    {}
+func (*Seq) isPlan()       {}
+func (*RelFor) isPlan()    {}
+func (*RuntimeIf) isPlan() {}
+
+// Walk visits every plan node in preorder.
+func Walk(p Plan, fn func(Plan)) {
+	if p == nil {
+		return
+	}
+	fn(p)
+	switch p := p.(type) {
+	case *Constr:
+		Walk(p.Body, fn)
+	case *Seq:
+		for _, it := range p.Items {
+			Walk(it, fn)
+		}
+	case *RelFor:
+		Walk(p.Body, fn)
+	case *RuntimeIf:
+		Walk(p.Then, fn)
+	}
+}
+
+// CountRelFors returns the number of relfor nodes in the plan (used to
+// verify merging behaviour).
+func CountRelFors(p Plan) int {
+	n := 0
+	Walk(p, func(q Plan) {
+		if _, ok := q.(*RelFor); ok {
+			n++
+		}
+	})
+	return n
+}

@@ -1,0 +1,86 @@
+package tpm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a plan as an indented operator tree in the style of the
+// figures in the paper, e.g. for Example 2 after merging (Figure 4):
+//
+//	constr(names)
+//	  relfor ($j, $n)
+//	    alg: π(J.in, N2.in)
+//	         σ(J.parent_in = 1 ∧ J.type = elem ∧ J.value = journal ∧ ...)
+//	         ×(XASR[J], XASR[N2])
+//	    return
+//	      emit($n)
+//
+// The output is stable and used in golden tests for Figures 3-5.
+func Format(p Plan) string {
+	var b strings.Builder
+	format(&b, p, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func format(b *strings.Builder, p Plan, depth int) {
+	indent(b, depth)
+	switch p := p.(type) {
+	case Empty:
+		b.WriteString("()\n")
+	case *Text:
+		fmt.Fprintf(b, "text(%q)\n", p.Content)
+	case *Emit:
+		fmt.Fprintf(b, "emit($%s)\n", p.Var)
+	case *Constr:
+		fmt.Fprintf(b, "constr(%s)\n", p.Label)
+		format(b, p.Body, depth+1)
+	case *Seq:
+		b.WriteString("seq\n")
+		for _, it := range p.Items {
+			format(b, it, depth+1)
+		}
+	case *RuntimeIf:
+		fmt.Fprintf(b, "if[runtime] %s\n", p.Cond)
+		format(b, p.Then, depth+1)
+	case *RelFor:
+		vars := make([]string, len(p.Vars))
+		for i, v := range p.Vars {
+			vars[i] = "$" + v
+		}
+		fmt.Fprintf(b, "relfor (%s)\n", strings.Join(vars, ", "))
+		formatAlg(b, p.Alg, depth+1)
+		indent(b, depth+1)
+		b.WriteString("return\n")
+		format(b, p.Body, depth+2)
+	default:
+		fmt.Fprintf(b, "?%T\n", p)
+	}
+}
+
+func formatAlg(b *strings.Builder, alg *PSX, depth int) {
+	indent(b, depth)
+	var proj []string
+	for _, bind := range alg.Bind {
+		proj = append(proj, bind.Rel+".in")
+	}
+	fmt.Fprintf(b, "alg: π(%s)\n", strings.Join(proj, ", "))
+	var conds []string
+	for _, c := range alg.Conds {
+		conds = append(conds, c.String())
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "     σ(%s)\n", strings.Join(conds, " ∧ "))
+	var rels []string
+	for _, r := range alg.Rels {
+		rels = append(rels, "XASR["+r+"]")
+	}
+	indent(b, depth)
+	fmt.Fprintf(b, "     ×(%s)\n", strings.Join(rels, ", "))
+}

@@ -1,0 +1,231 @@
+package tpm
+
+import (
+	"fmt"
+	"strings"
+
+	"xqdb/internal/xasr"
+	"xqdb/internal/xq"
+)
+
+// Rewriter translates XQ expressions into TPM plans, generating unique
+// relation aliases in the paper's style (J for journal, N2 for the second
+// name relation, and so on).
+type Rewriter struct {
+	used map[string]bool
+	seq  int
+}
+
+// NewRewriter returns a fresh rewriter.
+func NewRewriter() *Rewriter { return &Rewriter{used: map[string]bool{}} }
+
+// Rewrite translates a validated XQ query into an (unmerged, unoptimized)
+// TPM plan: every for-loop becomes its own relfor, every TPM-expressible
+// if-condition becomes a nullary relfor, everything else stays structural.
+func Rewrite(q xq.Expr) Plan {
+	return NewRewriter().RewriteExpr(q)
+}
+
+// alias produces a fresh relation alias derived from a node test, like the
+// paper's J, N1, N2, T1, T2.
+func (rw *Rewriter) alias(test xq.NodeTest) string {
+	var base string
+	switch test.Kind {
+	case xq.TestText:
+		base = "T"
+	case xq.TestStar:
+		base = "S"
+	default:
+		base = strings.ToUpper(test.Label[:1])
+	}
+	if !rw.used[base] {
+		rw.used[base] = true
+		return base
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", base, i)
+		if !rw.used[cand] {
+			rw.used[cand] = true
+			return cand
+		}
+	}
+}
+
+func (rw *Rewriter) freshVar() string {
+	rw.seq++
+	return fmt.Sprintf("#p%d", rw.seq)
+}
+
+// RewriteExpr translates one expression.
+func (rw *Rewriter) RewriteExpr(q xq.Expr) Plan {
+	switch q := q.(type) {
+	case xq.Empty:
+		return Empty{}
+	case *xq.TextLit:
+		return &Text{Content: q.Text}
+	case *xq.VarRef:
+		return &Emit{Var: q.Name}
+	case *xq.Constr:
+		return &Constr{Label: q.Label, Body: rw.RewriteExpr(q.Body)}
+	case *xq.Seq:
+		items := make([]Plan, len(q.Items))
+		for i, it := range q.Items {
+			items[i] = rw.RewriteExpr(it)
+		}
+		return &Seq{Items: items}
+	case *xq.PathExpr:
+		// var/axis::ν as a query is for $p in var/axis::ν return $p.
+		v := rw.freshVar()
+		return rw.relforStep(v, q.Step, &Emit{Var: v})
+	case *xq.For:
+		return rw.relforStep(q.Var, q.In, rw.RewriteExpr(q.Body))
+	case *xq.If:
+		return rw.rewriteIf(q)
+	default:
+		panic(fmt.Sprintf("tpm: unknown expression %T", q))
+	}
+}
+
+// relforStep builds the relfor for one navigation step, the paper's
+// rewrite rules for child and descendant for-loops.
+func (rw *Rewriter) relforStep(v string, step xq.Step, body Plan) Plan {
+	alias := rw.alias(step.Test)
+	psx := &PSX{
+		Bind:  []VarBinding{{Var: v, Rel: alias}},
+		Conds: rw.stepConds(alias, step, nil),
+		Rels:  []string{alias},
+	}
+	return &RelFor{Vars: []string{v}, Alg: psx, Body: body}
+}
+
+// stepConds derives the PSX conditions for a step binding relation alias.
+// varRel maps variables bound inside the surrounding condition (by some)
+// to their relation aliases; all other variables become external operands
+// resolved at runtime (or substituted by the merge rule).
+func (rw *Rewriter) stepConds(alias string, step xq.Step, varRel map[string]string) []Cmp {
+	var conds []Cmp
+	switch {
+	case step.Base == xq.RootVar && step.Axis == xq.Child:
+		// The root always has in-value 1 in the XASR encoding.
+		conds = append(conds, Eq(AttrOp(alias, ColParentIn), InOp(store1)))
+	case step.Base == xq.RootVar && step.Axis == xq.Descendant:
+		conds = append(conds, Gt(AttrOp(alias, ColIn), InOp(store1)))
+	default:
+		baseIn := VarInOp(step.Base)
+		baseOut := VarOutOp(step.Base)
+		if rel, ok := varRel[step.Base]; ok {
+			baseIn = AttrOp(rel, ColIn)
+			baseOut = AttrOp(rel, ColOut)
+		}
+		if step.Axis == xq.Child {
+			conds = append(conds, Eq(AttrOp(alias, ColParentIn), baseIn))
+		} else {
+			conds = append(conds,
+				Gt(AttrOp(alias, ColIn), baseIn),
+				Lt(AttrOp(alias, ColOut), baseOut))
+		}
+	}
+	switch step.Test.Kind {
+	case xq.TestLabel:
+		conds = append(conds,
+			Eq(AttrOp(alias, ColType), TypeOp(xasr.TypeElem)),
+			Eq(AttrOp(alias, ColValue), StrOp(step.Test.Label)))
+	case xq.TestStar:
+		conds = append(conds, Eq(AttrOp(alias, ColType), TypeOp(xasr.TypeElem)))
+	case xq.TestText:
+		conds = append(conds, Eq(AttrOp(alias, ColType), TypeOp(xasr.TypeText)))
+	}
+	return conds
+}
+
+// store1 is the root's in label (always 1 in the XASR encoding).
+const store1 = 1
+
+// CondIsTPM reports whether a condition lies in the TPM-rewritable
+// fragment: built from true(), equality tests, some and and — but not or,
+// not, or every (the paper's restriction, because only pass-fail decisions
+// map to the algebra).
+func CondIsTPM(c xq.Cond) bool {
+	switch c := c.(type) {
+	case xq.True:
+		return true
+	case *xq.VarEqVar, *xq.VarEqStr:
+		return true
+	case *xq.Some:
+		return CondIsTPM(c.Sat)
+	case *xq.And:
+		return CondIsTPM(c.Left) && CondIsTPM(c.Right)
+	default:
+		return false
+	}
+}
+
+// rewriteIf translates if-expressions: TPM-able conditions become the
+// paper's "relfor () in ALG(φ) return α"; others stay as runtime checks.
+func (rw *Rewriter) rewriteIf(q *xq.If) Plan {
+	then := rw.RewriteExpr(q.Then)
+	if !CondIsTPM(q.Cond) {
+		return &RuntimeIf{Cond: q.Cond, Then: then}
+	}
+	conds, rels := rw.condAlg(q.Cond, map[string]string{})
+	if len(rels) == 0 && len(conds) == 0 {
+		// if true() then α ≡ α.
+		return then
+	}
+	return &RelFor{Vars: nil, Alg: &PSX{Conds: conds, Rels: rels}, Body: then}
+}
+
+// condAlg maps a TPM-able condition to conjunctive conditions over fresh
+// XASR relation instances (the paper's ALG(φ)).
+func (rw *Rewriter) condAlg(c xq.Cond, varRel map[string]string) (conds []Cmp, rels []string) {
+	switch c := c.(type) {
+	case xq.True:
+		return nil, nil
+	case *xq.VarEqStr:
+		// $x = "s" holds iff the node bound to $x is a text node with
+		// value s: join a fresh relation on in-equality.
+		alias := rw.alias(xq.NodeTest{Kind: xq.TestText})
+		in := rw.varInOperand(c.Var, varRel)
+		return []Cmp{
+			Eq(AttrOp(alias, ColIn), in),
+			Eq(AttrOp(alias, ColType), TypeOp(xasr.TypeText)),
+			Eq(AttrOp(alias, ColValue), StrOp(c.Str)),
+		}, []string{alias}
+	case *xq.VarEqVar:
+		a1 := rw.alias(xq.NodeTest{Kind: xq.TestText})
+		a2 := rw.alias(xq.NodeTest{Kind: xq.TestText})
+		in1 := rw.varInOperand(c.Left, varRel)
+		in2 := rw.varInOperand(c.Right, varRel)
+		return []Cmp{
+			Eq(AttrOp(a1, ColIn), in1),
+			Eq(AttrOp(a2, ColIn), in2),
+			Eq(AttrOp(a1, ColType), TypeOp(xasr.TypeText)),
+			Eq(AttrOp(a2, ColType), TypeOp(xasr.TypeText)),
+			Eq(AttrOp(a1, ColValue), AttrOp(a2, ColValue)),
+		}, []string{a1, a2}
+	case *xq.Some:
+		alias := rw.alias(c.In.Test)
+		conds = rw.stepConds(alias, c.In, varRel)
+		rels = []string{alias}
+		inner := make(map[string]string, len(varRel)+1)
+		for k, v := range varRel {
+			inner[k] = v
+		}
+		inner[c.Var] = alias
+		ic, ir := rw.condAlg(c.Sat, inner)
+		return append(conds, ic...), append(rels, ir...)
+	case *xq.And:
+		lc, lr := rw.condAlg(c.Left, varRel)
+		rc, rr := rw.condAlg(c.Right, varRel)
+		return append(lc, rc...), append(lr, rr...)
+	default:
+		panic(fmt.Sprintf("tpm: condAlg on non-TPM condition %T", c))
+	}
+}
+
+func (rw *Rewriter) varInOperand(v string, varRel map[string]string) Operand {
+	if rel, ok := varRel[v]; ok {
+		return AttrOp(rel, ColIn)
+	}
+	return VarInOp(v)
+}

@@ -1,0 +1,207 @@
+package tpm
+
+import (
+	"strings"
+	"testing"
+
+	"xqdb/internal/xq"
+)
+
+const example2Query = `<names>{ for $j in /journal return for $n in $j//name return $n }</names>`
+
+// TestFigure3Plan checks the un-merged TPM expression of Example 3. With
+// the paper's vartuple improvement (bindings carry out-values) the inner
+// descendant relfor references $j directly instead of joining a copy N1 of
+// J — exactly the simplification the paper proposes.
+func TestFigure3Plan(t *testing.T) {
+	plan := Rewrite(xq.MustParse(example2Query))
+	got := Format(plan)
+	want := strings.Join([]string{
+		"constr(names)",
+		"  relfor ($j)",
+		"    alg: π(J.in)",
+		"         σ(J.parent_in = 1 ∧ J.type = elem ∧ J.value = journal)",
+		"         ×(XASR[J])",
+		"    return",
+		"      relfor ($n)",
+		"        alg: π(N.in)",
+		"             σ(N.in > $j ∧ N.out < $j.out ∧ N.type = elem ∧ N.value = name)",
+		"             ×(XASR[N])",
+		"        return",
+		"          emit($n)",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Figure 3 plan:\n%s\nwant:\n%s", got, want)
+	}
+	if CountRelFors(plan) != 2 {
+		t.Errorf("relfor count = %d, want 2", CountRelFors(plan))
+	}
+}
+
+// TestFigure4MergedPlan checks the merged relfor of Example 4.
+func TestFigure4MergedPlan(t *testing.T) {
+	plan := Merge(Rewrite(xq.MustParse(example2Query)))
+	got := Format(plan)
+	want := strings.Join([]string{
+		"constr(names)",
+		"  relfor ($j, $n)",
+		"    alg: π(J.in, N.in)",
+		"         σ(J.parent_in = 1 ∧ J.type = elem ∧ J.value = journal ∧ N.in > J.in ∧ N.out < J.out ∧ N.type = elem ∧ N.value = name)",
+		"         ×(XASR[J], XASR[N])",
+		"    return",
+		"      emit($n)",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Figure 4 plan:\n%s\nwant:\n%s", got, want)
+	}
+	if CountRelFors(plan) != 1 {
+		t.Errorf("relfor count = %d, want 1", CountRelFors(plan))
+	}
+}
+
+// TestFigure5Plan checks the if-with-some rewriting of Example 5 and that
+// all three relfors merge into one.
+func TestFigure5Plan(t *testing.T) {
+	q := xq.MustParse(`<names>{ for $j in /journal return
+		if (some $t in $j//text() satisfies true())
+		then for $n in $j//name return $n else () }</names>`)
+	unmerged := Rewrite(q)
+	if got := CountRelFors(unmerged); got != 3 {
+		t.Fatalf("unmerged relfors = %d, want 3 (for, if, for)\n%s", got, Format(unmerged))
+	}
+	// The middle relfor is the nullary condition check.
+	var nullary *RelFor
+	Walk(unmerged, func(p Plan) {
+		if rf, ok := p.(*RelFor); ok && len(rf.Vars) == 0 {
+			nullary = rf
+		}
+	})
+	if nullary == nil {
+		t.Fatal("no nullary relfor for the if-condition")
+	}
+	if len(nullary.Alg.Bind) != 0 {
+		t.Errorf("condition relfor should project π(), got %v", nullary.Alg.Bind)
+	}
+
+	merged := Merge(q2plan(q))
+	if got := CountRelFors(merged); got != 1 {
+		t.Errorf("merged relfors = %d, want 1\n%s", got, Format(merged))
+	}
+	// The merged algebra must contain the text-node condition relation.
+	rf := merged.(*Constr).Body.(*RelFor)
+	if len(rf.Alg.Rels) != 3 {
+		t.Errorf("merged relations = %v, want 3 (J, T, N)", rf.Alg.Rels)
+	}
+	if len(rf.Vars) != 2 {
+		t.Errorf("merged vartuple = %v, want ($j, $n)", rf.Vars)
+	}
+}
+
+func q2plan(q xq.Expr) Plan { return Rewrite(q) }
+
+// TestMergeStrictness reproduces the paper's counterexample: with a
+// constructor between the for-loops, the relfors must NOT merge, because a
+// merged relfor would fail to build empty <j/> elements for journals
+// without names.
+func TestMergeStrictness(t *testing.T) {
+	q := xq.MustParse(`<names>{ for $j in /journal return <j>{
+		for $n in $j//name return $n }</j> }</names>`)
+	merged := Merge(Rewrite(q))
+	if got := CountRelFors(merged); got != 2 {
+		t.Errorf("relfors after merge = %d, want 2 (constructor blocks merging)\n%s", got, Format(merged))
+	}
+}
+
+// TestRedundantRelationElimination checks the "drop N1" rule: a variable
+// comparison against an outer binding unifies the fresh text relation with
+// the binding's relation when they are joined on in-equality.
+func TestRedundantRelationElimination(t *testing.T) {
+	// $t = "DB": the VarEqStr introduces T2 with T2.in = $t; after merging
+	// into the relfor binding $t to T, T2.in = T.in forces unification.
+	q := xq.MustParse(`for $j in /journal return
+		if (some $t in $j//text() satisfies $t = "DB")
+		then $j else ()`)
+	merged := Merge(Rewrite(q))
+	rf, ok := merged.(*RelFor)
+	if !ok {
+		t.Fatalf("expected top-level relfor, got:\n%s", Format(merged))
+	}
+	// Relations: J (journal), T (text step). The fresh T2 from the
+	// comparison must be gone.
+	if len(rf.Alg.Rels) != 2 {
+		t.Errorf("relations after elimination = %v, want [J T]", rf.Alg.Rels)
+	}
+	// And its value condition must now constrain T directly.
+	found := false
+	for _, c := range rf.Alg.Conds {
+		if c.Op == CmpEq && c.Left.Kind == OpAttr && c.Left.Attr.Col == ColValue &&
+			c.Right.Kind == OpConstStr && c.Right.Str == "DB" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("value condition lost:\n%s", Format(merged))
+	}
+}
+
+func TestRuntimeIfForNonTPMConds(t *testing.T) {
+	q := xq.MustParse(`for $j in /journal return
+		if (not(some $t in $j//text() satisfies true())) then $j else ()`)
+	plan := Merge(Rewrite(q))
+	hasRuntime := false
+	Walk(plan, func(p Plan) {
+		if _, ok := p.(*RuntimeIf); ok {
+			hasRuntime = true
+		}
+	})
+	if !hasRuntime {
+		t.Errorf("not(...) should stay a runtime condition:\n%s", Format(plan))
+	}
+}
+
+func TestIfTrueFolded(t *testing.T) {
+	q := xq.MustParse(`for $j in /journal return if (true()) then $j else ()`)
+	plan := Rewrite(q)
+	if got := CountRelFors(plan); got != 1 {
+		t.Errorf("if(true()) should fold away, relfors = %d\n%s", got, Format(plan))
+	}
+}
+
+func TestVarEqVarAlg(t *testing.T) {
+	q := xq.MustParse(`for $a in /r/a/text() return for $b in /r/b/text() return
+		if ($a = $b) then <eq/> else ()`)
+	plan := Merge(Rewrite(q))
+	// All relfors merge; the equality turns into a value join between the
+	// two text relations after redundant copies are dropped.
+	if got := CountRelFors(plan); got != 1 {
+		t.Fatalf("relfors = %d, want 1\n%s", got, Format(plan))
+	}
+	var rf *RelFor
+	Walk(plan, func(p Plan) {
+		if r, ok := p.(*RelFor); ok {
+			rf = r
+		}
+	})
+	valueJoin := false
+	for _, c := range rf.Alg.Conds {
+		if c.Op == CmpEq && c.Left.Kind == OpAttr && c.Right.Kind == OpAttr &&
+			c.Left.Attr.Col == ColValue && c.Right.Attr.Col == ColValue {
+			valueJoin = true
+		}
+	}
+	if !valueJoin {
+		t.Errorf("missing value join:\n%s", Format(plan))
+	}
+}
+
+func TestExternalVarsReported(t *testing.T) {
+	q := xq.MustParse(`for $j in /journal return for $n in $j//name return $n`)
+	plan := Rewrite(q)
+	inner := plan.(*RelFor).Body.(*RelFor)
+	ext := inner.Alg.ExternalVars()
+	if len(ext) != 1 || ext[0] != "j" {
+		t.Errorf("external vars = %v, want [j]", ext)
+	}
+}

@@ -1,0 +1,345 @@
+// Package xasr implements the eXtended Access Support Relation encoding of
+// XML documents (Fiebig/Moerkotte, used as the storage schema in milestone
+// 2 of the paper):
+//
+//	Node(in, out, parent_in, type, value)
+//
+// where in/out are the preorder tag-counting labels of Figure 2, parent_in
+// links to the parent tuple, type is root/element/text, and value is the
+// element label, the text content, or NULL for the root. in is the primary
+// key; the document can be reconstructed from the relation, and child and
+// descendant structural joins become relational conditions:
+//
+//	child:      b.parent_in = a.in
+//	descendant: a.in < b.in AND b.out < a.out
+//
+// The package provides the tuple type, order-preserving key codecs for the
+// primary tree and both secondary indexes, and a streaming shredder.
+package xasr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xqdb/internal/xmltok"
+)
+
+// NodeType is the XASR "type" column.
+type NodeType uint8
+
+// Node types. The numeric values are part of the on-disk format.
+const (
+	TypeRoot NodeType = 1
+	TypeElem NodeType = 2
+	TypeText NodeType = 3
+)
+
+// String returns the XASR spelling of the type.
+func (t NodeType) String() string {
+	switch t {
+	case TypeRoot:
+		return "root"
+	case TypeElem:
+		return "elem"
+	case TypeText:
+		return "text"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Tuple is one row of the XASR Node relation.
+type Tuple struct {
+	In       uint32
+	Out      uint32
+	ParentIn uint32 // 0 for the root (it has no parent)
+	Type     NodeType
+	Value    string // label, text content, or "" (NULL) for the root
+}
+
+// String formats the tuple like Example 1 of the paper:
+// (2, 17, 1, element, journal).
+func (t Tuple) String() string {
+	val := t.Value
+	if t.Type == TypeRoot {
+		val = "NULL"
+	}
+	return fmt.Sprintf("(%d, %d, %d, %s, %s)", t.In, t.Out, t.ParentIn, t.Type, val)
+}
+
+// IsDescendantOf reports whether t lies strictly below anc, using the
+// interval containment property of in/out labels.
+func (t Tuple) IsDescendantOf(anc Tuple) bool {
+	return anc.In < t.In && t.Out < anc.Out
+}
+
+// IsChildOf reports whether t is a child of p.
+func (t Tuple) IsChildOf(p Tuple) bool { return t.ParentIn == p.In }
+
+// --- primary tree codec: key = be32(in), value = out,parent,type,value ---
+
+// PrimaryKey encodes the clustered primary key for an in label.
+func PrimaryKey(in uint32) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], in)
+	return k[:]
+}
+
+// PrimaryKeyInto writes the primary key into dst[:4].
+func PrimaryKeyInto(dst []byte, in uint32) {
+	binary.BigEndian.PutUint32(dst, in)
+}
+
+// InFromPrimaryKey decodes an in label from a primary key.
+func InFromPrimaryKey(key []byte) uint32 { return binary.BigEndian.Uint32(key) }
+
+// EncodePrimaryValue encodes the non-key columns of a tuple.
+func EncodePrimaryValue(t Tuple) []byte {
+	v := make([]byte, 9+len(t.Value))
+	binary.BigEndian.PutUint32(v[0:], t.Out)
+	binary.BigEndian.PutUint32(v[4:], t.ParentIn)
+	v[8] = byte(t.Type)
+	copy(v[9:], t.Value)
+	return v
+}
+
+// DecodePrimary reconstructs a tuple from a primary key/value pair.
+func DecodePrimary(key, val []byte) (Tuple, error) {
+	if len(key) != 4 || len(val) < 9 {
+		return Tuple{}, fmt.Errorf("xasr: corrupt primary record (key %d bytes, value %d bytes)", len(key), len(val))
+	}
+	return Tuple{
+		In:       binary.BigEndian.Uint32(key),
+		Out:      binary.BigEndian.Uint32(val[0:]),
+		ParentIn: binary.BigEndian.Uint32(val[4:]),
+		Type:     NodeType(val[8]),
+		Value:    string(val[9:]),
+	}, nil
+}
+
+// --- label index codec: key = type, uvarint(len(value)), value, be32(in);
+//     payload = be32(out), be32(parent_in). Entries with equal (type,value)
+//     are adjacent and sorted by in, so an exact-prefix scan yields the
+//     nodes with that label in document order, index-only. ---
+
+// LabelPrefix returns the key prefix selecting all entries for (typ, value).
+func LabelPrefix(typ NodeType, value string) []byte {
+	k := make([]byte, 0, 1+binary.MaxVarintLen32+len(value))
+	k = append(k, byte(typ))
+	var tmp [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(value)))
+	k = append(k, tmp[:n]...)
+	k = append(k, value...)
+	return k
+}
+
+// LabelKey returns the full label-index key for a tuple.
+func LabelKey(typ NodeType, value string, in uint32) []byte {
+	k := LabelPrefix(typ, value)
+	var ib [4]byte
+	binary.BigEndian.PutUint32(ib[:], in)
+	return append(k, ib[:]...)
+}
+
+// EncodeLabelValue encodes the label-index payload.
+func EncodeLabelValue(out, parentIn uint32) []byte {
+	v := make([]byte, 8)
+	binary.BigEndian.PutUint32(v[0:], out)
+	binary.BigEndian.PutUint32(v[4:], parentIn)
+	return v
+}
+
+// DecodeLabelEntry decodes (in, out, parentIn) from a label-index entry.
+// The type and value are implied by the scanned prefix.
+func DecodeLabelEntry(key, val []byte) (in, out, parentIn uint32, err error) {
+	if len(key) < 4 || len(val) < 8 {
+		return 0, 0, 0, fmt.Errorf("xasr: corrupt label index entry")
+	}
+	in = binary.BigEndian.Uint32(key[len(key)-4:])
+	out = binary.BigEndian.Uint32(val[0:])
+	parentIn = binary.BigEndian.Uint32(val[4:])
+	return in, out, parentIn, nil
+}
+
+// --- parent index codec: key = be32(parent_in), be32(in);
+//     payload = be32(out), type, value. A prefix scan on parent_in yields
+//     the children of a node in document order without touching the
+//     primary tree. ---
+
+// ParentPrefix returns the key prefix selecting the children of parentIn.
+func ParentPrefix(parentIn uint32) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], parentIn)
+	return k[:]
+}
+
+// ParentKey returns the full parent-index key.
+func ParentKey(parentIn, in uint32) []byte {
+	k := make([]byte, 8)
+	binary.BigEndian.PutUint32(k[0:], parentIn)
+	binary.BigEndian.PutUint32(k[4:], in)
+	return k
+}
+
+// EncodeParentValue encodes the parent-index payload.
+func EncodeParentValue(out uint32, typ NodeType, value string) []byte {
+	v := make([]byte, 5+len(value))
+	binary.BigEndian.PutUint32(v[0:], out)
+	v[4] = byte(typ)
+	copy(v[5:], value)
+	return v
+}
+
+// DecodeParentEntry decodes a full tuple from a parent-index entry.
+func DecodeParentEntry(key, val []byte) (Tuple, error) {
+	if len(key) != 8 || len(val) < 5 {
+		return Tuple{}, fmt.Errorf("xasr: corrupt parent index entry")
+	}
+	return Tuple{
+		ParentIn: binary.BigEndian.Uint32(key[0:]),
+		In:       binary.BigEndian.Uint32(key[4:]),
+		Out:      binary.BigEndian.Uint32(val[0:]),
+		Type:     NodeType(val[4]),
+		Value:    string(val[5:]),
+	}, nil
+}
+
+// --- flat record codec for spill files (shredding, intermediates) ---
+
+// AppendTuple encodes t onto dst in a self-delimiting flat format.
+func AppendTuple(dst []byte, t Tuple) []byte {
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:], t.In)
+	binary.BigEndian.PutUint32(b[4:], t.Out)
+	binary.BigEndian.PutUint32(b[8:], t.ParentIn)
+	b[12] = byte(t.Type)
+	dst = append(dst, b[:]...)
+	return append(dst, t.Value...)
+}
+
+// DecodeTuple decodes a record produced by AppendTuple.
+func DecodeTuple(rec []byte) (Tuple, error) {
+	if len(rec) < 13 {
+		return Tuple{}, fmt.Errorf("xasr: corrupt tuple record (%d bytes)", len(rec))
+	}
+	return Tuple{
+		In:       binary.BigEndian.Uint32(rec[0:]),
+		Out:      binary.BigEndian.Uint32(rec[4:]),
+		ParentIn: binary.BigEndian.Uint32(rec[8:]),
+		Type:     NodeType(rec[12]),
+		Value:    string(rec[13:]),
+	}, nil
+}
+
+// Stats are the document statistics milestone 4 keeps "in separate external
+// storage structures": per-label cardinalities and the average node depth,
+// the paper's gross measure for ancestor-descendant join selectivity.
+type Stats struct {
+	Nodes      int64            // total tuples including the root
+	Elems      int64            // element nodes
+	Texts      int64            // text nodes
+	MaxIn      uint32           // largest assigned label counter value
+	LabelCount map[string]int64 // element label -> cardinality
+	SumDepth   int64            // sum of node depths (root = 0)
+	MaxDepth   int32
+	MaxFanout  int32
+}
+
+// AvgDepth returns the average node depth.
+func (s *Stats) AvgDepth() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.SumDepth) / float64(s.Nodes)
+}
+
+// Card returns the number of element nodes with the given label.
+func (s *Stats) Card(label string) int64 { return s.LabelCount[label] }
+
+// Shred streams tokens from tz, assigns in/out labels, and calls emit for
+// every completed tuple. Tuples are emitted as their nodes complete
+// (postorder for elements); callers that need in-order must sort, which is
+// what store.Load does via the external sorter. Returns the collected
+// statistics.
+func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
+	stats := &Stats{LabelCount: make(map[string]int64)}
+	type open struct {
+		in       uint32
+		parentIn uint32
+		label    string
+		fanout   int32
+	}
+	counter := uint32(1)
+	// The root (document) node is open from the start.
+	stack := []open{{in: counter, parentIn: 0}}
+	counter++
+	stats.Nodes++
+	depth := func() int32 { return int32(len(stack) - 1) }
+
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case xmltok.StartElement:
+			stack[len(stack)-1].fanout++
+			stack = append(stack, open{
+				in:       counter,
+				parentIn: stack[len(stack)-1].in,
+				label:    tok.Name,
+			})
+			counter++
+			stats.Nodes++
+			stats.Elems++
+			stats.LabelCount[tok.Name]++
+			d := depth()
+			stats.SumDepth += int64(d)
+			if d > stats.MaxDepth {
+				stats.MaxDepth = d
+			}
+		case xmltok.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top.fanout > stats.MaxFanout {
+				stats.MaxFanout = top.fanout
+			}
+			out := counter
+			counter++
+			if err := emit(Tuple{In: top.in, Out: out, ParentIn: top.parentIn, Type: TypeElem, Value: top.label}); err != nil {
+				return nil, err
+			}
+		case xmltok.Text:
+			stack[len(stack)-1].fanout++
+			in := counter
+			counter++
+			out := counter
+			counter++
+			stats.Nodes++
+			stats.Texts++
+			d := int64(len(stack)) // text node is one below the open element
+			stats.SumDepth += d
+			if int32(d) > stats.MaxDepth {
+				stats.MaxDepth = int32(d)
+			}
+			if err := emit(Tuple{In: in, Out: out, ParentIn: stack[len(stack)-1].in, Type: TypeText, Value: tok.Text}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Close the root.
+	rootOpen := stack[0]
+	if rootOpen.fanout > stats.MaxFanout {
+		stats.MaxFanout = rootOpen.fanout
+	}
+	out := counter
+	counter++
+	if err := emit(Tuple{In: rootOpen.in, Out: out, ParentIn: 0, Type: TypeRoot}); err != nil {
+		return nil, err
+	}
+	stats.MaxIn = counter - 1
+	return stats, nil
+}

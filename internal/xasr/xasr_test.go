@@ -1,0 +1,201 @@
+package xasr
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xqdb/internal/xmltok"
+)
+
+func shredAll(t *testing.T, doc string) []Tuple {
+	t.Helper()
+	var out []Tuple
+	_, err := Shred(xmltok.New(strings.NewReader(doc)), func(tp Tuple) error {
+		out = append(out, tp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("shred: %v", err)
+	}
+	return out
+}
+
+func TestShredFigure2(t *testing.T) {
+	const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+	tuples := shredAll(t, figure2)
+	// Emission order is completion order (text nodes immediately,
+	// elements at their end tag, root last).
+	byIn := map[uint32]Tuple{}
+	for _, tp := range tuples {
+		byIn[tp.In] = tp
+	}
+	if len(byIn) != 9 {
+		t.Fatalf("%d tuples, want 9", len(byIn))
+	}
+	// The root must be emitted last with the full interval.
+	last := tuples[len(tuples)-1]
+	if last.Type != TypeRoot || last.In != 1 || last.Out != 18 {
+		t.Errorf("root tuple: %v", last)
+	}
+	if got := byIn[2]; got.Value != "journal" || got.Out != 17 || got.ParentIn != 1 {
+		t.Errorf("journal: %v", got)
+	}
+	if got := byIn[5]; got.Type != TypeText || got.Value != "Ana" || got.ParentIn != 4 {
+		t.Errorf("Ana: %v", got)
+	}
+}
+
+// TestShredInvariants property-checks the labeling on random documents:
+// intervals nest, children lie inside parents, labels are unique and
+// contiguous.
+func TestShredInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gen := func(depthBudget int) string {
+		var b strings.Builder
+		var rec func(budget int)
+		rec = func(budget int) {
+			label := string(rune('a' + rng.Intn(6)))
+			b.WriteString("<" + label + ">")
+			n := rng.Intn(4)
+			for i := 0; i < n && budget > 0; i++ {
+				if rng.Float64() < 0.4 {
+					b.WriteString("t")
+				} else {
+					rec(budget - 1)
+				}
+			}
+			b.WriteString("</" + label + ">")
+		}
+		rec(depthBudget)
+		return b.String()
+	}
+	for trial := 0; trial < 50; trial++ {
+		doc := gen(4)
+		tuples := shredAll(t, doc)
+		byIn := map[uint32]Tuple{}
+		seen := map[uint32]bool{}
+		for _, tp := range tuples {
+			if tp.In >= tp.Out {
+				t.Fatalf("bad interval %v in %q", tp, doc)
+			}
+			if seen[tp.In] || seen[tp.Out] {
+				t.Fatalf("duplicate label in %v", tp)
+			}
+			seen[tp.In] = true
+			seen[tp.Out] = true
+			byIn[tp.In] = tp
+		}
+		// Labels 1..2n are contiguous.
+		for i := uint32(1); i <= uint32(2*len(tuples)); i++ {
+			if !seen[i] {
+				t.Fatalf("label %d unused in %q", i, doc)
+			}
+		}
+		// Every non-root tuple lies strictly inside its parent.
+		for _, tp := range tuples {
+			if tp.Type == TypeRoot {
+				continue
+			}
+			parent, ok := byIn[tp.ParentIn]
+			if !ok {
+				t.Fatalf("tuple %v has dangling parent in %q", tp, doc)
+			}
+			if !tp.IsDescendantOf(parent) || !tp.IsChildOf(parent) {
+				t.Fatalf("tuple %v not inside parent %v", tp, parent)
+			}
+		}
+	}
+}
+
+func TestPrimaryCodecRoundtrip(t *testing.T) {
+	f := func(in, out, parent uint32, typ uint8, value string) bool {
+		tp := Tuple{In: in, Out: out, ParentIn: parent, Type: NodeType(typ%3 + 1), Value: value}
+		key := PrimaryKey(tp.In)
+		val := EncodePrimaryValue(tp)
+		got, err := DecodePrimary(key, val)
+		return err == nil && got == tp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlatCodecRoundtrip(t *testing.T) {
+	f := func(in, out, parent uint32, value string) bool {
+		tp := Tuple{In: in, Out: out, ParentIn: parent, Type: TypeElem, Value: value}
+		rec := AppendTuple(nil, tp)
+		got, err := DecodeTuple(rec)
+		return err == nil && got == tp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelKeyOrdering(t *testing.T) {
+	// Keys for the same (type, value) sort by in; different values never
+	// share a prefix region.
+	k1 := LabelKey(TypeElem, "author", 10)
+	k2 := LabelKey(TypeElem, "author", 200)
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error("label keys not ordered by in")
+	}
+	p := LabelPrefix(TypeElem, "author")
+	if !bytes.HasPrefix(k1, p) || !bytes.HasPrefix(k2, p) {
+		t.Error("label keys lack their prefix")
+	}
+	other := LabelKey(TypeElem, "authors", 1)
+	if bytes.HasPrefix(other, p) {
+		t.Error("different label shares prefix (length prefix must separate)")
+	}
+	in, out, parent, err := DecodeLabelEntry(k1, EncodeLabelValue(20, 3))
+	if err != nil || in != 10 || out != 20 || parent != 3 {
+		t.Errorf("label entry decode: %d %d %d %v", in, out, parent, err)
+	}
+}
+
+func TestParentKeyOrdering(t *testing.T) {
+	k1 := ParentKey(5, 10)
+	k2 := ParentKey(5, 11)
+	k3 := ParentKey(6, 1)
+	if bytes.Compare(k1, k2) >= 0 || bytes.Compare(k2, k3) >= 0 {
+		t.Error("parent keys not ordered by (parent_in, in)")
+	}
+	tp, err := DecodeParentEntry(k1, EncodeParentValue(15, TypeElem, "x"))
+	if err != nil || tp.ParentIn != 5 || tp.In != 10 || tp.Out != 15 || tp.Value != "x" {
+		t.Errorf("parent entry decode: %v %v", tp, err)
+	}
+}
+
+func TestStatsFromShred(t *testing.T) {
+	doc := `<r><a>1</a><a>2</a><b><a>3</a></b></r>`
+	var stats *Stats
+	var err error
+	stats, err = Shred(xmltok.New(strings.NewReader(doc)), func(Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Card("a") != 3 || stats.Card("b") != 1 || stats.Card("r") != 1 {
+		t.Errorf("cards: a=%d b=%d r=%d", stats.Card("a"), stats.Card("b"), stats.Card("r"))
+	}
+	if stats.Texts != 3 || stats.Elems != 5 || stats.Nodes != 9 {
+		t.Errorf("counts: %+v", stats)
+	}
+	if stats.MaxFanout != 3 {
+		t.Errorf("maxFanout=%d want 3 (r has three children)", stats.MaxFanout)
+	}
+}
+
+func TestTupleStringFormat(t *testing.T) {
+	tp := Tuple{In: 2, Out: 17, ParentIn: 1, Type: TypeElem, Value: "journal"}
+	if tp.String() != "(2, 17, 1, elem, journal)" {
+		t.Errorf("String: %s", tp)
+	}
+	root := Tuple{In: 1, Out: 18, Type: TypeRoot}
+	if root.String() != "(1, 18, 0, root, NULL)" {
+		t.Errorf("root String: %s", root)
+	}
+}

@@ -1,0 +1,248 @@
+// Package xmlgen generates the synthetic stand-ins for the paper's test
+// corpora: DBLP (shallow, wide, heavily label-skewed bibliography data)
+// and TREEBANK (deeply nested parse trees with short leaf strings), plus
+// the handmade Figure 2 document. The originals are not redistributable
+// here; these generators are deterministic (seeded) and preserve the
+// shape properties the efficiency tests exercise — label skew ("an XML
+// document with many authors and few articles that have information on
+// volumes", Example 6), shallow-vs-deep nesting, and realistic text sizes.
+package xmlgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Figure2 is the handmade document of Figure 2 of the paper.
+const Figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>`
+
+// DBLPConfig parameterizes the DBLP-shaped generator.
+type DBLPConfig struct {
+	// Entries is the number of publication entries.
+	Entries int
+	// Seed makes the document deterministic.
+	Seed int64
+	// VolumeFraction is the share of articles carrying a <volume> child
+	// (the "few articles that have information on volumes" of Example 6).
+	// Default 0.05.
+	VolumeFraction float64
+	// PhdFraction is the share of phdthesis entries (a rare label used by
+	// the efficiency tests to create wildly different selectivities).
+	// Default 0.002.
+	PhdFraction float64
+	// AuthorPool is the number of distinct author names. Default 997.
+	AuthorPool int
+	// NoteFraction is the share of author elements carrying a nested
+	// <note> child — a very rare, deeply selective label that efficiency
+	// test 5 anchors on. Default 0.001.
+	NoteFraction float64
+}
+
+func (c DBLPConfig) withDefaults() DBLPConfig {
+	if c.Entries <= 0 {
+		c.Entries = 1000
+	}
+	if c.VolumeFraction <= 0 {
+		c.VolumeFraction = 0.05
+	}
+	if c.PhdFraction <= 0 {
+		c.PhdFraction = 0.002
+	}
+	if c.AuthorPool <= 0 {
+		c.AuthorPool = 997
+	}
+	if c.NoteFraction <= 0 {
+		c.NoteFraction = 0.001
+	}
+	return c
+}
+
+var (
+	firstNames = []string{"Ana", "Bob", "Carla", "Dan", "Eva", "Frank", "Gerd", "Hana",
+		"Ivan", "Jana", "Karl", "Lena", "Meta", "Nils", "Olga", "Petra", "Quinn",
+		"Rosa", "Sven", "Tina", "Uwe", "Vera", "Wim", "Xenia", "Yuri", "Zoe"}
+	lastNames = []string{"Koch", "Olteanu", "Scherzinger", "Meyer", "Schmidt", "Weber",
+		"Fischer", "Wagner", "Becker", "Hoffmann", "Schulz", "Keller", "Richter",
+		"Wolf", "Neumann", "Schwarz", "Zimmermann", "Krause", "Lehmann", "Maier"}
+	titleWords = []string{"Query", "Evaluation", "XML", "Streams", "Indexing", "Optimization",
+		"Relational", "Algebra", "Secondary", "Storage", "Structural", "Joins", "Views",
+		"Compression", "Trees", "Automata", "Semantics", "Complexity", "Processing", "Databases"}
+	journals = []string{"TODS", "VLDBJ", "SIGMOD Record", "TCS", "JACM", "Inf Syst"}
+)
+
+// authorName returns the i-th name of the author pool.
+func authorName(i int) string {
+	return firstNames[i%len(firstNames)] + " " + lastNames[(i/len(firstNames))%len(lastNames)] + fmt.Sprintf(" %04d", i)
+}
+
+// WriteDBLP streams a DBLP-shaped document to w.
+func WriteDBLP(w io.Writer, cfg DBLPConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	bw.WriteString("<dblp>")
+	for i := 0; i < cfg.Entries; i++ {
+		writeEntry(bw, rng, cfg, i)
+	}
+	bw.WriteString("</dblp>")
+	return bw.Flush()
+}
+
+func writeEntry(bw *bufio.Writer, rng *rand.Rand, cfg DBLPConfig, i int) {
+	kind := "article"
+	switch r := rng.Float64(); {
+	case r < cfg.PhdFraction:
+		kind = "phdthesis"
+	case r < cfg.PhdFraction+0.35:
+		kind = "inproceedings"
+	}
+	bw.WriteString("<")
+	bw.WriteString(kind)
+	bw.WriteString(">")
+
+	nAuthors := 1 + rng.Intn(4)
+	if kind == "phdthesis" {
+		nAuthors = 1
+	}
+	for a := 0; a < nAuthors; a++ {
+		bw.WriteString("<author>")
+		bw.WriteString(authorName(rng.Intn(cfg.AuthorPool)))
+		if rng.Float64() < cfg.NoteFraction {
+			bw.WriteString("<note>corresponding</note>")
+		}
+		bw.WriteString("</author>")
+	}
+	bw.WriteString("<title>")
+	nWords := 3 + rng.Intn(6)
+	for t := 0; t < nWords; t++ {
+		if t > 0 {
+			bw.WriteString(" ")
+		}
+		bw.WriteString(titleWords[rng.Intn(len(titleWords))])
+	}
+	fmt.Fprintf(bw, " %06d", i)
+	bw.WriteString("</title>")
+	fmt.Fprintf(bw, "<year>%d</year>", 1980+rng.Intn(26))
+
+	switch kind {
+	case "article":
+		fmt.Fprintf(bw, "<journal>%s</journal>", journals[rng.Intn(len(journals))])
+		if rng.Float64() < cfg.VolumeFraction {
+			fmt.Fprintf(bw, "<volume>%d</volume>", 1+rng.Intn(40))
+		}
+		fmt.Fprintf(bw, "<pages>%d-%d</pages>", 1+rng.Intn(400), 401+rng.Intn(100))
+	case "inproceedings":
+		fmt.Fprintf(bw, "<booktitle>Proc %s %d</booktitle>", titleWords[rng.Intn(len(titleWords))], 1980+rng.Intn(26))
+		fmt.Fprintf(bw, "<pages>%d-%d</pages>", 1+rng.Intn(400), 401+rng.Intn(100))
+	case "phdthesis":
+		fmt.Fprintf(bw, "<school>University %s</school>", lastNames[rng.Intn(len(lastNames))])
+	}
+	bw.WriteString("</")
+	bw.WriteString(kind)
+	bw.WriteString(">")
+}
+
+// DBLP returns a DBLP-shaped document as a string (small scales only).
+func DBLP(cfg DBLPConfig) string {
+	var b strings.Builder
+	WriteDBLP(&b, cfg)
+	return b.String()
+}
+
+// TreebankConfig parameterizes the TREEBANK-shaped generator.
+type TreebankConfig struct {
+	// Sentences is the number of top-level parse trees.
+	Sentences int
+	// Seed makes the document deterministic.
+	Seed int64
+	// MaxDepth bounds the recursive nesting (the real corpus nests to
+	// depth 36). Default 18.
+	MaxDepth int
+}
+
+func (c TreebankConfig) withDefaults() TreebankConfig {
+	if c.Sentences <= 0 {
+		c.Sentences = 200
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 18
+	}
+	return c
+}
+
+var (
+	phraseTags = []string{"NP", "VP", "PP", "ADJP", "ADVP", "SBAR", "WHNP", "PRT"}
+	posTags    = []string{"NN", "VB", "DT", "JJ", "IN", "PRP", "RB", "CC", "CD", "TO"}
+)
+
+// leafToken produces an "encrypted-looking" token like the public
+// Treebank distribution uses for its licensed text.
+func leafToken(rng *rand.Rand) string {
+	n := 3 + rng.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	return b.String()
+}
+
+// WriteTreebank streams a TREEBANK-shaped document to w: deeply nested
+// parse trees under a FILE root, with EMPTY elements and part-of-speech
+// leaves holding short text.
+func WriteTreebank(w io.Writer, cfg TreebankConfig) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bw := bufio.NewWriterSize(w, 64<<10)
+	bw.WriteString("<FILE>")
+	for i := 0; i < cfg.Sentences; i++ {
+		bw.WriteString("<S>")
+		// A sentence is a few top constituents that recurse deeply.
+		n := 1 + rng.Intn(3)
+		for j := 0; j < n; j++ {
+			writeConstituent(bw, rng, 2, cfg.MaxDepth)
+		}
+		bw.WriteString("</S>")
+	}
+	bw.WriteString("</FILE>")
+	return bw.Flush()
+}
+
+func writeConstituent(bw *bufio.Writer, rng *rand.Rand, depth, maxDepth int) {
+	if depth >= maxDepth || rng.Float64() < 0.30 {
+		// Leaf: a part-of-speech tag with token text, or an EMPTY marker.
+		if rng.Float64() < 0.06 {
+			bw.WriteString("<EMPTY/>")
+			return
+		}
+		tag := posTags[rng.Intn(len(posTags))]
+		bw.WriteString("<")
+		bw.WriteString(tag)
+		bw.WriteString(">")
+		bw.WriteString(leafToken(rng))
+		bw.WriteString("</")
+		bw.WriteString(tag)
+		bw.WriteString(">")
+		return
+	}
+	tag := phraseTags[rng.Intn(len(phraseTags))]
+	bw.WriteString("<")
+	bw.WriteString(tag)
+	bw.WriteString(">")
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		writeConstituent(bw, rng, depth+1, maxDepth)
+	}
+	bw.WriteString("</")
+	bw.WriteString(tag)
+	bw.WriteString(">")
+}
+
+// Treebank returns a TREEBANK-shaped document as a string.
+func Treebank(cfg TreebankConfig) string {
+	var b strings.Builder
+	WriteTreebank(&b, cfg)
+	return b.String()
+}

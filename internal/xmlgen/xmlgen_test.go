@@ -1,0 +1,89 @@
+package xmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"xqdb/internal/dom"
+	"xqdb/internal/xasr"
+	"xqdb/internal/xmltok"
+)
+
+func TestDBLPDeterministicAndWellFormed(t *testing.T) {
+	a := DBLP(DBLPConfig{Entries: 300, Seed: 9})
+	b := DBLP(DBLPConfig{Entries: 300, Seed: 9})
+	if a != b {
+		t.Fatal("generator not deterministic")
+	}
+	if DBLP(DBLPConfig{Entries: 300, Seed: 10}) == a {
+		t.Fatal("seed has no effect")
+	}
+	root, err := dom.ParseString(a)
+	if err != nil {
+		t.Fatalf("not well-formed: %v", err)
+	}
+	if root.Children[0].Label != "dblp" {
+		t.Errorf("root label %q", root.Children[0].Label)
+	}
+}
+
+func TestDBLPShapeProperties(t *testing.T) {
+	doc := DBLP(DBLPConfig{Entries: 2000, Seed: 4})
+	stats, err := xasr.Shred(xmltok.New(strings.NewReader(doc)), func(xasr.Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shallow: DBLP nests entries at depth 2, fields at depth 3.
+	if stats.MaxDepth > 5 {
+		t.Errorf("DBLP too deep: %d", stats.MaxDepth)
+	}
+	// Label skew: far more authors than volumes, few phdthesis, very few
+	// notes (the Example 6 / T5 preconditions).
+	authors, volumes := stats.Card("author"), stats.Card("volume")
+	phd, notes := stats.Card("phdthesis"), stats.Card("note")
+	if authors < 10*volumes {
+		t.Errorf("author/volume skew too small: %d vs %d", authors, volumes)
+	}
+	if phd == 0 || phd > 40 {
+		t.Errorf("phdthesis count out of band: %d", phd)
+	}
+	if notes == 0 || notes > authors/50 {
+		t.Errorf("note count out of band: %d (authors %d)", notes, authors)
+	}
+	if stats.Card("article")+stats.Card("inproceedings")+phd != 2000 {
+		t.Errorf("entry kinds do not add up")
+	}
+}
+
+func TestTreebankShapeProperties(t *testing.T) {
+	doc := Treebank(TreebankConfig{Sentences: 100, Seed: 3, MaxDepth: 14})
+	root, err := dom.ParseString(doc)
+	if err != nil {
+		t.Fatalf("not well-formed: %v", err)
+	}
+	stats, err := xasr.Shred(xmltok.New(strings.NewReader(doc)), func(xasr.Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Card("S") != 100 {
+		t.Errorf("sentences: %d", stats.Card("S"))
+	}
+	// Deep: average depth well beyond DBLP's.
+	if stats.AvgDepth() < 5 {
+		t.Errorf("treebank too shallow: avg %.2f", stats.AvgDepth())
+	}
+	if stats.MaxDepth < 10 {
+		t.Errorf("treebank max depth: %d", stats.MaxDepth)
+	}
+	_ = root
+}
+
+func TestFigure2Constant(t *testing.T) {
+	root, err := dom.ParseString(Figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Out != 18 {
+		t.Errorf("Figure 2 root out = %d, want 18", root.Out)
+	}
+}

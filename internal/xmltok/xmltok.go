@@ -1,0 +1,581 @@
+// Package xmltok provides a streaming XML tokenizer.
+//
+// It is the "scanner for XML documents" from the skeleton code the paper
+// hands to students, rebuilt as a stand-alone substrate: a hand-rolled,
+// allocation-conscious pull tokenizer that the DOM builder (milestone 1) and
+// the XASR shredder (milestone 2) both consume. It handles the subset of XML
+// the project needs — elements, attributes, character data, CDATA sections,
+// character and predefined entity references — and skips comments,
+// processing instructions, the XML declaration and DOCTYPE. Namespaces are
+// not interpreted; a qualified name is just a label.
+package xmltok
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the type of a Token.
+type Kind int
+
+// Token kinds. Self-closing elements <a/> are reported as StartElement
+// immediately followed by EndElement.
+const (
+	StartElement Kind = iota // <name attr="v" ...>
+	EndElement               // </name>
+	Text                     // character data (entity references resolved)
+)
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	switch k {
+	case StartElement:
+		return "StartElement"
+	case EndElement:
+		return "EndElement"
+	case Text:
+		return "Text"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Attr is a single attribute of a start-element token.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one XML event. Name is set for element tokens, Text for text
+// tokens. Attrs is set only on StartElement and is valid until the next
+// call to Next.
+type Token struct {
+	Kind  Kind
+	Name  string
+	Text  string
+	Attrs []Attr
+}
+
+// SyntaxError reports malformed XML together with the byte offset at which
+// it was detected.
+type SyntaxError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml syntax error at offset %d: %s", e.Offset, e.Msg)
+}
+
+// Options configures a Tokenizer.
+type Options struct {
+	// KeepWhitespace reports whitespace-only character data as Text tokens.
+	// By default such runs are dropped, matching the data-oriented documents
+	// (DBLP, TREEBANK) used in the paper, whose pretty-printing whitespace
+	// carries no information.
+	KeepWhitespace bool
+}
+
+// Tokenizer is a pull-based XML scanner. Create one with New and call Next
+// until it returns io.EOF.
+type Tokenizer struct {
+	r      *bufio.Reader
+	opts   Options
+	offset int64
+	stack  []string // open element names, for well-formedness checking
+	// pending holds an EndElement synthesized for a self-closing tag.
+	pending *Token
+	buf     strings.Builder
+	done    bool
+}
+
+// New returns a Tokenizer reading from r with default options.
+func New(r io.Reader) *Tokenizer { return NewWithOptions(r, Options{}) }
+
+// NewWithOptions returns a Tokenizer reading from r with the given options.
+func NewWithOptions(r io.Reader, opts Options) *Tokenizer {
+	return &Tokenizer{r: bufio.NewReaderSize(r, 64<<10), opts: opts}
+}
+
+func (t *Tokenizer) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: t.offset, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (t *Tokenizer) readByte() (byte, error) {
+	b, err := t.r.ReadByte()
+	if err == nil {
+		t.offset++
+	}
+	return b, err
+}
+
+func (t *Tokenizer) unreadByte() {
+	// bufio guarantees one byte of pushback after a successful ReadByte.
+	_ = t.r.UnreadByte()
+	t.offset--
+}
+
+// Depth returns the number of currently open elements.
+func (t *Tokenizer) Depth() int { return len(t.stack) }
+
+// Next returns the next token. At end of input it returns io.EOF; if
+// elements are still open at EOF it returns a SyntaxError instead.
+func (t *Tokenizer) Next() (Token, error) {
+	if t.pending != nil {
+		tok := *t.pending
+		t.pending = nil
+		return tok, nil
+	}
+	for {
+		head, err := t.r.Peek(1)
+		if err == io.EOF {
+			if len(t.stack) > 0 {
+				return Token{}, t.errf("unexpected EOF: %d unclosed element(s), innermost <%s>", len(t.stack), t.stack[len(t.stack)-1])
+			}
+			t.done = true
+			return Token{}, io.EOF
+		}
+		if err != nil {
+			return Token{}, err
+		}
+		if head[0] == '<' {
+			t.readByte()
+			tok, skip, err := t.readMarkup()
+			if err != nil {
+				return Token{}, err
+			}
+			if skip {
+				continue
+			}
+			return tok, nil
+		}
+		text, err := t.readText()
+		if err != nil {
+			return Token{}, err
+		}
+		if text == "" {
+			continue // whitespace-only run dropped
+		}
+		if len(t.stack) == 0 && !t.opts.KeepWhitespace {
+			// Text outside the document element: only whitespace is legal,
+			// and whitespace was already dropped above.
+			return Token{}, t.errf("character data outside document element: %q", clip(text))
+		}
+		return Token{Kind: Text, Text: text}, nil
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+// readMarkup parses everything after a '<'. skip is true for markup that
+// produces no token (comments, PIs, declarations).
+func (t *Tokenizer) readMarkup() (tok Token, skip bool, err error) {
+	b, err := t.readByte()
+	if err != nil {
+		return Token{}, false, t.errf("unexpected EOF after '<'")
+	}
+	switch b {
+	case '?':
+		return Token{}, true, t.skipPI()
+	case '!':
+		return Token{}, true, t.skipDecl()
+	case '/':
+		tok, err = t.readEndTag()
+		return tok, false, err
+	default:
+		t.unreadByte()
+		tok, err = t.readStartTag()
+		return tok, false, err
+	}
+}
+
+// skipPI consumes a processing instruction (or the XML declaration) after
+// "<?" up to and including "?>".
+func (t *Tokenizer) skipPI() error {
+	var prev byte
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return t.errf("unterminated processing instruction")
+		}
+		if prev == '?' && b == '>' {
+			return nil
+		}
+		prev = b
+	}
+}
+
+// skipDecl consumes markup after "<!": comments, CDATA handled separately,
+// and DOCTYPE or other declarations (with nested bracket support).
+func (t *Tokenizer) skipDecl() error {
+	// Peek to distinguish <!-- , <![CDATA[ and <!DOCTYPE.
+	head, err := t.r.Peek(2)
+	if err == nil && string(head) == "--" {
+		t.offset += 2
+		t.r.Discard(2)
+		return t.skipComment()
+	}
+	if head7, err := t.r.Peek(7); err == nil && string(head7) == "[CDATA[" {
+		// CDATA is handled by readText; reaching here means CDATA appeared
+		// where text was not being collected, i.e. we were called from
+		// readMarkup. Treat it as a text token by pushing back: simplest is
+		// to parse it here and stash as pending text. CDATA between markup
+		// is rare; we parse it directly.
+		t.offset += 7
+		t.r.Discard(7)
+		text, err := t.readCDATA()
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(text) != "" || t.opts.KeepWhitespace {
+			t.pending = &Token{Kind: Text, Text: text}
+		}
+		return nil
+	}
+	// DOCTYPE or similar: consume until the matching '>' accounting for
+	// one level of internal subset brackets.
+	depth := 0
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return t.errf("unterminated declaration")
+		}
+		switch b {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '>':
+			if depth <= 0 {
+				return nil
+			}
+		}
+	}
+}
+
+func (t *Tokenizer) skipComment() error {
+	var p1, p2 byte
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return t.errf("unterminated comment")
+		}
+		if p1 == '-' && p2 == '-' && b == '>' {
+			return nil
+		}
+		p1, p2 = p2, b
+	}
+}
+
+func (t *Tokenizer) readCDATA() (string, error) {
+	t.buf.Reset()
+	var p1, p2 byte
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return "", t.errf("unterminated CDATA section")
+		}
+		if p1 == ']' && p2 == ']' && b == '>' {
+			s := t.buf.String()
+			return s[:len(s)-2], nil // drop the buffered "]]"
+		}
+		t.buf.WriteByte(b)
+		p1, p2 = p2, b
+	}
+}
+
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b >= 0x80
+}
+
+func isNameChar(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+func (t *Tokenizer) readName() (string, error) {
+	b, err := t.readByte()
+	if err != nil {
+		return "", t.errf("unexpected EOF reading name")
+	}
+	if !isNameStart(b) {
+		return "", t.errf("invalid name start character %q", string(b))
+	}
+	t.buf.Reset()
+	t.buf.WriteByte(b)
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return "", t.errf("unexpected EOF in name")
+		}
+		if !isNameChar(b) {
+			t.unreadByte()
+			return t.buf.String(), nil
+		}
+		t.buf.WriteByte(b)
+	}
+}
+
+func (t *Tokenizer) skipSpace() error {
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return err
+		}
+		if !isSpace(b) {
+			t.unreadByte()
+			return nil
+		}
+	}
+}
+
+func (t *Tokenizer) readStartTag() (Token, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	tok := Token{Kind: StartElement, Name: name}
+	for {
+		if err := t.skipSpace(); err != nil {
+			return Token{}, t.errf("unexpected EOF in start tag <%s>", name)
+		}
+		b, err := t.readByte()
+		if err != nil {
+			return Token{}, t.errf("unexpected EOF in start tag <%s>", name)
+		}
+		switch {
+		case b == '>':
+			t.stack = append(t.stack, name)
+			return tok, nil
+		case b == '/':
+			b2, err := t.readByte()
+			if err != nil || b2 != '>' {
+				return Token{}, t.errf("expected '>' after '/' in tag <%s>", name)
+			}
+			// Self-closing: synthesize the matching end tag.
+			t.pending = &Token{Kind: EndElement, Name: name}
+			return tok, nil
+		default:
+			t.unreadByte()
+			attr, err := t.readAttr(name)
+			if err != nil {
+				return Token{}, err
+			}
+			tok.Attrs = append(tok.Attrs, attr)
+		}
+	}
+}
+
+func (t *Tokenizer) readAttr(elem string) (Attr, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Attr{}, t.errf("bad attribute name in <%s>: %v", elem, err)
+	}
+	if err := t.skipSpace(); err != nil {
+		return Attr{}, t.errf("unexpected EOF in attribute %s", name)
+	}
+	b, err := t.readByte()
+	if err != nil || b != '=' {
+		return Attr{}, t.errf("expected '=' after attribute name %s", name)
+	}
+	if err := t.skipSpace(); err != nil {
+		return Attr{}, t.errf("unexpected EOF in attribute %s", name)
+	}
+	quote, err := t.readByte()
+	if err != nil || (quote != '"' && quote != '\'') {
+		return Attr{}, t.errf("expected quoted value for attribute %s", name)
+	}
+	t.buf.Reset()
+	for {
+		b, err := t.readByte()
+		if err != nil {
+			return Attr{}, t.errf("unterminated value for attribute %s", name)
+		}
+		if b == quote {
+			val, err := t.decodeEntities(t.buf.String())
+			if err != nil {
+				return Attr{}, err
+			}
+			return Attr{Name: name, Value: val}, nil
+		}
+		t.buf.WriteByte(b)
+	}
+}
+
+func (t *Tokenizer) readEndTag() (Token, error) {
+	name, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	if err := t.skipSpace(); err != nil {
+		return Token{}, t.errf("unexpected EOF in end tag </%s>", name)
+	}
+	b, err := t.readByte()
+	if err != nil || b != '>' {
+		return Token{}, t.errf("expected '>' in end tag </%s>", name)
+	}
+	if len(t.stack) == 0 {
+		return Token{}, t.errf("end tag </%s> with no open element", name)
+	}
+	top := t.stack[len(t.stack)-1]
+	if top != name {
+		return Token{}, t.errf("mismatched end tag: </%s> closes <%s>", name, top)
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	return Token{Kind: EndElement, Name: name}, nil
+}
+
+// readText collects character data up to the next '<'. CDATA sections are
+// folded in verbatim (no entity decoding inside them); entity references
+// in ordinary character data are resolved. Whitespace-only runs return ""
+// unless KeepWhitespace. The terminating '<' is left unconsumed.
+func (t *Tokenizer) readText() (string, error) {
+	var out strings.Builder
+	t.buf.Reset()
+	// flush decodes the pending ordinary-text segment into out.
+	flush := func() error {
+		if t.buf.Len() == 0 {
+			return nil
+		}
+		dec, err := t.decodeEntities(t.buf.String())
+		if err != nil {
+			return err
+		}
+		out.WriteString(dec)
+		t.buf.Reset()
+		return nil
+	}
+	for {
+		head, err := t.r.Peek(1)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if head[0] == '<' {
+			// CDATA continues the text run; anything else ends it.
+			if h, err := t.r.Peek(9); err == nil && string(h) == "<![CDATA[" {
+				t.offset += 9
+				t.r.Discard(9)
+				if err := flush(); err != nil {
+					return "", err
+				}
+				// readCDATA uses t.buf internally; its result is verbatim.
+				cd, err := t.readCDATA()
+				if err != nil {
+					return "", err
+				}
+				t.buf.Reset()
+				out.WriteString(cd)
+				continue
+			}
+			break
+		}
+		b, _ := t.readByte()
+		t.buf.WriteByte(b)
+	}
+	if err := flush(); err != nil {
+		return "", err
+	}
+	text := out.String()
+	if !t.opts.KeepWhitespace && strings.TrimSpace(text) == "" {
+		return "", nil
+	}
+	return text, nil
+}
+
+// decodeEntities resolves the five predefined entities and numeric
+// character references. Unknown entities are an error.
+func (t *Tokenizer) decodeEntities(s string) (string, error) {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for {
+		b.WriteString(s[:amp])
+		s = s[amp:]
+		semi := strings.IndexByte(s, ';')
+		if semi < 0 {
+			return "", t.errf("unterminated entity reference %q", clip(s))
+		}
+		ent := s[1:semi]
+		switch {
+		case ent == "lt":
+			b.WriteByte('<')
+		case ent == "gt":
+			b.WriteByte('>')
+		case ent == "amp":
+			b.WriteByte('&')
+		case ent == "apos":
+			b.WriteByte('\'')
+		case ent == "quot":
+			b.WriteByte('"')
+		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+			n, err := strconv.ParseUint(ent[2:], 16, 32)
+			if err != nil {
+				return "", t.errf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		case strings.HasPrefix(ent, "#"):
+			n, err := strconv.ParseUint(ent[1:], 10, 32)
+			if err != nil {
+				return "", t.errf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		default:
+			return "", t.errf("unknown entity &%s;", ent)
+		}
+		s = s[semi+1:]
+		amp = strings.IndexByte(s, '&')
+		if amp < 0 {
+			b.WriteString(s)
+			return b.String(), nil
+		}
+	}
+}
+
+// EscapeText writes s to b with '<', '>' and '&' escaped, suitable for
+// character data content.
+func EscapeText(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+// AppendEscaped appends s to dst with '<', '>' and '&' escaped and returns
+// the extended slice.
+func AppendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}

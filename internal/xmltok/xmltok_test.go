@@ -1,0 +1,163 @@
+package xmltok
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func tokens(t *testing.T, src string, opts Options) []Token {
+	t.Helper()
+	tz := NewWithOptions(strings.NewReader(src), opts)
+	var out []Token
+	for {
+		tok, err := tz.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("tokenize %q: %v", src, err)
+		}
+		// Copy attrs (valid only until next call).
+		tok.Attrs = append([]Attr(nil), tok.Attrs...)
+		out = append(out, tok)
+	}
+}
+
+func TestBasicDocument(t *testing.T) {
+	got := tokens(t, `<a><b>text</b><c/></a>`, Options{})
+	want := []struct {
+		kind Kind
+		name string
+		text string
+	}{
+		{StartElement, "a", ""},
+		{StartElement, "b", ""},
+		{Text, "", "text"},
+		{EndElement, "b", ""},
+		{StartElement, "c", ""},
+		{EndElement, "c", ""},
+		{EndElement, "a", ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Kind != w.kind || got[i].Name != w.name || got[i].Text != w.text {
+			t.Errorf("token %d: got %v %q %q", i, got[i].Kind, got[i].Name, got[i].Text)
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	got := tokens(t, `<a x="1" y='two&amp;three'/>`, Options{})
+	if len(got) != 2 || len(got[0].Attrs) != 2 {
+		t.Fatalf("tokens: %v", got)
+	}
+	if got[0].Attrs[0] != (Attr{Name: "x", Value: "1"}) {
+		t.Errorf("attr 0: %v", got[0].Attrs[0])
+	}
+	if got[0].Attrs[1] != (Attr{Name: "y", Value: "two&three"}) {
+		t.Errorf("attr 1: %v", got[0].Attrs[1])
+	}
+}
+
+func TestEntities(t *testing.T) {
+	got := tokens(t, `<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos; &#65;&#x42;</a>`, Options{})
+	if got[1].Text != `<x> & "y" 'z' AB` {
+		t.Errorf("entities: %q", got[1].Text)
+	}
+	tz := New(strings.NewReader(`<a>&unknown;</a>`))
+	tz.Next() // <a>
+	if _, err := tz.Next(); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+func TestCDATA(t *testing.T) {
+	got := tokens(t, `<a>pre<![CDATA[<raw> & ]]]>post</a>`, Options{})
+	if len(got) != 3 {
+		t.Fatalf("tokens: %v", got)
+	}
+	if got[1].Text != "pre<raw> & ]post" {
+		t.Errorf("cdata text: %q", got[1].Text)
+	}
+}
+
+func TestCommentsAndPIsSkipped(t *testing.T) {
+	src := `<?xml version="1.0"?><!-- c1 --><!DOCTYPE a [<!ELEMENT a ANY>]><a><!-- <not><a><tag> -->x<?pi data?></a>`
+	got := tokens(t, src, Options{})
+	if len(got) != 3 || got[1].Text != "x" {
+		t.Fatalf("tokens: %v", got)
+	}
+}
+
+func TestWhitespaceHandling(t *testing.T) {
+	src := "<a>\n  <b>x</b>\n</a>"
+	got := tokens(t, src, Options{})
+	if len(got) != 5 {
+		t.Fatalf("whitespace not dropped: %v", got)
+	}
+	got = tokens(t, src, Options{KeepWhitespace: true})
+	if len(got) != 7 {
+		t.Fatalf("whitespace not kept: %v", got)
+	}
+}
+
+func TestMalformedDocuments(t *testing.T) {
+	bad := []string{
+		`<a><b></a></b>`,
+		`<a>`,
+		`</a>`,
+		`<a attr></a>`,
+		`<a attr=novalue></a>`,
+		`<a`,
+		`<a><![CDATA[x</a>`,
+		`text outside<a/>`,
+	}
+	for _, src := range bad {
+		tz := New(strings.NewReader(src))
+		var err error
+		for err == nil {
+			_, err = tz.Next()
+		}
+		if err == io.EOF {
+			t.Errorf("malformed %q accepted", src)
+		}
+	}
+}
+
+func TestDepthTracking(t *testing.T) {
+	tz := New(strings.NewReader(`<a><b>x</b></a>`))
+	tz.Next()
+	if tz.Depth() != 1 {
+		t.Errorf("depth after <a>: %d", tz.Depth())
+	}
+	tz.Next()
+	if tz.Depth() != 2 {
+		t.Errorf("depth after <b>: %d", tz.Depth())
+	}
+}
+
+func TestEscapeHelpers(t *testing.T) {
+	var b strings.Builder
+	EscapeText(&b, `a<b>&c`)
+	if b.String() != "a&lt;b&gt;&amp;c" {
+		t.Errorf("EscapeText: %q", b.String())
+	}
+	got := AppendEscaped(nil, `x&y<z`)
+	if string(got) != "x&amp;y&lt;z" {
+		t.Errorf("AppendEscaped: %q", got)
+	}
+}
+
+func TestUnicodeContent(t *testing.T) {
+	got := tokens(t, `<a>héllo wörld 日本</a>`, Options{})
+	if got[1].Text != "héllo wörld 日本" {
+		t.Errorf("unicode text: %q", got[1].Text)
+	}
+	got = tokens(t, `<ün><x/></ün>`, Options{})
+	if got[0].Name != "ün" {
+		t.Errorf("unicode name: %q", got[0].Name)
+	}
+}

@@ -1,0 +1,292 @@
+// Package xq implements the query language XQ, the composition-free XQuery
+// fragment of Figure 1 of the paper:
+//
+//	query ::= () | <a>query</a> | query query
+//	        | var | var/axis::ν
+//	        | for var in var/axis::ν return query
+//	        | if cond then query
+//	cond  ::= var = var | var = string | true()
+//	        | some var in var/axis::ν satisfies cond
+//	        | cond and cond | cond or cond | not(cond)
+//	axis  ::= child | descendant
+//	ν     ::= a | * | text()
+//
+// The concrete syntax additionally accepts XQuery-style abbreviations that
+// desugar into the core grammar at parse time: rooted paths (/a, //a bind
+// the step to the document root), multi-step paths ($x/a//b becomes nested
+// for- or some-expressions over fresh variables), comma-separated sequences,
+// parenthesized sub-queries, if-conditions in parentheses, an optional
+// "else ()" branch, and literal text inside element constructors (a
+// documented convenience extension producing text nodes).
+package xq
+
+import "fmt"
+
+// RootVar is the reserved variable bound to the document root node. The
+// leading '#' makes it unwritable in the surface syntax, so it can never
+// collide with a user variable.
+const RootVar = "#doc"
+
+// Axis is a navigation axis.
+type Axis uint8
+
+// The two axes of XQ.
+const (
+	Child Axis = iota
+	Descendant
+)
+
+// String returns the XQuery axis name.
+func (a Axis) String() string {
+	if a == Descendant {
+		return "descendant"
+	}
+	return "child"
+}
+
+// TestKind discriminates node tests.
+type TestKind uint8
+
+// Node test kinds: a label test (ν = a), the wildcard (ν = *) and the text
+// node test (ν = text()).
+const (
+	TestLabel TestKind = iota
+	TestStar
+	TestText
+)
+
+// NodeTest is the ν of a step.
+type NodeTest struct {
+	Kind  TestKind
+	Label string // set only for TestLabel
+}
+
+// String returns the surface syntax of the node test.
+func (t NodeTest) String() string {
+	switch t.Kind {
+	case TestStar:
+		return "*"
+	case TestText:
+		return "text()"
+	}
+	return t.Label
+}
+
+// Step is a single navigation step var/axis::ν. Base names the variable the
+// step starts from (possibly RootVar).
+type Step struct {
+	Base string
+	Axis Axis
+	Test NodeTest
+}
+
+// String returns the surface syntax of the step.
+func (s Step) String() string {
+	sep := "/"
+	if s.Axis == Descendant {
+		sep = "//"
+	}
+	base := "$" + s.Base
+	if s.Base == RootVar {
+		base = ""
+	}
+	return base + sep + s.Test.String()
+}
+
+// Expr is an XQ query expression.
+type Expr interface {
+	isExpr()
+	fmt.Stringer
+}
+
+// Empty is the empty sequence ().
+type Empty struct{}
+
+// Constr is the element constructor <Label>Body</Label>.
+type Constr struct {
+	Label string
+	Body  Expr
+}
+
+// Seq is the concatenation query query (n-ary for convenience).
+type Seq struct {
+	Items []Expr
+}
+
+// VarRef is a variable use $x as a query, evaluating to the bound node.
+type VarRef struct {
+	Name string
+}
+
+// PathExpr is the single-step navigation expression var/axis::ν.
+type PathExpr struct {
+	Step Step
+}
+
+// For is the iteration for Var in Step return Body.
+type For struct {
+	Var  string
+	In   Step
+	Body Expr
+}
+
+// If is the conditional if Cond then Then (empty else branch).
+type If struct {
+	Cond Cond
+	Then Expr
+}
+
+// TextLit is a literal text node constructor, a convenience extension for
+// literal character data inside element constructors.
+type TextLit struct {
+	Text string
+}
+
+func (Empty) isExpr()     {}
+func (*Constr) isExpr()   {}
+func (*Seq) isExpr()      {}
+func (*VarRef) isExpr()   {}
+func (*PathExpr) isExpr() {}
+func (*For) isExpr()      {}
+func (*If) isExpr()       {}
+func (*TextLit) isExpr()  {}
+
+// Cond is an XQ condition.
+type Cond interface {
+	isCond()
+	fmt.Stringer
+}
+
+// True is the condition true().
+type True struct{}
+
+// VarEqVar is the comparison $x = $y (both must bind to text nodes).
+type VarEqVar struct {
+	Left, Right string
+}
+
+// VarEqStr is the comparison $x = "s" ($x must bind to a text node).
+type VarEqStr struct {
+	Var string
+	Str string
+}
+
+// Some is the existential some Var in Step satisfies Sat.
+type Some struct {
+	Var string
+	In  Step
+	Sat Cond
+}
+
+// And is the conjunction Cond and Cond.
+type And struct {
+	Left, Right Cond
+}
+
+// Or is the disjunction Cond or Cond.
+type Or struct {
+	Left, Right Cond
+}
+
+// Not is the negation not(Cond).
+type Not struct {
+	Inner Cond
+}
+
+func (True) isCond()      {}
+func (*VarEqVar) isCond() {}
+func (*VarEqStr) isCond() {}
+func (*Some) isCond()     {}
+func (*And) isCond()      {}
+func (*Or) isCond()       {}
+func (*Not) isCond()      {}
+
+// FreeVars returns the set of variables used but not bound in e, excluding
+// RootVar.
+func FreeVars(e Expr) map[string]bool {
+	free := map[string]bool{}
+	collectExprVars(e, map[string]bool{RootVar: true}, free)
+	return free
+}
+
+func useVar(name string, bound, free map[string]bool) {
+	if !bound[name] {
+		free[name] = true
+	}
+}
+
+func collectExprVars(e Expr, bound, free map[string]bool) {
+	switch e := e.(type) {
+	case Empty, *TextLit, nil:
+	case *Constr:
+		collectExprVars(e.Body, bound, free)
+	case *Seq:
+		for _, it := range e.Items {
+			collectExprVars(it, bound, free)
+		}
+	case *VarRef:
+		useVar(e.Name, bound, free)
+	case *PathExpr:
+		useVar(e.Step.Base, bound, free)
+	case *For:
+		useVar(e.In.Base, bound, free)
+		inner := withBound(bound, e.Var)
+		collectExprVars(e.Body, inner, free)
+	case *If:
+		collectCondVars(e.Cond, bound, free)
+		collectExprVars(e.Then, bound, free)
+	}
+}
+
+func collectCondVars(c Cond, bound, free map[string]bool) {
+	switch c := c.(type) {
+	case True:
+	case *VarEqVar:
+		useVar(c.Left, bound, free)
+		useVar(c.Right, bound, free)
+	case *VarEqStr:
+		useVar(c.Var, bound, free)
+	case *Some:
+		useVar(c.In.Base, bound, free)
+		inner := withBound(bound, c.Var)
+		collectCondVars(c.Sat, inner, free)
+	case *And:
+		collectCondVars(c.Left, bound, free)
+		collectCondVars(c.Right, bound, free)
+	case *Or:
+		collectCondVars(c.Left, bound, free)
+		collectCondVars(c.Right, bound, free)
+	case *Not:
+		collectCondVars(c.Inner, bound, free)
+	}
+}
+
+func withBound(bound map[string]bool, name string) map[string]bool {
+	inner := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		inner[k] = true
+	}
+	inner[name] = true
+	return inner
+}
+
+// FreeVarsCond returns the variables used but not bound in a condition,
+// excluding RootVar.
+func FreeVarsCond(c Cond) map[string]bool {
+	free := map[string]bool{}
+	collectCondVars(c, map[string]bool{RootVar: true}, free)
+	return free
+}
+
+// Validate checks that every variable used in e is bound by an enclosing
+// for- or some-expression (or is the document root).
+func Validate(e Expr) error {
+	free := FreeVars(e)
+	if len(free) == 0 {
+		return nil
+	}
+	for name := range free {
+		return fmt.Errorf("xq: unbound variable $%s", name)
+	}
+	return nil
+}

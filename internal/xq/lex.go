@@ -1,0 +1,289 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds of the XQ surface syntax.
+type tokKind int
+
+const (
+	tokEOF     tokKind = iota
+	tokIdent           // bare name: for, in, return, labels, ...
+	tokVar             // $name (Text holds the name without '$')
+	tokString          // "..." or '...' (Text holds the contents)
+	tokLParen          // (
+	tokRParen          // )
+	tokLBrace          // {
+	tokRBrace          // }
+	tokComma           // ,
+	tokSlash           // /
+	tokDSlash          // //
+	tokLt              // <
+	tokLtSlash         // </
+	tokEq              // =
+	tokStar            // *
+	tokAxis            // child:: or descendant:: (Text holds the axis name)
+	tokGt              // >
+	tokSlashGt         // />
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSlash:
+		return "'/'"
+	case tokDSlash:
+		return "'//'"
+	case tokLt:
+		return "'<'"
+	case tokLtSlash:
+		return "'</'"
+	case tokEq:
+		return "'='"
+	case tokStar:
+		return "'*'"
+	case tokAxis:
+		return "axis"
+	case tokGt:
+		return "'>'"
+	case tokSlashGt:
+		return "'/>'"
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// token is one lexical token with its starting offset.
+type token struct {
+	Kind tokKind
+	Text string
+	Pos  int
+}
+
+func (t token) describe() string {
+	switch t.Kind {
+	case tokIdent:
+		return fmt.Sprintf("%q", t.Text)
+	case tokVar:
+		return "$" + t.Text
+	case tokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// ParseError reports a syntax error in an XQ query with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xq: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer tokenizes an XQ query string. Element-constructor content is lexed
+// on demand by the parser via rawText, because inside <a>...</a> character
+// data is raw until '{' or '<'.
+type lexer struct {
+	src string
+	pos int
+	// peeked holds a single token of lookahead.
+	peeked  *token
+	peekPos int // pos to restore raw scanning from, unused while peeked==nil
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b >= 0x80
+}
+
+func isIdentChar(b byte) bool {
+	return isIdentStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		case '(':
+			// XQuery comment (: ... :) — supported for convenience.
+			if strings.HasPrefix(l.src[l.pos:], "(:") {
+				depth := 1
+				i := l.pos + 2
+				for i < len(l.src) && depth > 0 {
+					if strings.HasPrefix(l.src[i:], "(:") {
+						depth++
+						i += 2
+					} else if strings.HasPrefix(l.src[i:], ":)") {
+						depth--
+						i += 2
+					} else {
+						i++
+					}
+				}
+				l.pos = i
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// peek returns the next token without consuming it.
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		tok, err := l.scan()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &tok
+	}
+	return *l.peeked, nil
+}
+
+// next consumes and returns the next token.
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		tok := *l.peeked
+		l.peeked = nil
+		return tok, nil
+	}
+	return l.scan()
+}
+
+func (l *lexer) scan() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{Kind: tokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	b := l.src[l.pos]
+	switch b {
+	case '(':
+		l.pos++
+		return token{Kind: tokLParen, Pos: start}, nil
+	case ')':
+		l.pos++
+		return token{Kind: tokRParen, Pos: start}, nil
+	case '{':
+		l.pos++
+		return token{Kind: tokLBrace, Pos: start}, nil
+	case '}':
+		l.pos++
+		return token{Kind: tokRBrace, Pos: start}, nil
+	case ',':
+		l.pos++
+		return token{Kind: tokComma, Pos: start}, nil
+	case '=':
+		l.pos++
+		return token{Kind: tokEq, Pos: start}, nil
+	case '*':
+		l.pos++
+		return token{Kind: tokStar, Pos: start}, nil
+	case '/':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{Kind: tokDSlash, Pos: start}, nil
+		}
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{Kind: tokSlashGt, Pos: start}, nil
+		}
+		return token{Kind: tokSlash, Pos: start}, nil
+	case '>':
+		l.pos++
+		return token{Kind: tokGt, Pos: start}, nil
+	case '<':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '/' {
+			l.pos++
+			return token{Kind: tokLtSlash, Pos: start}, nil
+		}
+		return token{Kind: tokLt, Pos: start}, nil
+	case '$':
+		l.pos++
+		if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+			return token{}, l.errf(start, "expected variable name after '$'")
+		}
+		ns := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{Kind: tokVar, Text: l.src[ns:l.pos], Pos: start}, nil
+	case '"', '\'':
+		quote := b
+		l.pos++
+		ns := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		text := l.src[ns:l.pos]
+		l.pos++
+		return token{Kind: tokString, Text: text, Pos: start}, nil
+	}
+	if isIdentStart(b) {
+		ns := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		name := l.src[ns:l.pos]
+		if (name == "child" || name == "descendant") && strings.HasPrefix(l.src[l.pos:], "::") {
+			l.pos += 2
+			return token{Kind: tokAxis, Text: name, Pos: start}, nil
+		}
+		return token{Kind: tokIdent, Text: name, Pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", string(b))
+}
+
+// rawText reads raw constructor content up to (not including) the next '{',
+// '<', or '}' byte. It must only be called with no pending lookahead.
+func (l *lexer) rawText() (string, error) {
+	if l.peeked != nil {
+		// The parser peeks to decide whether content follows; rewind the
+		// lookahead so raw scanning restarts at its source position.
+		l.pos = l.peeked.Pos
+		l.peeked = nil
+	}
+	start := l.pos
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case '{', '<':
+			return l.src[start:l.pos], nil
+		}
+		l.pos++
+	}
+	return "", l.errf(start, "unterminated element constructor content")
+}

@@ -1,0 +1,652 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses an XQ query and returns its core-grammar AST. All surface
+// sugar (rooted paths, multi-step paths, non-empty else branches,
+// comparisons against paths) is desugared during parsing, and the result is
+// validated for unbound variables.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	e, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != tokEOF {
+		return nil, p.errf(tok.Pos, "unexpected %s after query", tok.describe())
+	}
+	if err := Validate(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	lex *lexer
+	gen int // fresh-variable counter for desugaring
+}
+
+func (p *parser) errf(pos int, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) fresh() string {
+	p.gen++
+	return fmt.Sprintf("#g%d", p.gen)
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return token{}, err
+	}
+	if tok.Kind != kind {
+		return token{}, p.errf(tok.Pos, "expected %s, found %s", kind, tok.describe())
+	}
+	return tok, nil
+}
+
+func (p *parser) expectKeyword(word string) error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.Kind != tokIdent || tok.Text != word {
+		return p.errf(tok.Pos, "expected %q, found %s", word, tok.describe())
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(word string) (bool, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return false, err
+	}
+	return tok.Kind == tokIdent && tok.Text == word, nil
+}
+
+// parseSeq parses a comma-separated sequence of single expressions.
+func (p *parser) parseSeq() (Expr, error) {
+	first, err := p.parseSingle()
+	if err != nil {
+		return nil, err
+	}
+	items := []Expr{first}
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind != tokComma {
+			break
+		}
+		p.lex.next()
+		next, err := p.parseSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &Seq{Items: items}, nil
+}
+
+func (p *parser) parseSingle() (Expr, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.Kind {
+	case tokLParen:
+		p.lex.next()
+		inner, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if inner.Kind == tokRParen {
+			p.lex.next()
+			return Empty{}, nil
+		}
+		e, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLt:
+		return p.parseConstructor()
+	case tokIdent:
+		switch tok.Text {
+		case "for":
+			return p.parseFor()
+		case "if":
+			return p.parseIf()
+		}
+		return nil, p.errf(tok.Pos, "unexpected %s at start of expression", tok.describe())
+	case tokVar:
+		p.lex.next()
+		steps, err := p.parseSteps(false)
+		if err != nil {
+			return nil, err
+		}
+		if len(steps) == 0 {
+			return &VarRef{Name: tok.Text}, nil
+		}
+		return p.desugarPathExpr(tok.Text, steps), nil
+	case tokSlash, tokDSlash:
+		steps, err := p.parseSteps(true)
+		if err != nil {
+			return nil, err
+		}
+		return p.desugarPathExpr(RootVar, steps), nil
+	case tokString:
+		p.lex.next()
+		return &TextLit{Text: tok.Text}, nil
+	default:
+		return nil, p.errf(tok.Pos, "unexpected %s at start of expression", tok.describe())
+	}
+}
+
+// stepSpec is a parsed axis::test pair before a base variable is attached.
+type stepSpec struct {
+	axis Axis
+	test NodeTest
+}
+
+// parseSteps parses zero or more /step or //step items. If require is true
+// at least one step must be present.
+func (p *parser) parseSteps(require bool) ([]stepSpec, error) {
+	var steps []stepSpec
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		var axis Axis
+		switch tok.Kind {
+		case tokSlash:
+			axis = Child
+		case tokDSlash:
+			axis = Descendant
+		default:
+			if require && len(steps) == 0 {
+				return nil, p.errf(tok.Pos, "expected path step, found %s", tok.describe())
+			}
+			return steps, nil
+		}
+		p.lex.next()
+		// Optional explicit axis after '/': child:: or descendant::.
+		nt, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nt.Kind == tokAxis {
+			if tok.Kind == tokDSlash {
+				return nil, p.errf(nt.Pos, "explicit axis after '//' is not allowed")
+			}
+			if nt.Text == "descendant" {
+				axis = Descendant
+			}
+			p.lex.next()
+		}
+		test, err := p.parseNodeTest()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, stepSpec{axis: axis, test: test})
+	}
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return NodeTest{}, err
+	}
+	switch tok.Kind {
+	case tokStar:
+		return NodeTest{Kind: TestStar}, nil
+	case tokIdent:
+		if tok.Text == "text" {
+			// text() is the text node test; a bare "text" is a label.
+			if la, err := p.lex.peek(); err == nil && la.Kind == tokLParen {
+				p.lex.next()
+				if _, err := p.expect(tokRParen); err != nil {
+					return NodeTest{}, err
+				}
+				return NodeTest{Kind: TestText}, nil
+			}
+		}
+		return NodeTest{Kind: TestLabel, Label: tok.Text}, nil
+	default:
+		return NodeTest{}, p.errf(tok.Pos, "expected node test, found %s", tok.describe())
+	}
+}
+
+// desugarPathExpr turns base + steps into the core grammar: a single-step
+// PathExpr, or nested for-expressions over fresh variables for longer paths.
+func (p *parser) desugarPathExpr(base string, steps []stepSpec) Expr {
+	if len(steps) == 1 {
+		return &PathExpr{Step: Step{Base: base, Axis: steps[0].axis, Test: steps[0].test}}
+	}
+	g := p.fresh()
+	inner := p.desugarPathExpr(g, steps[1:])
+	return &For{
+		Var:  g,
+		In:   Step{Base: base, Axis: steps[0].axis, Test: steps[0].test},
+		Body: inner,
+	}
+}
+
+// parseInPath parses the binding sequence of a for- or some-expression:
+// a variable or rooted path followed by at least one step. It returns the
+// base variable and the steps.
+func (p *parser) parseInPath() (string, []stepSpec, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return "", nil, err
+	}
+	switch tok.Kind {
+	case tokVar:
+		p.lex.next()
+		steps, err := p.parseSteps(true)
+		if err != nil {
+			return "", nil, err
+		}
+		return tok.Text, steps, nil
+	case tokSlash, tokDSlash:
+		steps, err := p.parseSteps(true)
+		if err != nil {
+			return "", nil, err
+		}
+		return RootVar, steps, nil
+	default:
+		return "", nil, p.errf(tok.Pos, "expected path after 'in', found %s", tok.describe())
+	}
+}
+
+func (p *parser) parseFor() (Expr, error) {
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	base, steps, err := p.parseInPath()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseSingle()
+	if err != nil {
+		return nil, err
+	}
+	// Desugar multi-step binding paths into nested fors, binding the user
+	// variable on the last step.
+	return p.buildForChain(v.Text, base, steps, body), nil
+}
+
+func (p *parser) buildForChain(userVar, base string, steps []stepSpec, body Expr) Expr {
+	if len(steps) == 1 {
+		return &For{Var: userVar, In: Step{Base: base, Axis: steps[0].axis, Test: steps[0].test}, Body: body}
+	}
+	g := p.fresh()
+	inner := p.buildForChain(userVar, g, steps[1:], body)
+	return &For{Var: g, In: Step{Base: base, Axis: steps[0].axis, Test: steps[0].test}, Body: inner}
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	if err := p.expectKeyword("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseSingle()
+	if err != nil {
+		return nil, err
+	}
+	hasElse, err := p.peekKeyword("else")
+	if err != nil {
+		return nil, err
+	}
+	if !hasElse {
+		return &If{Cond: cond, Then: then}, nil
+	}
+	p.lex.next()
+	els, err := p.parseSingle()
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := els.(Empty); ok {
+		return &If{Cond: cond, Then: then}, nil
+	}
+	// Non-empty else is sugar: if c then a else b
+	// ≡ (if c then a) (if not(c) then b).
+	return &Seq{Items: []Expr{
+		&If{Cond: cond, Then: then},
+		&If{Cond: &Not{Inner: cond}, Then: els},
+	}}, nil
+}
+
+// parseCond parses a condition with the precedence or < and < primary.
+func (p *parser) parseCond() (Cond, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		isOr, err := p.peekKeyword("or")
+		if err != nil {
+			return nil, err
+		}
+		if !isOr {
+			return left, nil
+		}
+		p.lex.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseAnd() (Cond, error) {
+	left, err := p.parsePrimCond()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		isAnd, err := p.peekKeyword("and")
+		if err != nil {
+			return nil, err
+		}
+		if !isAnd {
+			return left, nil
+		}
+		p.lex.next()
+		right, err := p.parsePrimCond()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{Left: left, Right: right}
+	}
+}
+
+func (p *parser) parsePrimCond() (Cond, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.Kind {
+	case tokLParen:
+		p.lex.next()
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case tokIdent:
+		switch tok.Text {
+		case "true":
+			p.lex.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return True{}, nil
+		case "not":
+			p.lex.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return nil, err
+			}
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return &Not{Inner: c}, nil
+		case "some":
+			return p.parseSome()
+		}
+		return nil, p.errf(tok.Pos, "unexpected %s in condition", tok.describe())
+	case tokVar, tokSlash, tokDSlash:
+		return p.parseComparison()
+	default:
+		return nil, p.errf(tok.Pos, "unexpected %s in condition", tok.describe())
+	}
+}
+
+func (p *parser) parseSome() (Cond, error) {
+	if err := p.expectKeyword("some"); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	base, steps, err := p.parseInPath()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("satisfies"); err != nil {
+		return nil, err
+	}
+	sat, err := p.parsePrimCond()
+	if err != nil {
+		return nil, err
+	}
+	return p.buildSomeChain(v.Text, base, steps, sat), nil
+}
+
+func (p *parser) buildSomeChain(userVar, base string, steps []stepSpec, sat Cond) Cond {
+	if len(steps) == 1 {
+		return &Some{Var: userVar, In: Step{Base: base, Axis: steps[0].axis, Test: steps[0].test}, Sat: sat}
+	}
+	g := p.fresh()
+	inner := p.buildSomeChain(userVar, g, steps[1:], sat)
+	return &Some{Var: g, In: Step{Base: base, Axis: steps[0].axis, Test: steps[0].test}, Sat: inner}
+}
+
+// comparand is one side of a comparison: either a plain variable, or a
+// path, which desugars the whole comparison into an existential.
+type comparand struct {
+	varName string
+	base    string
+	steps   []stepSpec
+}
+
+func (c comparand) isPath() bool { return len(c.steps) > 0 }
+
+func (p *parser) parseComparand() (comparand, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return comparand{}, err
+	}
+	switch tok.Kind {
+	case tokVar:
+		p.lex.next()
+		steps, err := p.parseSteps(false)
+		if err != nil {
+			return comparand{}, err
+		}
+		return comparand{varName: tok.Text, base: tok.Text, steps: steps}, nil
+	case tokSlash, tokDSlash:
+		steps, err := p.parseSteps(true)
+		if err != nil {
+			return comparand{}, err
+		}
+		return comparand{base: RootVar, steps: steps}, nil
+	default:
+		return comparand{}, p.errf(tok.Pos, "expected variable or path in comparison, found %s", tok.describe())
+	}
+}
+
+// parseComparison parses lhs = rhs where each side is a variable, a path
+// (desugared into some-expressions) or, on the right, a string literal.
+func (p *parser) parseComparison() (Cond, error) {
+	lhs, err := p.parseComparand()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return nil, err
+	}
+	rtok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if rtok.Kind == tokString {
+		p.lex.next()
+		if !lhs.isPath() {
+			return &VarEqStr{Var: lhs.varName, Str: rtok.Text}, nil
+		}
+		// some $g in lhs-path satisfies $g = "s"
+		g := p.fresh()
+		return p.buildSomeChain(g, lhs.base, lhs.steps, &VarEqStr{Var: g, Str: rtok.Text}), nil
+	}
+	rhs, err := p.parseComparand()
+	if err != nil {
+		return nil, err
+	}
+	// Wrap paths on either side into existentials around the core
+	// var-to-var comparison.
+	lv, rv := lhs.varName, rhs.varName
+	var build func(core Cond) Cond = func(core Cond) Cond { return core }
+	if lhs.isPath() {
+		g := p.fresh()
+		lv = g
+		prev := build
+		build = func(core Cond) Cond {
+			return prev(p.buildSomeChain(g, lhs.base, lhs.steps, core))
+		}
+	}
+	if rhs.isPath() {
+		g := p.fresh()
+		rv = g
+		prev := build
+		build = func(core Cond) Cond {
+			return prev(p.buildSomeChain(g, rhs.base, rhs.steps, core))
+		}
+	}
+	return build(&VarEqVar{Left: lv, Right: rv}), nil
+}
+
+// parseConstructor parses <a>content</a>, <a/>, with content items being
+// raw text, nested constructors, and {query} blocks.
+func (p *parser) parseConstructor() (Expr, error) {
+	if _, err := p.expect(tokLt); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.Kind {
+	case tokSlashGt:
+		return &Constr{Label: name.Text, Body: Empty{}}, nil
+	case tokGt:
+	default:
+		return nil, p.errf(tok.Pos, "expected '>' or '/>' in constructor <%s>, found %s", name.Text, tok.describe())
+	}
+	var items []Expr
+	for {
+		raw, err := p.lex.rawText()
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(raw) != "" {
+			items = append(items, &TextLit{Text: raw})
+		}
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch tok.Kind {
+		case tokLBrace:
+			p.lex.next()
+			inner, err := p.parseSeq()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return nil, err
+			}
+			items = append(items, inner)
+		case tokLt:
+			nested, err := p.parseConstructor()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, nested)
+		case tokLtSlash:
+			p.lex.next()
+			end, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if end.Text != name.Text {
+				return nil, p.errf(end.Pos, "mismatched constructor: </%s> closes <%s>", end.Text, name.Text)
+			}
+			if _, err := p.expect(tokGt); err != nil {
+				return nil, err
+			}
+			var body Expr
+			switch len(items) {
+			case 0:
+				body = Empty{}
+			case 1:
+				body = items[0]
+			default:
+				body = &Seq{Items: items}
+			}
+			return &Constr{Label: name.Text, Body: body}, nil
+		default:
+			return nil, p.errf(tok.Pos, "unexpected %s in constructor <%s>", tok.describe(), name.Text)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the empty sequence.
+func (Empty) String() string { return "()" }
+
+// String renders the constructor in surface syntax.
+func (c *Constr) String() string {
+	if _, ok := c.Body.(Empty); ok {
+		return fmt.Sprintf("<%s/>", c.Label)
+	}
+	return fmt.Sprintf("<%s>{ %s }</%s>", c.Label, c.Body, c.Label)
+}
+
+// String renders the sequence with comma separators.
+func (s *Seq) String() string {
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// String renders the variable reference.
+func (v *VarRef) String() string { return "$" + v.Name }
+
+// String renders the path expression.
+func (p *PathExpr) String() string { return p.Step.String() }
+
+// String renders the for-expression.
+func (f *For) String() string {
+	return fmt.Sprintf("for $%s in %s return %s", f.Var, f.In, f.Body)
+}
+
+// String renders the if-expression.
+func (i *If) String() string {
+	return fmt.Sprintf("if (%s) then %s else ()", i.Cond, i.Then)
+}
+
+// String renders the literal text constructor.
+func (t *TextLit) String() string { return fmt.Sprintf("%q", t.Text) }
+
+// String renders true().
+func (True) String() string { return "true()" }
+
+// String renders the variable comparison.
+func (c *VarEqVar) String() string { return fmt.Sprintf("$%s = $%s", c.Left, c.Right) }
+
+// String renders the string comparison.
+func (c *VarEqStr) String() string { return fmt.Sprintf("$%s = %q", c.Var, c.Str) }
+
+// String renders the existential.
+func (s *Some) String() string {
+	return fmt.Sprintf("some $%s in %s satisfies %s", s.Var, s.In, s.Sat)
+}
+
+// String renders the conjunction.
+func (a *And) String() string { return fmt.Sprintf("(%s and %s)", a.Left, a.Right) }
+
+// String renders the disjunction.
+func (o *Or) String() string { return fmt.Sprintf("(%s or %s)", o.Left, o.Right) }
+
+// String renders the negation.
+func (n *Not) String() string { return fmt.Sprintf("not(%s)", n.Inner) }

@@ -1,0 +1,231 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCoreGrammar(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`()`, `()`},
+		{`$x`, `$x`}, // validated below as unbound; use Parse directly here
+		{`<a/>`, `<a/>`},
+		{`<a></a>`, `<a/>`},
+		{`/journal`, `/journal`},
+		{`//name`, `//name`},
+		{`/child::a`, `/a`},
+		{`/descendant::a`, `//a`},
+		{`for $x in /a return $x`, `for $x in /a return $x`},
+		{`for $x in /a return $x/text()`, `for $x in /a return $x/text()`},
+		{`for $x in /a return $x/*`, `for $x in /a return $x/*`},
+		{`if (true()) then <y/> else ()`, `if (true()) then <y/> else ()`},
+	}
+	for _, c := range cases {
+		if strings.Contains(c.src, "$x") && !strings.Contains(c.src, "for") {
+			continue // unbound variable cases are covered elsewhere
+		}
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMultiStepDesugaring(t *testing.T) {
+	e := MustParse(`/a/b//c`)
+	// Expect two nested fors with a final path expression.
+	f1, ok := e.(*For)
+	if !ok {
+		t.Fatalf("top is %T, want *For", e)
+	}
+	if f1.In.Base != RootVar || f1.In.Axis != Child || f1.In.Test.Label != "a" {
+		t.Errorf("first step: %+v", f1.In)
+	}
+	f2, ok := f1.Body.(*For)
+	if !ok {
+		t.Fatalf("second is %T", f1.Body)
+	}
+	if f2.In.Base != f1.Var || f2.In.Test.Label != "b" {
+		t.Errorf("second step: %+v", f2.In)
+	}
+	p, ok := f2.Body.(*PathExpr)
+	if !ok {
+		t.Fatalf("third is %T", f2.Body)
+	}
+	if p.Step.Axis != Descendant || p.Step.Test.Label != "c" {
+		t.Errorf("final step: %+v", p.Step)
+	}
+}
+
+func TestForChainDesugaring(t *testing.T) {
+	e := MustParse(`for $y in /a/b return $y`)
+	f1 := e.(*For)
+	f2, ok := f1.Body.(*For)
+	if !ok {
+		t.Fatalf("inner is %T", f1.Body)
+	}
+	// The user variable binds on the LAST step.
+	if f2.Var != "y" {
+		t.Errorf("user var bound to %q", f2.Var)
+	}
+	if v, ok := f2.Body.(*VarRef); !ok || v.Name != "y" {
+		t.Errorf("body = %v", f2.Body)
+	}
+}
+
+func TestSomeDesugaring(t *testing.T) {
+	e := MustParse(`for $x in /a return if (some $t in $x/b/text() satisfies $t = "v") then $x else ()`)
+	f := e.(*For)
+	iff := f.Body.(*If)
+	s1, ok := iff.Cond.(*Some)
+	if !ok {
+		t.Fatalf("cond is %T", iff.Cond)
+	}
+	s2, ok := s1.Sat.(*Some)
+	if !ok {
+		t.Fatalf("inner sat is %T (multi-step some should nest)", s1.Sat)
+	}
+	if _, ok := s2.Sat.(*VarEqStr); !ok {
+		t.Fatalf("innermost is %T", s2.Sat)
+	}
+}
+
+func TestComparisonPathDesugaring(t *testing.T) {
+	// Paths on both comparison sides become existentials.
+	e := MustParse(`for $a in /r return if ($a/x/text() = $a/y/text()) then $a else ()`)
+	iff := e.(*For).Body.(*If)
+	s, ok := iff.Cond.(*Some)
+	if !ok {
+		t.Fatalf("cond is %T, want *Some", iff.Cond)
+	}
+	found := false
+	var walk func(c Cond)
+	walk = func(c Cond) {
+		switch c := c.(type) {
+		case *Some:
+			walk(c.Sat)
+		case *VarEqVar:
+			found = true
+		}
+	}
+	walk(s)
+	if !found {
+		t.Error("no VarEqVar at the core of the desugared comparison")
+	}
+}
+
+func TestElseDesugaring(t *testing.T) {
+	e := MustParse(`for $x in /a return if (true()) then <y/> else <n/>`)
+	seq, ok := e.(*For).Body.(*Seq)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("else did not desugar to a pair: %v", e)
+	}
+	second := seq.Items[1].(*If)
+	if _, ok := second.Cond.(*Not); !ok {
+		t.Errorf("second branch cond is %T, want *Not", second.Cond)
+	}
+}
+
+func TestCondPrecedence(t *testing.T) {
+	// and binds tighter than or. /a/text() desugars to two nested fors,
+	// so the if sits two levels deep.
+	e := MustParse(`for $x in /a/text() return if ($x = "a" or $x = "b" and $x = "c") then $x else ()`)
+	iff := e.(*For).Body.(*For).Body.(*If)
+	or, ok := iff.Cond.(*Or)
+	if !ok {
+		t.Fatalf("top cond is %T, want *Or", iff.Cond)
+	}
+	if _, ok := or.Right.(*And); !ok {
+		t.Errorf("right of or is %T, want *And", or.Right)
+	}
+}
+
+func TestConstructorContent(t *testing.T) {
+	e := MustParse(`<a>hello<b/>{ () }</a>`)
+	c := e.(*Constr)
+	seq, ok := c.Body.(*Seq)
+	if !ok {
+		t.Fatalf("body is %T", c.Body)
+	}
+	if len(seq.Items) != 3 {
+		t.Fatalf("constructor content has %d items, want 3", len(seq.Items))
+	}
+	if txt, ok := seq.Items[0].(*TextLit); !ok || txt.Text != "hello" {
+		t.Errorf("first item: %v", seq.Items[0])
+	}
+}
+
+func TestXQueryComments(t *testing.T) {
+	e, err := Parse(`(: outer (: nested :) :) for $x in /a return $x (: trailing :)`)
+	if err != nil {
+		t.Fatalf("comments not skipped: %v", err)
+	}
+	if _, ok := e.(*For); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	if _, err := Parse(`for $x in /a return for $x in $x/b return $x`); err != nil {
+		t.Fatalf("shadowing rejected: %v", err)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	e, err := Parse(`for $x in /a return for $y in $x/b return $y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := FreeVars(e); len(free) != 0 {
+		t.Errorf("free vars in closed query: %v", free)
+	}
+	inner := e.(*For).Body
+	free := FreeVars(inner)
+	if !free["x"] || len(free) != 1 {
+		t.Errorf("free vars of inner: %v", free)
+	}
+}
+
+func TestFreeVarsCond(t *testing.T) {
+	e := MustParse(`for $x in /a return if (some $t in $x/text() satisfies $t = "v") then $x else ()`)
+	cond := e.(*For).Body.(*If).Cond
+	free := FreeVarsCond(cond)
+	if !free["x"] || free["t"] {
+		t.Errorf("cond free vars: %v", free)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse(`for $x in /a return @`)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos != 20 {
+		t.Errorf("error position %d, want 20", pe.Pos)
+	}
+}
+
+func TestStringsRoundTripThroughParser(t *testing.T) {
+	// Printing a parsed query and re-parsing it must give the same tree.
+	queries := []string{
+		`<names>{ for $j in /journal return for $n in $j//name return $n }</names>`,
+		`for $x in //a return if (some $v in $x/b satisfies $v = "s") then $x else ()`,
+		`for $x in /a return ($x, <sep/>, $x)`,
+	}
+	for _, q := range queries {
+		e1 := MustParse(q)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\nprinted: %s", q, err, e1)
+			continue
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("round trip diverged:\n1: %s\n2: %s", e1, e2)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package xqdb is a native XML database management system: a from-scratch
+// Go reproduction of the system built in "Building a Native XML-DBMS as a
+// Term Project in a Database Systems Course" (Koch, Olteanu, Scherzinger;
+// XIME-P 2006).
+//
+// The system evaluates XQ — the composition-free XQuery fragment of the
+// paper — over XML documents shredded into XASR relations
+// (Node(in, out, parent_in, type, value)) stored in B+-trees on a paged
+// file with a bounded buffer pool. Four evaluation pipelines coexist,
+// mirroring the course milestones:
+//
+//	M1  an in-memory evaluator over the parsed document tree
+//	M2  node-at-a-time evaluation over secondary storage
+//	M3  TPM algebra: relfor merging + heuristic algebraic optimization
+//	M4  cost-based optimization with secondary indexes and INL joins
+//
+// Quickstart:
+//
+//	db, _ := xqdb.Open(dir)
+//	defer db.Close()
+//	doc, _ := db.CreateDocument("books", strings.NewReader(xml))
+//	res, _ := doc.Query(`for $b in //book return $b/title`)
+package xqdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"xqdb/internal/core"
+	"xqdb/internal/dom"
+	"xqdb/internal/limit"
+	"xqdb/internal/mem"
+	"xqdb/internal/store"
+	"xqdb/internal/xmlgen"
+	"xqdb/internal/xq"
+)
+
+// Mode selects the evaluation pipeline (see the package comment).
+type Mode int
+
+// Evaluation modes, from the purely in-memory milestone 1 evaluator to
+// the cost-based milestone 4 engine. M4 is the default.
+const (
+	M4 Mode = iota
+	M3
+	M2
+	M1
+	NaiveTPM   // TPM without merging or optimization (plan QP0 shape)
+	M4BadStats // M4 with deliberately uniform statistics (paper's engine 2)
+)
+
+// String returns the mode name.
+func (m Mode) String() string { return m.coreMode().String() }
+
+func (m Mode) coreMode() core.Mode {
+	switch m {
+	case M1:
+		return core.ModeM1
+	case M2:
+		return core.ModeM2
+	case M3:
+		return core.ModeM3
+	case NaiveTPM:
+		return core.ModeNaiveTPM
+	case M4BadStats:
+		return core.ModeM4BadStats
+	default:
+		return core.ModeM4
+	}
+}
+
+// ErrTimeout is returned when a query exceeds its configured timeout.
+var ErrTimeout = limit.ErrTimeout
+
+// DB is a database directory holding named documents.
+type DB struct {
+	dir  string
+	open map[string]*Document
+}
+
+// Open opens (creating if necessary) a database rooted at dir.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("xqdb: %w", err)
+	}
+	return &DB{dir: dir, open: map[string]*Document{}}, nil
+}
+
+// Close closes all open documents.
+func (db *DB) Close() error {
+	var err error
+	for _, d := range db.open {
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+	}
+	db.open = map[string]*Document{}
+	return err
+}
+
+// DocOptions configures document creation.
+type DocOptions struct {
+	// PageSize of the page file (default 4096).
+	PageSize int
+	// CacheFrames bounds the buffer pool; CacheFrames×PageSize is the
+	// engine's page-cache memory budget.
+	CacheFrames int
+	// NoLabelIndex / NoParentIndex disable the secondary indexes.
+	NoLabelIndex  bool
+	NoParentIndex bool
+}
+
+// CreateDocument shreds an XML document read from r into a new named
+// document store (replacing an existing one with the same name).
+func (db *DB) CreateDocument(name string, r io.Reader, opts ...DocOptions) (*Document, error) {
+	var o DocOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	st, err := store.Open(db.docDir(name), store.Options{
+		PageSize:      o.PageSize,
+		CacheFrames:   o.CacheFrames,
+		NoLabelIndex:  o.NoLabelIndex,
+		NoParentIndex: o.NoParentIndex,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Load(r); err != nil {
+		st.Close()
+		return nil, err
+	}
+	d := &Document{name: name, st: st}
+	db.open[name] = d
+	return d, nil
+}
+
+// OpenDocument opens an existing named document.
+func (db *DB) OpenDocument(name string, opts ...DocOptions) (*Document, error) {
+	if d, ok := db.open[name]; ok {
+		return d, nil
+	}
+	var o DocOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	st, err := store.Open(db.docDir(name), store.Options{
+		PageSize:    o.PageSize,
+		CacheFrames: o.CacheFrames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !st.Loaded() {
+		st.Close()
+		return nil, fmt.Errorf("xqdb: document %q does not exist", name)
+	}
+	d := &Document{name: name, st: st}
+	db.open[name] = d
+	return d, nil
+}
+
+func (db *DB) docDir(name string) string {
+	return filepath.Join(db.dir, "docs", name)
+}
+
+// Document is one stored XML document with its indexes and statistics.
+type Document struct {
+	name string
+	st   *store.Store
+}
+
+// Name returns the document name.
+func (d *Document) Name() string { return d.name }
+
+// Close closes the underlying store.
+func (d *Document) Close() error { return d.st.Close() }
+
+// QueryOptions tunes one query execution.
+type QueryOptions struct {
+	// Mode selects the evaluation pipeline (default M4).
+	Mode Mode
+	// Timeout caps execution time (0 = unlimited); exceeded queries
+	// return ErrTimeout.
+	Timeout time.Duration
+	// SortBudget bounds operator memory for sorts and spools, in bytes.
+	SortBudget int
+}
+
+// Query evaluates an XQ query and returns the serialized XML result.
+func (d *Document) Query(q string, opts ...QueryOptions) (string, error) {
+	return d.engine(opts).Query(q)
+}
+
+// Explain returns the compiled plan of a query at every pipeline stage
+// (TPM rewriting, relfor merging, physical plan with cost estimates).
+func (d *Document) Explain(q string, opts ...QueryOptions) (string, error) {
+	return d.engine(opts).Explain(q)
+}
+
+func (d *Document) engine(opts []QueryOptions) *core.Engine {
+	var o QueryOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return core.New(d.st, core.Config{
+		Mode:       o.Mode.coreMode(),
+		Timeout:    o.Timeout,
+		SortBudget: o.SortBudget,
+	})
+}
+
+// Stats summarizes a stored document.
+type Stats struct {
+	Nodes     int64
+	Elements  int64
+	Texts     int64
+	MaxDepth  int32
+	AvgDepth  float64
+	Labels    map[string]int64
+	PageReads int64
+}
+
+// Stats returns the document statistics collected at load time (the
+// milestone 4 statistics the cost model estimates from).
+func (d *Document) Stats() Stats {
+	s := d.st.Stats()
+	if s == nil {
+		return Stats{}
+	}
+	labels := make(map[string]int64, len(s.LabelCount))
+	for k, v := range s.LabelCount {
+		labels[k] = v
+	}
+	return Stats{
+		Nodes:     s.Nodes,
+		Elements:  s.Elems,
+		Texts:     s.Texts,
+		MaxDepth:  s.MaxDepth,
+		AvgDepth:  s.AvgDepth(),
+		Labels:    labels,
+		PageReads: d.st.PagerStats().PagesRead,
+	}
+}
+
+// XML serializes the whole stored document back to XML (the
+// reconstruction property of the XASR encoding).
+func (d *Document) XML() (string, error) {
+	out, err := d.st.AppendSubtree(nil, store.RootIn)
+	return string(out), err
+}
+
+// Eval evaluates an XQ query against an XML document entirely in memory
+// (milestone 1), with no database directory involved. Convenient for
+// small documents and tests.
+func Eval(xmlDoc, query string) (string, error) {
+	root, err := dom.ParseString(xmlDoc)
+	if err != nil {
+		return "", err
+	}
+	return mem.New(root).QueryXML(query)
+}
+
+// ParseQuery parses an XQ query, returning an error describing the first
+// syntax problem, if any.
+func ParseQuery(query string) error {
+	_, err := xq.Parse(query)
+	return err
+}
+
+// Figure2 is the handmade example document of Figure 2 of the paper.
+const Figure2 = xmlgen.Figure2
+
+// WriteDBLP streams a deterministic DBLP-shaped document (shallow,
+// label-skewed bibliography data) with the given number of entries to w.
+func WriteDBLP(w io.Writer, entries int, seed int64) error {
+	return xmlgen.WriteDBLP(w, xmlgen.DBLPConfig{Entries: entries, Seed: seed})
+}
+
+// WriteTreebank streams a deterministic TREEBANK-shaped document (deeply
+// nested parse trees) with the given number of sentences to w.
+func WriteTreebank(w io.Writer, sentences int, seed int64) error {
+	return xmlgen.WriteTreebank(w, xmlgen.TreebankConfig{Sentences: sentences, Seed: seed})
+}
+
+// GenerateDBLP returns a DBLP-shaped document as a string.
+func GenerateDBLP(entries int, seed int64) string {
+	var b strings.Builder
+	WriteDBLP(&b, entries, seed)
+	return b.String()
+}
+
+// GenerateTreebank returns a TREEBANK-shaped document as a string.
+func GenerateTreebank(sentences int, seed int64) string {
+	var b strings.Builder
+	WriteTreebank(&b, sentences, seed)
+	return b.String()
+}
+
+// IsTimeout reports whether err is a query timeout.
+func IsTimeout(err error) bool { return errors.Is(err, limit.ErrTimeout) }
