@@ -1,0 +1,3 @@
+module xqdb
+
+go 1.24

@@ -70,24 +70,37 @@ func (t *Tree) Height() (int, error) {
 	}
 }
 
-// findInLeaf returns the slot index of the first key >= key.
+// findInLeaf returns the slot index of the first key >= key. It is a
+// hand-rolled binary search over the slot array: the closure-free form
+// keeps the per-node cost of scans and seeks minimal.
 func findInLeaf(d []byte, key []byte) int {
-	n := nkeys(d)
-	return sort.Search(n, func(i int) bool {
-		k, _ := leafCell(d, i)
-		return bytes.Compare(k, key) >= 0
-	})
+	lo, hi := 0, nkeys(d)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		k, _ := leafCell(d, mid)
+		if bytes.Compare(k, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // childFor returns the index and page id of the child to descend into for
-// key. Index -1 denotes the leftmost child.
+// key. Index -1 denotes the leftmost child. Binary search for the first
+// separator > key; the child to follow sits one slot before it.
 func childFor(d []byte, key []byte) (int, pager.PageID) {
-	n := nkeys(d)
-	// Find the last separator <= key.
-	lo := sort.Search(n, func(i int) bool {
-		k, _ := internalCell(d, i)
-		return bytes.Compare(k, key) > 0
-	})
+	lo, hi := 0, nkeys(d)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		k, _ := internalCell(d, mid)
+		if bytes.Compare(k, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	if lo == 0 {
 		return -1, link(d)
 	}

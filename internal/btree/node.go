@@ -74,11 +74,19 @@ func initNode(d []byte, typ byte) {
 	setLink(d, pager.NilPage)
 }
 
-// leafCell decodes the i-th cell of a leaf.
+// leafCell decodes the i-th cell of a leaf. Lengths below 128 (the
+// overwhelmingly common case for page-sized cells) take the single-byte
+// varint fast path.
 func leafCell(d []byte, i int) (key, val []byte) {
 	off := slot(d, i)
-	klen, n1 := binary.Uvarint(d[off:])
-	vlen, n2 := binary.Uvarint(d[off+n1:])
+	klen, n1 := uint64(d[off]), 1
+	if klen >= 0x80 {
+		klen, n1 = binary.Uvarint(d[off:])
+	}
+	vlen, n2 := uint64(d[off+n1]), 1
+	if vlen >= 0x80 {
+		vlen, n2 = binary.Uvarint(d[off+n1:])
+	}
 	ks := off + n1 + n2
 	return d[ks : ks+int(klen)], d[ks+int(klen) : ks+int(klen)+int(vlen)]
 }
@@ -88,10 +96,14 @@ func leafCellSize(key, val []byte) int {
 	return uvarintLen(uint64(len(key))) + uvarintLen(uint64(len(val))) + len(key) + len(val)
 }
 
-// internalCell decodes the i-th cell of an internal node.
+// internalCell decodes the i-th cell of an internal node, with the same
+// single-byte varint fast path as leafCell.
 func internalCell(d []byte, i int) (key []byte, child pager.PageID) {
 	off := slot(d, i)
-	klen, n1 := binary.Uvarint(d[off:])
+	klen, n1 := uint64(d[off]), 1
+	if klen >= 0x80 {
+		klen, n1 = binary.Uvarint(d[off:])
+	}
 	ks := off + n1
 	key = d[ks : ks+int(klen)]
 	child = pager.PageID(binary.LittleEndian.Uint32(d[ks+int(klen):]))

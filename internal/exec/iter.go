@@ -32,6 +32,9 @@ type Est struct {
 	Cost float64
 }
 
+// rowIter is the pull interface between operators. A returned Row is only
+// valid until the next Next or Close call — iterators reuse their backing
+// storage — so consumers that retain rows across calls must copy them.
 type rowIter interface {
 	Next() (Row, bool, error)
 	Close() error
@@ -214,6 +217,8 @@ type scanIter struct {
 	prim  *store.TupleCursor
 	label *store.LabelRangeCursor
 	child *store.ChildCursor
+	// rowbuf backs every Row this iterator returns (see rowIter contract).
+	rowbuf [1]xasr.Tuple
 }
 
 func (it *scanIter) Next() (Row, bool, error) {
@@ -241,7 +246,8 @@ func (it *scanIter) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		it.ctx.Counters.RowsScanned++
-		row := Row{t}
+		it.rowbuf[0] = t
+		row := Row(it.rowbuf[:])
 		pass, err := evalConds(it.scan.Conds, row, it.scan.schema, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
@@ -404,9 +410,10 @@ func (sp *spool) remove() {
 }
 
 type spoolIter struct {
-	sp  *spool
-	idx int
-	r   *recfile.Reader
+	sp     *spool
+	idx    int
+	r      *recfile.Reader
+	rowbuf Row // reused output buffer (see rowIter contract)
 }
 
 func (it *spoolIter) Next() (Row, bool, error) {
@@ -425,11 +432,13 @@ func (it *spoolIter) Next() (Row, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	row, err := decodeRow(rec, it.sp.slots)
-	if err != nil {
+	if it.rowbuf == nil {
+		it.rowbuf = make(Row, it.sp.slots)
+	}
+	if err := decodeRowInto(it.rowbuf, rec); err != nil {
 		return nil, false, err
 	}
-	return row, true, nil
+	return it.rowbuf, true, nil
 }
 
 func (it *spoolIter) Close() error {
@@ -518,6 +527,7 @@ type nlJoinIter struct {
 	lRow        Row
 	haveL       bool
 	inner       *spoolIter
+	joined      Row // reused output buffer (see rowIter contract)
 }
 
 func (it *nlJoinIter) Next() (Row, bool, error) {
@@ -555,16 +565,14 @@ func (it *nlJoinIter) Next() (Row, bool, error) {
 			it.haveL = false
 			continue
 		}
-		joined := make(Row, 0, len(it.lRow)+len(rRow))
-		joined = append(joined, it.lRow...)
-		joined = append(joined, rRow...)
-		pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+		it.joined = append(append(it.joined[:0], it.lRow...), rRow...)
+		pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
 		if pass {
 			it.ctx.Counters.RowsJoined++
-			return joined, true, nil
+			return it.joined, true, nil
 		}
 	}
 }
@@ -639,6 +647,7 @@ type bnlJoinIter struct {
 	haveR       bool
 	bIdx        int
 	done        bool
+	joined      Row // reused output buffer (see rowIter contract)
 }
 
 func (it *bnlJoinIter) fillBlock() error {
@@ -651,7 +660,9 @@ func (it *bnlJoinIter) fillBlock() error {
 		if !ok {
 			break
 		}
-		it.block = append(it.block, row)
+		// Copy: the child iterator reuses its row buffer, and block rows
+		// outlive many child Next calls.
+		it.block = append(it.block, append(Row(nil), row...))
 	}
 	return nil
 }
@@ -698,23 +709,21 @@ func (it *bnlJoinIter) Next() (Row, bool, error) {
 				continue
 			}
 			// Copy: the spool iterator reuses its buffer.
-			it.rRow = append(Row(nil), rRow...)
+			it.rRow = append(it.rRow[:0], rRow...)
 			it.haveR = true
 			it.bIdx = 0
 		}
 		for it.bIdx < len(it.block) {
 			l := it.block[it.bIdx]
 			it.bIdx++
-			joined := make(Row, 0, len(l)+len(it.rRow))
-			joined = append(joined, l...)
-			joined = append(joined, it.rRow...)
-			pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+			it.joined = append(append(it.joined[:0], l...), it.rRow...)
+			pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
 			if err != nil {
 				return nil, false, err
 			}
 			if pass {
 				it.ctx.Counters.RowsJoined++
-				return joined, true, nil
+				return it.joined, true, nil
 			}
 		}
 		it.haveR = false
@@ -784,11 +793,12 @@ func (j *INLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 }
 
 type inlJoinIter struct {
-	ctx   *Ctx
-	j     *INLJoin
-	left  rowIter
-	lRow  Row
-	inner rowIter
+	ctx    *Ctx
+	j      *INLJoin
+	left   rowIter
+	lRow   Row
+	inner  rowIter
+	joined Row // reused output buffer (see rowIter contract)
 }
 
 func (it *inlJoinIter) Next() (Row, bool, error) {
@@ -818,16 +828,14 @@ func (it *inlJoinIter) Next() (Row, bool, error) {
 			it.inner = nil
 			continue
 		}
-		joined := make(Row, 0, len(it.lRow)+len(rRow))
-		joined = append(joined, it.lRow...)
-		joined = append(joined, rRow...)
-		pass, err := evalConds(it.j.Conds, joined, it.j.schema, it.ctx.Env)
+		it.joined = append(append(it.joined[:0], it.lRow...), rRow...)
+		pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
 		if pass {
 			it.ctx.Counters.RowsJoined++
-			return joined, true, nil
+			return it.joined, true, nil
 		}
 	}
 }
@@ -901,8 +909,13 @@ func (p *Project) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 type projectIter struct {
 	p     *Project
 	child rowIter
-	prev  Row
-	have  bool
+	// bufs double-buffers the output rows: the previously emitted row must
+	// stay intact for dedup comparison while the next candidate is built,
+	// so emissions alternate between the two (see rowIter contract).
+	bufs [2]Row
+	cur  int
+	prev Row
+	have bool
 }
 
 func (it *projectIter) Next() (Row, bool, error) {
@@ -911,7 +924,11 @@ func (it *projectIter) Next() (Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		out := make(Row, len(it.p.slots))
+		out := it.bufs[it.cur]
+		if out == nil {
+			out = make(Row, len(it.p.slots))
+			it.bufs[it.cur] = out
+		}
 		for i, s := range it.p.slots {
 			out[i] = row[s]
 		}
@@ -920,6 +937,7 @@ func (it *projectIter) Next() (Row, bool, error) {
 		}
 		it.prev = out
 		it.have = true
+		it.cur ^= 1
 		return out, true, nil
 	}
 }
@@ -1036,6 +1054,7 @@ type sortIter struct {
 	slots   int
 	prevKey []byte
 	have    bool
+	rowbuf  Row // reused output buffer (see rowIter contract)
 }
 
 func (it *sortIter) Next() (Row, bool, error) {
@@ -1053,11 +1072,13 @@ func (it *sortIter) Next() (Row, bool, error) {
 		}
 		it.prevKey = append(it.prevKey[:0], key...)
 		it.have = true
-		row, err := decodeRow(rec[it.keyLen:], it.slots)
-		if err != nil {
+		if it.rowbuf == nil {
+			it.rowbuf = make(Row, it.slots)
+		}
+		if err := decodeRowInto(it.rowbuf, rec[it.keyLen:]); err != nil {
 			return nil, false, err
 		}
-		return row, true, nil
+		return it.rowbuf, true, nil
 	}
 }
 

@@ -227,27 +227,30 @@ func appendRow(dst []byte, row Row) []byte {
 	return dst
 }
 
-// decodeRow decodes a spooled row with the given number of slots.
-func decodeRow(rec []byte, slots int) (Row, error) {
-	row := make(Row, slots)
-	for i := 0; i < slots; i++ {
-		if len(rec) < 13 {
-			return nil, fmt.Errorf("exec: corrupt spooled row")
+// decodeRowInto decodes a spooled row into row (whose length gives the
+// slot count). One string conversion is shared by all slot values, so
+// decoding costs a single allocation per row regardless of arity.
+func decodeRowInto(row Row, rec []byte) error {
+	shared := string(rec)
+	off := 0
+	for i := range row {
+		if len(rec)-off < 13 {
+			return fmt.Errorf("exec: corrupt spooled row")
 		}
 		t := xasr.Tuple{
-			In:       binary.BigEndian.Uint32(rec[0:]),
-			Out:      binary.BigEndian.Uint32(rec[4:]),
-			ParentIn: binary.BigEndian.Uint32(rec[8:]),
-			Type:     xasr.NodeType(rec[12]),
+			In:       binary.BigEndian.Uint32(rec[off:]),
+			Out:      binary.BigEndian.Uint32(rec[off+4:]),
+			ParentIn: binary.BigEndian.Uint32(rec[off+8:]),
+			Type:     xasr.NodeType(rec[off+12]),
 		}
-		rec = rec[13:]
-		vlen, n := binary.Uvarint(rec)
-		if n <= 0 || uint64(len(rec)-n) < vlen {
-			return nil, fmt.Errorf("exec: corrupt spooled row value")
+		off += 13
+		vlen, n := binary.Uvarint(rec[off:])
+		if n <= 0 || uint64(len(rec)-off-n) < vlen {
+			return fmt.Errorf("exec: corrupt spooled row value")
 		}
-		t.Value = string(rec[n : n+int(vlen)])
-		rec = rec[n+int(vlen):]
+		t.Value = shared[off+n : off+n+int(vlen)]
+		off += n + int(vlen)
 		row[i] = t
 	}
-	return row, nil
+	return nil
 }

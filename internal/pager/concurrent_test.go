@@ -1,0 +1,147 @@
+package pager
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// fillPages allocates n pages stamped with their own id and flushes.
+func fillPages(t testing.TB, p *Pager, n int) []PageID {
+	t.Helper()
+	ids := make([]PageID, 0, n)
+	for i := 0; i < n; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		pg.Data()[0] = byte(pg.ID)
+		pg.Data()[1] = byte(pg.ID >> 8)
+		pg.MarkDirty()
+		ids = append(ids, pg.ID)
+		pg.Unpin()
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return ids
+}
+
+// TestConcurrentReadsAndStats hammers Read and Stats from many goroutines
+// with a pool smaller than the page set, so hits, misses, evictions and
+// stats snapshots race against each other. Run under -race this pins down
+// the Stats data race the pre-sharding design had (stats were read under
+// the same mutex but mutated on every scan, so a reader calling Stats()
+// during a scan raced with the counter increments once any path touched
+// them outside the lock).
+func TestConcurrentReadsAndStats(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 64})
+	ids := fillPages(t, p, 256)
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	const iters = 2000
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ids[(seed*7+i*13)%len(ids)]
+				pg, err := p.Read(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := PageID(pg.Data()[0]) | PageID(pg.Data()[1])<<8; got != id {
+					pg.Unpin()
+					errs <- fmt.Errorf("page %d: content says %d", id, got)
+					return
+				}
+				pg.Unpin()
+				if i%16 == 0 {
+					_ = p.Stats()
+				}
+			}
+		}(w)
+	}
+	// A stats reader and a resetter race against the readers on purpose.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s := p.Stats()
+			if s.CacheHits < 0 || s.CacheMisses < 0 {
+				errs <- fmt.Errorf("negative stats snapshot: %+v", s)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := p.Stats()
+	if s.CacheHits+s.CacheMisses == 0 {
+		t.Fatal("no page requests recorded")
+	}
+}
+
+// TestShardDistribution checks that the pool really stripes: with the
+// default sizing more than one shard exists and sequential page ids land
+// in different shards.
+func TestShardDistribution(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 256})
+	if runtime.GOMAXPROCS(0) > 1 && p.Shards() < 2 {
+		t.Fatalf("expected a striped pool, got %d shards", p.Shards())
+	}
+	if p.shardFor(1) == p.shardFor(2) && p.Shards() > 1 {
+		t.Fatal("consecutive page ids mapped to the same shard")
+	}
+	// A tiny pool must collapse to one shard rather than starve descents.
+	small, _ := openTemp(t, Options{CacheFrames: 8})
+	if small.Shards() != 1 {
+		t.Fatalf("8-frame pool should be a single shard, got %d", small.Shards())
+	}
+}
+
+// TestConcurrentReadersSmallPool forces constant eviction traffic from
+// many readers over a pool with one-frame shards' worth of headroom.
+func TestConcurrentReadersSmallPool(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 16})
+	ids := fillPages(t, p, 128)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := ids[(seed+i)%len(ids)]
+				pg, err := p.Read(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := PageID(pg.Data()[0]) | PageID(pg.Data()[1])<<8; got != id {
+					pg.Unpin()
+					errs <- fmt.Errorf("page %d: content says %d", id, got)
+					return
+				}
+				pg.Unpin()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

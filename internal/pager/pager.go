@@ -8,6 +8,17 @@
 // how the testbed enforces the paper's "20 MB of memory" efficiency-test
 // cap; the pool also counts page reads, writes, hits and misses so the cost
 // model can be calibrated against observed I/O.
+//
+// # Sharding
+//
+// The buffer pool is split into lock-striped shards keyed by the low bits
+// of the PageID. Each shard owns its frames, its pageID→frame hash table
+// and its clock hand, all guarded by a per-shard mutex, so concurrent
+// readers touching different shards never contend. The I/O counters are
+// sync/atomic and lock-free. Only the file metadata (page count, freelist,
+// app header) keeps a single mutex; it is taken on the write/allocate path
+// used at load time and never on the hot read path. Lock order is always
+// meta → shard, never the reverse.
 package pager
 
 import (
@@ -16,7 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within the file. Page 0 is the meta page and is
@@ -46,6 +59,15 @@ const DefaultPageSize = 4096
 // is zero: 1024 frames of 4 KiB = 4 MiB.
 const DefaultCacheFrames = 1024
 
+// minFramesPerShard is the smallest shard a pool is allowed to have: below
+// this, B+-tree descents (which keep a root-to-leaf path pinned during
+// inserts) can exhaust a shard even though the pool as a whole has room.
+const minFramesPerShard = 8
+
+// maxShards caps the stripe count; beyond ~4× typical core counts the
+// extra shards only cost memory locality.
+const maxShards = 64
+
 // ErrClosed is returned by operations on a closed Pager.
 var ErrClosed = errors.New("pager: closed")
 
@@ -69,6 +91,15 @@ type Stats struct {
 	Allocations  int64 // pages allocated
 }
 
+// counters is the lock-free mutable form of Stats.
+type counters struct {
+	pagesRead    atomic.Int64
+	pagesWritten atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	allocations  atomic.Int64
+}
+
 // frame is one buffer-pool slot.
 type frame struct {
 	id     PageID
@@ -79,25 +110,57 @@ type frame struct {
 	valid  bool
 }
 
-// Pager manages the page file and its buffer pool. All methods are safe
-// for concurrent use.
-type Pager struct {
-	mu       sync.Mutex
-	f        *os.File
-	pageSize int
-	readOnly bool
-	closed   bool
-
-	numPages  uint32 // including the meta page
-	freeHead  PageID
-	appHdr    [AppHeaderSize]byte
-	metaDirty bool
-
+// shard is one stripe of the buffer pool: a private frame array, hash
+// table and clock hand under a private mutex.
+type shard struct {
+	mu     sync.Mutex
 	frames []frame
 	table  map[PageID]int // pageID -> frame index
 	clock  int
+}
 
-	stats Stats
+// Pager manages the page file and its buffer pool. All methods are safe
+// for concurrent use.
+type Pager struct {
+	f        *os.File
+	pageSize int
+	readOnly bool
+
+	closed   atomic.Bool
+	numPages atomic.Uint32 // including the meta page
+
+	// meta guards the file metadata mutated on the allocate/free path.
+	meta struct {
+		sync.Mutex
+		freeHead  PageID
+		appHdr    [AppHeaderSize]byte
+		metaDirty bool
+	}
+
+	shards    []shard
+	shardMask uint32
+
+	stats counters
+}
+
+// shardFor maps a page id to its stripe. Page ids are allocated
+// sequentially, so the low bits distribute uniformly.
+func (p *Pager) shardFor(id PageID) *shard {
+	return &p.shards[uint32(id)&p.shardMask]
+}
+
+// shardCount picks a power-of-two stripe count that keeps every shard at
+// least minFramesPerShard frames.
+func shardCount(cacheFrames int) int {
+	n := 1
+	limit := runtime.GOMAXPROCS(0) * 4
+	if limit > maxShards {
+		limit = maxShards
+	}
+	for n*2 <= limit && cacheFrames/(n*2) >= minFramesPerShard {
+		n *= 2
+	}
+	return n
 }
 
 // Open opens or creates the page file at path.
@@ -111,8 +174,8 @@ func Open(path string, opts Options) (*Pager, error) {
 	if opts.CacheFrames <= 0 {
 		opts.CacheFrames = DefaultCacheFrames
 	}
-	if opts.CacheFrames < 8 {
-		opts.CacheFrames = 8 // below this, B+-tree descents can deadlock on pins
+	if opts.CacheFrames < minFramesPerShard {
+		opts.CacheFrames = minFramesPerShard
 	}
 	flag := os.O_RDWR | os.O_CREATE
 	if opts.ReadOnly {
@@ -126,7 +189,6 @@ func Open(path string, opts Options) (*Pager, error) {
 		f:        f,
 		pageSize: opts.PageSize,
 		readOnly: opts.ReadOnly,
-		table:    make(map[PageID]int, opts.CacheFrames),
 	}
 	fi, err := f.Stat()
 	if err != nil {
@@ -138,9 +200,9 @@ func Open(path string, opts Options) (*Pager, error) {
 			f.Close()
 			return nil, fmt.Errorf("pager: %s is empty", path)
 		}
-		p.numPages = 1
-		p.metaDirty = true
-		if err := p.writeMeta(); err != nil {
+		p.numPages.Store(1)
+		p.meta.metaDirty = true
+		if err := p.writeMetaLocked(); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -150,9 +212,21 @@ func Open(path string, opts Options) (*Pager, error) {
 			return nil, err
 		}
 	}
-	p.frames = make([]frame, opts.CacheFrames)
-	for i := range p.frames {
-		p.frames[i].data = make([]byte, p.pageSize)
+	ns := shardCount(opts.CacheFrames)
+	p.shards = make([]shard, ns)
+	p.shardMask = uint32(ns - 1)
+	base, extra := opts.CacheFrames/ns, opts.CacheFrames%ns
+	for i := range p.shards {
+		n := base
+		if i < extra {
+			n++
+		}
+		sh := &p.shards[i]
+		sh.frames = make([]frame, n)
+		sh.table = make(map[PageID]int, n)
+		for j := range sh.frames {
+			sh.frames[j].data = make([]byte, p.pageSize)
+		}
 	}
 	return p, nil
 }
@@ -170,27 +244,29 @@ func (p *Pager) readMeta() error {
 		return fmt.Errorf("pager: corrupt page size %d", ps)
 	}
 	p.pageSize = int(ps)
-	p.numPages = binary.LittleEndian.Uint32(hdr[offNumPages:])
-	p.freeHead = PageID(binary.LittleEndian.Uint32(hdr[offFreeHead:]))
-	copy(p.appHdr[:], hdr[offAppHeader:offAppHeader+AppHeaderSize])
+	p.numPages.Store(binary.LittleEndian.Uint32(hdr[offNumPages:]))
+	p.meta.freeHead = PageID(binary.LittleEndian.Uint32(hdr[offFreeHead:]))
+	copy(p.meta.appHdr[:], hdr[offAppHeader:offAppHeader+AppHeaderSize])
 	return nil
 }
 
-func (p *Pager) writeMeta() error {
-	if !p.metaDirty {
+// writeMetaLocked persists the meta page. Caller holds p.meta (or has
+// exclusive access during Open).
+func (p *Pager) writeMetaLocked() error {
+	if !p.meta.metaDirty {
 		return nil
 	}
 	buf := make([]byte, p.pageSize)
 	copy(buf[offMagic:], magic)
 	binary.LittleEndian.PutUint32(buf[offPageSize:], uint32(p.pageSize))
-	binary.LittleEndian.PutUint32(buf[offNumPages:], p.numPages)
-	binary.LittleEndian.PutUint32(buf[offFreeHead:], uint32(p.freeHead))
-	copy(buf[offAppHeader:], p.appHdr[:])
+	binary.LittleEndian.PutUint32(buf[offNumPages:], p.numPages.Load())
+	binary.LittleEndian.PutUint32(buf[offFreeHead:], uint32(p.meta.freeHead))
+	copy(buf[offAppHeader:], p.meta.appHdr[:])
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
 		return fmt.Errorf("pager: writing meta page: %w", err)
 	}
-	p.stats.PagesWritten++
-	p.metaDirty = false
+	p.stats.pagesWritten.Add(1)
+	p.meta.metaDirty = false
 	return nil
 }
 
@@ -199,170 +275,191 @@ func (p *Pager) PageSize() int { return p.pageSize }
 
 // NumPages returns the number of pages in the file, including the meta
 // page and freed pages.
-func (p *Pager) NumPages() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int(p.numPages)
-}
+func (p *Pager) NumPages() int { return int(p.numPages.Load()) }
+
+// Shards returns the number of buffer pool stripes (for tests and
+// diagnostics).
+func (p *Pager) Shards() int { return len(p.shards) }
 
 // Stats returns a snapshot of the I/O counters.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		PagesRead:    p.stats.pagesRead.Load(),
+		PagesWritten: p.stats.pagesWritten.Load(),
+		CacheHits:    p.stats.cacheHits.Load(),
+		CacheMisses:  p.stats.cacheMisses.Load(),
+		Allocations:  p.stats.allocations.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O counters (used between benchmark phases).
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.stats.pagesRead.Store(0)
+	p.stats.pagesWritten.Store(0)
+	p.stats.cacheHits.Store(0)
+	p.stats.cacheMisses.Store(0)
+	p.stats.allocations.Store(0)
 }
 
 // AppHeader returns a copy of the client header area of the meta page.
 func (p *Pager) AppHeader() [AppHeaderSize]byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.appHdr
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	return p.meta.appHdr
 }
 
 // SetAppHeader replaces the client header area. It is persisted on the
 // next Flush or Close.
 func (p *Pager) SetAppHeader(hdr [AppHeaderSize]byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.appHdr = hdr
-	p.metaDirty = true
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	p.meta.appHdr = hdr
+	p.meta.metaDirty = true
 }
 
 // Page is a pinned page. Callers must Unpin it when done; pages written to
 // must be marked dirty before unpinning.
 type Page struct {
 	ID    PageID
-	p     *Pager
+	sh    *shard
 	frame int
 }
 
 // Data returns the page contents. The slice is only valid while the page
 // is pinned.
-func (pg *Page) Data() []byte { return pg.p.frames[pg.frame].data }
+func (pg *Page) Data() []byte { return pg.sh.frames[pg.frame].data }
 
 // MarkDirty records that the page was modified.
 func (pg *Page) MarkDirty() {
-	pg.p.mu.Lock()
-	pg.p.frames[pg.frame].dirty = true
-	pg.p.mu.Unlock()
+	pg.sh.mu.Lock()
+	pg.sh.frames[pg.frame].dirty = true
+	pg.sh.mu.Unlock()
 }
 
 // Unpin releases the page back to the pool.
 func (pg *Page) Unpin() {
-	pg.p.mu.Lock()
-	fr := &pg.p.frames[pg.frame]
+	pg.sh.mu.Lock()
+	fr := &pg.sh.frames[pg.frame]
 	if fr.pins > 0 {
 		fr.pins--
 	}
-	pg.p.mu.Unlock()
+	pg.sh.mu.Unlock()
 }
 
 // Allocate returns a new zeroed page, reusing freed pages when possible.
 // The page is returned pinned and dirty.
 func (p *Pager) Allocate() (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
 	if p.readOnly {
 		return nil, errors.New("pager: allocate on read-only file")
 	}
-	var id PageID
-	if p.freeHead != NilPage {
-		id = p.freeHead
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if p.meta.freeHead != NilPage {
+		id := p.meta.freeHead
 		// The next free page id is stored in the first 4 bytes.
-		fi, err := p.fetchLocked(id)
+		pg, err := p.fetch(id)
 		if err != nil {
 			return nil, err
 		}
-		p.freeHead = PageID(binary.LittleEndian.Uint32(p.frames[fi].data))
-		for i := range p.frames[fi].data {
-			p.frames[fi].data[i] = 0
+		d := pg.Data()
+		p.meta.freeHead = PageID(binary.LittleEndian.Uint32(d))
+		for i := range d {
+			d[i] = 0
 		}
-		p.frames[fi].dirty = true
-		p.metaDirty = true
-		p.stats.Allocations++
-		return &Page{ID: id, p: p, frame: fi}, nil
+		pg.MarkDirty()
+		p.meta.metaDirty = true
+		p.stats.allocations.Add(1)
+		return pg, nil
 	}
-	id = PageID(p.numPages)
-	p.numPages++
-	p.metaDirty = true
-	p.stats.Allocations++
-	fi, err := p.newFrameLocked(id)
+	// Install the frame before publishing the new page count: a concurrent
+	// Read of this id must either see "invalid page" (not yet published)
+	// or find the installed frame — never race Allocate into loading a
+	// second frame for the same id.
+	id := PageID(p.numPages.Load())
+	pg, err := p.newFrame(id)
 	if err != nil {
 		return nil, err
 	}
-	p.frames[fi].dirty = true
-	return &Page{ID: id, p: p, frame: fi}, nil
+	p.numPages.Store(uint32(id) + 1)
+	p.meta.metaDirty = true
+	p.stats.allocations.Add(1)
+	pg.MarkDirty()
+	return pg, nil
 }
 
 // Free returns a page to the freelist.
 func (p *Pager) Free(id PageID) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	if id == metaPageID || uint32(id) >= p.numPages {
+	if id == metaPageID || uint32(id) >= p.numPages.Load() {
 		return fmt.Errorf("pager: free of invalid page %d", id)
 	}
-	fi, err := p.fetchLocked(id)
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	pg, err := p.fetch(id)
 	if err != nil {
 		return err
 	}
-	fr := &p.frames[fi]
-	binary.LittleEndian.PutUint32(fr.data, uint32(p.freeHead))
-	fr.dirty = true
-	fr.pins--
-	p.freeHead = id
-	p.metaDirty = true
+	binary.LittleEndian.PutUint32(pg.Data(), uint32(p.meta.freeHead))
+	pg.MarkDirty()
+	pg.Unpin()
+	p.meta.freeHead = id
+	p.meta.metaDirty = true
 	return nil
 }
 
-// Read pins and returns the page with the given id.
+// Read pins and returns the page with the given id. This is the hot path:
+// it touches only the page's shard, never the meta mutex.
 func (p *Pager) Read(id PageID) (*Page, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	if id == metaPageID || uint32(id) >= p.numPages {
+	if id == metaPageID || uint32(id) >= p.numPages.Load() {
 		return nil, fmt.Errorf("pager: read of invalid page %d", id)
 	}
-	fi, err := p.fetchLocked(id)
-	if err != nil {
-		return nil, err
-	}
-	return &Page{ID: id, p: p, frame: fi}, nil
+	return p.fetch(id)
 }
 
-// fetchLocked returns the frame index of page id, loading it from the file
-// if necessary. The frame is returned pinned (pins incremented).
-func (p *Pager) fetchLocked(id PageID) (int, error) {
-	if fi, ok := p.table[id]; ok {
-		p.stats.CacheHits++
-		p.frames[fi].pins++
-		p.frames[fi].refbit = true
-		return fi, nil
+// fetch returns the page pinned, loading it from the file into its shard
+// if necessary.
+func (p *Pager) fetch(id PageID) (*Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	// Re-check closed under the shard lock: Close sets the flag and then
+	// takes every shard mutex before closing the file, so a fetch that
+	// passes this check finishes its I/O before the descriptor goes away.
+	if p.closed.Load() {
+		sh.mu.Unlock()
+		return nil, ErrClosed
 	}
-	p.stats.CacheMisses++
-	fi, err := p.victimLocked()
+	if fi, ok := sh.table[id]; ok {
+		sh.frames[fi].pins++
+		sh.frames[fi].refbit = true
+		sh.mu.Unlock()
+		p.stats.cacheHits.Add(1)
+		return &Page{ID: id, sh: sh, frame: fi}, nil
+	}
+	fi, err := p.victimLocked(sh)
 	if err != nil {
-		return 0, err
+		sh.mu.Unlock()
+		return nil, err
 	}
-	fr := &p.frames[fi]
+	fr := &sh.frames[fi]
 	off := int64(id) * int64(p.pageSize)
 	n, err := p.f.ReadAt(fr.data, off)
 	if err != nil && err != io.EOF {
-		return 0, fmt.Errorf("pager: reading page %d: %w", id, err)
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
 	}
 	if n < p.pageSize {
 		// Page beyond EOF (allocated but never written): zero-fill.
@@ -370,24 +467,32 @@ func (p *Pager) fetchLocked(id PageID) (int, error) {
 			fr.data[i] = 0
 		}
 	}
-	p.stats.PagesRead++
 	fr.id = id
 	fr.pins = 1
 	fr.dirty = false
 	fr.refbit = true
 	fr.valid = true
-	p.table[id] = fi
-	return fi, nil
+	sh.table[id] = fi
+	sh.mu.Unlock()
+	p.stats.cacheMisses.Add(1)
+	p.stats.pagesRead.Add(1)
+	return &Page{ID: id, sh: sh, frame: fi}, nil
 }
 
-// newFrameLocked claims a frame for a brand-new page without reading the
-// file. The frame is returned pinned and zeroed.
-func (p *Pager) newFrameLocked(id PageID) (int, error) {
-	fi, err := p.victimLocked()
-	if err != nil {
-		return 0, err
+// newFrame claims a frame for a brand-new page without reading the file.
+// The page is returned pinned and zeroed.
+func (p *Pager) newFrame(id PageID) (*Page, error) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p.closed.Load() {
+		return nil, ErrClosed
 	}
-	fr := &p.frames[fi]
+	fi, err := p.victimLocked(sh)
+	if err != nil {
+		return nil, err
+	}
+	fr := &sh.frames[fi]
 	for i := range fr.data {
 		fr.data[i] = 0
 	}
@@ -396,18 +501,18 @@ func (p *Pager) newFrameLocked(id PageID) (int, error) {
 	fr.dirty = false
 	fr.refbit = true
 	fr.valid = true
-	p.table[id] = fi
-	return fi, nil
+	sh.table[id] = fi
+	return &Page{ID: id, sh: sh, frame: fi}, nil
 }
 
-// victimLocked finds a free or evictable frame using the clock algorithm,
-// writing back a dirty victim.
-func (p *Pager) victimLocked() (int, error) {
-	n := len(p.frames)
+// victimLocked finds a free or evictable frame in sh using the clock
+// algorithm, writing back a dirty victim. Caller holds sh.mu.
+func (p *Pager) victimLocked(sh *shard) (int, error) {
+	n := len(sh.frames)
 	for sweep := 0; sweep < 2*n+1; sweep++ {
-		fi := p.clock
-		p.clock = (p.clock + 1) % n
-		fr := &p.frames[fi]
+		fi := sh.clock
+		sh.clock = (sh.clock + 1) % n
+		fr := &sh.frames[fi]
 		if !fr.valid {
 			return fi, nil
 		}
@@ -419,47 +524,55 @@ func (p *Pager) victimLocked() (int, error) {
 			continue
 		}
 		if fr.dirty {
-			if err := p.writeFrameLocked(fr); err != nil {
+			if err := p.writeFrame(fr); err != nil {
 				return 0, err
 			}
 		}
-		delete(p.table, fr.id)
+		delete(sh.table, fr.id)
 		fr.valid = false
 		return fi, nil
 	}
-	return 0, fmt.Errorf("pager: buffer pool exhausted (%d frames, all pinned)", n)
+	return 0, fmt.Errorf("pager: buffer pool shard exhausted (%d frames, all pinned)", n)
 }
 
-func (p *Pager) writeFrameLocked(fr *frame) error {
+func (p *Pager) writeFrame(fr *frame) error {
 	off := int64(fr.id) * int64(p.pageSize)
 	if _, err := p.f.WriteAt(fr.data, off); err != nil {
 		return fmt.Errorf("pager: writing page %d: %w", fr.id, err)
 	}
-	p.stats.PagesWritten++
+	p.stats.pagesWritten.Add(1)
 	fr.dirty = false
 	return nil
 }
 
 // Flush writes all dirty pages and the meta page to the file.
 func (p *Pager) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	return p.flushLocked()
+	return p.flushMetaLocked()
 }
 
-func (p *Pager) flushLocked() error {
-	for i := range p.frames {
-		fr := &p.frames[i]
-		if fr.valid && fr.dirty {
-			if err := p.writeFrameLocked(fr); err != nil {
-				return err
+// flushMetaLocked writes back every dirty frame shard by shard, then the
+// meta page. Caller holds p.meta (lock order meta → shard).
+func (p *Pager) flushMetaLocked() error {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.frames {
+			fr := &sh.frames[j]
+			if fr.valid && fr.dirty {
+				if err := p.writeFrame(fr); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
-	return p.writeMeta()
+	return p.writeMetaLocked()
 }
 
 // Sync flushes and fsyncs the file.
@@ -470,18 +583,31 @@ func (p *Pager) Sync() error {
 	return p.f.Sync()
 }
 
-// Close flushes and closes the file.
+// Close flushes and closes the file. Setting the closed flag and then
+// sweeping every shard mutex (the flush does both) acts as a barrier: any
+// fetch that entered its shard before the sweep completes its I/O first,
+// and any later one sees the flag and returns ErrClosed, so the
+// descriptor is never closed under an in-flight read.
 func (p *Pager) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	// Take the meta lock before swapping the flag so concurrent Close
+	// calls serialize: the loser blocks until the winner has flushed and
+	// closed the file, preserving "Close returned ⇒ flushed and closed".
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Swap(true) {
 		return nil
 	}
 	var err error
 	if !p.readOnly {
-		err = p.flushLocked()
+		err = p.flushMetaLocked()
+	} else {
+		// Read-only: nothing to flush, but still sweep the shard locks to
+		// serialize with in-flight fetches before closing the file.
+		for i := range p.shards {
+			p.shards[i].mu.Lock()
+			p.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		}
 	}
-	p.closed = true
 	if cerr := p.f.Close(); err == nil {
 		err = cerr
 	}

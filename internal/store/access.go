@@ -1,8 +1,8 @@
 package store
 
 import (
-	"bytes"
 	"fmt"
+	"sync"
 
 	"xqdb/internal/btree"
 	"xqdb/internal/xasr"
@@ -40,28 +40,26 @@ func (s *Store) ScanAll(fn func(xasr.Tuple) bool) error {
 }
 
 // ScanRange iterates tuples with lo <= in < hi in document order. hi = 0
-// means "to the end of the relation".
+// means "to the end of the relation". Internally it pulls from the batched
+// cursor, so tuples are decoded a leaf at a time.
 func (s *Store) ScanRange(lo, hi uint32, fn func(xasr.Tuple) bool) error {
-	if !s.loaded {
-		return ErrNotLoaded
+	tc, err := s.OpenRange(lo, hi)
+	if err != nil {
+		return err
 	}
-	var hiKey []byte
-	if hi != 0 {
-		hiKey = xasr.PrimaryKey(hi)
-	}
-	var scanErr error
-	err := s.primary.ScanRange(xasr.PrimaryKey(lo), hiKey, func(k, v []byte) bool {
-		t, err := xasr.DecodePrimary(k, v)
+	defer tc.Close()
+	for {
+		t, ok, err := tc.Next()
 		if err != nil {
-			scanErr = err
-			return false
+			return err
 		}
-		return fn(t)
-	})
-	if scanErr != nil {
-		return scanErr
+		if !ok {
+			return nil
+		}
+		if !fn(t) {
+			return nil
+		}
 	}
-	return err
 }
 
 // LabelEntry is an index-only row from the label index: the identity of a
@@ -87,41 +85,126 @@ var ErrNoParentIndex = fmt.Errorf("store: parent index not built")
 // index nested-loop descendant joins: the descendants of a node x with a
 // given label lie exactly in the in-range (x.in, x.out).
 func (s *Store) ScanLabelRange(typ xasr.NodeType, value string, lo, hi uint32, fn func(LabelEntry) bool) error {
-	if !s.loaded {
-		return ErrNotLoaded
+	lc, err := s.OpenLabelRange(typ, value, lo, hi)
+	if err != nil {
+		return err
 	}
-	if s.labelIdx == nil {
-		return ErrNoLabelIndex
-	}
-	loKey := xasr.LabelKey(typ, value, lo)
-	var hiKey []byte
-	if hi != 0 {
-		hiKey = xasr.LabelKey(typ, value, hi)
-	} else {
-		// One past the last possible in for this (type, value) prefix.
-		hiKey = xasr.LabelKey(typ, value, ^uint32(0))
-		hiKey = append(hiKey, 0)
-	}
-	var scanErr error
-	err := s.labelIdx.ScanRange(loKey, hiKey, func(k, v []byte) bool {
-		in, out, parent, err := xasr.DecodeLabelEntry(k, v)
+	defer lc.Close()
+	for {
+		e, ok, err := lc.Next()
 		if err != nil {
-			scanErr = err
-			return false
+			return err
 		}
-		return fn(LabelEntry{In: in, Out: out, ParentIn: parent})
-	})
-	if scanErr != nil {
-		return scanErr
+		if !ok {
+			return nil
+		}
+		if !fn(e) {
+			return nil
+		}
 	}
-	return err
+}
+
+// tupleLeafCursor is the shared decode core of TupleCursor and
+// ChildCursor: a batch cursor over one tree range plus reusable decode
+// buffers and a sticky error. Each buffer-pool round-trip decodes a whole
+// leaf of XASR tuples into a reusable array, so next() is an array index
+// in the steady state and the only per-leaf allocation is one shared
+// backing string for the tuple values.
+type tupleLeafCursor struct {
+	bc     btree.BatchCursor
+	decode func(k, v []byte) (xasr.Tuple, []byte, error)
+	tuples []xasr.Tuple
+	i      int
+	done   bool
+	err    error  // sticky: set on the first decode/read failure
+	valbuf []byte // scratch: concatenated value bytes of the leaf
+	voffs  []int  // scratch: cumulative value end offsets per tuple
+}
+
+// reset prepares a (possibly pooled) cursor for a fresh range.
+func (c *tupleLeafCursor) reset(decode func(k, v []byte) (xasr.Tuple, []byte, error)) {
+	c.decode = decode
+	c.tuples = c.tuples[:0]
+	c.i = 0
+	c.done = false
+	c.err = nil
+}
+
+// next returns the next tuple, or ok=false at the end of the range. The
+// returned tuple is a value copy and stays valid indefinitely. After an
+// error the cursor stays in the error state: retrying keeps returning
+// the same error rather than fabricating tuples from a corrupt leaf.
+func (c *tupleLeafCursor) next() (xasr.Tuple, bool, error) {
+	if c.err != nil {
+		return xasr.Tuple{}, false, c.err
+	}
+	for c.i >= len(c.tuples) && !c.done {
+		if err := c.fill(); err != nil {
+			c.err = err
+			c.done = true
+			c.tuples = c.tuples[:0]
+			return xasr.Tuple{}, false, err
+		}
+	}
+	if c.i >= len(c.tuples) {
+		return xasr.Tuple{}, false, nil
+	}
+	t := c.tuples[c.i]
+	c.i++
+	return t, true, nil
+}
+
+// fill decodes the next leaf's worth of tuples. Numeric columns are
+// decoded straight off the pinned page; value bytes are gathered into one
+// scratch buffer whose single string conversion backs every tuple's Value
+// — one allocation per leaf instead of one per tuple.
+func (c *tupleLeafCursor) fill() error {
+	c.tuples = c.tuples[:0]
+	c.valbuf = c.valbuf[:0]
+	c.voffs = c.voffs[:0]
+	c.i = 0
+	var derr error
+	ok, err := c.bc.NextLeaf(func(k, v []byte) {
+		if derr != nil {
+			return
+		}
+		t, raw, err := c.decode(k, v)
+		if err != nil {
+			derr = err
+			return
+		}
+		c.tuples = append(c.tuples, t)
+		c.valbuf = append(c.valbuf, raw...)
+		c.voffs = append(c.voffs, len(c.valbuf))
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if !ok {
+		c.done = true
+		return nil
+	}
+	shared := string(c.valbuf)
+	off := 0
+	for i := range c.tuples {
+		end := c.voffs[i]
+		c.tuples[i].Value = shared[off:end]
+		off = end
+	}
+	return nil
 }
 
 // TupleCursor is a pull-style cursor over a primary-tree in-range, used by
-// the physical scan operators of milestones 3 and 4.
+// the physical scan operators of milestones 3 and 4. Cursors (with their
+// decode buffers) are pooled per store, so opening one is allocation-free
+// in the steady state — important for the index nested-loops join, which
+// opens a cursor per outer row.
 type TupleCursor struct {
-	c  *btree.Cursor
-	hi []byte // exclusive upper key; nil = to the end
+	tupleLeafCursor
+	pool *sync.Pool // home pool while open; nil after Close
 }
 
 // OpenRange returns a cursor over tuples with lo <= in < hi in document
@@ -130,44 +213,47 @@ func (s *Store) OpenRange(lo, hi uint32) (*TupleCursor, error) {
 	if !s.loaded {
 		return nil, ErrNotLoaded
 	}
-	c, err := s.primary.Seek(xasr.PrimaryKey(lo))
-	if err != nil {
-		return nil, err
-	}
-	tc := &TupleCursor{c: c}
+	var hiKey []byte
 	if hi != 0 {
-		tc.hi = xasr.PrimaryKey(hi)
+		hiKey = xasr.PrimaryKey(hi)
 	}
+	tc, _ := s.tcPool.Get().(*TupleCursor)
+	if tc == nil {
+		tc = &TupleCursor{}
+	}
+	tc.reset(xasr.DecodePrimaryRaw)
+	tc.pool = &s.tcPool
+	s.primary.SeekBatchRangeInto(&tc.bc, xasr.PrimaryKey(lo), hiKey)
 	return tc, nil
 }
 
-// Next returns the next tuple, or ok=false at the end of the range.
-func (tc *TupleCursor) Next() (xasr.Tuple, bool, error) {
-	if !tc.c.Valid() {
-		return xasr.Tuple{}, false, tc.c.Err()
+// Next returns the next tuple, or ok=false at the end of the range. The
+// returned tuple is a value copy and stays valid indefinitely.
+func (tc *TupleCursor) Next() (xasr.Tuple, bool, error) { return tc.next() }
+
+// Close returns the cursor and its buffers to the store's pool. The
+// cursor must not be used afterwards; tuples already returned by Next
+// remain valid.
+func (tc *TupleCursor) Close() {
+	if tc.pool == nil {
+		return
 	}
-	k := tc.c.Key()
-	if tc.hi != nil && bytes.Compare(k, tc.hi) >= 0 {
-		return xasr.Tuple{}, false, nil
-	}
-	t, err := xasr.DecodePrimary(k, tc.c.Value())
-	if err != nil {
-		return xasr.Tuple{}, false, err
-	}
-	if err := tc.c.Next(); err != nil {
-		return xasr.Tuple{}, false, err
-	}
-	return t, true, nil
+	pool := tc.pool
+	tc.pool = nil
+	pool.Put(tc)
 }
 
-// Close releases the cursor.
-func (tc *TupleCursor) Close() { tc.c.Close() }
-
 // LabelRangeCursor is a pull-style cursor over label-index entries for one
-// (type, value), optionally restricted to an in-range.
+// (type, value), optionally restricted to an in-range. Batch-backed:
+// entries are decoded a leaf at a time into a reusable array, with no
+// per-entry allocation at all (label entries are index-only numerics).
 type LabelRangeCursor struct {
-	c  *btree.Cursor
-	hi []byte
+	bc      btree.BatchCursor
+	entries []LabelEntry
+	i       int
+	done    bool
+	err     error      // sticky: set on the first decode/read failure
+	pool    *sync.Pool // home pool while open; nil after Close
 }
 
 // OpenLabelRange returns a cursor over the label-index entries for
@@ -179,47 +265,94 @@ func (s *Store) OpenLabelRange(typ xasr.NodeType, value string, lo, hi uint32) (
 	if s.labelIdx == nil {
 		return nil, ErrNoLabelIndex
 	}
-	c, err := s.labelIdx.Seek(xasr.LabelKey(typ, value, lo))
-	if err != nil {
-		return nil, err
-	}
 	var hiKey []byte
 	if hi != 0 {
 		hiKey = xasr.LabelKey(typ, value, hi)
 	} else {
+		// One past the last possible in for this (type, value) prefix.
 		hiKey = xasr.LabelKey(typ, value, ^uint32(0))
 		hiKey = append(hiKey, 0)
 	}
-	return &LabelRangeCursor{c: c, hi: hiKey}, nil
+	lc, _ := s.lcPool.Get().(*LabelRangeCursor)
+	if lc == nil {
+		lc = &LabelRangeCursor{}
+	}
+	lc.entries = lc.entries[:0]
+	lc.i = 0
+	lc.done = false
+	lc.err = nil
+	lc.pool = &s.lcPool
+	s.labelIdx.SeekBatchRangeInto(&lc.bc, xasr.LabelKey(typ, value, lo), hiKey)
+	return lc, nil
 }
 
-// Next returns the next entry, or ok=false at the end of the range.
+// Next returns the next entry, or ok=false at the end of the range. After
+// an error the cursor stays in the error state.
 func (lc *LabelRangeCursor) Next() (LabelEntry, bool, error) {
-	if !lc.c.Valid() {
-		return LabelEntry{}, false, lc.c.Err()
+	if lc.err != nil {
+		return LabelEntry{}, false, lc.err
 	}
-	k := lc.c.Key()
-	if bytes.Compare(k, lc.hi) >= 0 {
+	for lc.i >= len(lc.entries) && !lc.done {
+		if err := lc.fill(); err != nil {
+			lc.err = err
+			lc.done = true
+			lc.entries = lc.entries[:0]
+			return LabelEntry{}, false, err
+		}
+	}
+	if lc.i >= len(lc.entries) {
 		return LabelEntry{}, false, nil
 	}
-	in, out, parent, err := xasr.DecodeLabelEntry(k, lc.c.Value())
-	if err != nil {
-		return LabelEntry{}, false, err
-	}
-	if err := lc.c.Next(); err != nil {
-		return LabelEntry{}, false, err
-	}
-	return LabelEntry{In: in, Out: out, ParentIn: parent}, true, nil
+	e := lc.entries[lc.i]
+	lc.i++
+	return e, true, nil
 }
 
-// Close releases the cursor.
-func (lc *LabelRangeCursor) Close() { lc.c.Close() }
+// fill decodes the next leaf's worth of entries. Label entries are
+// index-only numerics, so this allocates nothing in the steady state.
+func (lc *LabelRangeCursor) fill() error {
+	lc.entries = lc.entries[:0]
+	lc.i = 0
+	var derr error
+	ok, err := lc.bc.NextLeaf(func(k, v []byte) {
+		if derr != nil {
+			return
+		}
+		in, out, parent, err := xasr.DecodeLabelEntry(k, v)
+		if err != nil {
+			derr = err
+			return
+		}
+		lc.entries = append(lc.entries, LabelEntry{In: in, Out: out, ParentIn: parent})
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if !ok {
+		lc.done = true
+	}
+	return nil
+}
+
+// Close returns the cursor and its buffers to the store's pool. The
+// cursor must not be used afterwards.
+func (lc *LabelRangeCursor) Close() {
+	if lc.pool == nil {
+		return
+	}
+	pool := lc.pool
+	lc.pool = nil
+	pool.Put(lc)
+}
 
 // ChildCursor is a pull-style cursor over the children of one node via the
-// parent index.
+// parent index. Batch-backed like TupleCursor.
 type ChildCursor struct {
-	c      *btree.Cursor
-	prefix []byte
+	tupleLeafCursor
+	pool *sync.Pool // home pool while open; nil after Close
 }
 
 // OpenChildren returns a cursor over the children of parentIn in document
@@ -232,57 +365,52 @@ func (s *Store) OpenChildren(parentIn uint32) (*ChildCursor, error) {
 		return nil, ErrNoParentIndex
 	}
 	prefix := xasr.ParentPrefix(parentIn)
-	c, err := s.parentIdx.Seek(prefix)
-	if err != nil {
-		return nil, err
+	cc, _ := s.ccPool.Get().(*ChildCursor)
+	if cc == nil {
+		cc = &ChildCursor{}
 	}
-	return &ChildCursor{c: c, prefix: prefix}, nil
+	cc.reset(xasr.DecodeParentEntryRaw)
+	cc.pool = &s.ccPool
+	// Keys are (be32 parent_in, be32 in): the prefix range is exactly
+	// [prefix(parentIn), successor(prefix)).
+	s.parentIdx.SeekBatchRangeInto(&cc.bc, prefix, btree.PrefixSuccessor(prefix))
+	return cc, nil
 }
 
 // Next returns the next child tuple, or ok=false past the last child.
-func (cc *ChildCursor) Next() (xasr.Tuple, bool, error) {
-	if !cc.c.Valid() {
-		return xasr.Tuple{}, false, cc.c.Err()
-	}
-	k := cc.c.Key()
-	if !bytes.HasPrefix(k, cc.prefix) {
-		return xasr.Tuple{}, false, nil
-	}
-	t, err := xasr.DecodeParentEntry(k, cc.c.Value())
-	if err != nil {
-		return xasr.Tuple{}, false, err
-	}
-	if err := cc.c.Next(); err != nil {
-		return xasr.Tuple{}, false, err
-	}
-	return t, true, nil
-}
+func (cc *ChildCursor) Next() (xasr.Tuple, bool, error) { return cc.next() }
 
-// Close releases the cursor.
-func (cc *ChildCursor) Close() { cc.c.Close() }
+// Close returns the cursor and its buffers to the store's pool. The
+// cursor must not be used afterwards.
+func (cc *ChildCursor) Close() {
+	if cc.pool == nil {
+		return
+	}
+	pool := cc.pool
+	cc.pool = nil
+	pool.Put(cc)
+}
 
 // ScanChildren iterates the children of parentIn in document order using
 // the parent index, yielding full tuples index-only.
 func (s *Store) ScanChildren(parentIn uint32, fn func(xasr.Tuple) bool) error {
-	if !s.loaded {
-		return ErrNotLoaded
+	cc, err := s.OpenChildren(parentIn)
+	if err != nil {
+		return err
 	}
-	if s.parentIdx == nil {
-		return ErrNoParentIndex
-	}
-	var scanErr error
-	err := s.parentIdx.ScanPrefix(xasr.ParentPrefix(parentIn), func(k, v []byte) bool {
-		t, err := xasr.DecodeParentEntry(k, v)
+	defer cc.Close()
+	for {
+		t, ok, err := cc.Next()
 		if err != nil {
-			scanErr = err
-			return false
+			return err
 		}
-		return fn(t)
-	})
-	if scanErr != nil {
-		return scanErr
+		if !ok {
+			return nil
+		}
+		if !fn(t) {
+			return nil
+		}
 	}
-	return err
 }
 
 // ScanDescendants iterates the proper descendants of the node (in, out) in

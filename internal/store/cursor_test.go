@@ -1,0 +1,243 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"xqdb/internal/xasr"
+)
+
+// drainTuples pulls a TupleCursor dry.
+func drainTuples(t *testing.T, tc *TupleCursor) []xasr.Tuple {
+	t.Helper()
+	defer tc.Close()
+	var out []xasr.Tuple
+	for {
+		tp, ok, err := tc.Next()
+		if err != nil {
+			t.Fatalf("TupleCursor.Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, tp)
+	}
+}
+
+func tuplesEqual(a, b []xasr.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTupleCursorMatchesScan checks that the batch-backed TupleCursor and
+// the callback ScanRange agree on the Figure 2 document for every
+// meaningful (lo, hi) combination.
+func TestTupleCursorMatchesScan(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	max := s.MaxIn() + 2
+	for lo := uint32(0); lo <= max; lo++ {
+		for hi := uint32(0); hi <= max; hi++ {
+			var viaScan []xasr.Tuple
+			if err := s.ScanRange(lo, hi, func(tp xasr.Tuple) bool {
+				viaScan = append(viaScan, tp)
+				return true
+			}); err != nil {
+				t.Fatalf("ScanRange(%d,%d): %v", lo, hi, err)
+			}
+			tc, err := s.OpenRange(lo, hi)
+			if err != nil {
+				t.Fatalf("OpenRange(%d,%d): %v", lo, hi, err)
+			}
+			viaCursor := drainTuples(t, tc)
+			if !tuplesEqual(viaScan, viaCursor) {
+				t.Fatalf("range [%d,%d): scan %v != cursor %v", lo, hi, viaScan, viaCursor)
+			}
+		}
+	}
+}
+
+// TestLabelCursorMatchesFigure2 pins exact label-index results on the
+// Figure 2 document through the batch-backed cursor.
+func TestLabelCursorMatchesFigure2(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	lc, err := s.OpenLabelRange(xasr.TypeElem, "name", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	var got []LabelEntry
+	for {
+		e, ok, err := lc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, e)
+	}
+	want := []LabelEntry{{In: 4, Out: 7, ParentIn: 3}, {In: 8, Out: 11, ParentIn: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("label cursor: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("label cursor entry %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Bounded variant must clip to the in-range.
+	if err := s.ScanLabelRange(xasr.TypeElem, "name", 5, 0, func(e LabelEntry) bool {
+		if e.In != 8 {
+			t.Fatalf("bounded label scan returned in=%d", e.In)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChildCursorMatchesFigure2 checks the batch-backed parent-index
+// cursor against the known children of Figure 2's nodes, including the
+// prefix-successor boundary (children of node 3 must not leak node 12's).
+func TestChildCursorMatchesFigure2(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	wantChildren := map[uint32][]uint32{
+		1:  {2},
+		2:  {3, 13},
+		3:  {4, 8},
+		4:  {5},
+		13: {14},
+		5:  nil,
+	}
+	for parent, want := range wantChildren {
+		var got []uint32
+		if err := s.ScanChildren(parent, func(tp xasr.Tuple) bool {
+			if tp.ParentIn != parent {
+				t.Fatalf("child of %d reports parent %d", parent, tp.ParentIn)
+			}
+			got = append(got, tp.In)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("children of %d: got %v, want %v", parent, got, want)
+		}
+	}
+}
+
+// TestCursorPoolReuse checks that closing a cursor and opening another
+// recycles cleanly (no stale state leaking between opens).
+func TestCursorPoolReuse(t *testing.T) {
+	s := newStore(t, figure2, Options{})
+	for i := 0; i < 50; i++ {
+		lo := uint32(i % 5)
+		tc, err := s.OpenRange(lo, lo+3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev uint32
+		for {
+			tp, ok, err := tc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if tp.In < lo || tp.In >= lo+3 {
+				t.Fatalf("iteration %d: tuple %d outside [%d,%d)", i, tp.In, lo, lo+3)
+			}
+			if tp.In <= prev && prev != 0 {
+				t.Fatalf("iteration %d: out of order (%d after %d)", i, tp.In, prev)
+			}
+			prev = tp.In
+		}
+		tc.Close()
+		tc.Close() // double close must be a no-op, not a double pool put
+	}
+}
+
+// TestConcurrentReaders runs the same scans from GOMAXPROCS goroutines
+// over one store with a deliberately small buffer pool, so concurrent
+// readers contend on eviction. Every goroutine must see identical data.
+func TestConcurrentReaders(t *testing.T) {
+	// A bigger document than figure2 so the leaf level spans many pages.
+	var sb strings.Builder
+	sb.WriteString("<dblp>")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "<article><title>T%d</title><author>A%d</author><author>B%d</author></article>", i, i, i%7)
+	}
+	sb.WriteString("</dblp>")
+	s := newStore(t, sb.String(), Options{CacheFrames: 32})
+
+	// Reference result, single-threaded.
+	var want []xasr.Tuple
+	if err := s.ScanAll(func(tp xasr.Tuple) bool {
+		want = append(want, tp)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty reference scan")
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				i := 0
+				err := s.ScanAll(func(tp xasr.Tuple) bool {
+					if i >= len(want) || tp != want[i] {
+						errs <- fmt.Errorf("worker %d rep %d: tuple %d diverged: %v", w, rep, i, tp)
+						return false
+					}
+					i++
+					return true
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i != len(want) {
+					errs <- fmt.Errorf("worker %d rep %d: %d of %d tuples", w, rep, i, len(want))
+					return
+				}
+				// Mix in label-index and child probes.
+				n := 0
+				if err := s.ScanLabel(xasr.TypeElem, "author", func(LabelEntry) bool { n++; return true }); err != nil {
+					errs <- err
+					return
+				}
+				if n != 800 {
+					errs <- fmt.Errorf("worker %d rep %d: %d author entries, want 800", w, rep, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

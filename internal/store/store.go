@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"xqdb/internal/btree"
 	"xqdb/internal/pager"
@@ -85,6 +86,13 @@ type Store struct {
 	stats     *xasr.Stats
 	maxIn     uint32
 	loaded    bool
+
+	// Cursor pools: opened cursors and their decode buffers are recycled
+	// through these, so probe-heavy plans (index nested-loops joins open a
+	// cursor per outer row) do not allocate per probe.
+	tcPool sync.Pool // *TupleCursor
+	lcPool sync.Pool // *LabelRangeCursor
+	ccPool sync.Pool // *ChildCursor
 }
 
 // Open opens or creates a store in dir.

@@ -105,16 +105,27 @@ func EncodePrimaryValue(t Tuple) []byte {
 
 // DecodePrimary reconstructs a tuple from a primary key/value pair.
 func DecodePrimary(key, val []byte) (Tuple, error) {
+	t, raw, err := DecodePrimaryRaw(key, val)
+	if err != nil {
+		return Tuple{}, err
+	}
+	t.Value = string(raw)
+	return t, nil
+}
+
+// DecodePrimaryRaw decodes the fixed columns of a primary record, leaving
+// Value unset and returning the raw value-column bytes instead. Batch
+// decoders use this to defer (and share) the string conversion.
+func DecodePrimaryRaw(key, val []byte) (Tuple, []byte, error) {
 	if len(key) != 4 || len(val) < 9 {
-		return Tuple{}, fmt.Errorf("xasr: corrupt primary record (key %d bytes, value %d bytes)", len(key), len(val))
+		return Tuple{}, nil, fmt.Errorf("xasr: corrupt primary record (key %d bytes, value %d bytes)", len(key), len(val))
 	}
 	return Tuple{
 		In:       binary.BigEndian.Uint32(key),
 		Out:      binary.BigEndian.Uint32(val[0:]),
 		ParentIn: binary.BigEndian.Uint32(val[4:]),
 		Type:     NodeType(val[8]),
-		Value:    string(val[9:]),
-	}, nil
+	}, val[9:], nil
 }
 
 // --- label index codec: key = type, uvarint(len(value)), value, be32(in);
@@ -192,16 +203,27 @@ func EncodeParentValue(out uint32, typ NodeType, value string) []byte {
 
 // DecodeParentEntry decodes a full tuple from a parent-index entry.
 func DecodeParentEntry(key, val []byte) (Tuple, error) {
+	t, raw, err := DecodeParentEntryRaw(key, val)
+	if err != nil {
+		return Tuple{}, err
+	}
+	t.Value = string(raw)
+	return t, nil
+}
+
+// DecodeParentEntryRaw decodes the fixed columns of a parent-index entry,
+// leaving Value unset and returning the raw value bytes instead (see
+// DecodePrimaryRaw).
+func DecodeParentEntryRaw(key, val []byte) (Tuple, []byte, error) {
 	if len(key) != 8 || len(val) < 5 {
-		return Tuple{}, fmt.Errorf("xasr: corrupt parent index entry")
+		return Tuple{}, nil, fmt.Errorf("xasr: corrupt parent index entry")
 	}
 	return Tuple{
 		ParentIn: binary.BigEndian.Uint32(key[0:]),
 		In:       binary.BigEndian.Uint32(key[4:]),
 		Out:      binary.BigEndian.Uint32(val[0:]),
 		Type:     NodeType(val[4]),
-		Value:    string(val[5:]),
-	}, nil
+	}, val[5:], nil
 }
 
 // --- flat record codec for spill files (shredding, intermediates) ---
