@@ -175,6 +175,29 @@ func BenchmarkAblationINL(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationStructuralJoin isolates the stack-based structural
+// merge join on a descendant-heavy query: the same M4 engine with the
+// operator forced (loop-based competitors off), with it ablated (INL
+// takes over), and with only the plain/block nested-loops fallbacks. The
+// rows-joined and rows-structural metrics show which operator family did
+// the join work.
+func BenchmarkAblationStructuralJoin(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //inproceedings return for $y in $x//author return $y`
+	for _, name := range []string{"structural", "inl", "nl", "bnl"} {
+		cfg, ok := opt.ForceJoin(name)
+		if !ok {
+			b.Fatalf("unknown join family %q", name)
+		}
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
+		b.Run(name, func(b *testing.B) {
+			runQuery(b, e, q)
+			b.ReportMetric(float64(e.Counters().RowsJoined), "rows-joined")
+			b.ReportMetric(float64(e.Counters().RowsStructural), "rows-structural")
+		})
+	}
+}
+
 // BenchmarkAblationOrderStrategy compares the paper's three answers to
 // the ordering problem on the Example 6 query: (c) order-preserving
 // only, (b) semijoin projection push, (a) external sort.

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"xqdb/internal/core"
+	"xqdb/internal/opt"
 	"xqdb/internal/testbed"
 )
 
@@ -38,8 +39,14 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "efficiency per-query cap (timed-out engines are assigned the cap)")
 	frames := flag.Int("frames", 5120, "buffer pool frames (x4KiB pages = memory cap; 5120 = the paper's 20 MB)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	join := flag.String("join", "auto", "force the join operator family in the efficiency suite: auto, structural, inl, nl, bnl (non-auto runs the M4 engine only)")
 	report := flag.String("report", "", "also write a markdown report to this file")
 	flag.Parse()
+
+	joinOpt, joinModes, err := joinOverride(*join)
+	if err != nil {
+		return err
+	}
 
 	dir, err := os.MkdirTemp("", "xqbench-*")
 	if err != nil {
@@ -76,6 +83,9 @@ func run() error {
 	var rows []testbed.EffRow
 	if *suite == "efficiency" || *suite == "grading" || *suite == "all" {
 		fmt.Printf("== efficiency tests (DBLP-shaped, %d entries, cap %v, %d frames) ==\n\n", *entries, *timeout, *frames)
+		if *join != "auto" {
+			fmt.Printf("forced join operator: %s\n\n", *join)
+		}
 		for _, t := range testbed.EfficiencyTests() {
 			fmt.Printf("%s\n    rationale: %s\n", t, t.Why)
 		}
@@ -85,6 +95,8 @@ func run() error {
 			Seed:        *seed,
 			Timeout:     *timeout,
 			CacheFrames: *frames,
+			Modes:       joinModes,
+			Opt:         joinOpt,
 		})
 		if err != nil {
 			return err
@@ -124,4 +136,21 @@ func run() error {
 		fmt.Printf("\nreport written to %s\n", *report)
 	}
 	return nil
+}
+
+// joinOverride maps the -join flag to an optimizer configuration
+// restricted to one join operator family (opt.ForceJoin; "bnl" allows
+// block nesting but the planner may still pick plain NL where cheaper).
+// For non-auto values only the M4 engine is run: the override replaces
+// every TPM engine's optimizer settings, so the milestone distinctions
+// would be meaningless.
+func joinOverride(join string) (*opt.Config, []core.Mode, error) {
+	if join == "auto" {
+		return nil, nil, nil
+	}
+	cfg, ok := opt.ForceJoin(join)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown -join value %q (want auto, structural, inl, nl or bnl)", join)
+	}
+	return &cfg, []core.Mode{core.ModeM4}, nil
 }

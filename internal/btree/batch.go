@@ -98,6 +98,15 @@ func (t *Tree) SeekBatchRangeInto(c *BatchCursor, lo, hi []byte) {
 	*c = BatchCursor{t: t, lo: lo, bound: hi}
 }
 
+// Reseek repositions the cursor at the first key >= lo, keeping the tree
+// and the exclusive upper bound it was opened with. Like the initial
+// seek it does no I/O; the fresh root-to-leaf descent runs inside the
+// next NextLeaf. Merge-style consumers use it to leap over key runs that
+// cannot contribute instead of decoding every leaf in between.
+func (c *BatchCursor) Reseek(lo []byte) {
+	c.t.SeekBatchRangeInto(c, lo, c.bound)
+}
+
 // descendToLeaf returns the pinned leaf that would hold key (nil = the
 // leftmost leaf).
 func (t *Tree) descendToLeaf(key []byte) (*pager.Page, error) {

@@ -165,21 +165,30 @@ func (e *Engine) QueryExpr(q xq.Expr) (string, error) {
 		ev.Deadline = dl
 		return ev.Eval(q)
 	default:
-		xplan, err := e.compile(q)
-		if err != nil {
-			return "", err
-		}
-		ctx, err := e.execCtx(dl)
-		if err != nil {
-			return "", err
-		}
-		out, err := exec.Run(ctx, xplan)
-		e.counters = ctx.Counters
+		out, _, _, err := e.compileAndRun(q, dl)
 		if err != nil {
 			return "", err
 		}
 		return string(out), nil
 	}
+}
+
+// compileAndRun is the shared milestone 3/4 execution path: compile to a
+// physical plan, execute it, and record the run's counters on the engine.
+// Query and ExplainAnalyze both go through it so analyzed runs execute
+// under exactly the conditions of real queries.
+func (e *Engine) compileAndRun(q xq.Expr, dl *limit.Deadline) ([]byte, exec.XPlan, exec.Counters, error) {
+	xplan, err := e.compile(q)
+	if err != nil {
+		return nil, nil, exec.Counters{}, err
+	}
+	ctx, err := e.execCtx(dl)
+	if err != nil {
+		return nil, nil, exec.Counters{}, err
+	}
+	out, err := exec.Run(ctx, xplan)
+	e.counters = ctx.Counters
+	return out, xplan, ctx.Counters, err
 }
 
 func (e *Engine) execCtx(dl *limit.Deadline) (*exec.Ctx, error) {
@@ -204,6 +213,31 @@ func (e *Engine) compile(q xq.Expr) (exec.XPlan, error) {
 	}
 	planner := opt.New(e.st, e.optConfig())
 	return planner.Plan(plan)
+}
+
+// ExplainAnalyze compiles AND executes a query, returning the physical
+// plan annotated with per-operator runtime row counts and the query-wide
+// counters — which join operator actually ran, how many rows it produced,
+// and (for structural merge joins) the ancestor-stack high-water mark.
+// Only the milestone 3/4 modes have a physical plan to analyze.
+func (e *Engine) ExplainAnalyze(src string) (string, error) {
+	q, err := xq.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	switch e.cfg.Mode {
+	case ModeM1, ModeM2:
+		return "", fmt.Errorf("core: %s has no physical plan to analyze", e.cfg.Mode)
+	}
+	out, xplan, counters, err := e.compileAndRun(q, limit.After(e.cfg.Timeout))
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %s\nquery:  %s\n\n-- physical plan (analyzed) --\n", e.cfg.Mode, q)
+	b.WriteString(exec.ExplainAnalyze(xplan, counters))
+	fmt.Fprintf(&b, "result: %d bytes\n", len(out))
+	return b.String(), nil
 }
 
 // domDocument reconstructs the in-memory DOM from the store (milestone 1

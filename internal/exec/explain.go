@@ -10,7 +10,7 @@ import (
 // the output of `xqdb explain` and the plan snapshots in EXPERIMENTS.md.
 func Explain(p XPlan) string {
 	var b strings.Builder
-	explainX(&b, p, 0)
+	explainX(&b, p, 0, false)
 	return b.String()
 }
 
@@ -20,7 +20,7 @@ func pad(b *strings.Builder, depth int) {
 	}
 }
 
-func explainX(b *strings.Builder, p XPlan, depth int) {
+func explainX(b *strings.Builder, p XPlan, depth int, analyze bool) {
 	pad(b, depth)
 	switch p := p.(type) {
 	case XEmpty:
@@ -31,25 +31,25 @@ func explainX(b *strings.Builder, p XPlan, depth int) {
 		fmt.Fprintf(b, "emit($%s)\n", p.Var)
 	case *XConstr:
 		fmt.Fprintf(b, "constr(%s)\n", p.Label)
-		explainX(b, p.Body, depth+1)
+		explainX(b, p.Body, depth+1, analyze)
 	case *XSeq:
 		b.WriteString("seq\n")
 		for _, it := range p.Items {
-			explainX(b, it, depth+1)
+			explainX(b, it, depth+1, analyze)
 		}
 	case *XIf:
 		fmt.Fprintf(b, "if[runtime] %s\n", p.Cond)
-		explainX(b, p.Then, depth+1)
+		explainX(b, p.Then, depth+1, analyze)
 	case *XRelFor:
 		vars := make([]string, len(p.Vars))
 		for i, v := range p.Vars {
 			vars[i] = "$" + v
 		}
 		fmt.Fprintf(b, "relfor (%s)\n", strings.Join(vars, ", "))
-		ExplainNode(b, p.Root, depth+1)
+		explainNode(b, p.Root, depth+1, analyze)
 		pad(b, depth+1)
 		b.WriteString("return\n")
-		explainX(b, p.Body, depth+2)
+		explainX(b, p.Body, depth+2, analyze)
 	default:
 		fmt.Fprintf(b, "?%T\n", p)
 	}
@@ -57,16 +57,44 @@ func explainX(b *strings.Builder, p XPlan, depth int) {
 
 // ExplainNode renders one physical operator subtree.
 func ExplainNode(b *strings.Builder, n PlanNode, depth int) {
+	explainNode(b, n, depth, false)
+}
+
+func explainNode(b *strings.Builder, n PlanNode, depth int, analyze bool) {
 	pad(b, depth)
 	est := n.Estimate()
 	if est.Rows != 0 || est.Cost != 0 {
-		fmt.Fprintf(b, "%s  (rows≈%.0f cost≈%.0f)\n", n.Describe(), est.Rows, est.Cost)
+		fmt.Fprintf(b, "%s  (rows≈%.0f cost≈%.0f)", n.Describe(), est.Rows, est.Cost)
 	} else {
-		fmt.Fprintf(b, "%s\n", n.Describe())
+		fmt.Fprintf(b, "%s", n.Describe())
 	}
+	if analyze {
+		st := n.Stats()
+		fmt.Fprintf(b, "  (actual rows=%d opens=%d", st.Rows, st.Opens)
+		if st.StackMax > 0 {
+			fmt.Fprintf(b, " stack=%d", st.StackMax)
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n")
 	for _, ch := range n.Children() {
-		ExplainNode(b, ch, depth+1)
+		explainNode(b, ch, depth+1, analyze)
 	}
+}
+
+// ExplainAnalyze renders an executed plan: the operator tree with the
+// optimizer estimates AND the per-operator runtime tallies collected
+// during the run, followed by the query-wide counters. The plan must have
+// been executed with Run first (a compiled plan runs at most once in the
+// engine, so the tallies belong to that run).
+func ExplainAnalyze(p XPlan, c Counters) string {
+	var b strings.Builder
+	explainX(&b, p, 0, true)
+	fmt.Fprintf(&b, "\ncounters: scanned=%d joined=%d structural=%d emitted=%d\n",
+		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsEmitted)
+	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d\n",
+		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax)
+	return b.String()
 }
 
 // PlanCost sums the estimated cost over the physical trees of a plan.

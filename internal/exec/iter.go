@@ -21,6 +21,8 @@ type PlanNode interface {
 	Describe() string
 	// Estimate returns the optimizer's row/cost estimates (may be zero).
 	Estimate() Est
+	// Stats returns the operator's runtime tallies (EXPLAIN ANALYZE).
+	Stats() *OpStats
 	// open returns a row iterator; outer/outerSchema are non-nil only for
 	// the parameterized inner side of an index nested-loops join.
 	open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
@@ -112,6 +114,7 @@ type Scan struct {
 	Est_  Est
 
 	schema *Schema
+	stats  OpStats
 }
 
 // NewScan builds a scan node.
@@ -127,6 +130,9 @@ func (s *Scan) Children() []PlanNode { return nil }
 
 // Estimate implements PlanNode.
 func (s *Scan) Estimate() Est { return s.Est_ }
+
+// Stats implements PlanNode.
+func (s *Scan) Stats() *OpStats { return &s.stats }
 
 // Describe implements PlanNode.
 func (s *Scan) Describe() string {
@@ -164,6 +170,7 @@ func (s *Scan) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 			hi = hv + s.Access.HiAdd
 		}
 	}
+	s.stats.Opens++
 	it := &scanIter{ctx: ctx, scan: s}
 	switch s.Access.Kind {
 	case AccessFull:
@@ -253,6 +260,7 @@ func (it *scanIter) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		if pass {
+			it.scan.stats.Rows++
 			return row, true, nil
 		}
 	}
@@ -270,6 +278,26 @@ func (it *scanIter) Close() error {
 	return nil
 }
 
+// inSeeker is implemented by iterators that can skip forward to the first
+// row whose tuple has in >= target (document order). The structural merge
+// join uses it to leap over descendant runs that cannot match any pending
+// ancestor. Returning ok=false means the iterator cannot seek and the
+// caller must advance row by row.
+type inSeeker interface {
+	seekInGE(target uint32) (ok bool, err error)
+}
+
+func (it *scanIter) seekInGE(target uint32) (bool, error) {
+	switch {
+	case it.prim != nil:
+		return true, it.prim.SeekGE(target)
+	case it.label != nil:
+		return true, it.label.SeekGE(target)
+	}
+	// Child cursors cover one parent's few children; skipping buys nothing.
+	return false, nil
+}
+
 // ---------------------------------------------------------------- filter
 
 // Filter applies residual conditions.
@@ -277,6 +305,8 @@ type Filter struct {
 	Child PlanNode
 	Conds []tpm.Cmp
 	Est_  Est
+
+	stats OpStats
 }
 
 // Schema implements PlanNode.
@@ -288,6 +318,9 @@ func (f *Filter) Children() []PlanNode { return []PlanNode{f.Child} }
 // Estimate implements PlanNode.
 func (f *Filter) Estimate() Est { return f.Est_ }
 
+// Stats implements PlanNode.
+func (f *Filter) Stats() *OpStats { return &f.stats }
+
 // Describe implements PlanNode.
 func (f *Filter) Describe() string { return fmt.Sprintf("filter σ(%s)", condsString(f.Conds)) }
 
@@ -296,6 +329,7 @@ func (f *Filter) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
 	if err != nil {
 		return nil, err
 	}
+	f.stats.Opens++
 	return &filterIter{ctx: ctx, f: f, child: child}, nil
 }
 
@@ -316,6 +350,7 @@ func (it *filterIter) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		if pass {
+			it.f.stats.Rows++
 			return row, true, nil
 		}
 	}
@@ -459,6 +494,7 @@ type NLJoin struct {
 	Est_        Est
 
 	schema *Schema
+	stats  OpStats
 }
 
 // NewNLJoin builds a nested-loops join node.
@@ -476,6 +512,9 @@ func (j *NLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Right} }
 // Estimate implements PlanNode.
 func (j *NLJoin) Estimate() Est { return j.Est_ }
 
+// Stats implements PlanNode.
+func (j *NLJoin) Stats() *OpStats { return &j.stats }
+
 // Describe implements PlanNode.
 func (j *NLJoin) Describe() string {
 	return fmt.Sprintf("nl-join(%s) [materialized inner]", condsString(j.Conds))
@@ -488,6 +527,7 @@ func (j *NLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
 	}
 	// The inner is materialized lazily, on the first outer row: an empty
 	// outer (e.g. a scan for a non-existent label) must cost nothing.
+	j.stats.Opens++
 	return &nlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
 }
 
@@ -572,6 +612,7 @@ func (it *nlJoinIter) Next() (Row, bool, error) {
 		}
 		if pass {
 			it.ctx.Counters.RowsJoined++
+			it.j.stats.Rows++
 			return it.joined, true, nil
 		}
 	}
@@ -601,6 +642,7 @@ type BNLJoin struct {
 	Est_        Est
 
 	schema *Schema
+	stats  OpStats
 }
 
 // NewBNLJoin builds a block nested-loops join node.
@@ -621,6 +663,9 @@ func (j *BNLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Right} }
 // Estimate implements PlanNode.
 func (j *BNLJoin) Estimate() Est { return j.Est_ }
 
+// Stats implements PlanNode.
+func (j *BNLJoin) Stats() *OpStats { return &j.stats }
+
 // Describe implements PlanNode.
 func (j *BNLJoin) Describe() string {
 	return fmt.Sprintf("bnl-join(%s) [block %d, not order-preserving]", condsString(j.Conds), j.BlockRows)
@@ -631,6 +676,7 @@ func (j *BNLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 	if err != nil {
 		return nil, err
 	}
+	j.stats.Opens++
 	return &bnlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
 }
 
@@ -723,6 +769,7 @@ func (it *bnlJoinIter) Next() (Row, bool, error) {
 			}
 			if pass {
 				it.ctx.Counters.RowsJoined++
+				it.j.stats.Rows++
 				return it.joined, true, nil
 			}
 		}
@@ -754,6 +801,7 @@ type INLJoin struct {
 	Est_  Est
 
 	schema *Schema
+	stats  OpStats
 }
 
 // NewINLJoin builds an index nested-loops join node.
@@ -770,6 +818,9 @@ func (j *INLJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Inner} }
 
 // Estimate implements PlanNode.
 func (j *INLJoin) Estimate() Est { return j.Est_ }
+
+// Stats implements PlanNode.
+func (j *INLJoin) Stats() *OpStats { return &j.stats }
 
 // Describe implements PlanNode.
 func (j *INLJoin) Describe() string {
@@ -789,6 +840,7 @@ func (j *INLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 	if err != nil {
 		return nil, err
 	}
+	j.stats.Opens++
 	return &inlJoinIter{ctx: ctx, j: j, left: left}, nil
 }
 
@@ -835,6 +887,7 @@ func (it *inlJoinIter) Next() (Row, bool, error) {
 		}
 		if pass {
 			it.ctx.Counters.RowsJoined++
+			it.j.stats.Rows++
 			return it.joined, true, nil
 		}
 	}
@@ -861,6 +914,7 @@ type Project struct {
 
 	schema *Schema
 	slots  []int
+	stats  OpStats
 }
 
 // NewProject builds a projection node keeping the given aliases in order.
@@ -881,6 +935,9 @@ func (p *Project) Children() []PlanNode { return []PlanNode{p.Child} }
 
 // Estimate implements PlanNode.
 func (p *Project) Estimate() Est { return p.Est_ }
+
+// Stats implements PlanNode.
+func (p *Project) Stats() *OpStats { return &p.stats }
 
 // Describe implements PlanNode.
 func (p *Project) Describe() string {
@@ -903,6 +960,7 @@ func (p *Project) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 	if err != nil {
 		return nil, err
 	}
+	p.stats.Opens++
 	return &projectIter{p: p, child: child}, nil
 }
 
@@ -938,6 +996,7 @@ func (it *projectIter) Next() (Row, bool, error) {
 		it.prev = out
 		it.have = true
 		it.cur ^= 1
+		it.p.stats.Rows++
 		return out, true, nil
 	}
 }
@@ -965,6 +1024,7 @@ type Sort struct {
 	Est_  Est
 
 	keySlots []int
+	stats    OpStats
 }
 
 // NewSort builds a sort node ordering by the in-labels of the given
@@ -985,6 +1045,9 @@ func (s *Sort) Children() []PlanNode { return []PlanNode{s.Child} }
 
 // Estimate implements PlanNode.
 func (s *Sort) Estimate() Est { return s.Est_ }
+
+// Stats implements PlanNode.
+func (s *Sort) Stats() *OpStats { return &s.stats }
 
 // Describe implements PlanNode.
 func (s *Sort) Describe() string {
@@ -1043,6 +1106,7 @@ func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.stats.Opens++
 	return &sortIter{ctx: ctx, s: s, it: it, keyLen: keyLen, slots: len(s.Schema().Aliases)}, nil
 }
 
@@ -1078,6 +1142,7 @@ func (it *sortIter) Next() (Row, bool, error) {
 		if err := decodeRowInto(it.rowbuf, rec[it.keyLen:]); err != nil {
 			return nil, false, err
 		}
+		it.s.stats.Rows++
 		return it.rowbuf, true, nil
 	}
 }

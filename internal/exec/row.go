@@ -77,7 +77,10 @@ type Ctx struct {
 	Counters Counters
 }
 
-// Counters tallies operator activity during one query.
+// Counters tallies operator activity during one query. RowsJoined counts
+// pairs produced by the loop-based joins (NL, BNL, INL); RowsStructural
+// counts pairs produced by the stack-based structural merge join, so the
+// two together measure how much join work ran on which operator family.
 type Counters struct {
 	RowsScanned   int64
 	RowsJoined    int64
@@ -86,6 +89,24 @@ type Counters struct {
 	IndexProbes   int64
 	SortedRows    int64
 	SpilledTuples int64
+	// RowsStructural counts pairs emitted by structural merge joins.
+	RowsStructural int64
+	// StructStackMax is the ancestor-stack high-water mark over all
+	// structural merge joins of the query.
+	StructStackMax int64
+}
+
+// OpStats tallies one operator instance's runtime activity while a plan
+// executes; EXPLAIN ANALYZE prints them next to the optimizer estimates.
+// Plans are compiled per query execution, so the tallies belong to exactly
+// one run (re-running a hand-built plan accumulates).
+type OpStats struct {
+	// Opens counts iterator openings (per outer row for INL inners).
+	Opens int64
+	// Rows counts rows the operator returned.
+	Rows int64
+	// StackMax is the ancestor-stack high-water mark (structural join).
+	StackMax int64
 }
 
 // resolveIn resolves an in/out-valued operand against the environment and

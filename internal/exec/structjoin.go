@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"fmt"
+
+	"xqdb/internal/tpm"
+)
+
+// StructuralJoin is the stack-based structural merge join (the
+// Stack-Tree-Desc family): both inputs arrive in document (in) order, and
+// one merge pass pairs ancestors with their descendants (or parents with
+// their children) by maintaining a stack of the ancestors whose intervals
+// enclose the current merge position. Every input tuple is read exactly
+// once, so the join costs O(left + right + output) with no index probes
+// and no inner rescans — the interval containment that nested-loops
+// operators re-check per pair is answered by the stack invariant.
+//
+// Output order is the descendant side's document order: per descendant
+// row, matching ancestors emit bottom-up (outermost first), which is
+// their arrival order. Hence
+//
+//	right side = descendant: output sorted by (right, left-order...)
+//	right side = ancestor:   output sorted by (left-order..., right) —
+//	                         order-preserving in the planner's sense.
+//
+// The planner tracks this through built.orderSeq exactly like it does for
+// the other joins.
+type StructuralJoin struct {
+	Left, Right PlanNode
+	// Pred is the structural predicate joining one Left alias with one
+	// Right alias.
+	Pred tpm.StructuralPred
+	// Conds are residual cross conditions evaluated per emitted row.
+	Conds []tpm.Cmp
+	Est_  Est
+
+	schema   *Schema
+	stats    OpStats
+	ancLeft  bool // the ancestor side is Left
+	ancSlot  int  // slot of Pred.Anc within its side's schema
+	descSlot int  // slot of Pred.Desc within its side's schema
+}
+
+// NewStructuralJoin builds a structural merge join of left and right. The
+// predicate must relate one alias of each side; which side is the
+// ancestor is derived from the schemas.
+func NewStructuralJoin(left, right PlanNode, pred tpm.StructuralPred, conds []tpm.Cmp) *StructuralJoin {
+	j := &StructuralJoin{Left: left, Right: right, Pred: pred, Conds: conds,
+		schema: left.Schema().Concat(right.Schema())}
+	j.ancLeft = left.Schema().Slot(pred.Anc) >= 0
+	if j.ancLeft {
+		j.ancSlot = left.Schema().Slot(pred.Anc)
+		j.descSlot = right.Schema().Slot(pred.Desc)
+	} else {
+		j.ancSlot = right.Schema().Slot(pred.Anc)
+		j.descSlot = left.Schema().Slot(pred.Desc)
+	}
+	return j
+}
+
+// Schema implements PlanNode.
+func (j *StructuralJoin) Schema() *Schema { return j.schema }
+
+// Children implements PlanNode.
+func (j *StructuralJoin) Children() []PlanNode { return []PlanNode{j.Left, j.Right} }
+
+// Estimate implements PlanNode.
+func (j *StructuralJoin) Estimate() Est { return j.Est_ }
+
+// Stats implements PlanNode.
+func (j *StructuralJoin) Stats() *OpStats { return &j.stats }
+
+// Describe implements PlanNode.
+func (j *StructuralJoin) Describe() string {
+	d := fmt.Sprintf("structural-join %s [stack merge, %s axis]", j.Pred, j.Pred.Axis)
+	if len(j.Conds) > 0 {
+		d += fmt.Sprintf(" σ(%s)", condsString(j.Conds))
+	}
+	return d
+}
+
+func (j *StructuralJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	if outer != nil {
+		return nil, fmt.Errorf("exec: structural join cannot be an INL inner")
+	}
+	left, err := j.Left.open(ctx, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.open(ctx, nil, nil)
+	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	j.stats.Opens++
+	it := &structJoinIter{ctx: ctx, j: j, left: left, right: right}
+	if j.ancLeft {
+		it.anc, it.desc = left, right
+	} else {
+		it.anc, it.desc = right, left
+	}
+	it.descSeek, _ = it.desc.(inSeeker)
+	return it, nil
+}
+
+// structJoinIter runs the merge. Both streams are consumed in document
+// order; stack holds copies of ancestor-side rows whose intervals enclose
+// the current descendant position, bottom = outermost. Per descendant row
+// the matching stack entries emit one pair per Next call (emitIdx walks
+// the stack bottom-up), so the operator stays fully pipelined.
+type structJoinIter struct {
+	ctx         *Ctx
+	j           *StructuralJoin
+	left, right rowIter
+	anc, desc   rowIter
+	descSeek    inSeeker // non-nil if desc supports seekInGE
+
+	ancRow  Row // head of the ancestor stream (valid until anc.Next)
+	haveAnc bool
+	ancEOF  bool
+
+	descRow  Row // current descendant row (valid until desc.Next)
+	haveDesc bool
+	done     bool
+
+	// stack entries are copies (children reuse their row buffers); popped
+	// slots keep their backing arrays for reuse by later pushes.
+	stack    []Row
+	emitIdx  int
+	emitting bool
+
+	joined Row // reused output buffer (see rowIter contract)
+}
+
+// matches evaluates the structural predicate between an ancestor-side
+// stack entry and the current descendant row. The stack invariant already
+// guarantees containment for the descendant axis; the explicit check also
+// rejects the self-pair (equal in) and decides the child axis.
+func (it *structJoinIter) matches(anc Row) bool {
+	a := anc[it.j.ancSlot]
+	d := it.descRow[it.j.descSlot]
+	if it.j.Pred.Axis == tpm.AxisChild {
+		return d.ParentIn == a.In
+	}
+	return a.In < d.In && d.Out < a.Out
+}
+
+// push copies row onto the stack, reusing the backing array of a
+// previously popped slot when possible.
+func (it *structJoinIter) push(row Row) {
+	n := len(it.stack)
+	if n < cap(it.stack) {
+		it.stack = it.stack[:n+1]
+	} else {
+		it.stack = append(it.stack, nil)
+	}
+	it.stack[n] = append(it.stack[n][:0], row...)
+	depth := int64(len(it.stack))
+	if depth > it.j.stats.StackMax {
+		it.j.stats.StackMax = depth
+	}
+	if depth > it.ctx.Counters.StructStackMax {
+		it.ctx.Counters.StructStackMax = depth
+	}
+}
+
+// popBelow pops stack entries whose intervals end before pos: they can
+// contain no tuple at or after the current merge position.
+func (it *structJoinIter) popBelow(pos uint32) {
+	for n := len(it.stack); n > 0; n-- {
+		if it.stack[n-1][it.j.ancSlot].Out >= pos {
+			break
+		}
+		it.stack = it.stack[:n-1]
+	}
+}
+
+func (it *structJoinIter) Next() (Row, bool, error) {
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		if it.emitting {
+			for it.emitIdx < len(it.stack) {
+				entry := it.stack[it.emitIdx]
+				it.emitIdx++
+				if !it.matches(entry) {
+					continue
+				}
+				if it.j.ancLeft {
+					it.joined = append(append(it.joined[:0], entry...), it.descRow...)
+				} else {
+					it.joined = append(append(it.joined[:0], it.descRow...), entry...)
+				}
+				pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
+				if err != nil {
+					return nil, false, err
+				}
+				if pass {
+					it.ctx.Counters.RowsStructural++
+					it.j.stats.Rows++
+					return it.joined, true, nil
+				}
+			}
+			it.emitting = false
+			it.haveDesc = false
+		}
+		if !it.haveDesc {
+			row, ok, err := it.desc.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				// No more descendants: pending ancestors cannot produce
+				// output.
+				it.done = true
+				return nil, false, nil
+			}
+			it.descRow = row
+			it.haveDesc = true
+		}
+		dIn := it.descRow[it.j.descSlot].In
+
+		// Pull and stack every ancestor starting before the current
+		// descendant; later ones cannot contain it.
+		for !it.ancEOF {
+			if !it.haveAnc {
+				row, ok, err := it.anc.Next()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					it.ancEOF = true
+					break
+				}
+				it.ancRow = row
+				it.haveAnc = true
+			}
+			aIn := it.ancRow[it.j.ancSlot].In
+			if aIn >= dIn {
+				break
+			}
+			it.popBelow(aIn)
+			it.push(it.ancRow)
+			it.haveAnc = false
+		}
+
+		it.popBelow(dIn)
+		if len(it.stack) == 0 {
+			if it.ancEOF {
+				it.done = true
+				return nil, false, nil
+			}
+			// No enclosing ancestor: nothing before the next ancestor's
+			// subtree can match, so leap the descendant stream forward.
+			// The pull loop above only leaves an unconsumed head when
+			// aIn >= dIn, so the target always makes forward progress.
+			it.haveDesc = false
+			if it.descSeek != nil {
+				if _, err := it.descSeek.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
+					return nil, false, err
+				}
+			}
+			continue
+		}
+		it.emitting = true
+		it.emitIdx = 0
+	}
+}
+
+func (it *structJoinIter) Close() error {
+	err := it.left.Close()
+	if rerr := it.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}

@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"testing"
+
+	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
+)
+
+func descPred(anc, desc string) tpm.StructuralPred {
+	return tpm.StructuralPred{
+		Axis: tpm.AxisDescendant, Anc: anc, Desc: desc,
+		Conds: []tpm.Cmp{
+			tpm.Gt(tpm.AttrOp(desc, tpm.ColIn), tpm.AttrOp(anc, tpm.ColIn)),
+			tpm.Lt(tpm.AttrOp(desc, tpm.ColOut), tpm.AttrOp(anc, tpm.ColOut)),
+		},
+	}
+}
+
+func childPred(anc, desc string) tpm.StructuralPred {
+	return tpm.StructuralPred{
+		Axis: tpm.AxisChild, Anc: anc, Desc: desc,
+		Conds: []tpm.Cmp{
+			tpm.Eq(tpm.AttrOp(desc, tpm.ColParentIn), tpm.AttrOp(anc, tpm.ColIn)),
+		},
+	}
+}
+
+func TestStructuralJoinDescendantRight(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	// Ancestor stream on the left, descendant stream on the right: the
+	// output follows the descendant's document order.
+	j := labelScan("J", "journal")
+	n := labelScan("N", "name")
+	join := NewStructuralJoin(j, n, descPred("J", "N"), nil)
+	rows := drain(t, ctx, join)
+	if len(rows) != 2 {
+		t.Fatalf("join rows: %d, want 2", len(rows))
+	}
+	// Slot order is (left, right) = (J, N); order is by N.in.
+	if rows[0][1].In != 4 || rows[1][1].In != 8 {
+		t.Errorf("descendant order broken: %v", rows)
+	}
+	if rows[0][0].Value != "journal" {
+		t.Errorf("ancestor slot wrong: %v", rows[0])
+	}
+	if ctx.Counters.RowsStructural != 2 {
+		t.Errorf("RowsStructural = %d, want 2", ctx.Counters.RowsStructural)
+	}
+	if ctx.Counters.RowsJoined != 0 {
+		t.Errorf("RowsJoined = %d, want 0 (no loop join ran)", ctx.Counters.RowsJoined)
+	}
+	if join.Stats().Rows != 2 || join.Stats().StackMax != 1 {
+		t.Errorf("op stats: %+v", join.Stats())
+	}
+}
+
+func TestStructuralJoinAncestorRight(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	// Descendant stream on the left: output preserves the left order —
+	// the planner's order-preserving case.
+	n := labelScan("N", "name")
+	j := labelScan("J", "journal")
+	join := NewStructuralJoin(n, j, descPred("J", "N"), nil)
+	rows := drain(t, ctx, join)
+	if len(rows) != 2 {
+		t.Fatalf("join rows: %d, want 2", len(rows))
+	}
+	// Slot order is (N, J); order is by N.in.
+	if rows[0][0].In != 4 || rows[1][0].In != 8 {
+		t.Errorf("left order not preserved: %v", rows)
+	}
+	if rows[0][1].Value != "journal" {
+		t.Errorf("ancestor slot wrong: %v", rows[0])
+	}
+}
+
+func TestStructuralJoinChildAxis(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	// authors (in=3) is the parent of the two name elements; journal is
+	// an ancestor but not the parent, so the child axis must skip it.
+	a := labelScan("A", "authors")
+	n := labelScan("N", "name")
+	join := NewStructuralJoin(a, n, childPred("A", "N"), nil)
+	rows := drain(t, ctx, join)
+	if len(rows) != 2 {
+		t.Fatalf("child join rows: %d, want 2", len(rows))
+	}
+	if rows[0][0].Value != "authors" || rows[0][1].In != 4 || rows[1][1].In != 8 {
+		t.Errorf("child pairs wrong: %v", rows)
+	}
+
+	// The same join against journal parents yields nothing (names are
+	// grandchildren of journal).
+	ctx2 := testCtx(t, figure2)
+	join2 := NewStructuralJoin(labelScan("J", "journal"), labelScan("N", "name"), childPred("J", "N"), nil)
+	if rows := drain(t, ctx2, join2); len(rows) != 0 {
+		t.Errorf("grandchildren matched on the child axis: %v", rows)
+	}
+}
+
+// nestedDoc has nested same-label ancestors so the stack grows beyond one
+// entry: a1 contains a2; a1 has descendants b1, b2; a2 has descendant b1.
+const nestedDoc = `<r><a><a><b/></a><b/></a><b/></r>`
+
+func TestStructuralJoinNestedAncestors(t *testing.T) {
+	ctx := testCtx(t, nestedDoc)
+	a := labelScan("A", "a")
+	b := labelScan("B", "b")
+	join := NewStructuralJoin(a, b, descPred("A", "B"), nil)
+	rows := drain(t, ctx, join)
+	// Pairs: (a1,b1), (a2,b1), (a1,b2) — b3 is outside both a's.
+	if len(rows) != 3 {
+		t.Fatalf("nested join rows: %d, want 3", len(rows))
+	}
+	// Descendant order with ancestors bottom-up (outermost first).
+	if !(rows[0][0].In < rows[1][0].In && rows[0][1].In == rows[1][1].In) {
+		t.Errorf("stack emission order wrong: %v", rows)
+	}
+	if join.Stats().StackMax != 2 {
+		t.Errorf("stack high-water mark = %d, want 2", join.Stats().StackMax)
+	}
+	if ctx.Counters.StructStackMax != 2 {
+		t.Errorf("counter stack max = %d, want 2", ctx.Counters.StructStackMax)
+	}
+}
+
+func TestStructuralJoinMatchesNLJoin(t *testing.T) {
+	// On every (anc, desc) label pairing of the nested document the merge
+	// must produce exactly the nested-loops pairs (as a set; the merge
+	// emits in descendant order, NL in ancestor order).
+	for _, labels := range [][2]string{{"a", "b"}, {"a", "a"}, {"r", "b"}, {"b", "a"}} {
+		ctxNL := testCtx(t, nestedDoc)
+		conds := descPred("X", "Y").Conds
+		nl := NewNLJoin(labelScan("X", labels[0]), labelScan("Y", labels[1]), conds)
+		want := map[[2]uint32]bool{}
+		for _, r := range drain(t, ctxNL, nl) {
+			want[[2]uint32{r[0].In, r[1].In}] = true
+		}
+
+		ctxSJ := testCtx(t, nestedDoc)
+		sj := NewStructuralJoin(labelScan("X", labels[0]), labelScan("Y", labels[1]), descPred("X", "Y"), nil)
+		got := map[[2]uint32]bool{}
+		rows := drain(t, ctxSJ, sj)
+		for _, r := range rows {
+			got[[2]uint32{r[0].In, r[1].In}] = true
+		}
+		if len(got) != len(want) || len(got) != len(rows) {
+			t.Fatalf("%v: structural %d pairs (%d rows), NL %d pairs", labels, len(got), len(rows), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%v: missing pair %v", labels, k)
+			}
+		}
+	}
+}
+
+func TestStructuralJoinResidualConds(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	// Residual condition on the emitted pair: only the second name.
+	j := labelScan("J", "journal")
+	n := labelScan("N", "name")
+	resid := []tpm.Cmp{tpm.Gt(tpm.AttrOp("N", tpm.ColIn), tpm.InOp(5))}
+	join := NewStructuralJoin(j, n, descPred("J", "N"), resid)
+	rows := drain(t, ctx, join)
+	if len(rows) != 1 || rows[0][1].In != 8 {
+		t.Errorf("residual filter wrong: %v", rows)
+	}
+}
+
+func TestStructuralJoinOverFullScans(t *testing.T) {
+	// The merge also runs over primary-tree streams (no label index), as
+	// the text()-valued descendant side of a query would.
+	ctx := testCtx(t, figure2)
+	j := labelScan("J", "journal")
+	all := NewScan("D", Access{Kind: AccessFull},
+		[]tpm.Cmp{tpm.Eq(tpm.AttrOp("D", tpm.ColType), tpm.TypeOp(xasr.TypeText))})
+	join := NewStructuralJoin(j, all, descPred("J", "D"), nil)
+	rows := drain(t, ctx, join)
+	if len(rows) != 3 {
+		t.Errorf("text descendants of journal: %d rows, want 3", len(rows))
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// UseBNL enables block nested-loops joins (only useful together with
 	// OrderSort, since BNL destroys document order).
 	UseBNL bool
+	// UseStructural enables the stack-based structural merge join for
+	// descendant and child predicates (one O(n+m) pass over two
+	// document-ordered streams instead of nested loops or per-row index
+	// probes). Off for the milestone presets that predate it; disable on
+	// M4 for ablation.
+	UseStructural bool
 	// Stats selects the statistics quality for the cost model.
 	Stats StatsMode
 	// MaxEnumRels caps exhaustive join-order enumeration; beyond it the
@@ -98,6 +104,7 @@ func M4() Config {
 		UseParentIndex: true,
 		UseINL:         true,
 		UseBNL:         true,
+		UseStructural:  true,
 		Stats:          StatsAccurate,
 		MaxEnumRels:    8,
 	}
@@ -116,6 +123,9 @@ func M4BadStats() Config {
 	cfg.Stats = StatsUniform
 	cfg.Strategies = OrderPreserve | OrderSemijoin
 	cfg.UseBNL = false
+	// Engine 2 predates the structural merge join; keeping it off also
+	// keeps the Figure 7 gap attributable to statistics quality.
+	cfg.UseStructural = false
 	return cfg
 }
 
@@ -128,6 +138,38 @@ func NaiveTPM() Config {
 		Strategies: OrderPreserve,
 		Stats:      StatsNone,
 	}
+}
+
+// ForceJoin returns the M4 configuration restricted to one join operator
+// family — the shared recipe behind the ablation benchmark, the xqbench
+// -join flag and the equivalence suite:
+//
+//	structural  merge join forced (loop-based competitors off)
+//	inl         structural off; index nested-loops take over
+//	nl          loop joins only, no blocks, no indexes into the join
+//	bnl         loop joins with block nesting allowed (the planner may
+//	            still pick plain NL for joins where it is cheaper)
+//
+// ok is false for unknown names (including "auto").
+func ForceJoin(family string) (cfg Config, ok bool) {
+	cfg = M4()
+	switch family {
+	case "structural":
+		cfg.UseINL = false
+		cfg.UseBNL = false
+	case "inl":
+		cfg.UseStructural = false
+	case "nl":
+		cfg.UseStructural = false
+		cfg.UseINL = false
+		cfg.UseBNL = false
+	case "bnl":
+		cfg.UseStructural = false
+		cfg.UseINL = false
+	default:
+		return cfg, false
+	}
+	return cfg, true
 }
 
 func (c Config) allow(s Strategy) bool { return c.Strategies&s != 0 }

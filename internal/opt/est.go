@@ -100,6 +100,47 @@ func (e *Estimator) AvgSubtree() float64 { return e.avgDepth }
 // AvgFanout returns the average number of children of an element node.
 func (e *Estimator) AvgFanout() float64 { return e.avgFanout }
 
+// DescendantPairSel estimates the selectivity of a canonical descendant
+// interval pair (d.in > a.in AND d.out < a.out) between an ancestor
+// relation filtered to ancLabel and any descendant relation. With
+// accurate statistics the expected pair count is exact in the ancestor
+// dimension: every element with ancLabel contributes its proper-subtree
+// size (collected at load time as LabelSubtreeSum), and descendants of
+// any label are assumed uniformly spread, so
+//
+//	pairs ≈ SubtreeSum[ancLabel] · C_desc / N
+//	sel   =  pairs / (C_anc · C_desc) = SubtreeSum[ancLabel] / (C_anc · N).
+//
+// This is what keeps sort-needing merge-join plans honest: the gross
+// avgDepth/N fallback underestimates pair counts by orders of magnitude
+// on deep documents, making the order-repair sort look free. Without a
+// usable per-label sum the fallback is that gross measure.
+func (e *Estimator) DescendantPairSel(ancLabel string, haveLabel bool) float64 {
+	gross := clamp01(e.avgDepth / e.nodes)
+	if !haveLabel || e.mode != StatsAccurate || e.stats == nil {
+		return gross
+	}
+	sum, ok := e.stats.SubtreeSum(ancLabel)
+	if !ok {
+		return gross
+	}
+	card := float64(e.stats.Card(ancLabel))
+	if card <= 0 {
+		// Nonexistent ancestor label: no pairs.
+		return 0
+	}
+	return clamp01(float64(sum) / (card * e.nodes))
+}
+
+// StructuralJoinCost is the cost of a stack-based structural merge join:
+// both inputs are read once (their page costs live in outerCost and
+// innerCost), every input tuple passes the stack machinery once, and each
+// output pair costs one tuple's CPU. There is no probe cost and no inner
+// rescan — the defining advantage over the nested-loops family.
+func StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows float64) float64 {
+	return outerCost + innerCost + (outerRows+innerRows)*cpuPerTuple + outRows*cpuPerTuple
+}
+
 // condSelectivity estimates the fraction of the cross product satisfying
 // one atomic condition. External-variable bounds are treated like
 // constants of their kind.

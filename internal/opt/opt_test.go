@@ -64,13 +64,79 @@ func TestM3UsesNoIndexes(t *testing.T) {
 
 func TestM4PicksINLForDescendantJoin(t *testing.T) {
 	st := dblpStore(t)
-	out := explain(t, st, M4(), `for $x in //article return for $y in $x//author return $y`)
+	// With the structural merge join ablated, the descendant join must
+	// still fall back to index nested-loops with interval-bounded probes.
+	cfg := M4()
+	cfg.UseStructural = false
+	out := explain(t, st, cfg, `for $x in //article return for $y in $x//author return $y`)
 	if !strings.Contains(out, "inl-join") {
 		t.Errorf("no INL join chosen:\n%s", out)
 	}
 	// The inner must be bounded by the outer's interval.
 	if !strings.Contains(out, "A2.in+1") && !strings.Contains(out, "A.in+1") {
 		t.Errorf("inner not interval-bounded:\n%s", out)
+	}
+}
+
+func TestM4PicksStructuralJoinForDescendantJoin(t *testing.T) {
+	st := dblpStore(t)
+	const q = `for $x in //article return for $y in $x//author return $y`
+	out := explain(t, st, M4(), q)
+	if !strings.Contains(out, "structural-join") {
+		t.Errorf("M4 did not choose the structural merge join:\n%s", out)
+	}
+	// The merge must be cheaper than the best loop-based plan: the whole
+	// point of the operator is removing the per-outer-row probe cost.
+	cfg := M4()
+	cfg.UseStructural = false
+	withCost := exec.PlanCost(planFor(t, st, M4(), q))
+	withoutCost := exec.PlanCost(planFor(t, st, cfg, q))
+	if withCost >= withoutCost {
+		t.Errorf("structural plan not estimated cheaper: %.1f vs %.1f", withCost, withoutCost)
+	}
+}
+
+func TestStructuralJoinDisabledByKnob(t *testing.T) {
+	st := dblpStore(t)
+	cfg := M4()
+	cfg.UseStructural = false
+	out := explain(t, st, cfg, `for $x in //inproceedings return for $y in $x//author return $y`)
+	if strings.Contains(out, "structural-join") {
+		t.Errorf("structural join chosen with UseStructural=false:\n%s", out)
+	}
+	if out2 := explain(t, st, M3(), `for $x in //inproceedings return for $y in $x//author return $y`); strings.Contains(out2, "structural-join") {
+		t.Errorf("M3 preset uses the structural join:\n%s", out2)
+	}
+}
+
+func TestStructuralJoinEquivalence(t *testing.T) {
+	// Forcing the structural join on and off must not change any answer.
+	st := dblpStore(t)
+	queries := []string{
+		`for $x in //article return for $y in $x//author return $y`,
+		`for $x in //inproceedings return for $y in $x//author return $y`,
+		`for $y in //author return for $x in $y/note return $x`,
+		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`,
+	}
+	off := M4()
+	off.UseStructural = false
+	for _, q := range queries {
+		var got [2]string
+		for i, cfg := range []Config{M4(), off} {
+			xplan := planFor(t, st, cfg, q)
+			tmp, err := st.TempDir()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+			if err != nil {
+				t.Fatalf("%q config %d: %v", q, i, err)
+			}
+			got[i] = string(out)
+		}
+		if got[0] != got[1] {
+			t.Errorf("%q: structural join changed the answer\nwith:    %.200s\nwithout: %.200s", q, got[0], got[1])
+		}
 	}
 }
 
@@ -161,6 +227,60 @@ func TestEstimatorModes(t *testing.T) {
 	}
 	if uni.labelCard("cdrom") == 0 {
 		t.Error("uniform card for missing label is zero")
+	}
+}
+
+func TestDescendantPairSelUsesSubtreeSums(t *testing.T) {
+	st := dblpStore(t)
+	e := NewEstimator(st, StatsAccurate)
+	stats := st.Stats()
+	// With accurate statistics the ancestor dimension is exact:
+	// sel · C_anc · N must reproduce the collected subtree sum.
+	sum, ok := stats.SubtreeSum("article")
+	if !ok || sum == 0 {
+		t.Fatal("no subtree sum collected for article")
+	}
+	sel := e.DescendantPairSel("article", true)
+	got := sel * float64(stats.Card("article")) * e.Relation()
+	if got < float64(sum)*0.99 || got > float64(sum)*1.01 {
+		t.Errorf("pairs from sel = %.1f, want %d", got, sum)
+	}
+	gross := clamp01(e.AvgSubtree() / e.Relation())
+	// Unlabeled ancestors fall back to the gross avgDepth measure.
+	if s := e.DescendantPairSel("", false); s != gross {
+		t.Errorf("fallback sel = %g, want %g", s, gross)
+	}
+	// A nonexistent ancestor label contributes no pairs.
+	if s := e.DescendantPairSel("cdrom", true); s != 0 {
+		t.Errorf("sel for missing label = %g, want 0", s)
+	}
+	// The engine 2 model (uniform stats) must not see the exact sums.
+	u := NewEstimator(st, StatsUniform)
+	if s := u.DescendantPairSel("article", true); s != clamp01(u.AvgSubtree()/u.Relation()) {
+		t.Errorf("uniform-mode sel = %g uses accurate sums", s)
+	}
+}
+
+func TestStructuralJoinBowsToSortCost(t *testing.T) {
+	// Deep same-label nesting makes descendant pairs plentiful: the
+	// sort-needing merge-join plan must lose to the order-preserving INL
+	// plan once the repair sort is priced with realistic cardinalities.
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 60; i++ {
+		b.WriteString("<S><x/>")
+	}
+	for i := 0; i < 200; i++ {
+		b.WriteString("<NN>t</NN>")
+	}
+	for i := 0; i < 60; i++ {
+		b.WriteString("</S>")
+	}
+	b.WriteString("</root>")
+	st := loadStore(t, b.String())
+	out := explain(t, st, M4(), `for $s in //S return if (some $n in $s//NN satisfies true()) then <nn/> else ()`)
+	if strings.Contains(out, "structural-join") {
+		t.Errorf("sort-needing structural plan chosen over order-preserving INL:\n%s", out)
 	}
 }
 

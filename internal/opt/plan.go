@@ -8,6 +8,7 @@ import (
 	"xqdb/internal/recfile"
 	"xqdb/internal/store"
 	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
 )
 
 // spoolBytesPerRow approximates the memory footprint of one spooled row.
@@ -83,6 +84,10 @@ type psxInfo struct {
 	bindRels []string // vartuple relations, in vartuple order
 	local    map[string][]tpm.Cmp
 	cross    []tpm.Cmp
+	// structural are the structural join predicates recovered from the
+	// cross conditions (descendant interval pairs, parent/child
+	// equalities), the units the structural merge join can take over.
+	structural []tpm.StructuralPred
 	// filteredRows estimates each relation after local selections.
 	filteredRows map[string]float64
 }
@@ -110,6 +115,7 @@ func (p *Planner) analyze(psx *tpm.PSX) *psxInfo {
 			}
 		}
 	}
+	info.structural = tpm.FindStructural(info.cross)
 	for _, r := range psx.Rels {
 		info.filteredRows[r] = p.est.Relation() * p.est.PairSelectivity(info.local[r])
 	}
@@ -160,7 +166,7 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 
 	if !p.cfg.CostBased || len(psx.Rels) > p.cfg.MaxEnumRels {
 		order := syntacticOrder(psx, info)
-		b, err := p.buildOrder(info, order, false)
+		b, err := p.buildOrder(info, order, joinToggles{structural: p.cfg.UseStructural})
 		if err != nil {
 			return nil, err
 		}
@@ -171,9 +177,10 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 	var best exec.PlanNode
 	bestCost := math.Inf(1)
 	perms := p.enumerateOrders(psx, info)
+	opts := p.joinOptions(info)
 	for _, order := range perms {
-		for _, allowBNL := range p.bnlOptions() {
-			b, err := p.buildOrder(info, order, allowBNL)
+		for _, t := range opts {
+			b, err := p.buildOrder(info, order, t)
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +201,7 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 		// No enumerated order produced a valid plan (should not happen —
 		// the syntactic order is always valid); fall back.
 		order := syntacticOrder(psx, info)
-		b, err := p.buildOrder(info, order, false)
+		b, err := p.buildOrder(info, order, joinToggles{})
 		if err != nil {
 			return nil, err
 		}
@@ -204,11 +211,32 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 	return best, nil
 }
 
-func (p *Planner) bnlOptions() []bool {
-	if p.cfg.UseBNL && p.cfg.allow(OrderSort) {
-		return []bool{false, true}
+// joinToggles selects which optional operator families one buildOrder run
+// may use. Enumerating the toggles (instead of deciding greedily inside
+// joinNext) lets finalize-level costs arbitrate: a per-join win for a
+// non-order-preserving operator can lose the plan comparison once the
+// repair sort is priced in.
+type joinToggles struct {
+	bnl        bool
+	structural bool
+}
+
+func (p *Planner) joinOptions(info *psxInfo) []joinToggles {
+	// The structural toggle only multiplies the enumeration when the
+	// expression actually contains structural predicates — plain queries
+	// must not pay double planning time.
+	structural := p.cfg.UseStructural && len(info.structural) > 0
+	opts := []joinToggles{{}}
+	if structural {
+		opts = append(opts, joinToggles{structural: true})
 	}
-	return []bool{false}
+	if p.cfg.UseBNL && p.cfg.allow(OrderSort) {
+		opts = append(opts, joinToggles{bnl: true})
+		if structural {
+			opts = append(opts, joinToggles{bnl: true, structural: true})
+		}
+	}
+	return opts
 }
 
 // syntacticOrder mirrors the query structure: vartuple relations first in
@@ -274,7 +302,7 @@ func (p *Planner) enumerateOrders(psx *tpm.PSX, info *psxInfo) [][]string {
 }
 
 // buildOrder constructs the physical plan for one join order.
-func (p *Planner) buildOrder(info *psxInfo, order []string, useBNL bool) (*built, error) {
+func (p *Planner) buildOrder(info *psxInfo, order []string, t joinToggles) (*built, error) {
 	first := order[0]
 	lead := p.bestAccess(first, info.local[first], nil)
 	scan := exec.NewScan(first, lead.access, lead.residual)
@@ -293,7 +321,7 @@ func (p *Planner) buildOrder(info *psxInfo, order []string, useBNL bool) (*built
 	scan.Est_ = exec.Est{Rows: b.rows, Cost: b.cost}
 
 	for _, r := range order[1:] {
-		if err := p.joinNext(info, b, r, useBNL); err != nil {
+		if err := p.joinNext(info, b, r, t); err != nil {
 			return nil, err
 		}
 		p.eagerProject(info, b)
@@ -329,13 +357,132 @@ func applicableCross(info *psxInfo, b *built, r string) []tpm.Cmp {
 	return out
 }
 
-// joinNext extends the plan with relation r.
-func (p *Planner) joinNext(info *psxInfo, b *built, r string, useBNL bool) error {
-	cross := applicableCross(info, b, r)
-	joinSel := 1.0
-	for _, c := range cross {
-		joinSel *= p.est.condSelectivity(c)
+// crossSelectivity estimates the combined selectivity of the cross
+// conditions joining a relation to the prefix. Descendant interval pairs
+// are recognized and estimated together from the per-label subtree
+// statistics (DescendantPairSel) — per-condition multiplication wildly
+// underestimates pair counts on deep documents; remaining conditions
+// multiply independently as before.
+func (p *Planner) crossSelectivity(info *psxInfo, cross []tpm.Cmp) float64 {
+	if len(info.structural) == 0 {
+		// Plain queries keep the zero-allocation multiply path.
+		sel := 1.0
+		for _, c := range cross {
+			sel *= p.est.condSelectivity(c)
+		}
+		return sel
 	}
+	inCross := map[string]bool{}
+	for _, c := range cross {
+		inCross[c.String()] = true
+	}
+	covered := map[string]bool{}
+	sel := 1.0
+	for i := range info.structural {
+		sp := &info.structural[i]
+		if sp.Axis != tpm.AxisDescendant {
+			continue
+		}
+		all := true
+		for _, c := range sp.Conds {
+			if !inCross[c.String()] || covered[c.String()] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		label, ok := p.aliasLabel(info, sp.Anc)
+		sel *= p.est.DescendantPairSel(label, ok)
+		for _, c := range sp.Conds {
+			covered[c.String()] = true
+		}
+	}
+	for _, c := range cross {
+		if !covered[c.String()] {
+			sel *= p.est.condSelectivity(c)
+		}
+	}
+	return sel
+}
+
+// aliasLabel returns the element label an alias is filtered to by its
+// local conditions, if any.
+func (p *Planner) aliasLabel(info *psxInfo, alias string) (string, bool) {
+	parts := classify(alias, info.local[alias], nil)
+	if parts.typeEq != nil && parts.valueEq != nil && parts.typeEq.norm.Right.Type == xasr.TypeElem {
+		return parts.valueEq.norm.Right.Str, true
+	}
+	return "", false
+}
+
+// structuralCandidate returns a structural predicate joining r to the
+// current prefix that the merge join can run, plus the cross conditions
+// left as residual per-pair filters. Requirements: the prefix stream must
+// be sorted by the partner alias's in-label (true exactly when that alias
+// leads orderSeq), the predicate's conditions must still be unapplied,
+// and adopting a descendant-side r — whose output leads with r's document
+// order — must leave the plan finalizable (a final sort can repair it, or
+// the vartuple relations happen to lead with r).
+func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross []tpm.Cmp) (*tpm.StructuralPred, []tpm.Cmp) {
+	if !p.cfg.UseStructural || b.orderSeq == nil {
+		return nil, nil
+	}
+	inCross := map[string]bool{}
+	for _, c := range cross {
+		inCross[c.String()] = true
+	}
+	for i := range info.structural {
+		sp := &info.structural[i]
+		var other string
+		switch {
+		case sp.Anc == r && b.present[sp.Desc]:
+			other = sp.Desc
+		case sp.Desc == r && b.present[sp.Anc]:
+			other = sp.Anc
+		default:
+			continue
+		}
+		if b.orderSeq[0] != other {
+			continue
+		}
+		subsumed := true
+		for _, c := range sp.Conds {
+			if !inCross[c.String()] {
+				subsumed = false
+				break
+			}
+		}
+		if !subsumed {
+			continue
+		}
+		if sp.Desc == r && !p.cfg.allow(OrderSort) {
+			seq := append([]string{r}, b.orderSeq...)
+			if !isPrefix(info.bindRels, seq) {
+				continue
+			}
+		}
+		sub := map[string]bool{}
+		for _, c := range sp.Conds {
+			sub[c.String()] = true
+		}
+		var resid []tpm.Cmp
+		for _, c := range cross {
+			if !sub[c.String()] {
+				resid = append(resid, c)
+			}
+		}
+		return sp, resid
+	}
+	return nil, nil
+}
+
+// joinNext extends the plan with relation r.
+func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) error {
+	useBNL := t.bnl
+	cross := applicableCross(info, b, r)
+	joinSel := p.crossSelectivity(info, cross)
 	innerRows := info.filteredRows[r]
 	outRows := b.rows * innerRows * joinSel
 	if outRows < 0.01 {
@@ -385,6 +532,26 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, useBNL bool) error
 	blockRows := 1024.0
 	bnlCost := b.cost + innerScanCost + math.Ceil(b.rows/blockRows)*Pages(innerRows) + b.rows*innerRows*cpuPerTuple
 
+	// Candidate C: stack-based structural merge join — both inputs read
+	// once in document order, no probes, no rescans.
+	var structPred *tpm.StructuralPred
+	var structResid []tpm.Cmp
+	structCost := math.Inf(1)
+	if t.structural {
+		structPred, structResid = p.structuralCandidate(info, b, r, cross)
+		if structPred != nil && structPred.Axis == tpm.AxisChild && inlChoice != nil {
+			// Parent/child equalities have a highly selective index-probe
+			// path; the full-stream merge only pays off when no
+			// parameterized access exists (the per-probe page charge
+			// overstates warm-cache probes, so trusting the raw estimates
+			// here would adopt merges that lose in practice).
+			structPred, structResid = nil, nil
+		}
+		if structPred != nil {
+			structCost = StructuralJoinCost(b.cost, innerScanCost, b.rows, innerRows, outRows)
+		}
+	}
+
 	mark := func(conds []tpm.Cmp) {
 		for _, c := range conds {
 			b.applied[c.String()] = true
@@ -392,6 +559,21 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, useBNL bool) error
 	}
 
 	switch {
+	case structPred != nil && structCost <= inlCost && structCost <= nlCost &&
+		!(useBNL && bnlCost < structCost):
+		inner := exec.NewScan(r, nlAccess.access, nlAccess.residual)
+		inner.Est_ = exec.Est{Rows: innerRows, Cost: innerScanCost}
+		join := exec.NewStructuralJoin(b.node, inner, *structPred, structResid)
+		join.Est_ = exec.Est{Rows: outRows, Cost: structCost}
+		b.node = join
+		if structPred.Desc == r {
+			// The merge emits in descendant document order: the new
+			// relation's order leads, the prefix order breaks ties.
+			b.orderSeq = append([]string{r}, b.orderSeq...)
+		} else {
+			b.orderSeq = append(b.orderSeq, r)
+		}
+		b.cost = structCost
 	case useBNL && bnlCost < nlCost && bnlCost < inlCost:
 		inner := exec.NewScan(r, nlAccess.access, nlAccess.residual)
 		inner.Est_ = exec.Est{Rows: innerRows, Cost: innerScanCost}

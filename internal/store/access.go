@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"xqdb/internal/btree"
@@ -205,6 +206,7 @@ func (c *tupleLeafCursor) fill() error {
 type TupleCursor struct {
 	tupleLeafCursor
 	pool *sync.Pool // home pool while open; nil after Close
+	lo   uint32     // opened lower bound; SeekGE never goes below it
 }
 
 // OpenRange returns a cursor over tuples with lo <= in < hi in document
@@ -223,6 +225,7 @@ func (s *Store) OpenRange(lo, hi uint32) (*TupleCursor, error) {
 	}
 	tc.reset(xasr.DecodePrimaryRaw)
 	tc.pool = &s.tcPool
+	tc.lo = lo
 	s.primary.SeekBatchRangeInto(&tc.bc, xasr.PrimaryKey(lo), hiKey)
 	return tc, nil
 }
@@ -230,6 +233,32 @@ func (s *Store) OpenRange(lo, hi uint32) (*TupleCursor, error) {
 // Next returns the next tuple, or ok=false at the end of the range. The
 // returned tuple is a value copy and stays valid indefinitely.
 func (tc *TupleCursor) Next() (xasr.Tuple, bool, error) { return tc.next() }
+
+// SeekGE advances the cursor so the next tuple returned is the first
+// remaining one with in >= target. Within the already-decoded leaf this
+// is a binary search (no I/O at all); beyond it the batch cursor
+// re-seeks, replacing a leaf-by-leaf crawl with one fresh descent. The
+// cursor is forward-only: target must not precede a tuple already
+// returned, and both bounds of the opened range keep applying (targets
+// below the range's lower bound are clamped to it).
+func (tc *TupleCursor) SeekGE(target uint32) error {
+	if tc.err != nil {
+		return tc.err
+	}
+	if target < tc.lo {
+		target = tc.lo
+	}
+	rest := tc.tuples[tc.i:]
+	k := sort.Search(len(rest), func(i int) bool { return rest[i].In >= target })
+	tc.i += k
+	if k < len(rest) || tc.done {
+		return nil
+	}
+	tc.bc.Reseek(xasr.PrimaryKey(target))
+	tc.tuples = tc.tuples[:0]
+	tc.i = 0
+	return nil
+}
 
 // Close returns the cursor and its buffers to the store's pool. The
 // cursor must not be used afterwards; tuples already returned by Next
@@ -254,6 +283,11 @@ type LabelRangeCursor struct {
 	done    bool
 	err     error      // sticky: set on the first decode/read failure
 	pool    *sync.Pool // home pool while open; nil after Close
+	// typ/value remember the index prefix so SeekGE can rebuild keys;
+	// lo is the opened lower bound SeekGE never goes below.
+	typ   xasr.NodeType
+	value string
+	lo    uint32
 }
 
 // OpenLabelRange returns a cursor over the label-index entries for
@@ -282,6 +316,9 @@ func (s *Store) OpenLabelRange(typ xasr.NodeType, value string, lo, hi uint32) (
 	lc.done = false
 	lc.err = nil
 	lc.pool = &s.lcPool
+	lc.typ = typ
+	lc.value = value
+	lc.lo = lo
 	s.labelIdx.SeekBatchRangeInto(&lc.bc, xasr.LabelKey(typ, value, lo), hiKey)
 	return lc, nil
 }
@@ -306,6 +343,31 @@ func (lc *LabelRangeCursor) Next() (LabelEntry, bool, error) {
 	e := lc.entries[lc.i]
 	lc.i++
 	return e, true, nil
+}
+
+// SeekGE advances the cursor so the next entry returned is the first
+// remaining one with In >= target, staying within the (type, value)
+// prefix and both bounds of the opened range (targets below the lower
+// bound are clamped to it). Within the already-decoded leaf this is a
+// binary search; beyond it the batch cursor re-seeks with one fresh
+// descent. Forward-only, like TupleCursor.SeekGE.
+func (lc *LabelRangeCursor) SeekGE(target uint32) error {
+	if lc.err != nil {
+		return lc.err
+	}
+	if target < lc.lo {
+		target = lc.lo
+	}
+	rest := lc.entries[lc.i:]
+	k := sort.Search(len(rest), func(i int) bool { return rest[i].In >= target })
+	lc.i += k
+	if k < len(rest) || lc.done {
+		return nil
+	}
+	lc.bc.Reseek(xasr.LabelKey(lc.typ, lc.value, target))
+	lc.entries = lc.entries[:0]
+	lc.i = 0
+	return nil
 }
 
 // fill decodes the next leaf's worth of entries. Label entries are

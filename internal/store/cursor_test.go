@@ -241,3 +241,189 @@ func TestConcurrentReaders(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// seekDoc is a multi-leaf document so SeekGE exercises both the in-leaf
+// binary search and the cross-leaf re-descent.
+func seekDoc() string {
+	var b strings.Builder
+	b.WriteString("<dblp>")
+	for i := 0; i < 1200; i++ {
+		fmt.Fprintf(&b, "<article><author>A%d</author><title>T%d</title></article>", i%97, i)
+	}
+	b.WriteString("</dblp>")
+	return b.String()
+}
+
+// TestTupleCursorSeekGE checks that seeking is exactly "skip everything
+// below target": after any number of reads and any forward seek, the
+// cursor continues with the suffix a plain scan would produce.
+func TestTupleCursorSeekGE(t *testing.T) {
+	s := newStore(t, seekDoc(), Options{})
+	all := drainTuples(t, mustOpenRange(t, s, 0, 0))
+	max := all[len(all)-1].In
+
+	for _, tc := range []struct {
+		readFirst int
+		target    uint32
+	}{
+		{0, 0},          // seek before anything on a fresh cursor
+		{0, max / 2},    // long skip from the start
+		{3, 5},          // in-leaf skip after a few reads
+		{3, max / 2},    // cross-leaf skip after a few reads
+		{10, max + 100}, // seek past the end
+		{0, all[10].In}, // exact hit
+		{5, all[5].In},  // seek to the current position (no-op)
+	} {
+		cur, err := s.OpenRange(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.readFirst; i++ {
+			if _, ok, err := cur.Next(); err != nil || !ok {
+				t.Fatalf("warmup read %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if err := cur.SeekGE(tc.target); err != nil {
+			t.Fatalf("SeekGE(%d): %v", tc.target, err)
+		}
+		got := drainTuples(t, cur)
+		var want []xasr.Tuple
+		for _, tp := range all {
+			if tp.In >= tc.target && (tc.readFirst == 0 || tp.In > all[tc.readFirst-1].In) {
+				want = append(want, tp)
+			}
+		}
+		if !tuplesEqual(got, want) {
+			t.Errorf("SeekGE(%d) after %d reads: got %d tuples, want %d",
+				tc.target, tc.readFirst, len(got), len(want))
+		}
+	}
+}
+
+// TestTupleCursorSeekGERespectsUpperBound checks the re-descent keeps the
+// range's exclusive upper bound.
+func TestTupleCursorSeekGERespectsUpperBound(t *testing.T) {
+	s := newStore(t, seekDoc(), Options{})
+	all := drainTuples(t, mustOpenRange(t, s, 0, 0))
+	hi := all[len(all)/2].In
+	cur, err := s.OpenRange(0, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.SeekGE(hi - 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range drainTuples(t, cur) {
+		if tp.In >= hi {
+			t.Fatalf("tuple %d past upper bound %d after seek", tp.In, hi)
+		}
+	}
+}
+
+// TestSeekGEClampsToLowerBound checks a fresh cursor cannot be seeked
+// below the range it was opened with.
+func TestSeekGEClampsToLowerBound(t *testing.T) {
+	s := newStore(t, seekDoc(), Options{})
+	all := drainTuples(t, mustOpenRange(t, s, 0, 0))
+	lo := all[100].In
+	cur, err := s.OpenRange(lo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.SeekGE(1); err != nil {
+		t.Fatal(err)
+	}
+	got := drainTuples(t, cur)
+	if len(got) == 0 || got[0].In != lo {
+		t.Fatalf("seek below lo widened the range: first in=%d, want %d", got[0].In, lo)
+	}
+
+	lc, err := s.OpenLabelRange(xasr.TypeElem, "author", lo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.SeekGE(1); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := lc.Next()
+	if err != nil || !ok {
+		t.Fatalf("label next: ok=%v err=%v", ok, err)
+	}
+	if e.In < lo {
+		t.Fatalf("label seek below lo widened the range: in=%d < %d", e.In, lo)
+	}
+}
+
+// TestLabelCursorSeekGE mirrors TestTupleCursorSeekGE on the label index.
+func TestLabelCursorSeekGE(t *testing.T) {
+	s := newStore(t, seekDoc(), Options{})
+	var all []LabelEntry
+	if err := s.ScanLabel(xasr.TypeElem, "author", func(e LabelEntry) bool {
+		all = append(all, e)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1200 {
+		t.Fatalf("author entries: %d", len(all))
+	}
+	for _, tc := range []struct {
+		readFirst int
+		target    uint32
+	}{
+		{0, all[600].In},             // long skip, fresh cursor
+		{5, all[7].In},               // short in-leaf skip
+		{5, all[900].In},             // cross-leaf skip
+		{0, all[len(all)-1].In + 10}, // past the end
+	} {
+		cur, err := s.OpenLabelRange(xasr.TypeElem, "author", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < tc.readFirst; i++ {
+			if _, ok, err := cur.Next(); err != nil || !ok {
+				t.Fatalf("warmup read %d: ok=%v err=%v", i, ok, err)
+			}
+		}
+		if err := cur.SeekGE(tc.target); err != nil {
+			t.Fatalf("SeekGE(%d): %v", tc.target, err)
+		}
+		var got []LabelEntry
+		for {
+			e, ok, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, e)
+		}
+		cur.Close()
+		var want []LabelEntry
+		for _, e := range all {
+			if e.In >= tc.target && (tc.readFirst == 0 || e.In > all[tc.readFirst-1].In) {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("SeekGE(%d) after %d reads: got %d entries, want %d",
+				tc.target, tc.readFirst, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("entry %d: got %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func mustOpenRange(t *testing.T, s *Store, lo, hi uint32) *TupleCursor {
+	t.Helper()
+	tc, err := s.OpenRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}

@@ -362,9 +362,12 @@ type statsFile struct {
 	Texts      int64
 	MaxIn      uint32
 	LabelCount map[string]int64
-	SumDepth   int64
-	MaxDepth   int32
-	MaxFanout  int32
+	// LabelSubtreeSum is nil in files written before the statistic was
+	// collected; the estimator falls back to its gross measure then.
+	LabelSubtreeSum map[string]int64
+	SumDepth        int64
+	MaxDepth        int32
+	MaxFanout       int32
 }
 
 func (s *Store) saveStats() error {
@@ -376,7 +379,8 @@ func (s *Store) saveStats() error {
 	sf := statsFile{
 		Nodes: s.stats.Nodes, Elems: s.stats.Elems, Texts: s.stats.Texts,
 		MaxIn: s.stats.MaxIn, LabelCount: s.stats.LabelCount,
-		SumDepth: s.stats.SumDepth, MaxDepth: s.stats.MaxDepth, MaxFanout: s.stats.MaxFanout,
+		LabelSubtreeSum: s.stats.LabelSubtreeSum,
+		SumDepth:        s.stats.SumDepth, MaxDepth: s.stats.MaxDepth, MaxFanout: s.stats.MaxFanout,
 	}
 	if err := gob.NewEncoder(f).Encode(&sf); err != nil {
 		return fmt.Errorf("store: encoding stats: %w", err)
@@ -397,7 +401,8 @@ func (s *Store) loadStats() error {
 	s.stats = &xasr.Stats{
 		Nodes: sf.Nodes, Elems: sf.Elems, Texts: sf.Texts,
 		MaxIn: sf.MaxIn, LabelCount: sf.LabelCount,
-		SumDepth: sf.SumDepth, MaxDepth: sf.MaxDepth, MaxFanout: sf.MaxFanout,
+		LabelSubtreeSum: sf.LabelSubtreeSum,
+		SumDepth:        sf.SumDepth, MaxDepth: sf.MaxDepth, MaxFanout: sf.MaxFanout,
 	}
 	if s.stats.LabelCount == nil {
 		s.stats.LabelCount = map[string]int64{}

@@ -191,6 +191,17 @@ func TestStatsCollected(t *testing.T) {
 	if st.AvgDepth() <= 0 {
 		t.Errorf("avgDepth=%f", st.AvgDepth())
 	}
+	// Subtree sums are exact from the interval encoding: journal (2,17)
+	// has (17-2-1)/2 = 7 proper descendants, authors (3,12) has 4, each
+	// name has its text child.
+	for label, want := range map[string]int64{"journal": 7, "authors": 4, "name": 2, "title": 1} {
+		if got, ok := st.SubtreeSum(label); !ok || got != want {
+			t.Errorf("subtree sum %s = %d (ok=%v), want %d", label, got, ok, want)
+		}
+	}
+	if got, ok := st.SubtreeSum("nosuch"); !ok || got != 0 {
+		t.Errorf("subtree sum for a missing label = %d (ok=%v), want 0", got, ok)
+	}
 }
 
 func TestPersistenceAcrossReopen(t *testing.T) {

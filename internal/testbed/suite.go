@@ -11,6 +11,7 @@ import (
 
 	"xqdb/internal/core"
 	"xqdb/internal/limit"
+	"xqdb/internal/opt"
 	"xqdb/internal/store"
 )
 
@@ -125,6 +126,10 @@ type EffConfig struct {
 	SortBudget int
 	// Modes are the engines to compare.
 	Modes []core.Mode
+	// Opt overrides the optimizer configuration of the TPM-based modes
+	// (M3/M4 and their variants) — the hook the xqbench -join flag uses
+	// to force one join operator family across the whole suite.
+	Opt *opt.Config
 }
 
 // EffCell is one engine/test measurement.
@@ -170,7 +175,7 @@ func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
 	var rows []EffRow
 	for _, m := range cfg.Modes {
 		row := EffRow{Mode: m}
-		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget})
+		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, Opt: cfg.Opt})
 		for i, test := range tests {
 			start := time.Now()
 			_, err := e.Query(test.Query)
@@ -222,4 +227,44 @@ func WriteReport(path, correctness, figure7 string) error {
 	b.WriteString("\n## Efficiency tests (Figure 7)\n\n")
 	b.WriteString(figure7)
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// EquivMismatch records a query whose serialized result differed between
+// two optimizer configurations.
+type EquivMismatch struct {
+	Doc   string
+	Query string
+	A, B  string
+	ErrA  error
+	ErrB  error
+}
+
+// RunEquivalence evaluates every query on every document under two M4
+// optimizer configurations and reports the mismatches. It is the harness
+// for operator-ablation equivalence checks: byte-identical serialized
+// results on the full suite mean the ablated operator changes no
+// semantics, only cost.
+func RunEquivalence(dir string, docs []Doc, queries []string, a, b opt.Config) ([]EquivMismatch, error) {
+	var out []EquivMismatch
+	for _, doc := range docs {
+		st, err := store.Open(filepath.Join(dir, "equiv-"+doc.Name), store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := st.LoadString(doc.XML); err != nil {
+			st.Close()
+			return nil, err
+		}
+		ea := core.New(st, core.Config{Mode: core.ModeM4, Opt: &a})
+		eb := core.New(st, core.Config{Mode: core.ModeM4, Opt: &b})
+		for _, q := range queries {
+			ra, errA := ea.Query(q)
+			rb, errB := eb.Query(q)
+			if ra != rb || (errA == nil) != (errB == nil) {
+				out = append(out, EquivMismatch{Doc: doc.Name, Query: q, A: ra, B: rb, ErrA: errA, ErrB: errB})
+			}
+		}
+		st.Close()
+	}
+	return out, nil
 }

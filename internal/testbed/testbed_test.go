@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xqdb/internal/core"
+	"xqdb/internal/opt"
 )
 
 func TestCorrectnessSuite(t *testing.T) {
@@ -142,4 +143,44 @@ func TestEfficiencyTestsWellFormed(t *testing.T) {
 	if len(CorrectnessQueries()) != 16 {
 		t.Errorf("correctness suite has %d queries, want 16 (the paper's 'up to 16')", len(CorrectnessQueries()))
 	}
+}
+
+// TestStructuralJoinEquivalenceSuite forces the structural merge join on
+// (suppressing the loop-based alternatives it competes against) and off,
+// and asserts byte-identical serialized results over the full correctness
+// suite — all four documents including Figure 2 — plus the five
+// efficiency-test queries. This mirrors PR 1's batch-vs-tuple equivalence
+// checks: a physical operator may only change cost, never answers.
+func TestStructuralJoinEquivalenceSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite in -short mode")
+	}
+	forcedOn, ok := opt.ForceJoin("structural")
+	if !ok {
+		t.Fatal("ForceJoin(structural)")
+	}
+	forcedOff, ok := opt.ForceJoin("inl")
+	if !ok {
+		t.Fatal("ForceJoin(inl)")
+	}
+
+	queries := append([]string(nil), CorrectnessQueries()...)
+	for _, et := range EfficiencyTests() {
+		queries = append(queries, et.Query)
+	}
+	mismatches, err := RunEquivalence(t.TempDir(), Documents(1), queries, forcedOn, forcedOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("%s / %q: forced-on %q (err %v) != forced-off %q (err %v)",
+			m.Doc, m.Query, truncate(m.A, 120), m.ErrA, truncate(m.B, 120), m.ErrB)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }

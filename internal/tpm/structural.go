@@ -1,0 +1,132 @@
+package tpm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Axis names the structural relationship a join predicate encodes between
+// two XASR relation instances.
+type Axis uint8
+
+// Structural axes recognizable from TPM conditions.
+const (
+	// AxisNone marks the absence of a structural relationship.
+	AxisNone Axis = iota
+	// AxisChild is the parent/child predicate desc.parent_in = anc.in.
+	AxisChild
+	// AxisDescendant is the interval predicate
+	// desc.in > anc.in AND desc.out < anc.out.
+	AxisDescendant
+)
+
+// String renders the axis in XPath notation.
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "child"
+	case AxisDescendant:
+		return "descendant"
+	}
+	return "none"
+}
+
+// StructuralPred is a structural join predicate between two relation
+// aliases, recovered from the conjunction of a PSX expression. It is the
+// unit the optimizer matches when considering a stack-based structural
+// merge join instead of a nested-loops operator.
+type StructuralPred struct {
+	Axis Axis
+	// Anc and Desc are the ancestor-side (parent-side) and
+	// descendant-side (child-side) aliases.
+	Anc, Desc string
+	// Conds are the original conditions the predicate subsumes: one
+	// equality for AxisChild, the (in >, out <) pair for AxisDescendant.
+	Conds []Cmp
+}
+
+// String renders the predicate in XPath notation, e.g. "I//A".
+func (p StructuralPred) String() string {
+	if p.Axis == AxisChild {
+		return fmt.Sprintf("%s/%s", p.Anc, p.Desc)
+	}
+	return fmt.Sprintf("%s//%s", p.Anc, p.Desc)
+}
+
+// attrPair normalizes a two-attribute condition to (left attr, right
+// attr) with the comparison direction of op preserved relative to the
+// returned order. ok is false unless both operands are attributes of
+// different relations.
+func attrPair(c Cmp) (l, r Attr, op CmpOp, ok bool) {
+	if c.Left.Kind != OpAttr || c.Right.Kind != OpAttr {
+		return Attr{}, Attr{}, 0, false
+	}
+	if c.Left.Attr.Rel == c.Right.Attr.Rel {
+		return Attr{}, Attr{}, 0, false
+	}
+	return c.Left.Attr, c.Right.Attr, c.Op, true
+}
+
+// FindStructural recovers the structural join predicates hidden in a
+// conjunction of cross conditions: parent/child equalities
+// (d.parent_in = a.in) and descendant interval pairs
+// (d.in > a.in AND d.out < a.out), in either written orientation. Each
+// returned predicate carries the subsumed original conditions, so a
+// planner that adopts it can mark exactly those as applied and keep the
+// rest as residual filters.
+func FindStructural(conds []Cmp) []StructuralPred {
+	type pair struct{ anc, desc string }
+	inLo := map[pair]Cmp{}  // desc.in > anc.in observed
+	outHi := map[pair]Cmp{} // desc.out < anc.out observed
+	var preds []StructuralPred
+
+	for _, c := range conds {
+		l, r, op, ok := attrPair(c)
+		if !ok {
+			continue
+		}
+		// Normalize to "descendant attribute on the left".
+		switch {
+		case op == CmpEq && l.Col == ColParentIn && r.Col == ColIn:
+			preds = append(preds, StructuralPred{
+				Axis: AxisChild, Anc: r.Rel, Desc: l.Rel, Conds: []Cmp{c},
+			})
+			continue
+		case op == CmpEq && l.Col == ColIn && r.Col == ColParentIn:
+			preds = append(preds, StructuralPred{
+				Axis: AxisChild, Anc: l.Rel, Desc: r.Rel, Conds: []Cmp{c},
+			})
+			continue
+		case op == CmpGt && l.Col == ColIn && r.Col == ColIn:
+			inLo[pair{anc: r.Rel, desc: l.Rel}] = c
+		case op == CmpLt && l.Col == ColIn && r.Col == ColIn:
+			inLo[pair{anc: l.Rel, desc: r.Rel}] = c
+		case op == CmpLt && l.Col == ColOut && r.Col == ColOut:
+			outHi[pair{anc: r.Rel, desc: l.Rel}] = c
+		case op == CmpGt && l.Col == ColOut && r.Col == ColOut:
+			outHi[pair{anc: l.Rel, desc: r.Rel}] = c
+		}
+	}
+	for p, lo := range inLo {
+		hi, ok := outHi[p]
+		if !ok {
+			continue
+		}
+		preds = append(preds, StructuralPred{
+			Axis: AxisDescendant, Anc: p.anc, Desc: p.desc, Conds: []Cmp{lo, hi},
+		})
+	}
+	// Map iteration order is random; give callers a stable
+	// (Anc, Desc, Axis) order.
+	sort.Slice(preds, func(i, j int) bool {
+		a, b := preds[i], preds[j]
+		if a.Anc != b.Anc {
+			return a.Anc < b.Anc
+		}
+		if a.Desc != b.Desc {
+			return a.Desc < b.Desc
+		}
+		return a.Axis < b.Axis
+	})
+	return preds
+}

@@ -1,0 +1,98 @@
+package tpm
+
+import "testing"
+
+func TestFindStructuralDescendantPair(t *testing.T) {
+	conds := []Cmp{
+		Gt(AttrOp("A", ColIn), AttrOp("I", ColIn)),
+		Lt(AttrOp("A", ColOut), AttrOp("I", ColOut)),
+		Eq(AttrOp("A", ColType), TypeOp(1)), // local cond, ignored
+	}
+	preds := FindStructural(conds)
+	if len(preds) != 1 {
+		t.Fatalf("preds: %v", preds)
+	}
+	p := preds[0]
+	if p.Axis != AxisDescendant || p.Anc != "I" || p.Desc != "A" || len(p.Conds) != 2 {
+		t.Errorf("wrong pred: %+v", p)
+	}
+	if p.String() != "I//A" {
+		t.Errorf("pred string: %s", p)
+	}
+}
+
+func TestFindStructuralReversedOrientation(t *testing.T) {
+	// The same predicate written with the ancestor attribute on the left.
+	conds := []Cmp{
+		Lt(AttrOp("I", ColIn), AttrOp("A", ColIn)),
+		Gt(AttrOp("I", ColOut), AttrOp("A", ColOut)),
+	}
+	preds := FindStructural(conds)
+	if len(preds) != 1 || preds[0].Axis != AxisDescendant || preds[0].Anc != "I" || preds[0].Desc != "A" {
+		t.Errorf("reversed orientation not recognized: %v", preds)
+	}
+}
+
+func TestFindStructuralChild(t *testing.T) {
+	for _, conds := range [][]Cmp{
+		{Eq(AttrOp("V", ColParentIn), AttrOp("X", ColIn))},
+		{Eq(AttrOp("X", ColIn), AttrOp("V", ColParentIn))},
+	} {
+		preds := FindStructural(conds)
+		if len(preds) != 1 {
+			t.Fatalf("preds: %v", preds)
+		}
+		p := preds[0]
+		if p.Axis != AxisChild || p.Anc != "X" || p.Desc != "V" || len(p.Conds) != 1 {
+			t.Errorf("wrong child pred: %+v", p)
+		}
+		if p.String() != "X/V" {
+			t.Errorf("pred string: %s", p)
+		}
+	}
+}
+
+func TestFindStructuralRejectsHalfPairsAndMismatches(t *testing.T) {
+	cases := [][]Cmp{
+		// Lone in-bound: not a descendant interval.
+		{Gt(AttrOp("A", ColIn), AttrOp("I", ColIn))},
+		// Lone out-bound.
+		{Lt(AttrOp("A", ColOut), AttrOp("I", ColOut))},
+		// Bounds relating different pairs.
+		{
+			Gt(AttrOp("A", ColIn), AttrOp("I", ColIn)),
+			Lt(AttrOp("A", ColOut), AttrOp("J", ColOut)),
+		},
+		// Variable bounds are not cross conditions.
+		{Gt(AttrOp("A", ColIn), VarInOp("x")), Lt(AttrOp("A", ColOut), VarOutOp("x"))},
+		// parent_in equality against a constant is a local selection.
+		{Eq(AttrOp("V", ColParentIn), InOp(1))},
+		// value equi-join is not structural.
+		{Eq(AttrOp("A", ColValue), AttrOp("B", ColValue))},
+	}
+	for i, conds := range cases {
+		if preds := FindStructural(conds); len(preds) != 0 {
+			t.Errorf("case %d: unexpected preds %v", i, preds)
+		}
+	}
+}
+
+func TestFindStructuralMultiplePredsStableOrder(t *testing.T) {
+	conds := []Cmp{
+		Eq(AttrOp("V", ColParentIn), AttrOp("X", ColIn)),
+		Gt(AttrOp("A", ColIn), AttrOp("X", ColIn)),
+		Lt(AttrOp("A", ColOut), AttrOp("X", ColOut)),
+	}
+	preds := FindStructural(conds)
+	if len(preds) != 2 {
+		t.Fatalf("preds: %v", preds)
+	}
+	// Sorted by (Anc, Desc, Axis): X/V before X//A? No — "A" < "V", so
+	// X//A (desc=A) comes first.
+	if preds[0].Desc != "A" || preds[0].Axis != AxisDescendant {
+		t.Errorf("order: %v", preds)
+	}
+	if preds[1].Desc != "V" || preds[1].Axis != AxisChild {
+		t.Errorf("order: %v", preds)
+	}
+}

@@ -262,9 +262,15 @@ type Stats struct {
 	Texts      int64            // text nodes
 	MaxIn      uint32           // largest assigned label counter value
 	LabelCount map[string]int64 // element label -> cardinality
-	SumDepth   int64            // sum of node depths (root = 0)
-	MaxDepth   int32
-	MaxFanout  int32
+	// LabelSubtreeSum is, per element label, the total number of proper
+	// descendant nodes summed over all elements with that label — exact
+	// from the interval encoding ((out-in-1)/2 per element). It gives the
+	// optimizer precise ancestor/descendant pair cardinalities:
+	// pairs(label//D) ≈ LabelSubtreeSum[label] · |D| / Nodes.
+	LabelSubtreeSum map[string]int64
+	SumDepth        int64 // sum of node depths (root = 0)
+	MaxDepth        int32
+	MaxFanout       int32
 }
 
 // AvgDepth returns the average node depth.
@@ -278,13 +284,25 @@ func (s *Stats) AvgDepth() float64 {
 // Card returns the number of element nodes with the given label.
 func (s *Stats) Card(label string) int64 { return s.LabelCount[label] }
 
+// SubtreeSum returns the total proper-descendant count over all elements
+// with the given label. ok reports whether per-label sums were collected
+// at all (they are absent on stores written before the statistic
+// existed); a label that simply does not occur yields (0, true) — zero
+// pairs, exactly.
+func (s *Stats) SubtreeSum(label string) (int64, bool) {
+	if s.LabelSubtreeSum == nil {
+		return 0, false
+	}
+	return s.LabelSubtreeSum[label], true
+}
+
 // Shred streams tokens from tz, assigns in/out labels, and calls emit for
 // every completed tuple. Tuples are emitted as their nodes complete
 // (postorder for elements); callers that need in-order must sort, which is
 // what store.Load does via the external sorter. Returns the collected
 // statistics.
 func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
-	stats := &Stats{LabelCount: make(map[string]int64)}
+	stats := &Stats{LabelCount: make(map[string]int64), LabelSubtreeSum: make(map[string]int64)}
 	type open struct {
 		in       uint32
 		parentIn uint32
@@ -331,6 +349,9 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 			}
 			out := counter
 			counter++
+			// (out-in-1)/2 is exactly the element's proper-descendant
+			// count: every descendant consumes two labels in (in, out).
+			stats.LabelSubtreeSum[top.label] += int64(out-top.in-1) / 2
 			if err := emit(Tuple{In: top.in, Out: out, ParentIn: top.parentIn, Type: TypeElem, Value: top.label}); err != nil {
 				return nil, err
 			}
