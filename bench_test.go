@@ -175,26 +175,38 @@ func BenchmarkAblationINL(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationStructuralJoin isolates the stack-based structural
-// merge join on a descendant-heavy query: the same M4 engine with the
-// operator forced (loop-based competitors off), with it ablated (INL
-// takes over), and with only the plain/block nested-loops fallbacks. The
-// rows-joined and rows-structural metrics show which operator family did
-// the join work.
+// BenchmarkAblationStructuralJoin isolates the structural join operators
+// on two query shapes: a binary descendant step ("desc") and a ≥3-branch
+// twig pattern ("twig3") that fans three descendant branches out of one
+// root. Each runs under every forced join family — the holistic twig
+// join, the binary stack merge, INL, and the plain/block nested-loops
+// fallbacks. The rows-joined / rows-structural / rows-twig / path-sols
+// metrics show which operator family did the join work and how large its
+// intermediate results were.
 func BenchmarkAblationStructuralJoin(b *testing.B) {
 	st := benchStore(b)
-	const q = `for $x in //inproceedings return for $y in $x//author return $y`
-	for _, name := range []string{"structural", "inl", "nl", "bnl"} {
-		cfg, ok := opt.ForceJoin(name)
-		if !ok {
-			b.Fatalf("unknown join family %q", name)
+	shapes := []struct {
+		name  string
+		query string
+	}{
+		{"desc", `for $x in //inproceedings return for $y in $x//author return $y`},
+		{"twig3", `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`},
+	}
+	for _, shape := range shapes {
+		for _, name := range []string{"twig", "structural", "inl", "nl", "bnl"} {
+			cfg, ok := opt.ForceJoin(name)
+			if !ok {
+				b.Fatalf("unknown join family %q", name)
+			}
+			e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
+			b.Run(shape.name+"/"+name, func(b *testing.B) {
+				runQuery(b, e, shape.query)
+				b.ReportMetric(float64(e.Counters().RowsJoined), "rows-joined")
+				b.ReportMetric(float64(e.Counters().RowsStructural), "rows-structural")
+				b.ReportMetric(float64(e.Counters().RowsTwig), "rows-twig")
+				b.ReportMetric(float64(e.Counters().TwigPathSolutions), "path-sols")
+			})
 		}
-		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
-		b.Run(name, func(b *testing.B) {
-			runQuery(b, e, q)
-			b.ReportMetric(float64(e.Counters().RowsJoined), "rows-joined")
-			b.ReportMetric(float64(e.Counters().RowsStructural), "rows-structural")
-		})
 	}
 }
 

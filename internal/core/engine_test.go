@@ -294,3 +294,42 @@ func TestExplainAnalyzeShowsJoinOperator(t *testing.T) {
 		t.Error("M2 ExplainAnalyze did not fail")
 	}
 }
+
+// TestExplainAnalyzeTwigJoin checks that a ≥3-branch path pattern runs on
+// the holistic twig join and that the k-ary analysis renders every input
+// stream with its own actual row count under branch glyphs.
+func TestExplainAnalyzeTwigJoin(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 800, Seed: 5})); err != nil {
+		t.Fatal(err)
+	}
+	const twig3 = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`
+	e := New(st, Config{Mode: ModeM4})
+	out, err := e.ExplainAnalyze(twig3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"twig-join", "holistic, 4 streams", "twig=", "path-solutions="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+	// Four per-stream scan rows under the k-ary operator: three rail
+	// branches and one closing corner, each carrying actual rows.
+	if strings.Count(out, "├─ scan") != 3 || strings.Count(out, "└─ scan") != 1 {
+		t.Errorf("k-ary stream rendering wrong:\n%s", out)
+	}
+	if strings.Count(out, "actual rows=") < 5 {
+		t.Errorf("missing per-stream actual rows:\n%s", out)
+	}
+	if e.Counters().RowsTwig == 0 || e.Counters().TwigPathSolutions == 0 {
+		t.Errorf("twig counters not populated: %+v", e.Counters())
+	}
+	if e.Counters().RowsJoined != 0 || e.Counters().RowsStructural != 0 {
+		t.Errorf("binary joins ran on the holistic plan: %+v", e.Counters())
+	}
+}

@@ -61,7 +61,17 @@ func ExplainNode(b *strings.Builder, n PlanNode, depth int) {
 }
 
 func explainNode(b *strings.Builder, n PlanNode, depth int, analyze bool) {
-	pad(b, depth)
+	indent := strings.Repeat("  ", depth)
+	explainNodePrefixed(b, n, indent, indent, analyze)
+}
+
+// explainNodePrefixed renders a node line and its children with tree
+// glyphs. head is written before the node's description; rest prefixes
+// every following line of the subtree — so k-ary operators (the twig
+// join's per-stream inputs) indent correctly, with ├─/└─ branches and │
+// continuation rails for all children beyond the first two.
+func explainNodePrefixed(b *strings.Builder, n PlanNode, head, rest string, analyze bool) {
+	b.WriteString(head)
 	est := n.Estimate()
 	if est.Rows != 0 || est.Cost != 0 {
 		fmt.Fprintf(b, "%s  (rows≈%.0f cost≈%.0f)", n.Describe(), est.Rows, est.Cost)
@@ -77,8 +87,13 @@ func explainNode(b *strings.Builder, n PlanNode, depth int, analyze bool) {
 		b.WriteString(")")
 	}
 	b.WriteString("\n")
-	for _, ch := range n.Children() {
-		explainNode(b, ch, depth+1, analyze)
+	children := n.Children()
+	for i, ch := range children {
+		glyph, cont := "├─ ", "│  "
+		if i == len(children)-1 {
+			glyph, cont = "└─ ", "   "
+		}
+		explainNodePrefixed(b, ch, rest+glyph, rest+cont, analyze)
 	}
 }
 
@@ -90,10 +105,10 @@ func explainNode(b *strings.Builder, n PlanNode, depth int, analyze bool) {
 func ExplainAnalyze(p XPlan, c Counters) string {
 	var b strings.Builder
 	explainX(&b, p, 0, true)
-	fmt.Fprintf(&b, "\ncounters: scanned=%d joined=%d structural=%d emitted=%d\n",
-		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsEmitted)
-	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d\n",
-		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax)
+	fmt.Fprintf(&b, "\ncounters: scanned=%d joined=%d structural=%d twig=%d emitted=%d\n",
+		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsTwig, c.RowsEmitted)
+	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d path-solutions=%d\n",
+		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax, c.TwigPathSolutions)
 	return b.String()
 }
 

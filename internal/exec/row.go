@@ -92,8 +92,15 @@ type Counters struct {
 	// RowsStructural counts pairs emitted by structural merge joins.
 	RowsStructural int64
 	// StructStackMax is the ancestor-stack high-water mark over all
-	// structural merge joins of the query.
+	// structural merge joins (binary and holistic) of the query.
 	StructStackMax int64
+	// RowsTwig counts full twig matches emitted by holistic twig joins.
+	RowsTwig int64
+	// TwigPathSolutions counts root-to-leaf path solutions buffered by
+	// holistic twig joins — the operator's only intermediate result, to
+	// compare against the RowsJoined/RowsStructural intermediates of the
+	// binary pipelines.
+	TwigPathSolutions int64
 }
 
 // OpStats tallies one operator instance's runtime activity while a plan

@@ -1,0 +1,527 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
+)
+
+// TwigJoin is the holistic twig join (the TwigStack family): one
+// document-ordered stream per twig node and one chained stack per node
+// evaluate the whole k-node path pattern in a single multi-stream pass.
+// Where a chain of binary structural joins materializes (and re-sorts)
+// every pairwise intermediate result, the holistic operator buffers only
+// root-to-leaf path solutions — for ancestor/descendant-only twigs these
+// are guaranteed to contribute to the final answer, so intermediate space
+// is bounded by the twig output. Parent/child edges keep the operator
+// correct (they are checked during path enumeration) but may buffer some
+// path solutions the merge phase discards, exactly as in the original
+// TwigStack.
+//
+// Execution has three phases inside one iterator:
+//
+//  1. stream phase: getNext-style advancement picks the next useful head
+//     tuple across all k streams (skipping runs that cannot extend any
+//     match via the cursors' SeekGE), maintaining per-node stacks whose
+//     entries link to their parent-stack position;
+//  2. enumeration: every leaf push expands the stack encoding into
+//     root-to-leaf path solutions;
+//  3. merge: path solutions join on their shared branch nodes into full
+//     twig matches, residual conditions are applied, and the result is
+//     emitted sorted by the in-labels of OutOrder — the plan's required
+//     vartuple order, so no repair sort is needed above the operator.
+type TwigJoin struct {
+	// Streams holds one document-ordered input per twig node, aligned
+	// with Twig.Nodes; each must produce single-alias rows for the node's
+	// alias (the planner builds them as Scans).
+	Streams []PlanNode
+	// Twig is the pattern: node aliases with parent links and edge axes.
+	Twig tpm.Twig
+	// Conds are residual cross conditions evaluated per merged row.
+	Conds []tpm.Cmp
+	// OutOrder lists the aliases whose in-labels define the emission
+	// order (lexicographic). Aliases must be twig nodes.
+	OutOrder []string
+	Est_     Est
+
+	schema   *Schema
+	stats    OpStats
+	children [][]int // node -> child node indices
+	leafPath []int   // leaf node -> index into paths (-1 for inner nodes)
+	paths    [][]int // root-to-leaf node index lists, DFS preorder
+	outSlots []int
+}
+
+// NewTwigJoin builds a holistic twig join. streams must be aligned 1:1
+// with twig.Nodes and produce single-alias rows in document order.
+func NewTwigJoin(streams []PlanNode, twig tpm.Twig, conds []tpm.Cmp, outOrder []string) *TwigJoin {
+	j := &TwigJoin{Streams: streams, Twig: twig, Conds: conds,
+		OutOrder: append([]string(nil), outOrder...),
+		schema:   NewSchema(twig.Aliases()...)}
+	j.children = make([][]int, len(twig.Nodes))
+	j.leafPath = make([]int, len(twig.Nodes))
+	for i := range twig.Nodes {
+		j.children[i] = twig.Children(i)
+		j.leafPath[i] = -1
+	}
+	// Root-to-leaf paths in DFS preorder, so each path's prefix up to its
+	// branch point is covered by the paths before it (the merge relies on
+	// this).
+	var walk func(i int, trail []int)
+	walk = func(i int, trail []int) {
+		trail = append(trail, i)
+		if len(j.children[i]) == 0 {
+			j.leafPath[i] = len(j.paths)
+			j.paths = append(j.paths, append([]int(nil), trail...))
+			return
+		}
+		for _, c := range j.children[i] {
+			walk(c, trail)
+		}
+	}
+	walk(0, nil)
+	for _, a := range j.OutOrder {
+		j.outSlots = append(j.outSlots, j.schema.Slot(a))
+	}
+	return j
+}
+
+// Schema implements PlanNode.
+func (j *TwigJoin) Schema() *Schema { return j.schema }
+
+// Children implements PlanNode.
+func (j *TwigJoin) Children() []PlanNode { return append([]PlanNode(nil), j.Streams...) }
+
+// Estimate implements PlanNode.
+func (j *TwigJoin) Estimate() Est { return j.Est_ }
+
+// Stats implements PlanNode.
+func (j *TwigJoin) Stats() *OpStats { return &j.stats }
+
+// Describe implements PlanNode.
+func (j *TwigJoin) Describe() string {
+	d := fmt.Sprintf("twig-join %s [holistic, %d streams]", j.Twig.String(), len(j.Streams))
+	if len(j.Conds) > 0 {
+		d += fmt.Sprintf(" σ(%s)", condsString(j.Conds))
+	}
+	return d
+}
+
+func (j *TwigJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
+	if outer != nil {
+		return nil, fmt.Errorf("exec: twig join cannot be an INL inner")
+	}
+	k := len(j.Streams)
+	it := &twigJoinIter{
+		ctx:    ctx,
+		j:      j,
+		its:    make([]rowIter, k),
+		seeks:  make([]inSeeker, k),
+		heads:  make([]xasr.Tuple, k),
+		have:   make([]bool, k),
+		eofs:   make([]bool, k),
+		stacks: make([][]twigEntry, k),
+		sols:   make([][][]xasr.Tuple, len(j.paths)),
+	}
+	for i, s := range j.Streams {
+		si, err := s.open(ctx, nil, nil)
+		if err != nil {
+			for _, prev := range it.its[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		it.its[i] = si
+		it.seeks[i], _ = si.(inSeeker)
+	}
+	j.stats.Opens++
+	return it, nil
+}
+
+// twigEntry is one stack slot: a node tuple plus the index of the top of
+// the parent node's stack at push time. All parent entries up to ptr
+// started before this tuple; the ones still containing it are its twig
+// ancestors (checked per edge axis during enumeration).
+type twigEntry struct {
+	t   xasr.Tuple
+	ptr int
+}
+
+type twigJoinIter struct {
+	ctx    *Ctx
+	j      *TwigJoin
+	its    []rowIter
+	seeks  []inSeeker
+	heads  []xasr.Tuple // peeked head per stream
+	have   []bool
+	eofs   []bool
+	stacks [][]twigEntry
+	sols   [][][]xasr.Tuple // per path, buffered path solutions
+
+	results []Row
+	idx     int
+	ran     bool
+}
+
+// ensureHead pulls the next tuple of stream i into heads[i] if none is
+// pending; it reports whether a head is available.
+func (it *twigJoinIter) ensureHead(i int) (bool, error) {
+	if it.have[i] {
+		return true, nil
+	}
+	if it.eofs[i] {
+		return false, nil
+	}
+	row, ok, err := it.its[i].Next()
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		it.eofs[i] = true
+		return false, nil
+	}
+	it.heads[i] = row[0]
+	it.have[i] = true
+	return true, nil
+}
+
+// markEOF drops the remainder of stream i: its tuples can no longer
+// contribute to any new twig match.
+func (it *twigJoinIter) markEOF(i int) {
+	it.eofs[i] = true
+	it.have[i] = false
+}
+
+// end reports whether every leaf stream is exhausted — the TwigStack
+// termination condition (no leaf tuple left means no new path solution).
+func (it *twigJoinIter) end() bool {
+	for i := range it.j.Twig.Nodes {
+		if it.j.leafPath[i] >= 0 && (it.have[i] || !it.eofs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// getNext picks the next node whose head tuple should be processed — the
+// core TwigStack stream-advancement routine. It returns (q, true) when
+// node q has a valid head that is "self-satisfied" (its interval may
+// extend to a match with every live child subtree), or (q, false) when
+// q's whole subtree is exhausted. Internal nodes whose remaining tuples
+// can no longer pair with some child subtree (that subtree's streams ran
+// dry) are dropped wholesale instead of drained row by row.
+func (it *twigJoinIter) getNext(q int) (int, bool, error) {
+	kids := it.j.children[q]
+	if len(kids) == 0 {
+		ok, err := it.ensureHead(q)
+		return q, ok, err
+	}
+	anyLive := false
+	anyDead := false
+	nmin, nmax := -1, -1
+	for _, qi := range kids {
+		ni, ok, err := it.getNext(qi)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok {
+			anyDead = true
+			continue
+		}
+		anyLive = true
+		if ni != qi {
+			return ni, true, nil
+		}
+		if nmin < 0 || it.heads[qi].In < it.heads[nmin].In {
+			nmin = qi
+		}
+		if nmax < 0 || it.heads[qi].In > it.heads[nmax].In {
+			nmax = qi
+		}
+	}
+	if !anyLive {
+		// Every child subtree is exhausted: no future q tuple can close a
+		// match, so q's subtree is done too.
+		it.markEOF(q)
+		return q, false, nil
+	}
+	if anyDead {
+		// Some child subtree ran dry: future q tuples cannot contain any
+		// of its (fully consumed) tuples, so they are useless — existing
+		// stack entries keep serving the live subtrees.
+		it.markEOF(q)
+	} else {
+		// Skip q tuples that end before the latest child head starts:
+		// they cannot contain the heads of every child stream.
+		for {
+			ok, err := it.ensureHead(q)
+			if err != nil {
+				return 0, false, err
+			}
+			if !ok || it.heads[q].Out >= it.heads[nmax].In {
+				break
+			}
+			it.have[q] = false
+		}
+	}
+	if it.have[q] && it.heads[q].In < it.heads[nmin].In {
+		return q, true, nil
+	}
+	return nmin, true, nil
+}
+
+// cleanStack pops node n's entries whose intervals end before pos: they
+// can contain no tuple at or after the current merge position.
+func (it *twigJoinIter) cleanStack(n int, pos uint32) {
+	s := it.stacks[n]
+	for len(s) > 0 && s[len(s)-1].t.Out < pos {
+		s = s[:len(s)-1]
+	}
+	it.stacks[n] = s
+}
+
+// push moves node q's head onto its stack, linking it to the current top
+// of the parent stack.
+func (it *twigJoinIter) push(q int) {
+	parent := it.j.Twig.Nodes[q].Parent
+	ptr := -1
+	if parent >= 0 {
+		ptr = len(it.stacks[parent]) - 1
+	}
+	it.stacks[q] = append(it.stacks[q], twigEntry{t: it.heads[q], ptr: ptr})
+	it.have[q] = false
+	depth := int64(len(it.stacks[q]))
+	if depth > it.j.stats.StackMax {
+		it.j.stats.StackMax = depth
+	}
+	if depth > it.ctx.Counters.StructStackMax {
+		it.ctx.Counters.StructStackMax = depth
+	}
+}
+
+// edgeOK checks the structural edge between a parent-stack entry and a
+// child tuple. The stack invariant already guarantees the parent starts
+// first and spans the child's start; the explicit check enforces strict
+// containment (rejecting self-pairs) and parent/child equality.
+func edgeOK(axis tpm.Axis, p, c xasr.Tuple) bool {
+	if axis == tpm.AxisChild {
+		return c.ParentIn == p.In
+	}
+	return p.In < c.In && c.Out < p.Out
+}
+
+// emitPathSols expands the just-pushed leaf entry into root-to-leaf path
+// solutions by walking the stack pointer chains, checking each edge's
+// axis, and buffers them for the merge phase.
+func (it *twigJoinIter) emitPathSols(leaf int) {
+	path := it.j.paths[it.j.leafPath[leaf]]
+	m := len(path) - 1
+	sol := make([]xasr.Tuple, len(path))
+	top := it.stacks[leaf][len(it.stacks[leaf])-1]
+	sol[m] = top.t
+	var rec func(level int, child twigEntry)
+	rec = func(level int, child twigEntry) {
+		if level < 0 {
+			it.sols[it.j.leafPath[leaf]] = append(it.sols[it.j.leafPath[leaf]],
+				append([]xasr.Tuple(nil), sol...))
+			it.ctx.Counters.TwigPathSolutions++
+			return
+		}
+		node := path[level]
+		axis := it.j.Twig.Nodes[path[level+1]].Axis
+		s := it.stacks[node]
+		limit := child.ptr
+		if limit >= len(s) {
+			limit = len(s) - 1
+		}
+		for i := 0; i <= limit; i++ {
+			if edgeOK(axis, s[i].t, child.t) {
+				sol[level] = s[i].t
+				rec(level-1, s[i])
+			}
+		}
+	}
+	rec(m-1, top)
+}
+
+// run executes the stream phase to completion, then merges the buffered
+// path solutions into sorted full twig matches.
+func (it *twigJoinIter) run() error {
+	j := it.j
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return err
+		}
+		if it.end() {
+			break
+		}
+		q, ok, err := it.getNext(0)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break // every stream exhausted
+		}
+		qIn := it.heads[q].In
+		parent := j.Twig.Nodes[q].Parent
+		if parent >= 0 {
+			it.cleanStack(parent, qIn)
+		}
+		if parent < 0 || len(it.stacks[parent]) > 0 {
+			it.cleanStack(q, qIn)
+			it.push(q)
+			if j.leafPath[q] >= 0 {
+				it.emitPathSols(q)
+				it.stacks[q] = it.stacks[q][:len(it.stacks[q])-1]
+			}
+			continue
+		}
+		// No potential ancestor on the parent stack: everything before
+		// the parent stream's next tuple cannot match — leap forward.
+		pOK, err := it.ensureHead(parent)
+		if err != nil {
+			return err
+		}
+		if !pOK {
+			// Parent stream dry with an empty stack: q's subtree is dead.
+			it.markEOF(q)
+			continue
+		}
+		it.have[q] = false
+		if it.seeks[q] != nil {
+			if _, err := it.seeks[q].seekInGE(it.heads[parent].In + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return it.merge()
+}
+
+// merge joins the buffered path solutions across paths on their shared
+// prefix nodes, applies residual conditions, and sorts the full matches
+// by the OutOrder in-labels.
+func (it *twigJoinIter) merge() error {
+	j := it.j
+	k := len(j.Twig.Nodes)
+	covered := make([]bool, k)
+
+	var rows []Row
+	for pi, path := range j.paths {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return err
+		}
+		sols := it.sols[pi]
+		it.sols[pi] = nil
+		if len(sols) == 0 {
+			return nil // a path with no solution means no match at all
+		}
+		if pi == 0 {
+			for _, s := range sols {
+				row := make(Row, k)
+				for li, n := range path {
+					row[n] = s[li]
+				}
+				rows = append(rows, row)
+			}
+			for _, n := range path {
+				covered[n] = true
+			}
+			continue
+		}
+		// DFS preorder guarantees the shared nodes are a prefix of path.
+		shared := 0
+		for shared < len(path) && covered[path[shared]] {
+			shared++
+		}
+		// Hash the accumulated rows on the shared nodes' in-labels.
+		index := make(map[string][]Row, len(rows))
+		var kb []byte
+		for _, row := range rows {
+			kb = kb[:0]
+			for _, n := range path[:shared] {
+				kb = binary.BigEndian.AppendUint32(kb, row[n].In)
+			}
+			index[string(kb)] = append(index[string(kb)], row)
+		}
+		var next []Row
+		for _, s := range sols {
+			if err := it.ctx.Deadline.Check(); err != nil {
+				return err
+			}
+			kb = kb[:0]
+			for li := 0; li < shared; li++ {
+				kb = binary.BigEndian.AppendUint32(kb, s[li].In)
+			}
+			for _, row := range index[string(kb)] {
+				combined := append(Row(nil), row...)
+				for li := shared; li < len(path); li++ {
+					combined[path[li]] = s[li]
+				}
+				next = append(next, combined)
+			}
+		}
+		rows = next
+		for _, n := range path[shared:] {
+			covered[n] = true
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+	}
+
+	if len(j.Conds) > 0 {
+		filtered := rows[:0]
+		for _, row := range rows {
+			pass, err := evalConds(j.Conds, row, j.schema, it.ctx.Env)
+			if err != nil {
+				return err
+			}
+			if pass {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	sort.Slice(rows, func(a, b int) bool {
+		ra, rb := rows[a], rows[b]
+		for _, s := range j.outSlots {
+			if ra[s].In != rb[s].In {
+				return ra[s].In < rb[s].In
+			}
+		}
+		return false
+	})
+	it.results = rows
+	return nil
+}
+
+func (it *twigJoinIter) Next() (Row, bool, error) {
+	if !it.ran {
+		it.ran = true
+		if err := it.run(); err != nil {
+			return nil, false, err
+		}
+	}
+	if it.idx >= len(it.results) {
+		return nil, false, nil
+	}
+	row := it.results[it.idx]
+	it.idx++
+	it.ctx.Counters.RowsTwig++
+	it.j.stats.Rows++
+	return row, true, nil
+}
+
+func (it *twigJoinIter) Close() error {
+	var first error
+	for _, s := range it.its {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

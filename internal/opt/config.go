@@ -68,6 +68,13 @@ type Config struct {
 	// probes). Off for the milestone presets that predate it; disable on
 	// M4 for ablation.
 	UseStructural bool
+	// UseTwig enables the holistic twig join: when the structural
+	// predicates of a conjunction assemble into one connected twig over
+	// three or more relations, the whole path pattern is evaluated in a
+	// single multi-stream TwigStack pass instead of a chain of binary
+	// joins, bounding intermediates by the twig's path solutions. Off for
+	// the milestone presets that predate it; disable on M4 for ablation.
+	UseTwig bool
 	// Stats selects the statistics quality for the cost model.
 	Stats StatsMode
 	// MaxEnumRels caps exhaustive join-order enumeration; beyond it the
@@ -105,6 +112,7 @@ func M4() Config {
 		UseINL:         true,
 		UseBNL:         true,
 		UseStructural:  true,
+		UseTwig:        true,
 		Stats:          StatsAccurate,
 		MaxEnumRels:    8,
 	}
@@ -123,9 +131,10 @@ func M4BadStats() Config {
 	cfg.Stats = StatsUniform
 	cfg.Strategies = OrderPreserve | OrderSemijoin
 	cfg.UseBNL = false
-	// Engine 2 predates the structural merge join; keeping it off also
-	// keeps the Figure 7 gap attributable to statistics quality.
+	// Engine 2 predates the structural merge and twig joins; keeping them
+	// off also keeps the Figure 7 gap attributable to statistics quality.
 	cfg.UseStructural = false
+	cfg.UseTwig = false
 	return cfg
 }
 
@@ -144,8 +153,11 @@ func NaiveTPM() Config {
 // family — the shared recipe behind the ablation benchmark, the xqbench
 // -join flag and the equivalence suite:
 //
-//	structural  merge join forced (loop-based competitors off)
-//	inl         structural off; index nested-loops take over
+//	twig        holistic twig join forced: every binary competitor off,
+//	            so any conjunction whose predicates assemble into a twig
+//	            runs TwigJoin (non-twig queries fall back to plain NL)
+//	structural  binary merge join forced (twig and loop competitors off)
+//	inl         structural and twig off; index nested-loops take over
 //	nl          loop joins only, no blocks, no indexes into the join
 //	bnl         loop joins with block nesting allowed (the planner may
 //	            still pick plain NL for joins where it is cheaper)
@@ -154,16 +166,24 @@ func NaiveTPM() Config {
 func ForceJoin(family string) (cfg Config, ok bool) {
 	cfg = M4()
 	switch family {
+	case "twig":
+		cfg.UseStructural = false
+		cfg.UseINL = false
+		cfg.UseBNL = false
 	case "structural":
+		cfg.UseTwig = false
 		cfg.UseINL = false
 		cfg.UseBNL = false
 	case "inl":
+		cfg.UseTwig = false
 		cfg.UseStructural = false
 	case "nl":
+		cfg.UseTwig = false
 		cfg.UseStructural = false
 		cfg.UseINL = false
 		cfg.UseBNL = false
 	case "bnl":
+		cfg.UseTwig = false
 		cfg.UseStructural = false
 		cfg.UseINL = false
 	default:

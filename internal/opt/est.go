@@ -31,6 +31,7 @@ type Estimator struct {
 	avgDepth  float64
 	avgFanout float64
 	height    float64 // primary tree height
+	probe     float64 // calibrated per-probe descent cost (see ProbeCost)
 }
 
 // NewEstimator builds an estimator over a loaded store.
@@ -38,6 +39,7 @@ func NewEstimator(st *store.Store, mode StatsMode) *Estimator {
 	e := &Estimator{mode: mode, nodes: 1000, elems: 600, texts: 300, labels: 10, avgDepth: 5, avgFanout: 5, height: 2}
 	s := st.Stats()
 	if s == nil || mode == StatsNone {
+		e.calibrateProbe(st)
 		return e
 	}
 	e.nodes = float64(s.Nodes)
@@ -59,8 +61,30 @@ func NewEstimator(st *store.Store, mode StatsMode) *Estimator {
 		e.height = 1
 	}
 	e.stats = s
+	e.calibrateProbe(st)
 	return e
 }
+
+// calibrateProbe scales the per-probe page charge by the buffer pool's
+// live miss rate: probeBase models a cold B+-tree descent, but on a warm
+// pool most descents touch only cached pages, so charging a full page per
+// probe overstates index nested-loops plans (the reason the child-axis
+// structural candidate used to be gated off outright). The floor is the
+// CPU of walking a fully cached descent.
+func (e *Estimator) calibrateProbe(st *store.Store) {
+	e.probe = probeBase
+	ps := st.PagerStats()
+	if total := ps.CacheHits + ps.CacheMisses; total > 0 {
+		e.probe = probeBase * float64(ps.CacheMisses) / float64(total)
+	}
+	if floor := e.height * cpuPerTuple; e.probe < floor {
+		e.probe = floor
+	}
+}
+
+// ProbeCost returns the estimated cost of one index probe (a B+-tree
+// descent), calibrated against the buffer pool hit rate at planning time.
+func (e *Estimator) ProbeCost() float64 { return e.probe }
 
 func (e *Estimator) labelCard(label string) float64 {
 	switch e.mode {
@@ -139,6 +163,19 @@ func (e *Estimator) DescendantPairSel(ancLabel string, haveLabel bool) float64 {
 // rescan — the defining advantage over the nested-loops family.
 func StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows float64) float64 {
 	return outerCost + innerCost + (outerRows+innerRows)*cpuPerTuple + outRows*cpuPerTuple
+}
+
+// TwigJoinCost is the cost of a holistic twig join over k document-ordered
+// streams: every stream is read once (streamCost carries their page
+// costs), every input tuple passes the chained-stack machinery once, each
+// buffered path solution and each merged output row costs tuple CPU, and
+// the merge phase sorts the output into the required vartuple order in
+// memory. There are no probes, no rescans and — unlike a chain of binary
+// structural joins — no per-step intermediate results beyond the path
+// solutions themselves.
+func TwigJoinCost(streamCost, streamRows, pathSols, outRows float64) float64 {
+	return streamCost + streamRows*cpuPerTuple + pathSols*cpuPerTuple +
+		outRows*cpuPerTuple*(1+math.Log2(outRows+2))
 }
 
 // condSelectivity estimates the fraction of the cross product satisfying

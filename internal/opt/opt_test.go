@@ -7,6 +7,7 @@ import (
 	"xqdb/internal/exec"
 	"xqdb/internal/store"
 	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
 	"xqdb/internal/xmlgen"
 	"xqdb/internal/xq"
 )
@@ -140,6 +141,145 @@ func TestStructuralJoinEquivalence(t *testing.T) {
 	}
 }
 
+const twig3Query = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`
+
+func TestM4PicksTwigForBranchingPattern(t *testing.T) {
+	st := dblpStore(t)
+	out := explain(t, st, M4(), twig3Query)
+	if !strings.Contains(out, "twig-join") {
+		t.Errorf("M4 did not choose the holistic twig join:\n%s", out)
+	}
+	// All four streams feed the one operator; no binary join remains.
+	if strings.Count(out, "scan") != 4 || strings.Contains(out, "-join(") || strings.Contains(out, "inl-join") {
+		t.Errorf("twig plan not holistic:\n%s", out)
+	}
+	// The holistic plan must be estimated cheaper than the best binary
+	// pipeline for the same pattern.
+	off := M4()
+	off.UseTwig = false
+	withCost := exec.PlanCost(planFor(t, st, M4(), twig3Query))
+	withoutCost := exec.PlanCost(planFor(t, st, off, twig3Query))
+	if withCost >= withoutCost {
+		t.Errorf("twig plan not estimated cheaper: %.1f vs %.1f", withCost, withoutCost)
+	}
+}
+
+func TestTwigDisabledByKnob(t *testing.T) {
+	st := dblpStore(t)
+	off := M4()
+	off.UseTwig = false
+	if out := explain(t, st, off, twig3Query); strings.Contains(out, "twig-join") {
+		t.Errorf("twig join chosen with UseTwig=false:\n%s", out)
+	}
+	if out := explain(t, st, M3(), twig3Query); strings.Contains(out, "twig-join") {
+		t.Errorf("M3 preset uses the twig join:\n%s", out)
+	}
+	if out := explain(t, st, M4BadStats(), twig3Query); strings.Contains(out, "twig-join") {
+		t.Errorf("engine 2 model uses the twig join:\n%s", out)
+	}
+}
+
+func TestTwigNotUsedForBinaryOrDisconnected(t *testing.T) {
+	st := dblpStore(t)
+	// Two relations: the binary structural merge join owns the pattern.
+	if out := explain(t, st, M4(), `for $x in //inproceedings return for $y in $x//author return $y`); strings.Contains(out, "twig-join") {
+		t.Errorf("twig join chosen for a binary pattern:\n%s", out)
+	}
+	// Value equi-join between otherwise unconnected branches: predicates
+	// do not assemble into one twig, so the binary pipeline must serve.
+	const disconnected = `for $a in //phdthesis//text() return for $b in //author/text() return if ($a = $b) then <same/> else ()`
+	if out := explain(t, st, M4(), disconnected); strings.Contains(out, "twig-join") {
+		t.Errorf("twig join chosen for disconnected predicates:\n%s", out)
+	}
+}
+
+func TestTwigEquivalence(t *testing.T) {
+	// Forcing the twig join on and off must not change any answer.
+	st := dblpStore(t)
+	queries := []string{
+		twig3Query,
+		`for $x in //article return for $a in $x//author return for $t in $x//title return $a`,
+		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`,
+		`for $x in //inproceedings return for $y in $x//author return $y`,
+	}
+	off := M4()
+	off.UseTwig = false
+	for _, q := range queries {
+		var got [2]string
+		for i, cfg := range []Config{M4(), off} {
+			xplan := planFor(t, st, cfg, q)
+			tmp, err := st.TempDir()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+			if err != nil {
+				t.Fatalf("%q config %d: %v", q, i, err)
+			}
+			got[i] = string(out)
+		}
+		if got[0] != got[1] {
+			t.Errorf("%q: twig join changed the answer\nwith:    %.200s\nwithout: %.200s", q, got[0], got[1])
+		}
+	}
+}
+
+func TestProbeCostCalibration(t *testing.T) {
+	st := dblpStore(t)
+	e := NewEstimator(st, StatsAccurate)
+	// A probe can never cost more than a cold descent or less than the
+	// CPU of walking a cached one.
+	if p := e.ProbeCost(); p > probeBase || p < e.Height()*cpuPerTuple {
+		t.Errorf("probe cost %g outside (%g, %g]", p, e.Height()*cpuPerTuple, probeBase)
+	}
+	// Warm the pool by scanning, then recalibrate: the hit rate can only
+	// grow, so the probe charge must not increase.
+	before := e.ProbeCost()
+	if err := st.ScanAll(func(t xasr.Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ScanAll(func(t xasr.Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	after := NewEstimator(st, StatsAccurate).ProbeCost()
+	if after > before {
+		t.Errorf("probe cost grew on a warmer pool: %g -> %g", before, after)
+	}
+}
+
+func TestChildAxisArbitratedByCost(t *testing.T) {
+	// The blanket gate is gone: with a highly selective descendant-side
+	// stream the child-axis structural merge can now win against INL when
+	// the estimates favor it, and the plan still executes correctly.
+	st := dblpStore(t)
+	const q = `for $y in //author return for $x in $y/note return $x`
+	out := explain(t, st, M4(), q)
+	if !strings.Contains(out, "structural-join") && !strings.Contains(out, "inl-join") {
+		t.Errorf("no join operator chosen for the child step:\n%s", out)
+	}
+	// Whichever wins, the answer must match the gate-free loop plan.
+	nl := M4()
+	nl.UseStructural = false
+	nl.UseINL = false
+	nl.UseTwig = false
+	var got [2]string
+	for i, cfg := range []Config{M4(), nl} {
+		xplan := planFor(t, st, cfg, q)
+		tmp, err := st.TempDir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = string(res)
+	}
+	if got[0] != got[1] {
+		t.Errorf("child-axis arbitration changed the answer:\n%.200s\nvs\n%.200s", got[0], got[1])
+	}
+}
+
 func TestM3KeepsSyntacticOrder(t *testing.T) {
 	st := dblpStore(t)
 	// Example 6 query: M3 must keep article first (bind order), with the
@@ -198,6 +338,7 @@ func TestSemijoinProjectionPush(t *testing.T) {
 	cfg := M4()
 	cfg.Strategies = OrderPreserve | OrderSemijoin // no sort: force QP2 shape
 	cfg.UseBNL = false
+	cfg.UseTwig = false // the holistic twig would otherwise absorb the whole pattern
 	out := explain(t, st, cfg,
 		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`)
 	// The projection must appear below the top (two projections total:

@@ -170,12 +170,28 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		node, _, err := p.finalize(psx, info, b)
+		node, cost, err := p.finalize(psx, info, b)
+		if err != nil {
+			return nil, err
+		}
+		// Past the enumeration cap the holistic twig still applies — its
+		// plan shape does not depend on a join order, so it sidesteps the
+		// factorial search entirely.
+		if p.cfg.CostBased {
+			if tn, tc, ok := p.twigCandidate(psx, info); ok && (node == nil || tc < cost) {
+				return tn, nil
+			}
+		}
 		return node, err
 	}
 
 	var best exec.PlanNode
 	bestCost := math.Inf(1)
+	// The holistic twig candidate (one plan regardless of join order)
+	// opens the auction; binary pipelines must beat it on estimated cost.
+	if tn, tc, ok := p.twigCandidate(psx, info); ok {
+		best, bestCost = tn, tc
+	}
 	perms := p.enumerateOrders(psx, info)
 	opts := p.joinOptions(info)
 	for _, order := range perms {
@@ -478,6 +494,60 @@ func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross [
 	return nil, nil
 }
 
+// twigCandidate builds the holistic twig-join plan for a PSX whose
+// structural predicates assemble into one connected twig covering every
+// relation. Each twig node gets its best standalone (document-ordered)
+// access path with local selections pushed down; cross conditions not
+// subsumed by the twig edges stay as residual per-row filters on the
+// join. The operator emits in vartuple order, so only the deduplicating
+// projection of the order-preserving finalize branch goes on top — no
+// repair sort. ok is false when the twig machinery does not apply (knob
+// off, fewer than three relations — the binary merge join owns those —
+// a nullary pass-fail check, or disconnected predicates).
+func (p *Planner) twigCandidate(psx *tpm.PSX, info *psxInfo) (exec.PlanNode, float64, bool) {
+	if !p.cfg.UseTwig || len(info.bindRels) == 0 || len(psx.Rels) < 3 {
+		return nil, 0, false
+	}
+	tw, ok := tpm.AssembleTwig(info.structural, psx.Rels)
+	if !ok {
+		return nil, 0, false
+	}
+	streams := make([]exec.PlanNode, len(tw.Nodes))
+	var streamCost, streamRows float64
+	rowsProduct := 1.0
+	for i, n := range tw.Nodes {
+		ac := p.bestAccess(n.Alias, info.local[n.Alias], nil)
+		rows := info.filteredRows[n.Alias]
+		scan := exec.NewScan(n.Alias, ac.access, ac.residual)
+		scan.Est_ = exec.Est{Rows: rows, Cost: ac.cost}
+		streams[i] = scan
+		streamCost += ac.cost
+		streamRows += rows
+		rowsProduct *= rows
+	}
+	outRows := rowsProduct * p.crossSelectivity(info, info.cross)
+	if outRows < 0.01 {
+		outRows = 0.01
+	}
+	subsumed := make(map[string]bool, len(tw.Conds))
+	for _, c := range tw.Conds {
+		subsumed[c.String()] = true
+	}
+	var resid []tpm.Cmp
+	for _, c := range info.cross {
+		if !subsumed[c.String()] {
+			resid = append(resid, c)
+		}
+	}
+	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows)
+	join := exec.NewTwigJoin(streams, *tw, resid, info.bindRels)
+	join.Est_ = exec.Est{Rows: outRows, Cost: cost}
+	proj := exec.NewProject(join, info.bindRels, true)
+	cost += outRows * cpuPerTuple
+	proj.Est_ = exec.Est{Rows: outRows, Cost: cost}
+	return proj, cost, true
+}
+
 // joinNext extends the plan with relation r.
 func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) error {
 	useBNL := t.bnl
@@ -512,7 +582,7 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 	}
 	inlCost := math.Inf(1)
 	if inlChoice != nil {
-		inlCost = b.cost + b.rows*(probeBase+inlChoice.cost) + outRows*cpuPerTuple
+		inlCost = b.cost + b.rows*(p.est.ProbeCost()+inlChoice.cost) + outRows*cpuPerTuple
 	}
 
 	// Candidate B: (block) nested loops with a materialized inner scan.
@@ -538,15 +608,11 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 	var structResid []tpm.Cmp
 	structCost := math.Inf(1)
 	if t.structural {
+		// Child-axis candidates compete directly with the index-probe
+		// path: with the probe charge calibrated against the live buffer
+		// pool hit rate (ProbeCost), the estimates arbitrate instead of a
+		// blanket gate.
 		structPred, structResid = p.structuralCandidate(info, b, r, cross)
-		if structPred != nil && structPred.Axis == tpm.AxisChild && inlChoice != nil {
-			// Parent/child equalities have a highly selective index-probe
-			// path; the full-stream merge only pays off when no
-			// parameterized access exists (the per-probe page charge
-			// overstates warm-cache probes, so trusting the raw estimates
-			// here would adopt merges that lose in practice).
-			structPred, structResid = nil, nil
-		}
 		if structPred != nil {
 			structCost = StructuralJoinCost(b.cost, innerScanCost, b.rows, innerRows, outRows)
 		}

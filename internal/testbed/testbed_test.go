@@ -178,6 +178,61 @@ func TestStructuralJoinEquivalenceSuite(t *testing.T) {
 	}
 }
 
+// TestTwigJoinEquivalenceSuite forces the holistic twig join on (every
+// binary competitor suppressed, so any conjunction whose predicates form
+// a twig runs TwigJoin) and off (the binary structural-join pipeline),
+// and asserts byte-identical serialized results over the full correctness
+// suite on all four documents, the efficiency queries, and a set of
+// explicitly multi-branch twig patterns. A physical operator may only
+// change cost, never answers.
+func TestTwigJoinEquivalenceSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite in -short mode")
+	}
+	forcedOn, ok := opt.ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	forcedOff, ok := opt.ForceJoin("structural")
+	if !ok {
+		t.Fatal("ForceJoin(structural)")
+	}
+
+	queries := append([]string(nil), CorrectnessQueries()...)
+	for _, et := range EfficiencyTests() {
+		queries = append(queries, et.Query)
+	}
+	queries = append(queries,
+		// ≥3-branch twigs with mixed axes, chains and branch points.
+		`for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`,
+		`for $x in //article return for $a in $x//author return for $t in $x/title return $a`,
+		`for $s in //S return for $n in $s//NP return for $v in $n//NN return $v`,
+		`for $b in //book return for $t in $b/title return for $tx in $t//text() return $tx`,
+	)
+	mismatches, err := RunEquivalence(t.TempDir(), Documents(1), queries, forcedOn, forcedOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("%s / %q: twig-on %q (err %v) != twig-off %q (err %v)",
+			m.Doc, m.Query, truncate(m.A, 120), m.ErrA, truncate(m.B, 120), m.ErrB)
+	}
+
+	// The auto planner (twig arbitrated by cost) must agree with the
+	// twig-ablated planner too.
+	auto := opt.M4()
+	noTwig := opt.M4()
+	noTwig.UseTwig = false
+	mismatches, err = RunEquivalence(t.TempDir(), Documents(1), queries, auto, noTwig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("%s / %q: auto %q (err %v) != twig-ablated %q (err %v)",
+			m.Doc, m.Query, truncate(m.A, 120), m.ErrA, truncate(m.B, 120), m.ErrB)
+	}
+}
+
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s

@@ -1,0 +1,169 @@
+package tpm
+
+import "strings"
+
+// TwigNode is one node of a twig pattern: a relation alias plus the
+// structural edge connecting it to its parent node. The root carries
+// Parent = -1 and AxisNone.
+type TwigNode struct {
+	Alias string
+	// Parent indexes the parent node within Twig.Nodes (-1 for the root).
+	Parent int
+	// Axis is the edge axis from the parent (AxisChild or AxisDescendant;
+	// AxisNone on the root).
+	Axis Axis
+}
+
+// Twig is a whole path pattern assembled from the structural join
+// predicates of one PSX conjunction: a rooted tree of relation aliases
+// connected by parent/child and ancestor/descendant edges. It is the unit
+// a holistic twig join (TwigStack) evaluates in one multi-stream pass,
+// instead of decomposing the pattern into a chain of binary joins.
+type Twig struct {
+	// Nodes lists the twig nodes in preorder (parents before children);
+	// Nodes[0] is the root.
+	Nodes []TwigNode
+	// Conds are the original cross conditions the twig edges subsume: a
+	// planner adopting the twig marks exactly these as applied and keeps
+	// the rest as residual filters.
+	Conds []Cmp
+}
+
+// Children returns the indices of node i's children, in Nodes order.
+func (tw *Twig) Children(i int) []int {
+	var out []int
+	for j, n := range tw.Nodes {
+		if n.Parent == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Aliases returns the node aliases in Nodes (preorder) order.
+func (tw *Twig) Aliases() []string {
+	out := make([]string, len(tw.Nodes))
+	for i, n := range tw.Nodes {
+		out[i] = n.Alias
+	}
+	return out
+}
+
+// String renders the twig in XPath-like notation, e.g. "X[/V][//A//T]".
+func (tw *Twig) String() string {
+	if len(tw.Nodes) == 0 {
+		return "twig()"
+	}
+	var render func(i int) string
+	render = func(i int) string {
+		var b strings.Builder
+		b.WriteString(tw.Nodes[i].Alias)
+		for _, c := range tw.Children(i) {
+			sep := "//"
+			if tw.Nodes[c].Axis == AxisChild {
+				sep = "/"
+			}
+			b.WriteString("[")
+			b.WriteString(sep)
+			b.WriteString(render(c))
+			b.WriteString("]")
+		}
+		return b.String()
+	}
+	return render(0)
+}
+
+// AssembleTwig builds a connected twig covering exactly the given relation
+// aliases from the structural predicates of a conjunction. It succeeds
+// when the predicates contain a spanning tree over rels: every alias
+// appears, every non-root alias has exactly one parent edge, there are no
+// cycles, and everything is reachable from a single root. Duplicate edges
+// between the same (anc, desc) pair — a child equality alongside the
+// descendant interval pair — are merged, keeping the tighter child axis
+// while subsuming both predicates' conditions (parent/child membership
+// implies interval containment in a well-formed XASR).
+//
+// ok is false when the predicates do not connect all of rels into one
+// tree (disconnected components, multiple parents, cycles); the planner
+// then falls back to the binary-join pipeline.
+func AssembleTwig(preds []StructuralPred, rels []string) (*Twig, bool) {
+	if len(rels) < 2 {
+		return nil, false
+	}
+	relSet := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		if relSet[r] {
+			return nil, false // duplicate alias: not a twig shape
+		}
+		relSet[r] = true
+	}
+
+	type edge struct {
+		anc   string
+		axis  Axis
+		conds []Cmp
+	}
+	parent := map[string]*edge{} // desc alias -> its one parent edge
+	for i := range preds {
+		sp := &preds[i]
+		if !relSet[sp.Anc] || !relSet[sp.Desc] {
+			return nil, false // predicate reaches outside the relation set
+		}
+		if e, dup := parent[sp.Desc]; dup {
+			if e.anc != sp.Anc {
+				return nil, false // two distinct parents: a DAG, not a tree
+			}
+			// Same pair on both axes: keep the child edge, subsume both.
+			if sp.Axis == AxisChild {
+				e.axis = AxisChild
+			}
+			e.conds = append(e.conds, sp.Conds...)
+			continue
+		}
+		parent[sp.Desc] = &edge{anc: sp.Anc, axis: sp.Axis, conds: append([]Cmp(nil), sp.Conds...)}
+	}
+
+	// Exactly one root, everything else below it.
+	var root string
+	for _, r := range rels {
+		if parent[r] == nil {
+			if root != "" {
+				return nil, false // two roots: disconnected components
+			}
+			root = r
+		}
+	}
+	if root == "" {
+		return nil, false // no root: a cycle
+	}
+
+	// Preorder walk; a node count mismatch means a cycle detached from
+	// the root component.
+	children := map[string][]string{}
+	for _, r := range rels {
+		if e := parent[r]; e != nil {
+			children[e.anc] = append(children[e.anc], r)
+		}
+	}
+	tw := &Twig{}
+	index := map[string]int{}
+	var walk func(alias string, parentIdx int, axis Axis, conds []Cmp)
+	walk = func(alias string, parentIdx int, axis Axis, conds []Cmp) {
+		if _, seen := index[alias]; seen {
+			return
+		}
+		index[alias] = len(tw.Nodes)
+		tw.Nodes = append(tw.Nodes, TwigNode{Alias: alias, Parent: parentIdx, Axis: axis})
+		tw.Conds = append(tw.Conds, conds...)
+		at := index[alias]
+		for _, c := range children[alias] {
+			e := parent[c]
+			walk(c, at, e.axis, e.conds)
+		}
+	}
+	walk(root, -1, AxisNone, nil)
+	if len(tw.Nodes) != len(rels) {
+		return nil, false
+	}
+	return tw, true
+}

@@ -1,0 +1,139 @@
+package tpm
+
+import "testing"
+
+func descP(anc, desc string) StructuralPred {
+	return StructuralPred{
+		Axis: AxisDescendant, Anc: anc, Desc: desc,
+		Conds: []Cmp{
+			Gt(AttrOp(desc, ColIn), AttrOp(anc, ColIn)),
+			Lt(AttrOp(desc, ColOut), AttrOp(anc, ColOut)),
+		},
+	}
+}
+
+func childP(anc, desc string) StructuralPred {
+	return StructuralPred{
+		Axis: AxisChild, Anc: anc, Desc: desc,
+		Conds: []Cmp{Eq(AttrOp(desc, ColParentIn), AttrOp(anc, ColIn))},
+	}
+}
+
+func TestAssembleTwigBranching(t *testing.T) {
+	// X[//A][/V] — one root, two branches, mixed axes.
+	tw, ok := AssembleTwig(
+		[]StructuralPred{descP("X", "A"), childP("X", "V")},
+		[]string{"X", "A", "V"})
+	if !ok {
+		t.Fatal("branching twig not assembled")
+	}
+	if len(tw.Nodes) != 3 || tw.Nodes[0].Alias != "X" || tw.Nodes[0].Parent != -1 {
+		t.Fatalf("nodes: %+v", tw.Nodes)
+	}
+	axes := map[string]Axis{}
+	for _, n := range tw.Nodes[1:] {
+		if tw.Nodes[n.Parent].Alias != "X" {
+			t.Errorf("%s not attached to root", n.Alias)
+		}
+		axes[n.Alias] = n.Axis
+	}
+	if axes["A"] != AxisDescendant || axes["V"] != AxisChild {
+		t.Errorf("axes: %v", axes)
+	}
+	if len(tw.Conds) != 3 {
+		t.Errorf("subsumed conds: %d, want 3", len(tw.Conds))
+	}
+	if s := tw.String(); s != "X[//A][/V]" && s != "X[/V][//A]" {
+		t.Errorf("render: %s", s)
+	}
+}
+
+func TestAssembleTwigChain(t *testing.T) {
+	// X//A//T: a pure chain is a twig with one leaf; preorder keeps
+	// parents before children.
+	tw, ok := AssembleTwig(
+		[]StructuralPred{descP("X", "A"), descP("A", "T")},
+		[]string{"X", "A", "T"})
+	if !ok {
+		t.Fatal("chain twig not assembled")
+	}
+	for i, want := range []string{"X", "A", "T"} {
+		if tw.Nodes[i].Alias != want {
+			t.Fatalf("preorder: %+v", tw.Nodes)
+		}
+	}
+	if kids := tw.Children(0); len(kids) != 1 || tw.Nodes[kids[0]].Alias != "A" {
+		t.Errorf("children of root: %v", kids)
+	}
+}
+
+func TestAssembleTwigDisconnectedFallsBack(t *testing.T) {
+	cases := []struct {
+		name  string
+		preds []StructuralPred
+		rels  []string
+	}{
+		// Two components: X//A and an unrelated B//C.
+		{"two-components", []StructuralPred{descP("X", "A"), descP("B", "C")},
+			[]string{"X", "A", "B", "C"}},
+		// A relation no predicate touches.
+		{"isolated-rel", []StructuralPred{descP("X", "A")}, []string{"X", "A", "B"}},
+		// No predicates at all.
+		{"no-preds", nil, []string{"X", "A"}},
+		// Two distinct parents for the same node: a DAG, not a tree.
+		{"dag", []StructuralPred{descP("X", "C"), descP("A", "C"), descP("X", "A")},
+			[]string{"X", "A", "C"}},
+		// A cycle.
+		{"cycle", []StructuralPred{descP("X", "A"), descP("A", "X")},
+			[]string{"X", "A"}},
+		// Predicate alias outside the relation set.
+		{"foreign-alias", []StructuralPred{descP("X", "A"), descP("X", "Z")},
+			[]string{"X", "A"}},
+	}
+	for _, c := range cases {
+		if tw, ok := AssembleTwig(c.preds, c.rels); ok {
+			t.Errorf("%s: unexpectedly assembled %s", c.name, tw)
+		}
+	}
+}
+
+func TestAssembleTwigMergesDuplicateEdges(t *testing.T) {
+	// Both the child equality and the descendant interval between the same
+	// pair: one edge, child axis, all three conditions subsumed.
+	tw, ok := AssembleTwig(
+		[]StructuralPred{childP("X", "V"), descP("X", "V"), descP("X", "A")},
+		[]string{"X", "V", "A"})
+	if !ok {
+		t.Fatal("duplicate-edge twig not assembled")
+	}
+	for _, n := range tw.Nodes {
+		if n.Alias == "V" && n.Axis != AxisChild {
+			t.Errorf("V edge axis = %s, want child", n.Axis)
+		}
+	}
+	if len(tw.Conds) != 5 {
+		t.Errorf("subsumed conds: %d, want 5", len(tw.Conds))
+	}
+}
+
+func TestAssembleTwigFromFindStructural(t *testing.T) {
+	// End-to-end: the conjunction a 3-branch query produces round-trips
+	// through FindStructural into a twig.
+	conds := []Cmp{
+		Gt(AttrOp("A", ColIn), AttrOp("X", ColIn)),
+		Lt(AttrOp("A", ColOut), AttrOp("X", ColOut)),
+		Gt(AttrOp("T", ColIn), AttrOp("X", ColIn)),
+		Lt(AttrOp("T", ColOut), AttrOp("X", ColOut)),
+		Eq(AttrOp("V", ColParentIn), AttrOp("X", ColIn)),
+	}
+	tw, ok := AssembleTwig(FindStructural(conds), []string{"X", "A", "T", "V"})
+	if !ok {
+		t.Fatal("twig not assembled from recovered predicates")
+	}
+	if len(tw.Nodes) != 4 || len(tw.Children(0)) != 3 {
+		t.Errorf("twig shape: %s", tw)
+	}
+	if len(tw.Conds) != len(conds) {
+		t.Errorf("subsumed %d conds, want %d", len(tw.Conds), len(conds))
+	}
+}
