@@ -176,13 +176,17 @@ func BenchmarkAblationINL(b *testing.B) {
 }
 
 // BenchmarkAblationStructuralJoin isolates the structural join operators
-// on two query shapes: a binary descendant step ("desc") and a ≥3-branch
+// on three query shapes: a binary descendant step ("desc"), a ≥3-branch
 // twig pattern ("twig3") that fans three descendant branches out of one
-// root. Each runs under every forced join family — the holistic twig
-// join, the binary stack merge, INL, and the plain/block nested-loops
-// fallbacks. The rows-joined / rows-structural / rows-twig / path-sols
-// metrics show which operator family did the join work and how large its
-// intermediate results were.
+// root, and a mixed twig+value shape ("twigmix") — the twig3 pattern with
+// a value-joined pass-fail relation no structural predicate covers, the
+// shape only partial-twig adoption can serve holistically. Each runs
+// under every forced join family — the holistic twig join (with partial
+// adoption), the binary stack merge, INL, and the plain/block
+// nested-loops fallbacks. The rows-joined / rows-structural / rows-twig /
+// path-sols / rows-sorted metrics show which operator family did the join
+// work, how large its intermediate results were, and whether the plan
+// paid a repair sort.
 func BenchmarkAblationStructuralJoin(b *testing.B) {
 	st := benchStore(b)
 	shapes := []struct {
@@ -191,6 +195,7 @@ func BenchmarkAblationStructuralJoin(b *testing.B) {
 	}{
 		{"desc", `for $x in //inproceedings return for $y in $x//author return $y`},
 		{"twig3", `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`},
+		{"twigmix", `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`},
 	}
 	for _, shape := range shapes {
 		for _, name := range []string{"twig", "structural", "inl", "nl", "bnl"} {
@@ -205,8 +210,35 @@ func BenchmarkAblationStructuralJoin(b *testing.B) {
 				b.ReportMetric(float64(e.Counters().RowsStructural), "rows-structural")
 				b.ReportMetric(float64(e.Counters().RowsTwig), "rows-twig")
 				b.ReportMetric(float64(e.Counters().TwigPathSolutions), "path-sols")
+				b.ReportMetric(float64(e.Counters().SortedRows), "rows-sorted")
 			})
 		}
+	}
+}
+
+// BenchmarkAblationPartialTwig isolates partial-twig adoption on the
+// mixed twig+value shape: the forced twig family with adoption on (the
+// subtwig leads, uncovered relations join on top) and off (no full twig
+// exists, so the whole pattern falls back to loop joins), plus the auto
+// cost-based planner for reference.
+func BenchmarkAblationPartialTwig(b *testing.B) {
+	st := benchStore(b)
+	const q = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`
+	forcedOn, _ := opt.ForceJoin("twig")
+	forcedOff := forcedOn
+	forcedOff.UsePartialTwig = false
+	auto := opt.M4()
+	for _, step := range []struct {
+		name string
+		cfg  opt.Config
+	}{{"partial", forcedOn}, {"nopartial", forcedOff}, {"auto", auto}} {
+		cfg := step.cfg
+		e := core.New(st, core.Config{Mode: core.ModeM4, Timeout: benchTimeout, Opt: &cfg})
+		b.Run(step.name, func(b *testing.B) {
+			runQuery(b, e, q)
+			b.ReportMetric(float64(e.Counters().RowsTwig), "rows-twig")
+			b.ReportMetric(float64(e.Counters().SortedRows), "rows-sorted")
+		})
 	}
 }
 

@@ -219,7 +219,10 @@ func (e *Engine) compile(q xq.Expr) (exec.XPlan, error) {
 // plan annotated with per-operator runtime row counts and the query-wide
 // counters — which join operator actually ran, how many rows it produced,
 // and (for structural merge joins) the ancestor-stack high-water mark.
-// Only the milestone 3/4 modes have a physical plan to analyze.
+// Composite partial-twig plans render as a k-ary twig-join subtree (one
+// stream per twig node, branch glyphs, per-stream actual rows) under the
+// binary joins that take the uncovered relations. Only the milestone 3/4
+// modes have a physical plan to analyze.
 func (e *Engine) ExplainAnalyze(src string) (string, error) {
 	q, err := xq.Parse(src)
 	if err != nil {

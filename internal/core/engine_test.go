@@ -333,3 +333,48 @@ func TestExplainAnalyzeTwigJoin(t *testing.T) {
 		t.Errorf("binary joins ran on the holistic plan: %+v", e.Counters())
 	}
 }
+
+// TestExplainAnalyzePartialTwig checks the composite partial-twig plan end
+// to end: a path pattern mixed with an uncovered relation runs the
+// subtwig as the leading sub-plan under a binary join, the k-ary analysis
+// renders the twig's streams under the parent join's rail, and the twig
+// rows propagate into the parent join's tallies — with no repair sort.
+func TestExplainAnalyzePartialTwig(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 800, Seed: 5, PhdFraction: 0.01})); err != nil {
+		t.Fatal(err)
+	}
+	const mixed = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`
+	cfg, ok := opt.ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	e := New(st, Config{Mode: ModeM4, Opt: &cfg})
+	out, err := e.ExplainAnalyze(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"twig-join", "holistic, 4 streams", "-join(", // composite: twig under a binary join
+		"│  ├─ scan", "│  └─ scan", // twig streams render under the parent join's rail
+		"actual rows=", "twig=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+	c := e.Counters()
+	if c.RowsTwig == 0 {
+		t.Errorf("no twig rows on the composite plan:\n%s", out)
+	}
+	if c.RowsJoined == 0 {
+		t.Errorf("twig rows did not flow through the parent join:\n%s", out)
+	}
+	if c.SortedRows != 0 {
+		t.Errorf("composite plan paid a repair sort (%d rows):\n%s", c.SortedRows, out)
+	}
+}

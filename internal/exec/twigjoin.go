@@ -33,6 +33,15 @@ import (
 //     twig matches, residual conditions are applied, and the result is
 //     emitted sorted by the in-labels of OutOrder — the plan's required
 //     vartuple order, so no repair sort is needed above the operator.
+//
+// The operator is an ordinary PlanNode producing multi-alias rows, so it
+// also serves as the *leading input stream of a parent join* (partial-twig
+// adoption): the planner seeds a pipeline with the twig over the covered
+// relations and joins the uncovered ones on top via NL/INL/structural
+// operators. For that composite use OutOrder names just the covered
+// vartuple relations (in vartuple order) — the emission stays sorted by
+// exactly those in-labels, which is the prefix contract the parent
+// pipeline and the final deduplicating projection rely on.
 type TwigJoin struct {
 	// Streams holds one document-ordered input per twig node, aligned
 	// with Twig.Nodes; each must produce single-alias rows for the node's
@@ -43,7 +52,10 @@ type TwigJoin struct {
 	// Conds are residual cross conditions evaluated per merged row.
 	Conds []tpm.Cmp
 	// OutOrder lists the aliases whose in-labels define the emission
-	// order (lexicographic). Aliases must be twig nodes.
+	// order (lexicographic). Aliases must be twig nodes; they may be a
+	// strict subset (the covered vartuple relations of a partial twig) —
+	// rows tying on all OutOrder labels emit in arbitrary but grouped
+	// order. An empty OutOrder leaves the emission order unspecified.
 	OutOrder []string
 	Est_     Est
 

@@ -257,6 +257,116 @@ func TestExplainNodeKaryGlyphs(t *testing.T) {
 	}
 }
 
+// TestTwigJoinAsJoinInput wires a TwigJoin as the leading input stream of
+// the binary join operators — the partial-twig composite shape — and
+// cross-checks the result against a pure NL pipeline over the same
+// predicates.
+func TestTwigJoinAsJoinInput(t *testing.T) {
+	labels := map[string]string{"A": "a", "B": "b", "C": "c"}
+	preds := []tpm.StructuralPred{descPred("A", "B")}
+	full := []tpm.StructuralPred{descPred("A", "B"), descPred("A", "C")}
+	want := nlReference(t, twigDoc, full, []string{"A", "B", "C"}, labels)
+
+	// NL join on top: the uncovered relation joins by residual conditions.
+	ctx := testCtx(t, twigDoc)
+	twig := buildTwig(t, preds, []string{"A", "B"}, labels, nil, []string{"A", "B"})
+	nl := NewNLJoin(twig, labelScan("C", "c"), descPred("A", "C").Conds)
+	got := map[string]bool{}
+	for _, r := range drain(t, ctx, nl) {
+		got[twigKey(r, nl.Schema(), []string{"A", "B", "C"})] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("twig-under-NL: %d matches, NL pipeline %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing match %x", k)
+		}
+	}
+	if ctx.Counters.RowsTwig == 0 || ctx.Counters.RowsJoined == 0 {
+		t.Errorf("counters: twig rows and joined rows must both tally: %+v", ctx.Counters)
+	}
+
+	// INL join on top: the inner access is parameterized by a twig alias
+	// (the vartuple-prefix contract lets bounds reference any slot).
+	ctx2 := testCtx(t, twigDoc)
+	twig2 := buildTwig(t, preds, []string{"A", "B"}, labels, nil, []string{"A", "B"})
+	inner := NewScan("C", Access{
+		Kind: AccessLabel, Type: xasr.TypeElem, Value: "c",
+		Bounded: true, Lo: tpm.AttrOp("A", tpm.ColIn), LoAdd: 1, Hi: tpm.AttrOp("A", tpm.ColOut),
+	}, nil)
+	inl := NewINLJoin(twig2, inner, nil)
+	got2 := map[string]bool{}
+	for _, r := range drain(t, ctx2, inl) {
+		got2[twigKey(r, inl.Schema(), []string{"A", "B", "C"})] = true
+	}
+	if len(got2) != len(want) {
+		t.Fatalf("twig-under-INL: %d matches, NL pipeline %d", len(got2), len(want))
+	}
+}
+
+// TestTwigJoinSubsetOutOrder checks the partial-twig emission contract: an
+// OutOrder naming a strict subset of twig nodes sorts by exactly those
+// in-labels, with ties grouped (adjacent), so a downstream dedup
+// projection over that prefix stays correct.
+func TestTwigJoinSubsetOutOrder(t *testing.T) {
+	labels := map[string]string{"A": "a", "B": "b", "C": "c"}
+	preds := []tpm.StructuralPred{descPred("A", "B"), descPred("A", "C")}
+	ctx := testCtx(t, twigDoc)
+	j := buildTwig(t, preds, []string{"A", "B", "C"}, labels, nil, []string{"A"})
+	rows := drain(t, ctx, j)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	sa := j.Schema().Slot("A")
+	seen := map[uint32]bool{}
+	for i, r := range rows {
+		in := r[sa].In
+		if i > 0 && rows[i-1][sa].In != in && seen[in] {
+			t.Fatalf("A.in=%d reappears after a different value: ties not grouped", in)
+		}
+		if i > 0 && rows[i-1][sa].In > in {
+			t.Fatalf("A order broken at %d", i)
+		}
+		seen[in] = true
+	}
+}
+
+// TestExplainAnalyzeTwigUnderJoin is the golden rendering test for a
+// twig-under-INL composite plan: branch glyphs for the k-ary operator
+// under the parent join's rail, per-stream actual rows, and the twig row
+// count propagated through the parent join's tallies.
+func TestExplainAnalyzeTwigUnderJoin(t *testing.T) {
+	ctx := testCtx(t, twigDoc)
+	labels := map[string]string{"A": "a", "B": "b"}
+	twig := buildTwig(t, []tpm.StructuralPred{descPred("A", "B")}, []string{"A", "B"}, labels, nil, []string{"A", "B"})
+	inner := NewScan("C", Access{
+		Kind: AccessLabel, Type: xasr.TypeElem, Value: "c",
+		Bounded: true, Lo: tpm.AttrOp("A", tpm.ColIn), LoAdd: 1, Hi: tpm.AttrOp("A", tpm.ColOut),
+	}, nil)
+	inl := NewINLJoin(twig, inner, nil)
+	plan := &XRelFor{Vars: []string{"a", "b", "c"}, Root: inl, Body: XEmpty{}}
+	if _, err := Run(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	got := ExplainAnalyze(plan, ctx.Counters)
+	want := `relfor ($a, $b, $c)
+  inl-join → scan C: label index (elem, "c") in ∈ [A.in+1, A.out)  (actual rows=4 opens=1)
+  ├─ twig-join A[//B] [holistic, 2 streams]  (actual rows=5 opens=1 stack=2)
+  │  ├─ scan A: label index (elem, "a")  (actual rows=4 opens=1)
+  │  └─ scan B: label index (elem, "b")  (actual rows=4 opens=1)
+  └─ scan C: label index (elem, "c") in ∈ [A.in+1, A.out)  (actual rows=4 opens=5)
+  return
+    ()
+
+counters: scanned=12 joined=4 structural=0 twig=5 emitted=0
+          probes=5 rescans=0 sorted=0 spilled=0 stack-max=2 path-solutions=5
+`
+	if got != want {
+		t.Errorf("golden EXPLAIN ANALYZE mismatch:\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
 func TestTwigJoinText(t *testing.T) {
 	// A twig whose leaf stream is a type-filtered full scan (text nodes),
 	// like a //a//b/text() pattern would produce.

@@ -75,6 +75,14 @@ type Config struct {
 	// joins, bounding intermediates by the twig's path solutions. Off for
 	// the milestone presets that predate it; disable on M4 for ablation.
 	UseTwig bool
+	// UsePartialTwig lets the planner adopt a twig covering a *subset* of
+	// a conjunction's relations as a leading sub-plan: the maximal
+	// connected subtwig runs as one holistic TwigJoin "base relation" and
+	// the uncovered relations (value equi-joins, disconnected components)
+	// join on top via the ordinary operator families. Only meaningful
+	// together with UseTwig; off for ablation (the all-or-nothing twig of
+	// the original M4).
+	UsePartialTwig bool
 	// Stats selects the statistics quality for the cost model.
 	Stats StatsMode
 	// MaxEnumRels caps exhaustive join-order enumeration; beyond it the
@@ -113,6 +121,7 @@ func M4() Config {
 		UseBNL:         true,
 		UseStructural:  true,
 		UseTwig:        true,
+		UsePartialTwig: true,
 		Stats:          StatsAccurate,
 		MaxEnumRels:    8,
 	}
@@ -135,6 +144,7 @@ func M4BadStats() Config {
 	// off also keeps the Figure 7 gap attributable to statistics quality.
 	cfg.UseStructural = false
 	cfg.UseTwig = false
+	cfg.UsePartialTwig = false
 	return cfg
 }
 
@@ -155,7 +165,10 @@ func NaiveTPM() Config {
 //
 //	twig        holistic twig join forced: every binary competitor off,
 //	            so any conjunction whose predicates assemble into a twig
-//	            runs TwigJoin (non-twig queries fall back to plain NL)
+//	            runs TwigJoin; with partial-twig adoption (UsePartialTwig,
+//	            inherited on) a conjunction whose predicates cover only a
+//	            subset runs the subtwig with plain NL joins on top
+//	            (non-twig queries fall back to plain NL)
 //	structural  binary merge join forced (twig and loop competitors off)
 //	inl         structural and twig off; index nested-loops take over
 //	nl          loop joins only, no blocks, no indexes into the join

@@ -224,6 +224,136 @@ func TestTwigEquivalence(t *testing.T) {
 	}
 }
 
+// mixedTwigQuery is the partial-twig shape: the twig3 branching pattern
+// mixed with an uncovered pass-fail relation no structural predicate
+// reaches (the `some` relation joins by cross product).
+const mixedTwigQuery = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`
+
+func TestPartialTwigAdoptedForMixedPattern(t *testing.T) {
+	st := dblpStore(t)
+	out := explain(t, st, M4(), mixedTwigQuery)
+	// The composite plan: a twig-join over the covered pattern with a
+	// binary join for the uncovered relation on top — previously this
+	// query was all-or-nothing and fell back to the binary pipeline.
+	if !strings.Contains(out, "twig-join") {
+		t.Errorf("partial twig not adopted:\n%s", out)
+	}
+	if !strings.Contains(out, "-join(") && !strings.Contains(out, "inl-join") {
+		t.Errorf("no parent join above the twig (not a composite plan):\n%s", out)
+	}
+	// No repair sort: the twig emits the covered vartuple prefix in order
+	// and the joins above preserve it.
+	if strings.Contains(out, "sort [external") {
+		t.Errorf("composite plan pays a repair sort:\n%s", out)
+	}
+}
+
+func TestPartialTwigDisabledByKnob(t *testing.T) {
+	st := dblpStore(t)
+	off := M4()
+	off.UsePartialTwig = false
+	// Without partial adoption the pattern has no full twig (the some
+	// relation is disconnected), so no twig join may appear.
+	if out := explain(t, st, off, mixedTwigQuery); strings.Contains(out, "twig-join") {
+		t.Errorf("twig join chosen with UsePartialTwig=false:\n%s", out)
+	}
+	if out := explain(t, st, M4BadStats(), mixedTwigQuery); strings.Contains(out, "twig-join") {
+		t.Errorf("engine 2 model uses the partial twig:\n%s", out)
+	}
+	// Full-coverage twigs are untouched by the knob.
+	if out := explain(t, st, off, twig3Query); !strings.Contains(out, "twig-join") {
+		t.Errorf("full twig lost with UsePartialTwig=false:\n%s", out)
+	}
+}
+
+func TestPartialTwigEquivalenceAndCounters(t *testing.T) {
+	st := dblpStore(t)
+	queries := []string{
+		mixedTwigQuery,
+		// Twig + value predicate + uncovered relation.
+		`for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return for $yt in $y/text() return if ($yt = "1995" and some $p in //phdthesis satisfies true()) then $t else ()`,
+		// Chain twig + value equi-join against a second component.
+		`for $x in //inproceedings return for $a in $x//author return for $at in $a/text() return for $p in //phdthesis return for $pt in $p//text() return if ($at = $pt) then $at else ()`,
+	}
+	off := M4()
+	off.UsePartialTwig = false
+	for _, q := range queries {
+		var got [2]string
+		for i, cfg := range []Config{M4(), off} {
+			xplan := planFor(t, st, cfg, q)
+			tmp, err := st.TempDir()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+			if err != nil {
+				t.Fatalf("%q config %d: %v", q, i, err)
+			}
+			got[i] = string(out)
+		}
+		if got[0] != got[1] {
+			t.Errorf("%q: partial twig changed the answer\nwith:    %.200s\nwithout: %.200s", q, got[0], got[1])
+		}
+	}
+
+	// Forced partial-twig execution: the twig branch does the pattern work
+	// (RowsTwig) with zero sorted rows — the composite plan stays
+	// order-preserving end to end.
+	forced, ok := ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	xplan := planFor(t, st, forced, mixedTwigQuery)
+	tmp, err := st.TempDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}
+	if _, err := exec.Run(ctx, xplan); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Counters.RowsTwig == 0 {
+		t.Errorf("forced partial twig did not run the twig join: %+v", ctx.Counters)
+	}
+	if ctx.Counters.SortedRows != 0 {
+		t.Errorf("twig-led plan sorted %d rows, want 0", ctx.Counters.SortedRows)
+	}
+}
+
+// TestPartialTwigExistentialNodeNoDuplicates is the regression test for a
+// subtle dedup bug: a covered existential (non-vartuple) twig node with
+// several matches per vartuple tie used to leak duplicate vartuples —
+// after joining an uncovered bind relation on top, equal vartuples came
+// back non-adjacent and the one-pass dedup projection missed them. The
+// seed now projects existential nodes away directly above the twig (valid
+// there: the twig emits sorted by the covered vartuple order).
+func TestPartialTwigExistentialNodeNoDuplicates(t *testing.T) {
+	st := loadStore(t, `<r><a><b/><b/><e/><e/></a><d/><d/></r>`)
+	const q = `for $x in //a return for $t in $x//b return for $c in //d return if (some $s in $x//e satisfies true()) then $t else ()`
+	const want = `<b/><b/><b/><b/>` // 2 b's × 2 d's, e is a pure witness
+	for _, m := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"auto", M4()},
+		{"forced-twig", func() Config { c, _ := ForceJoin("twig"); return c }()},
+		{"nopartial", func() Config { c := M4(); c.UsePartialTwig = false; return c }()},
+	} {
+		xplan := planFor(t, st, m.cfg, q)
+		tmp, err := st.TempDir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if string(out) != want {
+			t.Errorf("%s: got %q, want %q\n%s", m.name, out, want, exec.Explain(xplan))
+		}
+	}
+}
+
 func TestProbeCostCalibration(t *testing.T) {
 	st := dblpStore(t)
 	e := NewEstimator(st, StatsAccurate)

@@ -176,10 +176,18 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 		}
 		// Past the enumeration cap the holistic twig still applies — its
 		// plan shape does not depend on a join order, so it sidesteps the
-		// factorial search entirely.
+		// factorial search entirely. Likewise a partial twig with the
+		// uncovered relations joined in syntactic order on top.
 		if p.cfg.CostBased {
 			if tn, tc, ok := p.twigCandidate(psx, info); ok && (node == nil || tc < cost) {
-				return tn, nil
+				node, cost = tn, tc
+			}
+			if seed := p.partialTwigSeed(psx, info); seed != nil {
+				pn, pc, err := p.buildOnSeed(psx, info, seed, remainder(order, seed),
+					joinToggles{structural: p.cfg.UseStructural})
+				if err == nil && pn != nil && (node == nil || pc < cost) {
+					node, cost = pn, pc
+				}
 			}
 		}
 		return node, err
@@ -210,6 +218,24 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 			if cost < bestCost {
 				bestCost = cost
 				best = node
+			}
+		}
+	}
+	// Partial-twig adoption: the maximal connected subtwig enters the
+	// auction as a composite leading "base relation", with every order of
+	// the uncovered relations joined on top through the ordinary operator
+	// families. The mixed plans compete on estimated cost like any other.
+	if seed := p.partialTwigSeed(psx, info); seed != nil {
+		for _, order := range p.enumerateRemainder(info, remainder(psx.Rels, seed)) {
+			for _, t := range opts {
+				node, cost, err := p.buildOnSeed(psx, info, seed, order, t)
+				if err != nil || node == nil {
+					continue
+				}
+				if cost < bestCost {
+					bestCost = cost
+					best = node
+				}
 			}
 		}
 	}
@@ -494,6 +520,41 @@ func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross [
 	return nil, nil
 }
 
+// twigStreams builds one best-access, document-ordered scan per twig node
+// with local selections pushed down, accumulating the stream costs — the
+// construction shared by the full and partial twig candidates.
+func (p *Planner) twigStreams(info *psxInfo, tw *tpm.Twig) (streams []exec.PlanNode, streamCost, streamRows, rowsProduct float64) {
+	streams = make([]exec.PlanNode, len(tw.Nodes))
+	rowsProduct = 1.0
+	for i, n := range tw.Nodes {
+		ac := p.bestAccess(n.Alias, info.local[n.Alias], nil)
+		rows := info.filteredRows[n.Alias]
+		scan := exec.NewScan(n.Alias, ac.access, ac.residual)
+		scan.Est_ = exec.Est{Rows: rows, Cost: ac.cost}
+		streams[i] = scan
+		streamCost += ac.cost
+		streamRows += rows
+		rowsProduct *= rows
+	}
+	return streams, streamCost, streamRows, rowsProduct
+}
+
+// residualConds returns the cross conditions the twig edges do not
+// subsume: the per-row filters the TwigJoin evaluates on merged rows.
+func residualConds(tw *tpm.Twig, cross []tpm.Cmp) []tpm.Cmp {
+	subsumed := make(map[string]bool, len(tw.Conds))
+	for _, c := range tw.Conds {
+		subsumed[c.String()] = true
+	}
+	var resid []tpm.Cmp
+	for _, c := range cross {
+		if !subsumed[c.String()] {
+			resid = append(resid, c)
+		}
+	}
+	return resid
+}
+
 // twigCandidate builds the holistic twig-join plan for a PSX whose
 // structural predicates assemble into one connected twig covering every
 // relation. Each twig node gets its best standalone (document-ordered)
@@ -512,40 +573,203 @@ func (p *Planner) twigCandidate(psx *tpm.PSX, info *psxInfo) (exec.PlanNode, flo
 	if !ok {
 		return nil, 0, false
 	}
-	streams := make([]exec.PlanNode, len(tw.Nodes))
-	var streamCost, streamRows float64
-	rowsProduct := 1.0
-	for i, n := range tw.Nodes {
-		ac := p.bestAccess(n.Alias, info.local[n.Alias], nil)
-		rows := info.filteredRows[n.Alias]
-		scan := exec.NewScan(n.Alias, ac.access, ac.residual)
-		scan.Est_ = exec.Est{Rows: rows, Cost: ac.cost}
-		streams[i] = scan
-		streamCost += ac.cost
-		streamRows += rows
-		rowsProduct *= rows
-	}
+	streams, streamCost, streamRows, rowsProduct := p.twigStreams(info, tw)
 	outRows := rowsProduct * p.crossSelectivity(info, info.cross)
 	if outRows < 0.01 {
 		outRows = 0.01
 	}
-	subsumed := make(map[string]bool, len(tw.Conds))
-	for _, c := range tw.Conds {
-		subsumed[c.String()] = true
-	}
-	var resid []tpm.Cmp
-	for _, c := range info.cross {
-		if !subsumed[c.String()] {
-			resid = append(resid, c)
-		}
-	}
 	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows)
-	join := exec.NewTwigJoin(streams, *tw, resid, info.bindRels)
+	join := exec.NewTwigJoin(streams, *tw, residualConds(tw, info.cross), info.bindRels)
 	join.Est_ = exec.Est{Rows: outRows, Cost: cost}
 	proj := exec.NewProject(join, info.bindRels, true)
 	cost += outRows * cpuPerTuple
 	proj.Est_ = exec.Est{Rows: outRows, Cost: cost}
 	return proj, cost, true
+}
+
+// partialTwigSeed builds the leading sub-plan for partial-twig adoption: a
+// holistic twig join over the maximal connected subtwig of the
+// conjunction's structural predicates, acting as a composite "base
+// relation" the remaining relations join on top of. The twig emits sorted
+// by the in-labels of the covered vartuple relations (in vartuple order),
+// so orderSeq propagates into the binary machinery exactly as for a
+// leading scan. Cross conditions entirely inside the covered set are
+// subsumed by the twig edges or evaluated as residual filters on the
+// operator; conditions reaching an uncovered relation stay unapplied for
+// the joins above. nil when the machinery does not apply (knobs off, a
+// nullary pass-fail check, or no subtwig of three or more nodes — smaller
+// patterns belong to the binary merge join).
+func (p *Planner) partialTwigSeed(psx *tpm.PSX, info *psxInfo) *built {
+	if !p.cfg.UseTwig || !p.cfg.UsePartialTwig || len(info.bindRels) == 0 || len(psx.Rels) < 3 {
+		return nil
+	}
+	tw, _, uncovered, ok := tpm.AssembleMaxTwig(info.structural, psx.Rels)
+	if !ok || len(tw.Nodes) < 3 {
+		return nil
+	}
+	if len(uncovered) == 0 {
+		if _, full := tpm.AssembleTwig(info.structural, psx.Rels); full {
+			// twigCandidate already enters exactly this plan into the
+			// auction; only DAG-ish shapes AssembleTwig rejects (residual
+			// second-parent edges) are worth seeding at full coverage.
+			return nil
+		}
+	}
+	covered := make(map[string]bool, len(tw.Nodes))
+	for _, n := range tw.Nodes {
+		covered[n.Alias] = true
+	}
+	streams, streamCost, streamRows, rowsProduct := p.twigStreams(info, tw)
+	applied := map[string]bool{}
+	for _, n := range tw.Nodes {
+		for _, c := range info.local[n.Alias] {
+			applied[c.String()] = true
+		}
+	}
+	// Cross conditions entirely inside the covered set: subsumed by the
+	// twig edges, or residual per-row filters on the operator.
+	var intra []tpm.Cmp
+	for _, c := range info.cross {
+		rels := c.Rels()
+		if len(rels) == 2 && covered[rels[0]] && covered[rels[1]] {
+			intra = append(intra, c)
+		}
+	}
+	outRows := rowsProduct * p.crossSelectivity(info, intra)
+	if outRows < 0.01 {
+		outRows = 0.01
+	}
+	for _, c := range intra {
+		applied[c.String()] = true
+	}
+	// The emission order: covered vartuple relations in vartuple order —
+	// the prefix the finalize contract needs.
+	var outOrder []string
+	outSet := map[string]bool{}
+	for _, r := range info.bindRels {
+		if covered[r] {
+			outOrder = append(outOrder, r)
+			outSet[r] = true
+		}
+	}
+	join := exec.NewTwigJoin(streams, *tw, residualConds(tw, intra), outOrder)
+	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows)
+	join.Est_ = exec.Est{Rows: outRows, Cost: cost}
+	b := &built{
+		node:       join,
+		orderSeq:   outOrder, // nil when no vartuple relation is covered
+		present:    covered,
+		rows:       outRows,
+		cost:       cost,
+		rowsBefore: map[string]float64{},
+		applied:    applied,
+	}
+
+	// The adjacent-dedup machinery above (eager projections, the
+	// order-preserving finalize) relies on the stream being sorted by
+	// every alias it carries. A covered existential (non-vartuple) node
+	// breaks that: the twig emits sorted by outOrder only, with the
+	// existential's matches varying inside ties, so duplicate vartuples
+	// would come back non-adjacent after a join above. Project such nodes
+	// away right here — the twig's emission order makes the one-pass
+	// dedup valid, and their conditions are all applied (a semijoin,
+	// exactly the QP2 push). If a pending condition still references one
+	// (a value join against an uncovered relation), the node must stay —
+	// then the stream counts as unordered and only the sort-dedup
+	// finalize (which dedups after sorting) may accept the plan.
+	if len(outOrder) == len(tw.Nodes) {
+		return b // every covered relation is a vartuple relation
+	}
+	stillNeeded := false
+	for _, c := range info.cross {
+		if applied[c.String()] {
+			continue
+		}
+		for _, r := range c.Rels() {
+			if covered[r] && !outSet[r] {
+				stillNeeded = true
+			}
+		}
+	}
+	if stillNeeded || !p.cfg.allow(OrderSemijoin) {
+		b.orderSeq = nil
+		return b
+	}
+	proj := exec.NewProject(join, outOrder, true)
+	b.cost += outRows * cpuPerTuple
+	proj.Est_ = exec.Est{Rows: outRows, Cost: b.cost}
+	b.node = proj
+	b.usedEager = true
+	return b
+}
+
+// remainder lists, in rels order, the relations a seed does not cover.
+func remainder(rels []string, seed *built) []string {
+	var out []string
+	for _, r := range rels {
+		if !seed.present[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// buildOnSeed joins the given relations on top of a cloned seed in order
+// and finalizes the plan.
+func (p *Planner) buildOnSeed(psx *tpm.PSX, info *psxInfo, seed *built, order []string, t joinToggles) (exec.PlanNode, float64, error) {
+	b := seed.clone()
+	for _, r := range order {
+		if err := p.joinNext(info, b, r, t); err != nil {
+			return nil, 0, err
+		}
+		p.eagerProject(info, b)
+	}
+	return p.finalize(psx, info, b)
+}
+
+// enumerateRemainder yields the join orders for the uncovered relations
+// above a partial-twig seed. Vartuple relations keep their relative
+// vartuple order unless OrderSort can repair arbitrary orders (the
+// covered vartuple relations already emit in order from the twig; finalize
+// rejects any combination whose overall order is still invalid).
+func (p *Planner) enumerateRemainder(info *psxInfo, rels []string) [][]string {
+	if len(rels) == 0 {
+		return [][]string{nil}
+	}
+	bindPos := map[string]int{}
+	for i, r := range info.bindRels {
+		bindPos[r] = i
+	}
+	freeOrder := p.cfg.allow(OrderSort)
+	var out [][]string
+	used := make([]bool, len(rels))
+	cur := make([]string, 0, len(rels))
+	var rec func(lastBind int)
+	rec = func(lastBind int) {
+		if len(cur) == len(rels) {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i, r := range rels {
+			if used[i] {
+				continue
+			}
+			lb := lastBind
+			if pos, isBind := bindPos[r]; isBind {
+				if !freeOrder && pos < lastBind {
+					continue // relative vartuple order violated
+				}
+				lb = pos
+			}
+			used[i] = true
+			cur = append(cur, r)
+			rec(lb)
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec(-1)
+	return out
 }
 
 // joinNext extends the plan with relation r.
@@ -732,6 +956,19 @@ func (p *Planner) eagerProject(info *psxInfo, b *built) {
 	}
 	if cut == len(b.orderSeq) || cut == 0 {
 		return
+	}
+	// A twig-led plan can carry aliases outside orderSeq (non-vartuple
+	// twig nodes). The projection drops those too, so it is only valid
+	// when none of them is still needed by the vartuple or a pending
+	// condition.
+	keepSet := map[string]bool{}
+	for _, r := range b.orderSeq[:cut] {
+		keepSet[r] = true
+	}
+	for _, a := range b.node.Schema().Aliases {
+		if !keepSet[a] && (bindSet[a] || referenced[a]) {
+			return
+		}
 	}
 	// Project to the live prefix; estimate the semijoin row reduction.
 	rows := b.rows

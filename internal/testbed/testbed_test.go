@@ -1,12 +1,15 @@
 package testbed
 
 import (
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"xqdb/internal/core"
 	"xqdb/internal/opt"
+	"xqdb/internal/xmlgen"
 )
 
 func TestCorrectnessSuite(t *testing.T) {
@@ -230,6 +233,124 @@ func TestTwigJoinEquivalenceSuite(t *testing.T) {
 	for _, m := range mismatches {
 		t.Errorf("%s / %q: auto %q (err %v) != twig-ablated %q (err %v)",
 			m.Doc, m.Query, truncate(m.A, 120), m.ErrA, truncate(m.B, 120), m.ErrB)
+	}
+}
+
+// TestPartialTwigEquivalenceSuite forces partial-twig adoption on and off
+// across the full correctness suite, the efficiency queries, and mixed
+// twig+value-join / twig+uncovered-relation shapes on all four documents —
+// in both the auto cost-based planner and the forced-twig family. Adopting
+// a twig as a leading sub-plan may only change cost, never answers.
+func TestPartialTwigEquivalenceSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite in -short mode")
+	}
+	// The correctness + efficiency queries run on all four documents; the
+	// mixed shapes (several produce cross products or bulk value joins)
+	// run on small documents — plan shape, not document size, is what
+	// drives partial-twig adoption, and the forced families must finish
+	// the unoptimized fallbacks quickly under the race detector.
+	base := append([]string(nil), CorrectnessQueries()...)
+	for _, et := range EfficiencyTests() {
+		base = append(base, et.Query)
+	}
+	smallDocs := []Doc{
+		{Name: "handmade", XML: xmlgen.Figure2},
+		{Name: "dblp-small", XML: xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 40, Seed: 16, PhdFraction: 0.05})},
+		{Name: "treebank-small", XML: xmlgen.Treebank(xmlgen.TreebankConfig{Sentences: 5, Seed: 80})},
+	}
+
+	auto := opt.M4()
+	autoOff := opt.M4()
+	autoOff.UsePartialTwig = false
+	forced, ok := opt.ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	forcedOff := forced
+	forcedOff.UsePartialTwig = false
+	// Cap exhaustive join-order enumeration like the fuzz harness does:
+	// the 6–7-relation mixed shapes would otherwise spend seconds per
+	// plan in the factorial auction (×docs ×configs ×pairs), and the
+	// over-MaxEnumRels branch seeds partial twigs too, so both planner
+	// paths stay covered. The opt package tests exercise the fully
+	// enumerated auction on these shapes.
+	for _, c := range []*opt.Config{&auto, &autoOff, &forced, &forcedOff} {
+		c.MaxEnumRels = 5
+	}
+
+	for _, pair := range []struct {
+		name string
+		a, b opt.Config
+	}{{"auto", auto, autoOff}, {"forced", forced, forcedOff}} {
+		mismatches, err := RunEquivalence(t.TempDir(), Documents(1), base, pair.a, pair.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm2, err := RunEquivalence(t.TempDir(), smallDocs, mixedTwigQueries(), pair.a, pair.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range append(mismatches, mm2...) {
+			t.Errorf("%s: %s / %q: partial-on %q (err %v) != partial-off %q (err %v)",
+				pair.name, m.Doc, m.Query, truncate(m.A, 120), m.ErrA, truncate(m.B, 120), m.ErrB)
+		}
+	}
+}
+
+// mixedTwigQueries are the partial-twig shapes: path patterns mixed with
+// value equi-joins, value predicates, and uncovered relations.
+func mixedTwigQueries() []string {
+	return []string{
+		// Branching twig + uncovered pass-fail relation (cross product).
+		`for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`,
+		// Twig with a value predicate + uncovered relation.
+		`for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return for $yt in $y/text() return if ($yt = "1995" and some $p in //phdthesis satisfies true()) then $t else ()`,
+		// Chain twig + value equi-join against a second component.
+		`for $x in //inproceedings return for $a in $x//author return for $at in $a/text() return for $p in //phdthesis return for $pt in $p//text() return if ($at = $pt) then $at else ()`,
+		// Branching twig + value equi-join (selective anchor exists: the
+		// auction must decline adoption without changing answers).
+		`for $x in //inproceedings return for $a in $x//author return for $at in $a/text() return for $y in $x//year return for $p in //phdthesis return for $pt in $p//text() return if ($at = $pt) then $y else ()`,
+		// Two sizeable components joined on text values (no anchor).
+		`for $ar in //article return for $aa in $ar//author return for $aat in $aa/text() return for $oa in //author return for $oat in $oa/text() return if ($aat = $oat) then $aa else ()`,
+		// Deep treebank twig + uncovered relation.
+		`for $s in //S return for $np in $s//NP return for $nn in $np//NN return if (some $v in //VB satisfies true()) then $nn else ()`,
+		// Covered existential node (several matches per vartuple tie) +
+		// uncovered bind loop: the dedup-regression shape — duplicate
+		// vartuples must not leak through the composite plan.
+		`for $x in //article return for $t in $x/title return for $c in //journal return if (some $a in $x//author satisfies true()) then $t else ()`,
+		`for $s in //S return for $np in $s//NP return for $d in //DT return if (some $n in $s//NN satisfies true()) then $np else ()`,
+	}
+}
+
+// TestRandomizedEquivalenceFuzz is the randomized cross-engine harness:
+// random documents × random path/value query shapes, every ForceJoin
+// family plus partial-twig on/off, all cross-checked byte-for-byte
+// against the milestone 2 naive reference. The seed is pinned (CI runs
+// the same sequence every time) and logged so failures replay exactly.
+func TestRandomizedEquivalenceFuzz(t *testing.T) {
+	iters := 200
+	if s := os.Getenv("XQDB_FUZZ_ITERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			iters = n // CI's quick dedicated step runs a smaller budget
+		}
+	}
+	if testing.Short() {
+		iters = 16 // capped budget under -short
+	}
+	cfg := FuzzConfig{Seed: FuzzSeedCI, Iterations: iters}
+	mismatches, checks, err := RunFuzz(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatalf("fuzz harness (seed %d): %v", cfg.Seed, err)
+	}
+	t.Logf("fuzz: %d iterations, %d engine checks, seed %d", iters, checks, cfg.Seed)
+	for i, m := range mismatches {
+		if i >= 10 {
+			t.Errorf("... and %d more mismatches", len(mismatches)-10)
+			break
+		}
+		t.Errorf("seed=%d iter=%d doc=%s engine=%s\nquery: %s\n got: %.160q (err %v)\nwant: %.160q (err %v)",
+			cfg.Seed, m.Iter, m.Doc, m.Engine, m.Query, m.Got, m.GotErr, m.Want, m.WantErr)
 	}
 }
 

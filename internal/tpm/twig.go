@@ -73,6 +73,129 @@ func (tw *Twig) String() string {
 	return render(0)
 }
 
+// AssembleMaxTwig extracts the maximal connected subtwig from the
+// structural predicates of a conjunction — the partial-twig counterpart of
+// AssembleTwig. Where AssembleTwig is all-or-nothing (every relation must
+// join one spanning tree), AssembleMaxTwig is tolerant: predicates that
+// reach outside rels, give a node a second parent (a DAG), or close a
+// cycle simply stay residual, and from the remaining tree edges the
+// largest root component is returned as the twig.
+//
+// It returns the twig, the residual predicates (every input predicate not
+// subsumed by a chosen twig edge, in input order and with their Conds
+// untouched — a planner adopting the subtwig keeps exactly these as join
+// conditions), and the uncovered relation aliases (in rels order). As in
+// AssembleTwig, duplicate edges between the same (anc, desc) pair merge
+// into one edge preferring the tighter child axis, subsuming both
+// predicates.
+//
+// ok is false when no component of two or more nodes exists (then every
+// predicate is residual and every relation uncovered). Ties between
+// equally sized components break toward the root appearing first in rels,
+// so extraction is deterministic.
+func AssembleMaxTwig(preds []StructuralPred, rels []string) (tw *Twig, residual []StructuralPred, uncovered []string, ok bool) {
+	relSet := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		if relSet[r] {
+			return nil, preds, rels, false // duplicate alias: not a twig shape
+		}
+		relSet[r] = true
+	}
+
+	type edge struct {
+		anc   string
+		axis  Axis
+		conds []Cmp
+		preds []int // indices of the subsumed input predicates
+	}
+	parent := map[string]*edge{} // desc alias -> its one tree edge
+	for i := range preds {
+		sp := &preds[i]
+		if !relSet[sp.Anc] || !relSet[sp.Desc] {
+			continue // reaches outside the relation set: residual
+		}
+		if e, dup := parent[sp.Desc]; dup {
+			if e.anc != sp.Anc {
+				continue // second parent (a DAG): the first edge wins
+			}
+			// Same pair on both axes: keep the child edge, subsume both.
+			if sp.Axis == AxisChild {
+				e.axis = AxisChild
+			}
+			e.conds = append(e.conds, sp.Conds...)
+			e.preds = append(e.preds, i)
+			continue
+		}
+		parent[sp.Desc] = &edge{anc: sp.Anc, axis: sp.Axis,
+			conds: append([]Cmp(nil), sp.Conds...), preds: []int{i}}
+	}
+
+	// Children lists in rels order, so the preorder walk is deterministic.
+	children := map[string][]string{}
+	for _, r := range rels {
+		if e := parent[r]; e != nil {
+			children[e.anc] = append(children[e.anc], r)
+		}
+	}
+
+	// Every node has at most one parent, so the subgraph reachable from a
+	// root (a node without a parent edge) is a tree; cycle components have
+	// no root and drop out wholesale. Pick the largest root component.
+	var size func(alias string) int
+	size = func(alias string) int {
+		n := 1
+		for _, c := range children[alias] {
+			n += size(c)
+		}
+		return n
+	}
+	var root string
+	best := 0
+	for _, r := range rels {
+		if parent[r] != nil {
+			continue
+		}
+		if n := size(r); n > best {
+			best, root = n, r
+		}
+	}
+	if best < 2 {
+		return nil, preds, rels, false
+	}
+
+	tw = &Twig{}
+	covered := map[string]bool{}
+	subsumed := map[int]bool{}
+	var walk func(alias string, parentIdx int, axis Axis, e *edge)
+	walk = func(alias string, parentIdx int, axis Axis, e *edge) {
+		at := len(tw.Nodes)
+		tw.Nodes = append(tw.Nodes, TwigNode{Alias: alias, Parent: parentIdx, Axis: axis})
+		covered[alias] = true
+		if e != nil {
+			tw.Conds = append(tw.Conds, e.conds...)
+			for _, pi := range e.preds {
+				subsumed[pi] = true
+			}
+		}
+		for _, c := range children[alias] {
+			walk(c, at, parent[c].axis, parent[c])
+		}
+	}
+	walk(root, -1, AxisNone, nil)
+
+	for i := range preds {
+		if !subsumed[i] {
+			residual = append(residual, preds[i])
+		}
+	}
+	for _, r := range rels {
+		if !covered[r] {
+			uncovered = append(uncovered, r)
+		}
+	}
+	return tw, residual, uncovered, true
+}
+
 // AssembleTwig builds a connected twig covering exactly the given relation
 // aliases from the structural predicates of a conjunction. It succeeds
 // when the predicates contain a spanning tree over rels: every alias

@@ -116,6 +116,130 @@ func TestAssembleTwigMergesDuplicateEdges(t *testing.T) {
 	}
 }
 
+func TestAssembleMaxTwigPicksLargerComponent(t *testing.T) {
+	// Two disconnected sub-twigs: X[//A][//B] (3 nodes) and P//Q (2 nodes).
+	// The larger wins; the P//Q edge stays residual verbatim and P, Q are
+	// reported uncovered.
+	preds := []StructuralPred{descP("X", "A"), descP("X", "B"), descP("P", "Q")}
+	tw, resid, uncov, ok := AssembleMaxTwig(preds, []string{"X", "A", "B", "P", "Q"})
+	if !ok {
+		t.Fatal("max twig not extracted")
+	}
+	if len(tw.Nodes) != 3 || tw.Nodes[0].Alias != "X" {
+		t.Fatalf("wrong component extracted: %s", tw)
+	}
+	if len(uncov) != 2 || uncov[0] != "P" || uncov[1] != "Q" {
+		t.Errorf("uncovered = %v, want [P Q]", uncov)
+	}
+	if len(resid) != 1 || resid[0].String() != "P//Q" {
+		t.Fatalf("residual = %v, want the P//Q predicate", resid)
+	}
+	// Residual predicates come back verbatim, conditions untouched.
+	if len(resid[0].Conds) != 2 || resid[0].Conds[0].String() != preds[2].Conds[0].String() {
+		t.Errorf("residual conds mangled: %v", resid[0].Conds)
+	}
+	if len(tw.Conds) != 4 {
+		t.Errorf("subsumed conds: %d, want 4 (two descendant pairs)", len(tw.Conds))
+	}
+}
+
+func TestAssembleMaxTwigSingleEdge(t *testing.T) {
+	// A single edge is a valid (2-node) subtwig; the isolated relation is
+	// uncovered and nothing is residual.
+	tw, resid, uncov, ok := AssembleMaxTwig(
+		[]StructuralPred{childP("X", "V")}, []string{"X", "V", "Z"})
+	if !ok {
+		t.Fatal("single-edge twig not extracted")
+	}
+	if len(tw.Nodes) != 2 || tw.Nodes[0].Alias != "X" || tw.Nodes[1].Axis != AxisChild {
+		t.Fatalf("twig shape: %s", tw)
+	}
+	if len(resid) != 0 {
+		t.Errorf("residual = %v, want none", resid)
+	}
+	if len(uncov) != 1 || uncov[0] != "Z" {
+		t.Errorf("uncovered = %v, want [Z]", uncov)
+	}
+}
+
+func TestAssembleMaxTwigNoEdges(t *testing.T) {
+	// No usable edge at all: not ok, everything residual and uncovered.
+	preds := []StructuralPred{descP("X", "Z")} // Z outside the relation set
+	tw, resid, uncov, ok := AssembleMaxTwig(preds, []string{"X", "A"})
+	if ok || tw != nil {
+		t.Fatalf("extracted a twig from nothing: %v", tw)
+	}
+	if len(resid) != 1 || len(uncov) != 2 {
+		t.Errorf("resid=%v uncov=%v, want all inputs back", resid, uncov)
+	}
+}
+
+func TestAssembleMaxTwigMergesDuplicateEdgesOnSubset(t *testing.T) {
+	// Duplicate PC/AD edges on the extracted subset merge into one child
+	// edge subsuming both predicates — exactly like AssembleTwig — while
+	// the unrelated component stays residual.
+	preds := []StructuralPred{
+		descP("X", "V"), childP("X", "V"), descP("X", "A"), descP("P", "Q"),
+	}
+	tw, resid, uncov, ok := AssembleMaxTwig(preds, []string{"X", "V", "A", "P", "Q"})
+	if !ok {
+		t.Fatal("max twig not extracted")
+	}
+	if len(tw.Nodes) != 3 {
+		t.Fatalf("twig shape: %s", tw)
+	}
+	for _, n := range tw.Nodes {
+		if n.Alias == "V" && n.Axis != AxisChild {
+			t.Errorf("V edge axis = %s, want child (merged duplicate)", n.Axis)
+		}
+	}
+	if len(tw.Conds) != 5 {
+		t.Errorf("subsumed conds: %d, want 5 (interval pair + child eq + pair)", len(tw.Conds))
+	}
+	if len(resid) != 1 || resid[0].String() != "P//Q" {
+		t.Errorf("residual = %v, want [P//Q]", resid)
+	}
+	if len(uncov) != 2 {
+		t.Errorf("uncovered = %v, want [P Q]", uncov)
+	}
+}
+
+func TestAssembleMaxTwigSecondParentStaysResidual(t *testing.T) {
+	// A DAG: C has parents X and A. The first edge (sorted pred order:
+	// A//C before X//C) wins; the second stays residual, and the twig still
+	// spans all three nodes through X//A.
+	preds := []StructuralPred{descP("A", "C"), descP("X", "A"), descP("X", "C")}
+	tw, resid, _, ok := AssembleMaxTwig(preds, []string{"X", "A", "C"})
+	if !ok {
+		t.Fatal("max twig not extracted")
+	}
+	if len(tw.Nodes) != 3 {
+		t.Fatalf("twig shape: %s", tw)
+	}
+	if len(resid) != 1 || resid[0].String() != "X//C" {
+		t.Errorf("residual = %v, want the losing X//C parent edge", resid)
+	}
+}
+
+func TestAssembleMaxTwigCycleFallsOut(t *testing.T) {
+	// A 2-cycle has no root, so its component drops out; the remaining
+	// single edge wins.
+	preds := []StructuralPred{descP("P", "Q"), descP("Q", "P"), descP("X", "A")}
+	tw, resid, uncov, ok := AssembleMaxTwig(preds, []string{"X", "A", "P", "Q"})
+	if !ok {
+		t.Fatal("max twig not extracted")
+	}
+	if tw.Nodes[0].Alias != "X" || len(tw.Nodes) != 2 {
+		t.Fatalf("twig shape: %s", tw)
+	}
+	if len(resid) != 2 {
+		t.Errorf("residual = %v, want both cycle edges", resid)
+	}
+	if len(uncov) != 2 || uncov[0] != "P" || uncov[1] != "Q" {
+		t.Errorf("uncovered = %v, want [P Q]", uncov)
+	}
+}
+
 func TestAssembleTwigFromFindStructural(t *testing.T) {
 	// End-to-end: the conjunction a 3-branch query produces round-trips
 	// through FindStructural into a twig.
