@@ -176,17 +176,21 @@ func BenchmarkAblationINL(b *testing.B) {
 }
 
 // BenchmarkAblationStructuralJoin isolates the structural join operators
-// on three query shapes: a binary descendant step ("desc"), a ≥3-branch
-// twig pattern ("twig3") that fans three descendant branches out of one
-// root, and a mixed twig+value shape ("twigmix") — the twig3 pattern with
-// a value-joined pass-fail relation no structural predicate covers, the
-// shape only partial-twig adoption can serve holistically. Each runs
-// under every forced join family — the holistic twig join (with partial
-// adoption), the binary stack merge, INL, and the plain/block
-// nested-loops fallbacks. The rows-joined / rows-structural / rows-twig /
-// path-sols / rows-sorted metrics show which operator family did the join
-// work, how large its intermediate results were, and whether the plan
-// paid a repair sort.
+// on four query shapes: a binary descendant step ("desc"), an
+// ancestor-first two-step chain over the bulk of the document ("anc" —
+// the vartuple order where the descendant-ordered merge pays an external
+// repair sort and the anc-ordered Stack-Tree-Anc merge streams), a
+// ≥3-branch twig pattern ("twig3") that fans three descendant branches
+// out of one root, and a mixed twig+value shape ("twigmix") — the twig3
+// pattern with a value-joined pass-fail relation no structural predicate
+// covers, the shape only partial-twig adoption can serve holistically.
+// Each runs under every forced join family — the holistic twig join
+// (with partial adoption), the binary stack merge in both emission
+// orders, INL, and the plain/block nested-loops fallbacks. The
+// rows-joined / rows-structural / rows-twig / path-sols / rows-sorted /
+// list-max metrics show which operator family did the join work, how
+// large its intermediate results were, and whether the plan paid a
+// repair sort or buffered output lists instead.
 func BenchmarkAblationStructuralJoin(b *testing.B) {
 	st := benchStore(b)
 	shapes := []struct {
@@ -194,11 +198,12 @@ func BenchmarkAblationStructuralJoin(b *testing.B) {
 		query string
 	}{
 		{"desc", `for $x in //inproceedings return for $y in $x//author return $y`},
+		{"anc", `for $x in //article return for $y in $x//author return $y`},
 		{"twig3", `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`},
 		{"twigmix", `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies true()) then $t else ()`},
 	}
 	for _, shape := range shapes {
-		for _, name := range []string{"twig", "structural", "inl", "nl", "bnl"} {
+		for _, name := range []string{"twig", "structural", "structural-anc", "inl", "nl", "bnl"} {
 			cfg, ok := opt.ForceJoin(name)
 			if !ok {
 				b.Fatalf("unknown join family %q", name)
@@ -211,6 +216,7 @@ func BenchmarkAblationStructuralJoin(b *testing.B) {
 				b.ReportMetric(float64(e.Counters().RowsTwig), "rows-twig")
 				b.ReportMetric(float64(e.Counters().TwigPathSolutions), "path-sols")
 				b.ReportMetric(float64(e.Counters().SortedRows), "rows-sorted")
+				b.ReportMetric(float64(e.Counters().StructListMax), "list-max")
 			})
 		}
 	}

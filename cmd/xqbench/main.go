@@ -39,7 +39,7 @@ func run() error {
 	timeout := flag.Duration("timeout", 30*time.Second, "efficiency per-query cap (timed-out engines are assigned the cap)")
 	frames := flag.Int("frames", 5120, "buffer pool frames (x4KiB pages = memory cap; 5120 = the paper's 20 MB)")
 	seed := flag.Int64("seed", 1, "workload seed")
-	join := flag.String("join", "auto", "force the join operator family in the efficiency suite: auto, twig, structural, inl, nl, bnl (non-auto runs the M4 engine only)")
+	join := flag.String("join", "auto", "force the join operator family in the efficiency suite: auto, twig, structural, structural-anc, inl, nl, bnl (non-auto runs the M4 engine only)")
 	report := flag.String("report", "", "also write a markdown report to this file")
 	flag.Parse()
 
@@ -150,7 +150,7 @@ func joinOverride(join string) (*opt.Config, []core.Mode, error) {
 	}
 	cfg, ok := opt.ForceJoin(join)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown -join value %q (want auto, twig, structural, inl, nl or bnl)", join)
+		return nil, nil, fmt.Errorf("unknown -join value %q (want auto, twig, structural, structural-anc, inl, nl or bnl)", join)
 	}
 	return &cfg, []core.Mode{core.ModeM4}, nil
 }

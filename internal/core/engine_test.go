@@ -297,7 +297,11 @@ func TestExplainAnalyzeShowsJoinOperator(t *testing.T) {
 
 // TestExplainAnalyzeTwigJoin checks that a ≥3-branch path pattern runs on
 // the holistic twig join and that the k-ary analysis renders every input
-// stream with its own actual row count under branch glyphs.
+// stream with its own actual row count under branch glyphs. The twig
+// family is forced: with the anc-ordered structural emission enumerated,
+// auto M4 serves this flat-label star on the streaming binary tower
+// instead (see TestExplainAnalyzeAncStructural) — the rendering under
+// test needs the k-ary operator on the plan.
 func TestExplainAnalyzeTwigJoin(t *testing.T) {
 	st, err := store.Open(t.TempDir(), store.Options{})
 	if err != nil {
@@ -308,7 +312,11 @@ func TestExplainAnalyzeTwigJoin(t *testing.T) {
 		t.Fatal(err)
 	}
 	const twig3 = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`
-	e := New(st, Config{Mode: ModeM4})
+	forced, ok := opt.ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	e := New(st, Config{Mode: ModeM4, Opt: &forced})
 	out, err := e.ExplainAnalyze(twig3)
 	if err != nil {
 		t.Fatal(err)
@@ -331,6 +339,56 @@ func TestExplainAnalyzeTwigJoin(t *testing.T) {
 	}
 	if e.Counters().RowsJoined != 0 || e.Counters().RowsStructural != 0 {
 		t.Errorf("binary joins ran on the holistic plan: %+v", e.Counters())
+	}
+}
+
+// TestExplainAnalyzeAncStructural checks the Stack-Tree-Anc arbitration
+// end to end: on ancestor-first vartuples auto M4 runs the anc-ordered
+// structural merge join, no repair sort executes (the point of the
+// variant), and the analysis shows the output-list high-water mark next
+// to the stack mark.
+func TestExplainAnalyzeAncStructural(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 800, Seed: 5})); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`for $x in //article return for $y in $x//author return $y`,
+		`for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return $t`,
+	} {
+		e := New(st, Config{Mode: ModeM4})
+		out, err := e.ExplainAnalyze(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"structural-join", "anc-ordered", "list-max="} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%q: EXPLAIN ANALYZE missing %q:\n%s", q, want, out)
+			}
+		}
+		if e.Counters().SortedRows != 0 {
+			t.Errorf("%q: anc-ordered plan sorted %d rows, want 0", q, e.Counters().SortedRows)
+		}
+		if e.Counters().RowsStructural == 0 {
+			t.Errorf("%q: no structural rows counted:\n%s", q, out)
+		}
+	}
+	// The forced descendant-order family on the same shape pays the sort
+	// the anc variant exists to remove.
+	descCfg, ok := opt.ForceJoin("structural")
+	if !ok {
+		t.Fatal("ForceJoin(structural)")
+	}
+	e := New(st, Config{Mode: ModeM4, Opt: &descCfg})
+	if _, err := e.Query(`for $x in //article return for $y in $x//author return $y`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Counters().SortedRows == 0 {
+		t.Error("forced desc family paid no repair sort (baseline broken)")
 	}
 }
 

@@ -84,6 +84,9 @@ func explainNodePrefixed(b *strings.Builder, n PlanNode, head, rest string, anal
 		if st.StackMax > 0 {
 			fmt.Fprintf(b, " stack=%d", st.StackMax)
 		}
+		if st.ListMax > 0 {
+			fmt.Fprintf(b, " list=%d", st.ListMax)
+		}
 		b.WriteString(")")
 	}
 	b.WriteString("\n")
@@ -107,8 +110,8 @@ func ExplainAnalyze(p XPlan, c Counters) string {
 	explainX(&b, p, 0, true)
 	fmt.Fprintf(&b, "\ncounters: scanned=%d joined=%d structural=%d twig=%d emitted=%d\n",
 		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsTwig, c.RowsEmitted)
-	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d path-solutions=%d\n",
-		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax, c.TwigPathSolutions)
+	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d list-max=%d path-solutions=%d\n",
+		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax, c.StructListMax, c.TwigPathSolutions)
 	return b.String()
 }
 

@@ -94,6 +94,12 @@ type Counters struct {
 	// StructStackMax is the ancestor-stack high-water mark over all
 	// structural merge joins (binary and holistic) of the query.
 	StructStackMax int64
+	// StructListMax is the output-list high-water mark over all
+	// anc-ordered structural merge joins of the query: the most joined
+	// rows any Stack-Tree-Anc operator held in its per-stack-entry
+	// self/inherit output lists at once — the memory the
+	// ancestor-ordered emission pays for skipping the repair sort.
+	StructListMax int64
 	// RowsTwig counts full twig matches emitted by holistic twig joins.
 	RowsTwig int64
 	// TwigPathSolutions counts root-to-leaf path solutions buffered by
@@ -114,6 +120,9 @@ type OpStats struct {
 	Rows int64
 	// StackMax is the ancestor-stack high-water mark (structural join).
 	StackMax int64
+	// ListMax is the buffered output-list high-water mark (anc-ordered
+	// structural join).
+	ListMax int64
 }
 
 // resolveIn resolves an in/out-valued operand against the environment and

@@ -6,25 +6,34 @@ import (
 	"xqdb/internal/tpm"
 )
 
-// StructuralJoin is the stack-based structural merge join (the
-// Stack-Tree-Desc family): both inputs arrive in document (in) order, and
-// one merge pass pairs ancestors with their descendants (or parents with
-// their children) by maintaining a stack of the ancestors whose intervals
-// enclose the current merge position. Every input tuple is read exactly
-// once, so the join costs O(left + right + output) with no index probes
-// and no inner rescans — the interval containment that nested-loops
-// operators re-check per pair is answered by the stack invariant.
+// StructuralJoin is the stack-based structural merge join: both inputs
+// arrive in document (in) order, and one merge pass pairs ancestors with
+// their descendants (or parents with their children) by maintaining a
+// stack of the ancestors whose intervals enclose the current merge
+// position. Every input tuple is read exactly once, so the join costs
+// O(left + right + output) with no index probes and no inner rescans —
+// the interval containment that nested-loops operators re-check per pair
+// is answered by the stack invariant.
 //
-// Output order is the descendant side's document order: per descendant
-// row, matching ancestors emit bottom-up (outermost first), which is
-// their arrival order. Hence
+// The operator implements both emission orders of the structural-join
+// family. With AncOrder false (Stack-Tree-Desc, the default) output
+// follows the descendant side's document order: per descendant row,
+// matching ancestors emit bottom-up (outermost first), which is their
+// arrival order. Hence
 //
 //	right side = descendant: output sorted by (right, left-order...)
 //	right side = ancestor:   output sorted by (left-order..., right) —
 //	                         order-preserving in the planner's sense.
 //
-// The planner tracks this through built.orderSeq exactly like it does for
-// the other joins.
+// With AncOrder true (Stack-Tree-Anc) output follows the ancestor side's
+// arrival order instead: every stack entry buffers its pairs in a self
+// output list, adopts the lists of entries popped above it into an
+// inherit list, and flushes self-then-inherit when it pops — pairs whose
+// ancestor is the stack bottom stream through immediately. That makes
+// the operator order-preserving for ancestor-first vartuples
+// (the `for $a in //X for $d in $a//Y` shape) at the price of buffering
+// up to the non-bottom share of the output; the planner prices that via
+// the peak-list term and tracks both orders through built.orderSeq.
 type StructuralJoin struct {
 	Left, Right PlanNode
 	// Pred is the structural predicate joining one Left alias with one
@@ -32,7 +41,9 @@ type StructuralJoin struct {
 	Pred tpm.StructuralPred
 	// Conds are residual cross conditions evaluated per emitted row.
 	Conds []tpm.Cmp
-	Est_  Est
+	// AncOrder selects the Stack-Tree-Anc emission order (see above).
+	AncOrder bool
+	Est_     Est
 
 	schema   *Schema
 	stats    OpStats
@@ -72,7 +83,11 @@ func (j *StructuralJoin) Stats() *OpStats { return &j.stats }
 
 // Describe implements PlanNode.
 func (j *StructuralJoin) Describe() string {
-	d := fmt.Sprintf("structural-join %s [stack merge, %s axis]", j.Pred, j.Pred.Axis)
+	order := ""
+	if j.AncOrder {
+		order = ", anc-ordered"
+	}
+	d := fmt.Sprintf("structural-join %s [stack merge, %s axis%s]", j.Pred, j.Pred.Axis, order)
 	if len(j.Conds) > 0 {
 		d += fmt.Sprintf(" σ(%s)", condsString(j.Conds))
 	}
@@ -93,6 +108,16 @@ func (j *StructuralJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter
 		return nil, err
 	}
 	j.stats.Opens++
+	if j.AncOrder {
+		it := &structAncIter{ctx: ctx, j: j, left: left, right: right}
+		if j.ancLeft {
+			it.anc, it.desc = left, right
+		} else {
+			it.anc, it.desc = right, left
+		}
+		it.descSeek, _ = it.desc.(inSeeker)
+		return it, nil
+	}
 	it := &structJoinIter{ctx: ctx, j: j, left: left, right: right}
 	if j.ancLeft {
 		it.anc, it.desc = left, right
@@ -132,14 +157,14 @@ type structJoinIter struct {
 	joined Row // reused output buffer (see rowIter contract)
 }
 
-// matches evaluates the structural predicate between an ancestor-side
-// stack entry and the current descendant row. The stack invariant already
-// guarantees containment for the descendant axis; the explicit check also
-// rejects the self-pair (equal in) and decides the child axis.
-func (it *structJoinIter) matches(anc Row) bool {
-	a := anc[it.j.ancSlot]
-	d := it.descRow[it.j.descSlot]
-	if it.j.Pred.Axis == tpm.AxisChild {
+// pairMatches evaluates the structural predicate between an ancestor-side
+// row and a descendant-side row. The stack invariant already guarantees
+// containment for the descendant axis; the explicit check also rejects
+// the self-pair (equal in) and decides the child axis.
+func (j *StructuralJoin) pairMatches(anc, desc Row) bool {
+	a := anc[j.ancSlot]
+	d := desc[j.descSlot]
+	if j.Pred.Axis == tpm.AxisChild {
 		return d.ParentIn == a.In
 	}
 	return a.In < d.In && d.Out < a.Out
@@ -187,7 +212,7 @@ func (it *structJoinIter) Next() (Row, bool, error) {
 			for it.emitIdx < len(it.stack) {
 				entry := it.stack[it.emitIdx]
 				it.emitIdx++
-				if !it.matches(entry) {
+				if !it.j.pairMatches(entry, it.descRow) {
 					continue
 				}
 				if it.j.ancLeft {
@@ -272,6 +297,291 @@ func (it *structJoinIter) Next() (Row, bool, error) {
 }
 
 func (it *structJoinIter) Close() error {
+	err := it.left.Close()
+	if rerr := it.right.Close(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// ancEntry is one stack slot of the Stack-Tree-Anc merge: a copy of the
+// ancestor-side input row plus the two output lists of the algorithm.
+// self holds the pairs whose ancestor is this entry; inherit holds the
+// pairs adopted from entries popped above it. An entry flushes
+// self-then-inherit when it pops — to the entry below it, or straight to
+// the output queue when it is the stack bottom. Popped slots keep their
+// backing arrays for reuse by later pushes.
+type ancEntry struct {
+	row     Row
+	self    []Row
+	inherit []Row
+}
+
+// structAncIter runs the ancestor-ordered merge (Stack-Tree-Anc). The
+// stream handling is identical to structJoinIter — both inputs in
+// document order, a stack of enclosing ancestor-side rows, descendant
+// skip-ahead — but emission differs: pairs whose ancestor is the stack
+// bottom are appended to the output queue immediately (nothing earlier in
+// ancestor order can still arrive), while pairs with stacked ancestors
+// buffer in per-entry output lists that cascade downward on pop. The
+// result streams in ancestor order: sorted by the ancestor stream's
+// arrival order, descendants in document order within one ancestor row.
+//
+// Output rows are materialized (the lists outlive the input rows'
+// buffers); consumed rows return to a free pool, and the buffered-row
+// high-water mark is tracked as the operator's list mark.
+type structAncIter struct {
+	ctx         *Ctx
+	j           *StructuralJoin
+	left, right rowIter
+	anc, desc   rowIter
+	descSeek    inSeeker // non-nil if desc supports seekInGE
+
+	ancRow  Row // head of the ancestor stream (valid until anc.Next)
+	haveAnc bool
+	ancEOF  bool
+
+	descRow  Row // current descendant row (valid until desc.Next)
+	haveDesc bool
+	descEOF  bool
+	done     bool
+
+	stack []ancEntry
+
+	// out is the emission queue: immediately-emitted bottom pairs and
+	// flushed lists, in ancestor order. outIdx walks it; drained queues
+	// reset and reuse the backing array.
+	out    []Row
+	outIdx int
+
+	last     Row   // row returned by the previous Next, recycled on entry
+	free     []Row // recycled row buffers
+	buffered int64 // rows currently held in self/inherit lists
+}
+
+// newPair materializes the joined row for (anc, current descendant) from
+// the free pool and evaluates the residual conditions, returning nil for
+// pairs the conditions reject (they are never buffered).
+func (it *structAncIter) newPair(anc Row) (Row, error) {
+	var buf Row
+	if n := len(it.free); n > 0 {
+		buf = it.free[n-1][:0]
+		it.free = it.free[:n-1]
+	}
+	if it.j.ancLeft {
+		buf = append(append(buf, anc...), it.descRow...)
+	} else {
+		buf = append(append(buf, it.descRow...), anc...)
+	}
+	pass, err := evalConds(it.j.Conds, buf, it.j.schema, it.ctx.Env)
+	if err != nil {
+		return nil, err
+	}
+	if !pass {
+		it.free = append(it.free, buf)
+		return nil, nil
+	}
+	return buf, nil
+}
+
+// bufAdd tallies one row entering a self/inherit list, tracking the
+// output-list high-water mark on the operator and the query counters.
+func (it *structAncIter) bufAdd() {
+	it.buffered++
+	if it.buffered > it.j.stats.ListMax {
+		it.j.stats.ListMax = it.buffered
+	}
+	if it.buffered > it.ctx.Counters.StructListMax {
+		it.ctx.Counters.StructListMax = it.buffered
+	}
+}
+
+// push copies row onto the stack with fresh (capacity-reusing) lists.
+func (it *structAncIter) push(row Row) {
+	n := len(it.stack)
+	if n < cap(it.stack) {
+		it.stack = it.stack[:n+1]
+	} else {
+		it.stack = append(it.stack, ancEntry{})
+	}
+	e := &it.stack[n]
+	e.row = append(e.row[:0], row...)
+	e.self = e.self[:0]
+	e.inherit = e.inherit[:0]
+	depth := int64(len(it.stack))
+	if depth > it.j.stats.StackMax {
+		it.j.stats.StackMax = depth
+	}
+	if depth > it.ctx.Counters.StructStackMax {
+		it.ctx.Counters.StructStackMax = depth
+	}
+}
+
+// popOne pops the top entry and routes its output lists: self before
+// inherit, onto the entry below — or onto the output queue when the
+// popped entry was the stack bottom (its immediate pairs are already out;
+// only adopted lists remain).
+func (it *structAncIter) popOne() {
+	n := len(it.stack)
+	top := &it.stack[n-1]
+	it.stack = it.stack[:n-1]
+	if n-1 == 0 {
+		it.buffered -= int64(len(top.self) + len(top.inherit))
+		it.out = append(it.out, top.self...)
+		it.out = append(it.out, top.inherit...)
+	} else {
+		below := &it.stack[n-2]
+		below.inherit = append(below.inherit, top.self...)
+		below.inherit = append(below.inherit, top.inherit...)
+	}
+	top.self = top.self[:0]
+	top.inherit = top.inherit[:0]
+}
+
+// popBelow pops stack entries whose intervals end before pos.
+func (it *structAncIter) popBelow(pos uint32) {
+	for len(it.stack) > 0 && it.stack[len(it.stack)-1].row[it.j.ancSlot].Out < pos {
+		it.popOne()
+	}
+}
+
+// pairDesc pairs the current descendant row with every matching stack
+// entry: the bottom's pair goes straight to the output queue, the rest
+// buffer in their entry's self list.
+func (it *structAncIter) pairDesc() error {
+	for i := range it.stack {
+		e := &it.stack[i]
+		if !it.j.pairMatches(e.row, it.descRow) {
+			continue
+		}
+		pr, err := it.newPair(e.row)
+		if err != nil {
+			return err
+		}
+		if pr == nil {
+			continue
+		}
+		if i == 0 {
+			it.out = append(it.out, pr)
+		} else {
+			e.self = append(e.self, pr)
+			it.bufAdd()
+		}
+	}
+	return nil
+}
+
+// advance runs merge steps until the output queue is non-empty or the
+// join is done.
+func (it *structAncIter) advance() error {
+	for {
+		if !it.haveDesc && !it.descEOF {
+			row, ok, err := it.desc.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				it.descEOF = true
+			} else {
+				it.descRow = row
+				it.haveDesc = true
+			}
+		}
+		if it.descEOF {
+			// No more descendants: no further pairs, flush every
+			// buffered list in pop order.
+			for len(it.stack) > 0 {
+				it.popOne()
+			}
+			it.done = true
+			return nil
+		}
+		dIn := it.descRow[it.j.descSlot].In
+
+		// Pull and stack every ancestor starting before the current
+		// descendant; later ones cannot contain it.
+		for !it.ancEOF {
+			if !it.haveAnc {
+				row, ok, err := it.anc.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					it.ancEOF = true
+					break
+				}
+				it.ancRow = row
+				it.haveAnc = true
+			}
+			aIn := it.ancRow[it.j.ancSlot].In
+			if aIn >= dIn {
+				break
+			}
+			it.popBelow(aIn)
+			it.push(it.ancRow)
+			it.haveAnc = false
+		}
+
+		it.popBelow(dIn)
+		if len(it.stack) == 0 {
+			if it.ancEOF {
+				it.done = true
+				return nil
+			}
+			// No enclosing ancestor: leap the descendant stream to the
+			// next ancestor's subtree (see structJoinIter).
+			it.haveDesc = false
+			if it.descSeek != nil {
+				if _, err := it.descSeek.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
+					return err
+				}
+			}
+			if len(it.out) > 0 {
+				return nil // the pops above flushed a finished epoch
+			}
+			continue
+		}
+		if err := it.pairDesc(); err != nil {
+			return err
+		}
+		it.haveDesc = false
+		if len(it.out) > 0 {
+			return nil
+		}
+	}
+}
+
+func (it *structAncIter) Next() (Row, bool, error) {
+	if it.last != nil {
+		// The previously returned row is dead per the rowIter contract.
+		it.free = append(it.free, it.last)
+		it.last = nil
+	}
+	for {
+		if err := it.ctx.Deadline.Check(); err != nil {
+			return nil, false, err
+		}
+		if it.outIdx < len(it.out) {
+			r := it.out[it.outIdx]
+			it.out[it.outIdx] = nil
+			it.outIdx++
+			it.last = r
+			it.ctx.Counters.RowsStructural++
+			it.j.stats.Rows++
+			return r, true, nil
+		}
+		it.out = it.out[:0]
+		it.outIdx = 0
+		if it.done {
+			return nil, false, nil
+		}
+		if err := it.advance(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+func (it *structAncIter) Close() error {
 	err := it.left.Close()
 	if rerr := it.right.Close(); err == nil {
 		err = rerr

@@ -169,6 +169,144 @@ func TestStructuralJoinResidualConds(t *testing.T) {
 	}
 }
 
+// ancJoin builds an anc-ordered structural join over two label scans.
+func ancJoin(left, right PlanNode, pred tpm.StructuralPred, conds []tpm.Cmp) *StructuralJoin {
+	j := NewStructuralJoin(left, right, pred, conds)
+	j.AncOrder = true
+	return j
+}
+
+func TestStructuralJoinAncOrder(t *testing.T) {
+	ctx := testCtx(t, nestedDoc)
+	// Ancestor stream on the left: Stack-Tree-Anc emits sorted by the
+	// ancestor's document order, descendants in document order within.
+	a := labelScan("A", "a")
+	b := labelScan("B", "b")
+	join := ancJoin(a, b, descPred("A", "B"), nil)
+	rows := drain(t, ctx, join)
+	// Pairs in ancestor order: (a1,b1), (a1,b2), (a2,b1).
+	if len(rows) != 3 {
+		t.Fatalf("anc join rows: %d, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if prev[0].In > cur[0].In ||
+			(prev[0].In == cur[0].In && prev[1].In > cur[1].In) {
+			t.Fatalf("ancestor order broken at %d: %v", i, rows)
+		}
+	}
+	if ctx.Counters.RowsStructural != 3 {
+		t.Errorf("RowsStructural = %d, want 3", ctx.Counters.RowsStructural)
+	}
+	// (a2,b1) buffers in a2's self list until a1 closes.
+	if join.Stats().ListMax != 1 || ctx.Counters.StructListMax != 1 {
+		t.Errorf("list high-water: op=%d counter=%d, want 1", join.Stats().ListMax, ctx.Counters.StructListMax)
+	}
+	if join.Stats().StackMax != 2 {
+		t.Errorf("stack high-water: %d, want 2", join.Stats().StackMax)
+	}
+}
+
+func TestStructuralJoinAncMatchesDescEmission(t *testing.T) {
+	// On every label pairing of the nested document (and with the
+	// ancestor on either input side) the anc-ordered merge must produce
+	// exactly the desc-ordered pairs, reordered by ancestor.
+	for _, labels := range [][2]string{{"a", "b"}, {"a", "a"}, {"r", "b"}, {"r", "a"}, {"b", "a"}} {
+		for _, ancLeft := range []bool{true, false} {
+			mk := func(anc bool) *StructuralJoin {
+				x, y := labelScan("X", labels[0]), labelScan("Y", labels[1])
+				var j *StructuralJoin
+				if ancLeft {
+					j = NewStructuralJoin(x, y, descPred("X", "Y"), nil)
+				} else {
+					j = NewStructuralJoin(y, x, descPred("X", "Y"), nil)
+				}
+				j.AncOrder = anc
+				return j
+			}
+			ctxD := testCtx(t, nestedDoc)
+			want := map[[2]uint32]bool{}
+			dj := mk(false)
+			xs, ys := dj.Schema().Slot("X"), dj.Schema().Slot("Y")
+			for _, r := range drain(t, ctxD, dj) {
+				want[[2]uint32{r[xs].In, r[ys].In}] = true
+			}
+			ctxA := testCtx(t, nestedDoc)
+			aj := mk(true)
+			rows := drain(t, ctxA, aj)
+			got := map[[2]uint32]bool{}
+			var lastX, lastY uint32
+			for _, r := range rows {
+				x, y := r[xs].In, r[ys].In
+				got[[2]uint32{x, y}] = true
+				if x < lastX || (x == lastX && y < lastY) {
+					t.Fatalf("%v ancLeft=%v: ancestor order broken: %v", labels, ancLeft, rows)
+				}
+				lastX, lastY = x, y
+			}
+			if len(got) != len(want) || len(got) != len(rows) {
+				t.Fatalf("%v ancLeft=%v: anc %d pairs (%d rows), desc %d", labels, ancLeft, len(got), len(rows), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("%v ancLeft=%v: missing pair %v", labels, ancLeft, k)
+				}
+			}
+		}
+	}
+}
+
+func TestStructuralJoinAncChildAxis(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	join := ancJoin(labelScan("A", "authors"), labelScan("N", "name"), childPred("A", "N"), nil)
+	rows := drain(t, ctx, join)
+	if len(rows) != 2 || rows[0][1].In != 4 || rows[1][1].In != 8 {
+		t.Fatalf("anc child pairs wrong: %v", rows)
+	}
+	ctx2 := testCtx(t, figure2)
+	join2 := ancJoin(labelScan("J", "journal"), labelScan("N", "name"), childPred("J", "N"), nil)
+	if rows := drain(t, ctx2, join2); len(rows) != 0 {
+		t.Errorf("grandchildren matched on the child axis: %v", rows)
+	}
+}
+
+func TestStructuralJoinAncResidualConds(t *testing.T) {
+	ctx := testCtx(t, figure2)
+	resid := []tpm.Cmp{tpm.Gt(tpm.AttrOp("N", tpm.ColIn), tpm.InOp(5))}
+	join := ancJoin(labelScan("J", "journal"), labelScan("N", "name"), descPred("J", "N"), resid)
+	rows := drain(t, ctx, join)
+	if len(rows) != 1 || rows[0][1].In != 8 {
+		t.Errorf("residual filter wrong: %v", rows)
+	}
+}
+
+// TestExplainAnalyzeAncStructuralJoin is the golden rendering test for an
+// anc-ordered structural merge join: the emission-order marker on the
+// operator line, the output-list high-water next to the stack mark, and
+// the query-wide list-max counter — all byte-exact.
+func TestExplainAnalyzeAncStructuralJoin(t *testing.T) {
+	ctx := testCtx(t, nestedDoc)
+	join := ancJoin(labelScan("A", "a"), labelScan("B", "b"), descPred("A", "B"), nil)
+	plan := &XRelFor{Vars: []string{"a", "b"}, Root: join, Body: XEmpty{}}
+	if _, err := Run(ctx, plan); err != nil {
+		t.Fatal(err)
+	}
+	got := ExplainAnalyze(plan, ctx.Counters)
+	want := `relfor ($a, $b)
+  structural-join A//B [stack merge, descendant axis, anc-ordered]  (actual rows=3 opens=1 stack=2 list=1)
+  ├─ scan A: label index (elem, "a")  (actual rows=2 opens=1)
+  └─ scan B: label index (elem, "b")  (actual rows=3 opens=1)
+  return
+    ()
+
+counters: scanned=5 joined=0 structural=3 twig=0 emitted=0
+          probes=0 rescans=0 sorted=0 spilled=0 stack-max=2 list-max=1 path-solutions=0
+`
+	if got != want {
+		t.Errorf("golden EXPLAIN ANALYZE mismatch:\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
 func TestStructuralJoinOverFullScans(t *testing.T) {
 	// The merge also runs over primary-tree streams (no label index), as
 	// the text()-valued descendant side of a query would.

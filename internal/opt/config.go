@@ -26,6 +26,29 @@ const (
 	OrderSort
 )
 
+// StructEmit selects which emission orders the planner may choose for the
+// stack-based structural merge join. The operator implements two: the
+// descendant-ordered Stack-Tree-Desc merge (streaming, but ancestor-first
+// vartuples need an external repair sort above it) and the
+// ancestor-ordered Stack-Tree-Anc merge (order-preserving for
+// ancestor-first vartuples, at the price of buffering the non-bottom
+// share of the output in per-stack-entry lists).
+type StructEmit uint8
+
+// Structural emission modes.
+const (
+	// EmitAny enumerates both emission orders as separate candidates and
+	// lets the finalize-level costs (repair sort vs peak output list)
+	// arbitrate. The zero value, and the M4 default.
+	EmitAny StructEmit = iota
+	// EmitDesc restricts the planner to the descendant-ordered variant
+	// (the pre-Stack-Tree-Anc behavior; the sort-repaired baseline of
+	// the ablation benchmarks).
+	EmitDesc
+	// EmitAnc restricts the planner to the ancestor-ordered variant.
+	EmitAnc
+)
+
 // StatsMode selects the quality of the statistics the cost model sees.
 type StatsMode uint8
 
@@ -68,6 +91,9 @@ type Config struct {
 	// probes). Off for the milestone presets that predate it; disable on
 	// M4 for ablation.
 	UseStructural bool
+	// StructuralEmit restricts which structural-join emission orders the
+	// planner may enumerate (meaningful only with UseStructural).
+	StructuralEmit StructEmit
 	// UseTwig enables the holistic twig join: when the structural
 	// predicates of a conjunction assemble into one connected twig over
 	// three or more relations, the whole path pattern is evaluated in a
@@ -83,6 +109,15 @@ type Config struct {
 	// together with UseTwig; off for ablation (the all-or-nothing twig of
 	// the original M4).
 	UsePartialTwig bool
+	// TwigRemainderINL lets the joins ABOVE a partial-twig seed keep
+	// interval-bounded index nested-loops candidates even when UseINL is
+	// off — the forced-twig family's escape hatch: uncovered remainder
+	// relations (value-join tails, disconnected components) that a
+	// parameterized access path could serve no longer fall back to
+	// full-scan NL inners, so the forced mode stays representative on
+	// value-heavy shapes. Unparameterized inners are unaffected, and so
+	// is every join below or inside the twig.
+	TwigRemainderINL bool
 	// Stats selects the statistics quality for the cost model.
 	Stats StatsMode
 	// MaxEnumRels caps exhaustive join-order enumeration; beyond it the
@@ -117,13 +152,15 @@ func M4() Config {
 		Strategies:     OrderPreserve | OrderSemijoin | OrderSort,
 		UseLabelIndex:  true,
 		UseParentIndex: true,
-		UseINL:         true,
-		UseBNL:         true,
-		UseStructural:  true,
-		UseTwig:        true,
-		UsePartialTwig: true,
-		Stats:          StatsAccurate,
-		MaxEnumRels:    8,
+		UseINL:           true,
+		UseBNL:           true,
+		UseStructural:    true,
+		StructuralEmit:   EmitAny,
+		UseTwig:          true,
+		UsePartialTwig:   true,
+		TwigRemainderINL: true,
+		Stats:            StatsAccurate,
+		MaxEnumRels:      8,
 	}
 }
 
@@ -163,17 +200,26 @@ func NaiveTPM() Config {
 // family — the shared recipe behind the ablation benchmark, the xqbench
 // -join flag and the equivalence suite:
 //
-//	twig        holistic twig join forced: every binary competitor off,
-//	            so any conjunction whose predicates assemble into a twig
-//	            runs TwigJoin; with partial-twig adoption (UsePartialTwig,
-//	            inherited on) a conjunction whose predicates cover only a
-//	            subset runs the subtwig with plain NL joins on top
-//	            (non-twig queries fall back to plain NL)
-//	structural  binary merge join forced (twig and loop competitors off)
-//	inl         structural and twig off; index nested-loops take over
-//	nl          loop joins only, no blocks, no indexes into the join
-//	bnl         loop joins with block nesting allowed (the planner may
-//	            still pick plain NL for joins where it is cheaper)
+//	twig            holistic twig join forced: every binary competitor
+//	                off, so any conjunction whose predicates assemble
+//	                into a twig runs TwigJoin; with partial-twig adoption
+//	                (UsePartialTwig, inherited on) a conjunction whose
+//	                predicates cover only a subset runs the subtwig with
+//	                the remainder joined on top — interval-bounded INL
+//	                where a parameterized access exists
+//	                (TwigRemainderINL), plain NL otherwise
+//	structural      binary merge join forced (twig and loop competitors
+//	                off), restricted to the descendant-ordered
+//	                Stack-Tree-Desc emission — ancestor-first vartuples
+//	                pay the repair sort, making this the baseline the
+//	                anc-ordered variant is measured against
+//	structural-anc  binary merge join forced, restricted to the
+//	                ancestor-ordered Stack-Tree-Anc emission
+//	inl             structural and twig off; index nested-loops take over
+//	nl              loop joins only, no blocks, no indexes into the join
+//	bnl             loop joins with block nesting allowed (the planner
+//	                may still pick plain NL for joins where it is
+//	                cheaper)
 //
 // ok is false for unknown names (including "auto").
 func ForceJoin(family string) (cfg Config, ok bool) {
@@ -187,6 +233,12 @@ func ForceJoin(family string) (cfg Config, ok bool) {
 		cfg.UseTwig = false
 		cfg.UseINL = false
 		cfg.UseBNL = false
+		cfg.StructuralEmit = EmitDesc
+	case "structural-anc":
+		cfg.UseTwig = false
+		cfg.UseINL = false
+		cfg.UseBNL = false
+		cfg.StructuralEmit = EmitAnc
 	case "inl":
 		cfg.UseTwig = false
 		cfg.UseStructural = false

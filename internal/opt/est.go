@@ -165,6 +165,42 @@ func StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows floa
 	return outerCost + innerCost + (outerRows+innerRows)*cpuPerTuple + outRows*cpuPerTuple
 }
 
+// StructuralJoinAncCost is the cost of the ancestor-ordered
+// (Stack-Tree-Anc) variant: the same single-pass merge, plus the buffered
+// share of the output — pairs whose ancestor is not the current stack
+// bottom are materialized into per-stack-entry output lists and cascade
+// down as entries pop, so each such pair pays an extra copy/append on top
+// of the plain emission CPU. bufRows is the estimated peak size of those
+// lists (the planner derives it from the expected stack depth: ancestor
+// duplication in the prefix stream × interval nesting of the ancestor
+// label); it is what lets the finalize-level comparison trade the
+// descendant variant's repair sort against the anc variant's buffering on
+// deeply nested or heavily duplicated ancestors.
+func StructuralJoinAncCost(outerCost, innerCost, outerRows, innerRows, outRows, bufRows float64) float64 {
+	return StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows) +
+		bufRows*cpuPerTuple
+}
+
+// AncNesting estimates the expected number of ancestor-label elements
+// enclosing a random node — the interval-nesting depth of the ancestor
+// stream itself. With accurate statistics this is SubtreeSum[anc]/N under
+// the uniform spread assumption (the DescendantPairSel machinery applied
+// to the ancestor label); grossly avgDepth without a usable label. It is
+// one factor of the anc-ordered structural join's expected stack depth:
+// DBLP-ish flat labels barely nest (the anc variant buffers almost
+// nothing), recursive treebank labels stack deeply and pay for it.
+func (e *Estimator) AncNesting(ancLabel string, haveLabel bool) float64 {
+	if haveLabel && e.mode == StatsAccurate && e.stats != nil {
+		if sum, ok := e.stats.SubtreeSum(ancLabel); ok {
+			if float64(e.stats.Card(ancLabel)) <= 0 {
+				return 0 // nonexistent ancestor label: no pairs at all
+			}
+			return float64(sum) / e.nodes
+		}
+	}
+	return e.avgDepth
+}
+
 // TwigJoinCost is the cost of a holistic twig join over k document-ordered
 // streams: every stream is read once (streamCost carries their page
 // costs), every input tuple passes the chained-stack machinery once, each
@@ -176,6 +212,48 @@ func StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows floa
 func TwigJoinCost(streamCost, streamRows, pathSols, outRows float64) float64 {
 	return streamCost + streamRows*cpuPerTuple + pathSols*cpuPerTuple +
 		outRows*cpuPerTuple*(1+math.Log2(outRows+2))
+}
+
+// TextEquiJoinSel estimates a text-value equi-join between two text
+// relations whose parent element labels are known: the classic equi-join
+// formula 1/max(V_l, V_r), with V the number of distinct text values
+// observed as direct children of the label (xasr.Stats.LabelDistinctTexts,
+// collected at load time). This replaces the near-unique 1/texts guess,
+// which wildly underestimates dense value domains (author names, years)
+// and makes value-anchored plans look better than they run. Labels whose
+// ok flag is false, stores predating the statistic, and degraded stats
+// modes all fall back to the old guess.
+func (e *Estimator) TextEquiJoinSel(lLabel string, lOK bool, rLabel string, rOK bool) float64 {
+	fallback := 1 / maxf(e.texts, 1)
+	if e.mode != StatsAccurate || e.stats == nil {
+		return fallback
+	}
+	distinct := func(label string, ok bool) (float64, bool) {
+		if !ok {
+			return 0, false
+		}
+		n, have := e.stats.DistinctTexts(label)
+		if !have {
+			return 0, false
+		}
+		return float64(n), true
+	}
+	vl, okl := distinct(lLabel, lOK)
+	vr, okr := distinct(rLabel, rOK)
+	// A label with zero direct text children cannot produce a match at
+	// all (the (0, true) contract of Stats.DistinctTexts).
+	if (okl && vl == 0) || (okr && vr == 0) {
+		return 0
+	}
+	switch {
+	case okl && okr:
+		return clamp01(1 / maxf(vl, vr))
+	case okl:
+		return clamp01(1 / vl)
+	case okr:
+		return clamp01(1 / vr)
+	}
+	return fallback
 }
 
 // condSelectivity estimates the fraction of the cross product satisfying
@@ -218,7 +296,9 @@ func (e *Estimator) condSelectivity(c tpm.Cmp) float64 {
 			return clamp01(e.labelCard(r.Str) / e.nodes)
 		}
 		if r.Kind == tpm.OpAttr && r.Attr.Col == tpm.ColValue {
-			// Text-value equi-join: assume near-unique text values.
+			// Text-value equi-join with no label context: assume
+			// near-unique text values. The planner routes joins whose
+			// parent labels it can recover through TextEquiJoinSel.
 			return 1 / maxf(e.texts, 1)
 		}
 		return 0.1

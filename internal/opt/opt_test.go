@@ -145,22 +145,42 @@ const twig3Query = `for $x in //inproceedings return for $a in $x//author return
 
 func TestM4PicksTwigForBranchingPattern(t *testing.T) {
 	st := dblpStore(t)
-	out := explain(t, st, M4(), twig3Query)
+	// Against descendant-ordered binary pipelines (which pay a repair
+	// sort on this ancestor-first pattern) the holistic twig wins the
+	// auction — the pre-Stack-Tree-Anc arbitration.
+	descOnly := M4()
+	descOnly.StructuralEmit = EmitDesc
+	out := explain(t, st, descOnly, twig3Query)
 	if !strings.Contains(out, "twig-join") {
-		t.Errorf("M4 did not choose the holistic twig join:\n%s", out)
+		t.Errorf("M4 (desc emission) did not choose the holistic twig join:\n%s", out)
 	}
 	// All four streams feed the one operator; no binary join remains.
 	if strings.Count(out, "scan") != 4 || strings.Contains(out, "-join(") || strings.Contains(out, "inl-join") {
 		t.Errorf("twig plan not holistic:\n%s", out)
 	}
-	// The holistic plan must be estimated cheaper than the best binary
-	// pipeline for the same pattern.
-	off := M4()
+	// The holistic plan must be estimated cheaper than the best
+	// descendant-ordered binary pipeline for the same pattern.
+	off := descOnly
 	off.UseTwig = false
-	withCost := exec.PlanCost(planFor(t, st, M4(), twig3Query))
+	withCost := exec.PlanCost(planFor(t, st, descOnly, twig3Query))
 	withoutCost := exec.PlanCost(planFor(t, st, off, twig3Query))
 	if withCost >= withoutCost {
 		t.Errorf("twig plan not estimated cheaper: %.1f vs %.1f", withCost, withoutCost)
+	}
+	// With the anc-ordered emission enumerated, the order-preserving
+	// structural tower undercuts even the twig on this flat-label star
+	// (no path-solution buffering, no in-memory sort) — and the plan
+	// must be fully streaming: no repair sort anywhere.
+	autoOut := explain(t, st, M4(), twig3Query)
+	if !strings.Contains(autoOut, "anc-ordered") {
+		t.Errorf("full M4 did not choose the anc-ordered structural tower:\n%s", autoOut)
+	}
+	if strings.Contains(autoOut, "sort [external") {
+		t.Errorf("full M4 plan pays a repair sort:\n%s", autoOut)
+	}
+	towerCost := exec.PlanCost(planFor(t, st, M4(), twig3Query))
+	if towerCost >= withCost {
+		t.Errorf("anc tower not estimated cheaper than the twig: %.1f vs %.1f", towerCost, withCost)
 	}
 }
 
@@ -231,10 +251,13 @@ const mixedTwigQuery = `for $x in //inproceedings return for $a in $x//author re
 
 func TestPartialTwigAdoptedForMixedPattern(t *testing.T) {
 	st := dblpStore(t)
-	out := explain(t, st, M4(), mixedTwigQuery)
-	// The composite plan: a twig-join over the covered pattern with a
-	// binary join for the uncovered relation on top — previously this
-	// query was all-or-nothing and fell back to the binary pipeline.
+	// Against descendant-ordered binary pipelines the partial twig wins:
+	// a twig-join over the covered pattern with a binary join for the
+	// uncovered relation on top — previously this query was
+	// all-or-nothing and fell back to the binary pipeline.
+	descOnly := M4()
+	descOnly.StructuralEmit = EmitDesc
+	out := explain(t, st, descOnly, mixedTwigQuery)
 	if !strings.Contains(out, "twig-join") {
 		t.Errorf("partial twig not adopted:\n%s", out)
 	}
@@ -246,12 +269,19 @@ func TestPartialTwigAdoptedForMixedPattern(t *testing.T) {
 	if strings.Contains(out, "sort [external") {
 		t.Errorf("composite plan pays a repair sort:\n%s", out)
 	}
+	// Full M4 additionally enumerates the anc-ordered structural tower,
+	// which overtakes the composite on this flat-label star; whichever
+	// side wins, the plan must stay sort-free.
+	if autoOut := explain(t, st, M4(), mixedTwigQuery); strings.Contains(autoOut, "sort [external") {
+		t.Errorf("full M4 mixed plan pays a repair sort:\n%s", autoOut)
+	}
 }
 
 func TestPartialTwigDisabledByKnob(t *testing.T) {
 	st := dblpStore(t)
 	off := M4()
 	off.UsePartialTwig = false
+	off.StructuralEmit = EmitDesc // keep the twig the best remaining family
 	// Without partial adoption the pattern has no full twig (the some
 	// relation is disconnected), so no twig join may appear.
 	if out := explain(t, st, off, mixedTwigQuery); strings.Contains(out, "twig-join") {
@@ -549,9 +579,229 @@ func TestStructuralJoinBowsToSortCost(t *testing.T) {
 	}
 	b.WriteString("</root>")
 	st := loadStore(t, b.String())
-	out := explain(t, st, M4(), `for $s in //S return if (some $n in $s//NN satisfies true()) then <nn/> else ()`)
+	const q = `for $s in //S return if (some $n in $s//NN satisfies true()) then <nn/> else ()`
+	descOnly := M4()
+	descOnly.StructuralEmit = EmitDesc
+	out := explain(t, st, descOnly, q)
 	if strings.Contains(out, "structural-join") {
 		t.Errorf("sort-needing structural plan chosen over order-preserving INL:\n%s", out)
+	}
+	// With both emissions enumerated, a structural plan may return — but
+	// only the anc-ordered variant (which needs no repair sort); the
+	// deep nesting's buffering is priced instead of the sort.
+	autoOut := explain(t, st, M4(), q)
+	if strings.Contains(autoOut, "structural-join") && !strings.Contains(autoOut, "anc-ordered") {
+		t.Errorf("descendant-ordered structural plan chosen under full M4:\n%s", autoOut)
+	}
+	if strings.Contains(autoOut, "sort [external") {
+		t.Errorf("full M4 plan pays a repair sort:\n%s", autoOut)
+	}
+}
+
+func TestM4PicksAncOrderedForAncestorFirstVartuple(t *testing.T) {
+	st := dblpStore(t)
+	// The most common milestone shape: ancestor bound first, descendant
+	// second. The descendant-ordered merge leads with the descendant and
+	// needs an external repair sort; the anc-ordered merge streams in
+	// vartuple order. Full M4 must take the streaming plan.
+	const q = `for $x in //article return for $y in $x//author return $y`
+	out := explain(t, st, M4(), q)
+	if !strings.Contains(out, "structural-join") || !strings.Contains(out, "anc-ordered") {
+		t.Errorf("M4 did not choose the anc-ordered structural join:\n%s", out)
+	}
+	if strings.Contains(out, "sort [external") {
+		t.Errorf("anc-ordered plan still pays a repair sort:\n%s", out)
+	}
+	// The forced descendant-order family must keep the PR2-era shape:
+	// a structural join repaired by an external sort.
+	descCfg, ok := ForceJoin("structural")
+	if !ok {
+		t.Fatal("ForceJoin(structural)")
+	}
+	descOut := explain(t, st, descCfg, q)
+	if strings.Contains(descOut, "anc-ordered") {
+		t.Errorf("forced desc family produced an anc-ordered join:\n%s", descOut)
+	}
+	if !strings.Contains(descOut, "sort [external") {
+		t.Errorf("forced desc family plan has no repair sort:\n%s", descOut)
+	}
+	// The forced anc family mirrors it without the sort.
+	ancCfg, ok := ForceJoin("structural-anc")
+	if !ok {
+		t.Fatal("ForceJoin(structural-anc)")
+	}
+	ancOut := explain(t, st, ancCfg, q)
+	if !strings.Contains(ancOut, "anc-ordered") || strings.Contains(ancOut, "sort [external") {
+		t.Errorf("forced anc family plan wrong:\n%s", ancOut)
+	}
+	// The anc plan must be estimated cheaper than the sort-repaired one.
+	ancCost := exec.PlanCost(planFor(t, st, ancCfg, q))
+	descCost := exec.PlanCost(planFor(t, st, descCfg, q))
+	if ancCost >= descCost {
+		t.Errorf("anc plan not estimated cheaper: %.1f vs %.1f", ancCost, descCost)
+	}
+}
+
+func TestStructuralEmitEquivalence(t *testing.T) {
+	// The emission order is a physical property: every emission
+	// restriction must produce byte-identical answers.
+	st := dblpStore(t)
+	queries := []string{
+		`for $x in //article return for $y in $x//author return $y`,
+		`for $y in //author return for $x in $y/note return $x`,
+		twig3Query,
+		mixedTwigQuery,
+		`for $x in //article return if (some $v in $x/volume satisfies true()) then for $y in $x//author return $y else ()`,
+	}
+	ancForced, _ := ForceJoin("structural-anc")
+	descForced, _ := ForceJoin("structural")
+	descOnly := M4()
+	descOnly.StructuralEmit = EmitDesc
+	cfgs := []Config{M4(), descOnly, ancForced, descForced}
+	for _, q := range queries {
+		var want string
+		for i, cfg := range cfgs {
+			xplan := planFor(t, st, cfg, q)
+			tmp, err := st.TempDir()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+			if err != nil {
+				t.Fatalf("%q config %d: %v", q, i, err)
+			}
+			if i == 0 {
+				want = string(out)
+				continue
+			}
+			if string(out) != want {
+				t.Errorf("%q: config %d diverges\nwant: %.200s\ngot:  %.200s", q, i, want, out)
+			}
+		}
+	}
+}
+
+func TestTextEquiJoinSelectivityUsesDistinctStat(t *testing.T) {
+	st := dblpStore(t)
+	stats := st.Stats()
+	e := NewEstimator(st, StatsAccurate)
+	// The statistic is collected: years repeat heavily, so the distinct
+	// count must be far below the text-node count.
+	vYear, ok := stats.DistinctTexts("year")
+	if !ok || vYear <= 0 {
+		t.Fatalf("no distinct-text stat for year: %d (ok=%v)", vYear, ok)
+	}
+	if vYear >= stats.Texts/4 {
+		t.Fatalf("year distinct count %d not dense vs %d texts", vYear, stats.Texts)
+	}
+	// Known labels use 1/max(V_l, V_r); the near-unique guess only
+	// survives when no label is known.
+	got := e.TextEquiJoinSel("year", true, "year", true)
+	if want := 1 / float64(vYear); got < want*0.99 || got > want*1.01 {
+		t.Errorf("year=year selectivity %g, want %g", got, want)
+	}
+	fallback := 1 / float64(stats.Texts)
+	if got := e.TextEquiJoinSel("", false, "", false); got != fallback {
+		t.Errorf("label-free selectivity %g, want fallback %g", got, fallback)
+	}
+	if got <= fallback {
+		t.Errorf("dense year join %g not estimated denser than the near-unique guess %g", got, fallback)
+	}
+	// One-sided labels still improve on the guess.
+	oneSided := e.TextEquiJoinSel("year", true, "", false)
+	if oneSided != 1/float64(vYear) {
+		t.Errorf("one-sided selectivity %g, want %g", oneSided, 1/float64(vYear))
+	}
+	// Degraded statistics modes never see the statistic.
+	u := NewEstimator(st, StatsUniform)
+	if got := u.TextEquiJoinSel("year", true, "year", true); got != 1/float64(stats.Texts) {
+		t.Errorf("uniform mode used the distinct stat: %g", got)
+	}
+	// The planner wires it through crossSelectivity: a year=year value
+	// join between two labeled parents must be estimated at the dense
+	// selectivity, not the near-unique one.
+	p := New(st, M4())
+	const q = `for $a in //article return for $ay in $a/year return for $at in $ay/text() return for $b in //inproceedings return for $by in $b/year return for $bt in $by/text() return if ($at = $bt) then <hit/> else ()`
+	plan := tpm.Merge(tpm.Rewrite(xq.MustParse(q)))
+	var psx *tpm.PSX
+	var walk func(tpm.Plan)
+	walk = func(pl tpm.Plan) {
+		switch pl := pl.(type) {
+		case *tpm.RelFor:
+			psx = pl.Alg
+			walk(pl.Body)
+		case *tpm.Seq:
+			for _, it := range pl.Items {
+				walk(it)
+			}
+		case *tpm.Constr:
+			walk(pl.Body)
+		case *tpm.RuntimeIf:
+			walk(pl.Then)
+		}
+	}
+	walk(plan)
+	if psx == nil {
+		t.Fatal("no PSX in plan")
+	}
+	info := p.analyze(psx)
+	var valueJoin *tpm.Cmp
+	for i := range info.cross {
+		c := info.cross[i]
+		if c.Op == tpm.CmpEq && c.Left.Kind == tpm.OpAttr && c.Right.Kind == tpm.OpAttr &&
+			c.Left.Attr.Col == tpm.ColValue && c.Right.Attr.Col == tpm.ColValue {
+			valueJoin = &info.cross[i]
+		}
+	}
+	if valueJoin == nil {
+		t.Fatal("no text-value equi-join recovered from the query")
+	}
+	if got := p.residCondSel(info, *valueJoin); got != 1/float64(vYear) {
+		t.Errorf("planner-level value-join selectivity %g, want %g (1/distinct(year))", got, 1/float64(vYear))
+	}
+}
+
+func TestForcedTwigRemainderKeepsINL(t *testing.T) {
+	st := dblpStore(t)
+	// The covered twig (x, a, t, y) leads; the uncovered second component
+	// (p, s with p//s) joins on top. Under the forced twig family UseINL
+	// is off, but TwigRemainderINL keeps the interval-bounded probe for
+	// the uncovered s — previously a full-scan NL inner.
+	const q = `for $x in //inproceedings return for $a in $x//author return for $t in $x//title return for $y in $x//year return if (some $p in //phdthesis satisfies some $s in $p//author satisfies true()) then $t else ()`
+	forced, ok := ForceJoin("twig")
+	if !ok {
+		t.Fatal("ForceJoin(twig)")
+	}
+	out := explain(t, st, forced, q)
+	if !strings.Contains(out, "twig-join") {
+		t.Fatalf("forced twig family did not adopt the subtwig:\n%s", out)
+	}
+	if !strings.Contains(out, "inl-join") || !strings.Contains(out, ".in+1") {
+		t.Errorf("uncovered remainder not served by an interval-bounded INL:\n%s", out)
+	}
+	// The knob off restores the old full-scan NL behavior.
+	noINL := forced
+	noINL.TwigRemainderINL = false
+	outOff := explain(t, st, noINL, q)
+	if strings.Contains(outOff, "inl-join") {
+		t.Errorf("remainder INL used with TwigRemainderINL=false:\n%s", outOff)
+	}
+	// Same answers either way.
+	var got [2]string
+	for i, cfg := range []Config{forced, noINL} {
+		xplan := planFor(t, st, cfg, q)
+		tmp, err := st.TempDir()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := exec.Run(&exec.Ctx{Store: st, TempDir: tmp, Env: exec.Env{}}, xplan)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		got[i] = string(res)
+	}
+	if got[0] != got[1] {
+		t.Errorf("remainder INL changed the answer:\n%.200s\nvs\n%.200s", got[0], got[1])
 	}
 }
 

@@ -166,13 +166,29 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 
 	if !p.cfg.CostBased || len(psx.Rels) > p.cfg.MaxEnumRels {
 		order := syntacticOrder(psx, info)
-		b, err := p.buildOrder(info, order, joinToggles{structural: p.cfg.UseStructural})
-		if err != nil {
-			return nil, err
+		// The join order is fixed, but cost-based configurations still
+		// arbitrate the operator toggles (structural emission order, BNL)
+		// over it — an over-cap ancestor-first chain keeps the streaming
+		// anc-ordered plan it would have found under full enumeration.
+		tos := []joinToggles{{structural: p.cfg.UseStructural,
+			structAnc: p.cfg.StructuralEmit == EmitAnc}}
+		if p.cfg.CostBased {
+			tos = p.joinOptions(info)
 		}
-		node, cost, err := p.finalize(psx, info, b)
-		if err != nil {
-			return nil, err
+		var node exec.PlanNode
+		cost := math.Inf(1)
+		for _, t := range tos {
+			b, err := p.buildOrder(info, order, t)
+			if err != nil {
+				return nil, err
+			}
+			n, c, err := p.finalize(psx, info, b)
+			if err != nil {
+				return nil, err
+			}
+			if n != nil && (node == nil || c < cost) {
+				node, cost = n, c
+			}
 		}
 		// Past the enumeration cap the holistic twig still applies — its
 		// plan shape does not depend on a join order, so it sidesteps the
@@ -183,14 +199,15 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 				node, cost = tn, tc
 			}
 			if seed := p.partialTwigSeed(psx, info); seed != nil {
-				pn, pc, err := p.buildOnSeed(psx, info, seed, remainder(order, seed),
-					joinToggles{structural: p.cfg.UseStructural})
-				if err == nil && pn != nil && (node == nil || pc < cost) {
-					node, cost = pn, pc
+				for _, t := range tos {
+					pn, pc, err := p.buildOnSeed(psx, info, seed, remainder(order, seed), t)
+					if err == nil && pn != nil && (node == nil || pc < cost) {
+						node, cost = pn, pc
+					}
 				}
 			}
 		}
-		return node, err
+		return node, nil
 	}
 
 	var best exec.PlanNode
@@ -257,25 +274,42 @@ func (p *Planner) PlanPSX(psx *tpm.PSX) (exec.PlanNode, error) {
 // may use. Enumerating the toggles (instead of deciding greedily inside
 // joinNext) lets finalize-level costs arbitrate: a per-join win for a
 // non-order-preserving operator can lose the plan comparison once the
-// repair sort is priced in.
+// repair sort is priced in — and, symmetrically, the anc-ordered
+// structural emission can win a plan comparison its per-join buffering
+// cost loses, by dropping that sort entirely.
 type joinToggles struct {
 	bnl        bool
 	structural bool
+	// structAnc selects the ancestor-ordered (Stack-Tree-Anc) emission
+	// for the structural joins of this run; with it off they emit in
+	// descendant order (Stack-Tree-Desc).
+	structAnc bool
+	// remainderINL lets joinNext keep interval-bounded INL candidates
+	// even when UseINL is off — set only for the joins above a
+	// partial-twig seed under Config.TwigRemainderINL.
+	remainderINL bool
 }
 
 func (p *Planner) joinOptions(info *psxInfo) []joinToggles {
-	// The structural toggle only multiplies the enumeration when the
+	// The structural toggles only multiply the enumeration when the
 	// expression actually contains structural predicates — plain queries
 	// must not pay double planning time.
-	structural := p.cfg.UseStructural && len(info.structural) > 0
-	opts := []joinToggles{{}}
-	if structural {
-		opts = append(opts, joinToggles{structural: true})
+	var structOpts []joinToggles
+	if p.cfg.UseStructural && len(info.structural) > 0 {
+		if p.cfg.StructuralEmit != EmitAnc {
+			structOpts = append(structOpts, joinToggles{structural: true})
+		}
+		if p.cfg.StructuralEmit != EmitDesc {
+			structOpts = append(structOpts, joinToggles{structural: true, structAnc: true})
+		}
 	}
+	opts := []joinToggles{{}}
+	opts = append(opts, structOpts...)
 	if p.cfg.UseBNL && p.cfg.allow(OrderSort) {
 		opts = append(opts, joinToggles{bnl: true})
-		if structural {
-			opts = append(opts, joinToggles{bnl: true, structural: true})
+		for _, s := range structOpts {
+			s.bnl = true
+			opts = append(opts, s)
 		}
 	}
 	return opts
@@ -407,7 +441,9 @@ func applicableCross(info *psxInfo, b *built, r string) []tpm.Cmp {
 // multiply independently as before.
 func (p *Planner) crossSelectivity(info *psxInfo, cross []tpm.Cmp) float64 {
 	if len(info.structural) == 0 {
-		// Plain queries keep the zero-allocation multiply path.
+		// Plain queries keep the zero-allocation multiply path (without
+		// structural predicates no parent labels are recoverable, so the
+		// text-equi-join refinement cannot apply either).
 		sel := 1.0
 		for _, c := range cross {
 			sel *= p.est.condSelectivity(c)
@@ -443,10 +479,49 @@ func (p *Planner) crossSelectivity(info *psxInfo, cross []tpm.Cmp) float64 {
 	}
 	for _, c := range cross {
 		if !covered[c.String()] {
-			sel *= p.est.condSelectivity(c)
+			sel *= p.residCondSel(info, c)
 		}
 	}
 	return sel
+}
+
+// residCondSel estimates one residual cross condition. Text-value
+// equi-joins whose operands' parent element labels are recoverable from
+// child-axis structural predicates (the $x/author/text() shape) are
+// priced from the per-label distinct-text-value statistic instead of the
+// near-unique 1/texts guess; everything else keeps condSelectivity.
+func (p *Planner) residCondSel(info *psxInfo, c tpm.Cmp) float64 {
+	if c.Op == tpm.CmpEq && c.Left.Kind == tpm.OpAttr && c.Right.Kind == tpm.OpAttr &&
+		c.Left.Attr.Col == tpm.ColValue && c.Right.Attr.Col == tpm.ColValue {
+		ll, lok := p.textParentLabel(info, c.Left.Attr.Rel)
+		rl, rok := p.textParentLabel(info, c.Right.Attr.Rel)
+		if lok || rok {
+			return p.est.TextEquiJoinSel(ll, lok, rl, rok)
+		}
+	}
+	return p.est.condSelectivity(c)
+}
+
+// textParentLabel recovers the element label a text-typed alias hangs
+// under: a child-axis structural predicate names its parent alias, whose
+// local conditions pin the label. ok is false for non-text aliases and
+// when no labeled parent is found — the distinct-text statistic counts
+// direct text children, so looser ancestors do not qualify.
+func (p *Planner) textParentLabel(info *psxInfo, alias string) (string, bool) {
+	parts := classify(alias, info.local[alias], nil)
+	if parts.typeEq == nil || parts.typeEq.norm.Right.Type != xasr.TypeText {
+		return "", false
+	}
+	for i := range info.structural {
+		sp := &info.structural[i]
+		if sp.Axis != tpm.AxisChild || sp.Desc != alias {
+			continue
+		}
+		if label, ok := p.aliasLabel(info, sp.Anc); ok {
+			return label, true
+		}
+	}
+	return "", false
 }
 
 // aliasLabel returns the element label an alias is filtered to by its
@@ -464,10 +539,11 @@ func (p *Planner) aliasLabel(info *psxInfo, alias string) (string, bool) {
 // left as residual per-pair filters. Requirements: the prefix stream must
 // be sorted by the partner alias's in-label (true exactly when that alias
 // leads orderSeq), the predicate's conditions must still be unapplied,
-// and adopting a descendant-side r — whose output leads with r's document
-// order — must leave the plan finalizable (a final sort can repair it, or
-// the vartuple relations happen to lead with r).
-func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross []tpm.Cmp) (*tpm.StructuralPred, []tpm.Cmp) {
+// and adopting an r whose output would lead with r's document order —
+// the descendant side under descendant emission, the ancestor side under
+// ancestor emission — must leave the plan finalizable (a final sort can
+// repair it, or the vartuple relations happen to lead with r).
+func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross []tpm.Cmp, ancEmit bool) (*tpm.StructuralPred, []tpm.Cmp) {
 	if !p.cfg.UseStructural || b.orderSeq == nil {
 		return nil, nil
 	}
@@ -499,7 +575,8 @@ func (p *Planner) structuralCandidate(info *psxInfo, b *built, r string, cross [
 		if !subsumed {
 			continue
 		}
-		if sp.Desc == r && !p.cfg.allow(OrderSort) {
+		rLeads := (sp.Desc == r) != ancEmit
+		if rLeads && !p.cfg.allow(OrderSort) {
 			seq := append([]string{r}, b.orderSeq...)
 			if !isPrefix(info.bindRels, seq) {
 				continue
@@ -715,8 +792,12 @@ func remainder(rels []string, seed *built) []string {
 }
 
 // buildOnSeed joins the given relations on top of a cloned seed in order
-// and finalizes the plan.
+// and finalizes the plan. Under TwigRemainderINL the remainder joins keep
+// interval-bounded INL candidates even when UseINL is off — the uncovered
+// relations are exactly where the forced-twig family used to degrade to
+// full-scan NL inners.
 func (p *Planner) buildOnSeed(psx *tpm.PSX, info *psxInfo, seed *built, order []string, t joinToggles) (exec.PlanNode, float64, error) {
+	t.remainderINL = p.cfg.TwigRemainderINL
 	b := seed.clone()
 	for _, r := range order {
 		if err := p.joinNext(info, b, r, t); err != nil {
@@ -791,8 +872,11 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 	b.rowsBefore[r] = b.rows
 
 	// Candidate A: index nested-loops with a parameterized inner access.
+	// remainderINL re-admits the candidate for joins above a partial-twig
+	// seed when the forced family has UseINL off (the parameterization
+	// requirement below keeps it to genuinely interval-bounded inners).
 	var inlChoice *accessChoice
-	if p.cfg.UseINL {
+	if p.cfg.UseINL || t.remainderINL {
 		all := append(append([]tpm.Cmp(nil), info.local[r]...), cross...)
 		choices := p.planAccess(r, all, prefixSet)
 		for i := range choices {
@@ -827,7 +911,11 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 	bnlCost := b.cost + innerScanCost + math.Ceil(b.rows/blockRows)*Pages(innerRows) + b.rows*innerRows*cpuPerTuple
 
 	// Candidate C: stack-based structural merge join — both inputs read
-	// once in document order, no probes, no rescans.
+	// once in document order, no probes, no rescans. The toggle's
+	// emission order decides the output order AND the extra cost term:
+	// descendant emission streams but may force a repair sort at
+	// finalize; ancestor emission buffers the non-bottom share of the
+	// output in per-stack-entry lists.
 	var structPred *tpm.StructuralPred
 	var structResid []tpm.Cmp
 	structCost := math.Inf(1)
@@ -836,9 +924,30 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 		// path: with the probe charge calibrated against the live buffer
 		// pool hit rate (ProbeCost), the estimates arbitrate instead of a
 		// blanket gate.
-		structPred, structResid = p.structuralCandidate(info, b, r, cross)
+		structPred, structResid = p.structuralCandidate(info, b, r, cross, t.structAnc)
 		if structPred != nil {
-			structCost = StructuralJoinCost(b.cost, innerScanCost, b.rows, innerRows, outRows)
+			if t.structAnc {
+				// Expected stack depth = ancestor-stream rows per distinct
+				// ancestor (prefix rows duplicate their ancestor once per
+				// earlier join partner — duplicates stack together) times
+				// one plus the label's interval nesting. Only the bottom
+				// entry's pairs stream; the rest buffer.
+				label, haveLabel := p.aliasLabel(info, structPred.Anc)
+				dup := 1.0
+				if structPred.Anc != r {
+					if ancRows := info.filteredRows[structPred.Anc]; ancRows > 0 && b.rows > ancRows {
+						dup = b.rows / ancRows
+					}
+				}
+				above := dup*(1+p.est.AncNesting(label, haveLabel)) - 1
+				if above < 0 {
+					above = 0
+				}
+				bufRows := outRows * above / (1 + above)
+				structCost = StructuralJoinAncCost(b.cost, innerScanCost, b.rows, innerRows, outRows, bufRows)
+			} else {
+				structCost = StructuralJoinCost(b.cost, innerScanCost, b.rows, innerRows, outRows)
+			}
 		}
 	}
 
@@ -854,11 +963,15 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 		inner := exec.NewScan(r, nlAccess.access, nlAccess.residual)
 		inner.Est_ = exec.Est{Rows: innerRows, Cost: innerScanCost}
 		join := exec.NewStructuralJoin(b.node, inner, *structPred, structResid)
+		join.AncOrder = t.structAnc
 		join.Est_ = exec.Est{Rows: outRows, Cost: structCost}
 		b.node = join
-		if structPred.Desc == r {
-			// The merge emits in descendant document order: the new
-			// relation's order leads, the prefix order breaks ties.
+		// The side whose document order leads the output depends on the
+		// emission: descendant emission leads with the descendant stream,
+		// ancestor emission with the ancestor stream; the other side's
+		// arrival order breaks ties. When the leading side is the prefix,
+		// the join is order-preserving and r's order is appended.
+		if (structPred.Desc == r) != t.structAnc {
 			b.orderSeq = append([]string{r}, b.orderSeq...)
 		} else {
 			b.orderSeq = append(b.orderSeq, r)

@@ -362,12 +362,14 @@ type statsFile struct {
 	Texts      int64
 	MaxIn      uint32
 	LabelCount map[string]int64
-	// LabelSubtreeSum is nil in files written before the statistic was
-	// collected; the estimator falls back to its gross measure then.
-	LabelSubtreeSum map[string]int64
-	SumDepth        int64
-	MaxDepth        int32
-	MaxFanout       int32
+	// LabelSubtreeSum and LabelDistinctTexts are nil in files written
+	// before the respective statistic was collected; the estimator falls
+	// back to its gross measures then.
+	LabelSubtreeSum    map[string]int64
+	LabelDistinctTexts map[string]int64
+	SumDepth           int64
+	MaxDepth           int32
+	MaxFanout          int32
 }
 
 func (s *Store) saveStats() error {
@@ -379,8 +381,9 @@ func (s *Store) saveStats() error {
 	sf := statsFile{
 		Nodes: s.stats.Nodes, Elems: s.stats.Elems, Texts: s.stats.Texts,
 		MaxIn: s.stats.MaxIn, LabelCount: s.stats.LabelCount,
-		LabelSubtreeSum: s.stats.LabelSubtreeSum,
-		SumDepth:        s.stats.SumDepth, MaxDepth: s.stats.MaxDepth, MaxFanout: s.stats.MaxFanout,
+		LabelSubtreeSum:    s.stats.LabelSubtreeSum,
+		LabelDistinctTexts: s.stats.LabelDistinctTexts,
+		SumDepth:           s.stats.SumDepth, MaxDepth: s.stats.MaxDepth, MaxFanout: s.stats.MaxFanout,
 	}
 	if err := gob.NewEncoder(f).Encode(&sf); err != nil {
 		return fmt.Errorf("store: encoding stats: %w", err)
@@ -401,8 +404,9 @@ func (s *Store) loadStats() error {
 	s.stats = &xasr.Stats{
 		Nodes: sf.Nodes, Elems: sf.Elems, Texts: sf.Texts,
 		MaxIn: sf.MaxIn, LabelCount: sf.LabelCount,
-		LabelSubtreeSum: sf.LabelSubtreeSum,
-		SumDepth:        sf.SumDepth, MaxDepth: sf.MaxDepth, MaxFanout: sf.MaxFanout,
+		LabelSubtreeSum:    sf.LabelSubtreeSum,
+		LabelDistinctTexts: sf.LabelDistinctTexts,
+		SumDepth:           sf.SumDepth, MaxDepth: sf.MaxDepth, MaxFanout: sf.MaxFanout,
 	}
 	if s.stats.LabelCount == nil {
 		s.stats.LabelCount = map[string]int64{}

@@ -202,6 +202,13 @@ func TestStatsCollected(t *testing.T) {
 	if got, ok := st.SubtreeSum("nosuch"); !ok || got != 0 {
 		t.Errorf("subtree sum for a missing label = %d (ok=%v), want 0", got, ok)
 	}
+	// Distinct direct-child text values: name holds Ana and Bob, title
+	// holds DB, journal has no direct text.
+	for label, want := range map[string]int64{"name": 2, "title": 1, "journal": 0} {
+		if got, ok := st.DistinctTexts(label); !ok || got != want {
+			t.Errorf("distinct texts %s = %d (ok=%v), want %d", label, got, ok, want)
+		}
+	}
 }
 
 func TestPersistenceAcrossReopen(t *testing.T) {
@@ -234,6 +241,9 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 	}
 	if s2.Stats().Card("name") != 2 {
 		t.Error("stats lost across reopen")
+	}
+	if got, ok := s2.Stats().DistinctTexts("name"); !ok || got != 2 {
+		t.Errorf("distinct-text stat lost across reopen: %d (ok=%v)", got, ok)
 	}
 }
 

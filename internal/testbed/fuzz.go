@@ -54,12 +54,15 @@ type FuzzEngine struct {
 // FuzzEngines returns the configurations the fuzz harness cross-checks
 // against the naive reference: the full cost-based planner with
 // partial-twig adoption on and off, and every ForceJoin family (the twig
-// family also in both partial modes). Every configuration caps exhaustive
-// join-order enumeration at 5 relations — queries the generator keeps
-// within the budget enumerate fully (exercising the whole auction,
-// partial twigs included), larger conjunctions take the syntactic-order
-// fallback — so a fuzz iteration spends its time executing plans, not
-// planning 8!-order auctions on 40-entry documents.
+// family also in both partial modes; the structural family in both
+// emission orders — the descendant-ordered merge plus its sort repair,
+// and the ancestor-ordered Stack-Tree-Anc merge). Every configuration
+// caps exhaustive join-order enumeration at 5 relations — queries the
+// generator keeps within the budget enumerate fully (exercising the
+// whole auction, partial twigs and emission orders included), larger
+// conjunctions take the syntactic-order fallback — so a fuzz iteration
+// spends its time executing plans, not planning 8!-order auctions on
+// 40-entry documents.
 func FuzzEngines() []FuzzEngine {
 	cap5 := func(c opt.Config) opt.Config {
 		c.MaxEnumRels = 5
@@ -72,6 +75,7 @@ func FuzzEngines() []FuzzEngine {
 	twigNoPartial := twig
 	twigNoPartial.UsePartialTwig = false
 	structural, _ := opt.ForceJoin("structural")
+	structuralAnc, _ := opt.ForceJoin("structural-anc")
 	inl, _ := opt.ForceJoin("inl")
 	nl, _ := opt.ForceJoin("nl")
 	bnl, _ := opt.ForceJoin("bnl")
@@ -81,6 +85,7 @@ func FuzzEngines() []FuzzEngine {
 		{"twig-partial", cap5(twig)},
 		{"twig-nopartial", cap5(twigNoPartial)},
 		{"structural", cap5(structural)},
+		{"structural-anc", cap5(structuralAnc)},
 		{"inl", cap5(inl)},
 		{"nl", cap5(nl)},
 		{"bnl", cap5(bnl)},
@@ -291,20 +296,34 @@ func (g *fuzzQueryGen) query() string {
 	default:
 		k = 4
 	}
+	// Ancestor-first chains — every loop descending from the previous
+	// loop's variable — are the vartuple shape the anc-ordered structural
+	// emission targets (and the most common shape in the milestone
+	// queries); bias toward them so the emission-order arbitration and
+	// the structural-anc forced family see dense coverage. Text-bound
+	// variables are skipped as chain bases (text nodes have no element
+	// descendants, which would make the tail loops trivially empty).
+	chain := !g.deep && g.rng.Float64() < 0.35
 	var b strings.Builder
 	rootLoops := 0
 	for i := 0; i < k; i++ {
 		name := fmt.Sprintf("v%d", i+1)
 		base := ""
 		// Later loops mostly navigate from a bound variable; at most one
-		// extra root-based loop (none in deep mode) keeps cross products
-		// and the unoptimized fallback plans small.
-		if i > 0 && !(!g.deep && rootLoops < 1 && g.rng.Float64() < 0.2) {
+		// extra root-based loop (none in deep or chain mode) keeps cross
+		// products and the unoptimized fallback plans small.
+		switch {
+		case chain && i > 0:
+			base = "$" + g.vars[len(g.vars)-1].name
+		case i > 0 && !(!g.deep && rootLoops < 1 && g.rng.Float64() < 0.2):
 			base = "$" + g.vars[g.rng.Intn(len(g.vars))].name
-		} else if i > 0 {
+		case i > 0:
 			rootLoops++
 		}
 		test, isText := g.test()
+		if chain && isText && i < k-1 {
+			test, isText = g.label(), false
+		}
 		fmt.Fprintf(&b, "for $%s in %s%s%s return ", name, base, g.axis(), test)
 		g.vars = append(g.vars, fuzzVar{name: name, text: isText})
 		g.relBudget--

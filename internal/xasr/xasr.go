@@ -268,9 +268,16 @@ type Stats struct {
 	// optimizer precise ancestor/descendant pair cardinalities:
 	// pairs(label//D) ≈ LabelSubtreeSum[label] · |D| / Nodes.
 	LabelSubtreeSum map[string]int64
-	SumDepth        int64 // sum of node depths (root = 0)
-	MaxDepth        int32
-	MaxFanout       int32
+	// LabelDistinctTexts is, per element label, the number of distinct
+	// text values occurring as direct children of elements with that
+	// label. It calibrates text-value equi-join selectivity (author =
+	// author, year = year): the expected match fraction is
+	// 1/distinct(label), where the near-unique 1/texts guess
+	// underestimates dense domains by orders of magnitude.
+	LabelDistinctTexts map[string]int64
+	SumDepth           int64 // sum of node depths (root = 0)
+	MaxDepth           int32
+	MaxFanout          int32
 }
 
 // AvgDepth returns the average node depth.
@@ -296,6 +303,31 @@ func (s *Stats) SubtreeSum(label string) (int64, bool) {
 	return s.LabelSubtreeSum[label], true
 }
 
+// fnv1a is the 64-bit FNV-1a string hash (allocation-free, unlike
+// hash/fnv's Hash64 wrapper), used to deduplicate text values during
+// statistics collection without retaining the values.
+func fnv1a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// DistinctTexts returns the number of distinct text values among the
+// direct text children of elements with the given label. ok reports
+// whether the statistic was collected at all (it is absent on stores
+// written before it existed); a label without text children yields
+// (0, true) — no possible value-join matches.
+func (s *Stats) DistinctTexts(label string) (int64, bool) {
+	if s.LabelDistinctTexts == nil {
+		return 0, false
+	}
+	return s.LabelDistinctTexts[label], true
+}
+
 // Shred streams tokens from tz, assigns in/out labels, and calls emit for
 // every completed tuple. Tuples are emitted as their nodes complete
 // (postorder for elements); callers that need in-order must sort, which is
@@ -303,6 +335,13 @@ func (s *Stats) SubtreeSum(label string) (int64, bool) {
 // statistics.
 func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 	stats := &Stats{LabelCount: make(map[string]int64), LabelSubtreeSum: make(map[string]int64)}
+	// Distinct text values per parent label, deduplicated during the
+	// single pass. Only the counts survive into the statistics, so the
+	// sets hold 64-bit FNV-1a hashes instead of the values themselves —
+	// a mostly-unique corpus (author names, titles) would otherwise be
+	// held in memory in full for the whole load; collisions only shave
+	// a negligible sliver off an estimator-only cardinality.
+	distinctTexts := map[string]map[uint64]struct{}{}
 	type open struct {
 		in       uint32
 		parentIn uint32
@@ -357,6 +396,14 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 			}
 		case xmltok.Text:
 			stack[len(stack)-1].fanout++
+			if parentLabel := stack[len(stack)-1].label; parentLabel != "" {
+				set := distinctTexts[parentLabel]
+				if set == nil {
+					set = map[uint64]struct{}{}
+					distinctTexts[parentLabel] = set
+				}
+				set[fnv1a(tok.Text)] = struct{}{}
+			}
 			in := counter
 			counter++
 			out := counter
@@ -384,5 +431,9 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 		return nil, err
 	}
 	stats.MaxIn = counter - 1
+	stats.LabelDistinctTexts = make(map[string]int64, len(distinctTexts))
+	for label, set := range distinctTexts {
+		stats.LabelDistinctTexts[label] = int64(len(set))
+	}
 	return stats, nil
 }

@@ -187,6 +187,30 @@ func TestStatsFromShred(t *testing.T) {
 	if stats.MaxFanout != 3 {
 		t.Errorf("maxFanout=%d want 3 (r has three children)", stats.MaxFanout)
 	}
+	// Distinct direct-child text values per label: a holds "1","2","3",
+	// b holds no text directly (its text lives under the nested a).
+	if got, ok := stats.DistinctTexts("a"); !ok || got != 3 {
+		t.Errorf("distinct texts under a = %d (ok=%v), want 3", got, ok)
+	}
+	if got, ok := stats.DistinctTexts("b"); !ok || got != 0 {
+		t.Errorf("distinct texts under b = %d (ok=%v), want 0", got, ok)
+	}
+}
+
+func TestDistinctTextsDeduplicated(t *testing.T) {
+	// Repeated values count once; absent statistics report ok=false.
+	doc := `<r><y>1995</y><y>1995</y><y>1999</y></r>`
+	stats, err := Shred(xmltok.New(strings.NewReader(doc)), func(Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := stats.DistinctTexts("y"); !ok || got != 2 {
+		t.Errorf("distinct texts under y = %d (ok=%v), want 2", got, ok)
+	}
+	var old Stats
+	if _, ok := old.DistinctTexts("y"); ok {
+		t.Error("pre-statistic stats reported ok=true")
+	}
 }
 
 func TestTupleStringFormat(t *testing.T) {
