@@ -217,6 +217,7 @@ func BenchmarkAblationStructuralJoin(b *testing.B) {
 				b.ReportMetric(float64(e.Counters().TwigPathSolutions), "path-sols")
 				b.ReportMetric(float64(e.Counters().SortedRows), "rows-sorted")
 				b.ReportMetric(float64(e.Counters().StructListMax), "list-max")
+				b.ReportMetric(float64(e.Counters().SpilledBytes), "spilled-bytes")
 			})
 		}
 	}

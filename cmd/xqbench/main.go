@@ -37,7 +37,9 @@ func run() error {
 	scale := flag.Int("scale", 1, "correctness document scale factor")
 	entries := flag.Int("entries", 10000, "efficiency DBLP entries")
 	timeout := flag.Duration("timeout", 30*time.Second, "efficiency per-query cap (timed-out engines are assigned the cap)")
+	deadline := flag.Duration("deadline", 0, "per-query deadline override (0 = use -timeout); queries abort cleanly with a timeout error past it")
 	frames := flag.Int("frames", 5120, "buffer pool frames (x4KiB pages = memory cap; 5120 = the paper's 20 MB)")
+	budget := flag.Int("budget", 0, "per-query memory budget in bytes (0 = unlimited): caps operator buffering and sort memory; over-budget operators spill to disk")
 	seed := flag.Int64("seed", 1, "workload seed")
 	join := flag.String("join", "auto", "force the join operator family in the efficiency suite: auto, twig, structural, structural-anc, inl, nl, bnl (non-auto runs the M4 engine only)")
 	report := flag.String("report", "", "also write a markdown report to this file")
@@ -82,9 +84,16 @@ func run() error {
 
 	var rows []testbed.EffRow
 	if *suite == "efficiency" || *suite == "grading" || *suite == "all" {
-		fmt.Printf("== efficiency tests (DBLP-shaped, %d entries, cap %v, %d frames) ==\n\n", *entries, *timeout, *frames)
+		cap := *timeout
+		if *deadline > 0 {
+			cap = *deadline
+		}
+		fmt.Printf("== efficiency tests (DBLP-shaped, %d entries, cap %v, %d frames) ==\n\n", *entries, cap, *frames)
 		if *join != "auto" {
 			fmt.Printf("forced join operator: %s\n\n", *join)
+		}
+		if *budget > 0 {
+			fmt.Printf("per-query memory budget: %d bytes (over-budget operators spill)\n\n", *budget)
 		}
 		for _, t := range testbed.EfficiencyTests() {
 			fmt.Printf("%s\n    rationale: %s\n", t, t.Why)
@@ -93,8 +102,10 @@ func run() error {
 		rows, err = testbed.RunEfficiency(dir, testbed.EffConfig{
 			Entries:     *entries,
 			Seed:        *seed,
-			Timeout:     *timeout,
+			Timeout:     cap,
 			CacheFrames: *frames,
+			SortBudget:  *budget,
+			MemBudget:   *budget,
 			Modes:       joinModes,
 			Opt:         joinOpt,
 		})
@@ -103,6 +114,12 @@ func run() error {
 		}
 		figure7 = testbed.FormatFigure7(rows)
 		fmt.Println(figure7)
+		if *budget > 0 {
+			for _, r := range rows {
+				fmt.Printf("%-14s spilled %d bytes\n", r.Mode, r.SpilledBytes)
+			}
+			fmt.Println()
+		}
 	}
 
 	if (*suite == "grading" || *suite == "all") && len(rows) > 0 {

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"xqdb/internal/dom"
@@ -78,6 +79,13 @@ type Config struct {
 	Timeout time.Duration
 	// SortBudget bounds operator memory (spools, sorts) in bytes.
 	SortBudget int
+	// MemBudget caps the total buffered bytes of one query across all its
+	// operators (0 = unlimited); past the cap operators spill to disk
+	// instead of growing.
+	MemBudget int
+	// FaultHook, when set, is consulted before operator temp-file writes;
+	// the fault-injection harness uses it.
+	FaultHook func(op string) error
 	// Opt overrides the optimizer configuration derived from Mode
 	// (used by the ablation benchmarks).
 	Opt *opt.Config
@@ -93,6 +101,9 @@ type Engine struct {
 
 	domRoot  *dom.Node // lazily reconstructed for ModeM1
 	counters exec.Counters
+
+	mu      sync.Mutex
+	current *limit.Budget // in-flight query's budget, for Cancel
 }
 
 // New returns an engine over st.
@@ -196,13 +207,28 @@ func (e *Engine) execCtx(dl *limit.Deadline) (*exec.Ctx, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget := limit.NewBudget(e.cfg.MemBudget, dl)
+	e.mu.Lock()
+	e.current = budget
+	e.mu.Unlock()
 	return &exec.Ctx{
 		Store:      e.st,
 		TempDir:    tmp,
-		Deadline:   dl,
+		Budget:     budget,
 		Env:        exec.Env{},
 		SortBudget: e.cfg.SortBudget,
+		FaultHook:  e.cfg.FaultHook,
 	}, nil
+}
+
+// Cancel aborts the in-flight query (if any): its next budget poll returns
+// limit.ErrCanceled and every operator unwinds, removing temp files and
+// releasing pins. Safe to call from another goroutine and when idle.
+func (e *Engine) Cancel() {
+	e.mu.Lock()
+	b := e.current
+	e.mu.Unlock()
+	b.Cancel()
 }
 
 // compile runs the milestone 3/4 pipeline up to the executable plan.

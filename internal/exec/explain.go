@@ -87,6 +87,9 @@ func explainNodePrefixed(b *strings.Builder, n PlanNode, head, rest string, anal
 		if st.ListMax > 0 {
 			fmt.Fprintf(b, " list=%d", st.ListMax)
 		}
+		if st.SpilledBytes > 0 || st.SpillRuns > 0 {
+			fmt.Fprintf(b, " spilled=%dB runs=%d", st.SpilledBytes, st.SpillRuns)
+		}
 		b.WriteString(")")
 	}
 	b.WriteString("\n")
@@ -112,6 +115,8 @@ func ExplainAnalyze(p XPlan, c Counters) string {
 		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsTwig, c.RowsEmitted)
 	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d list-max=%d path-solutions=%d\n",
 		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax, c.StructListMax, c.TwigPathSolutions)
+	fmt.Fprintf(&b, "          spill-bytes=%d spill-runs=%d\n",
+		c.SpilledBytes, c.SpillRuns)
 	return b.String()
 }
 

@@ -230,7 +230,7 @@ type scanIter struct {
 
 func (it *scanIter) Next() (Row, bool, error) {
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
 		var t xasr.Tuple
@@ -360,107 +360,63 @@ func (it *filterIter) Close() error { return it.child.Close() }
 
 // ---------------------------------------------------------------- spool
 
-// spool materializes rows, in memory up to the budget and spilling to a
-// temp record file beyond it. It supports repeated sequential replay —
-// milestone 3's "write each intermediate result to disk, re-read it
-// whenever necessary".
+// spool materializes rows behind a recfile.BoundedBuf: in memory up to the
+// budget (drawing on the query's limit.Budget), spilling to a temp record
+// file beyond it. It supports repeated sequential replay — milestone 3's
+// "write each intermediate result to disk, re-read it whenever necessary".
 type spool struct {
-	slots  int
-	mem    []Row
-	bytes  int
-	budget int
-	file   *recfile.Writer
-	path   string
-	count  int64
+	slots   int
+	buf     *recfile.BoundedBuf
+	scratch []byte
 }
 
 func newSpool(ctx *Ctx, slots int) *spool {
-	budget := ctx.SortBudget
-	if budget <= 0 {
-		budget = recfile.DefaultSortBudget
-	}
-	return &spool{slots: slots, budget: budget}
+	buf := recfile.NewBoundedBuf(ctx.TempDir, "spool", ctx.softBudget(), ctx.Budget)
+	buf.SetHook(ctx.FaultHook)
+	return &spool{slots: slots, buf: buf}
 }
 
 func (sp *spool) add(ctx *Ctx, row Row) error {
-	sp.count++
-	if sp.file == nil {
-		sp.mem = append(sp.mem, append(Row(nil), row...))
-		for _, t := range row {
-			sp.bytes += 32 + len(t.Value)
-		}
-		if sp.bytes <= sp.budget {
-			return nil
-		}
-		// Overflow: move everything to disk.
-		sp.path = recfile.TempPath(ctx.TempDir, "spool")
-		w, err := recfile.CreateWriter(sp.path)
-		if err != nil {
-			return err
-		}
-		sp.file = w
-		var rec []byte
-		for _, r := range sp.mem {
-			rec = appendRow(rec[:0], r)
-			if err := sp.file.Append(rec); err != nil {
-				return err
-			}
-			ctx.Counters.SpilledTuples++
-		}
-		sp.mem = nil
-		return nil
-	}
-	rec := appendRow(nil, row)
-	ctx.Counters.SpilledTuples++
-	return sp.file.Append(rec)
+	sp.scratch = appendRow(sp.scratch[:0], row)
+	return sp.buf.Append(sp.scratch)
 }
 
-func (sp *spool) finish() error {
-	if sp.file != nil {
-		return sp.file.Finish()
+// finish freezes the spool and folds its spill activity into the query
+// counters and the owning operator's stats.
+func (sp *spool) finish(ctx *Ctx, stats *OpStats) error {
+	ctx.Counters.SpilledTuples += sp.buf.SpilledRecs()
+	ctx.Counters.SpilledBytes += sp.buf.SpilledBytes()
+	ctx.Counters.SpillRuns += int64(sp.buf.SpillRuns())
+	if stats != nil {
+		stats.SpilledBytes += sp.buf.SpilledBytes()
+		stats.SpillRuns += int64(sp.buf.SpillRuns())
 	}
 	return nil
 }
 
 // replay returns an iterator over the spooled rows.
 func (sp *spool) replay() (*spoolIter, error) {
-	it := &spoolIter{sp: sp}
-	if sp.file != nil {
-		r, err := recfile.OpenReader(sp.path)
-		if err != nil {
-			return nil, err
-		}
-		it.r = r
+	it, err := sp.buf.Iter()
+	if err != nil {
+		return nil, err
 	}
-	return it, nil
+	return &spoolIter{sp: sp, it: it}, nil
 }
 
+// remove discards the spool's temp file (if any) and releases its memory
+// reservations. Safe at any point, including after a failed materialize.
 func (sp *spool) remove() {
-	if sp.file != nil {
-		// The writer is already finished; drop the file.
-		if r, err := recfile.OpenReader(sp.path); err == nil {
-			r.Remove()
-		}
-	}
+	sp.buf.Close()
 }
 
 type spoolIter struct {
 	sp     *spool
-	idx    int
-	r      *recfile.Reader
+	it     *recfile.BoundedIter
 	rowbuf Row // reused output buffer (see rowIter contract)
 }
 
 func (it *spoolIter) Next() (Row, bool, error) {
-	if it.r == nil {
-		if it.idx >= len(it.sp.mem) {
-			return nil, false, nil
-		}
-		row := it.sp.mem[it.idx]
-		it.idx++
-		return row, true, nil
-	}
-	rec, err := it.r.Next()
+	rec, err := it.it.Next()
 	if err == io.EOF {
 		return nil, false, nil
 	}
@@ -476,12 +432,7 @@ func (it *spoolIter) Next() (Row, bool, error) {
 	return it.rowbuf, true, nil
 }
 
-func (it *spoolIter) Close() error {
-	if it.r != nil {
-		return it.r.Close()
-	}
-	return nil
-}
+func (it *spoolIter) Close() error { return it.it.Close() }
 
 // ---------------------------------------------------------------- NL join
 
@@ -531,8 +482,9 @@ func (j *NLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
 	return &nlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
 }
 
-// materializeInner spools the full inner input once.
-func materializeInner(ctx *Ctx, inner PlanNode, outer Row, outerSchema *Schema) (*spool, error) {
+// materializeInner spools the full inner input once. On error the spool's
+// temp file is removed and its reservations released before returning.
+func materializeInner(ctx *Ctx, inner PlanNode, outer Row, outerSchema *Schema, stats *OpStats) (*spool, error) {
 	rIt, err := inner.open(ctx, outer, outerSchema)
 	if err != nil {
 		return nil, err
@@ -542,16 +494,19 @@ func materializeInner(ctx *Ctx, inner PlanNode, outer Row, outerSchema *Schema) 
 	for {
 		row, ok, err := rIt.Next()
 		if err != nil {
+			sp.remove()
 			return nil, err
 		}
 		if !ok {
 			break
 		}
 		if err := sp.add(ctx, row); err != nil {
+			sp.remove()
 			return nil, err
 		}
 	}
-	if err := sp.finish(); err != nil {
+	if err := sp.finish(ctx, stats); err != nil {
+		sp.remove()
 		return nil, err
 	}
 	return sp, nil
@@ -572,7 +527,7 @@ type nlJoinIter struct {
 
 func (it *nlJoinIter) Next() (Row, bool, error) {
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
 		if !it.haveL {
@@ -581,7 +536,7 @@ func (it *nlJoinIter) Next() (Row, bool, error) {
 				return nil, false, err
 			}
 			if it.sp == nil {
-				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema)
+				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema, &it.j.stats)
 				if err != nil {
 					return nil, false, err
 				}
@@ -715,7 +670,7 @@ func (it *bnlJoinIter) fillBlock() error {
 
 func (it *bnlJoinIter) Next() (Row, bool, error) {
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
 		if it.done {
@@ -730,7 +685,7 @@ func (it *bnlJoinIter) Next() (Row, bool, error) {
 				return nil, false, nil
 			}
 			if it.sp == nil {
-				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema)
+				sp, err := materializeInner(it.ctx, it.j.Right, it.outer, it.outerSchema, &it.j.stats)
 				if err != nil {
 					return nil, false, err
 				}
@@ -855,7 +810,7 @@ type inlJoinIter struct {
 
 func (it *inlJoinIter) Next() (Row, bool, error) {
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
 		if it.inner == nil {
@@ -1075,13 +1030,17 @@ func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 	sorter := recfile.NewSorter(ctx.TempDir, func(a, b []byte) int {
 		return bytes.Compare(a[:keyLen], b[:keyLen])
 	}, ctx.SortBudget)
+	sorter.SetGovernor(ctx.Budget)
+	sorter.SetHook(ctx.FaultHook)
 	var rec []byte
 	for {
-		if err := ctx.Deadline.Check(); err != nil {
+		if err := ctx.check(); err != nil {
+			sorter.Abort()
 			return nil, err
 		}
 		row, ok, err := child.Next()
 		if err != nil {
+			sorter.Abort()
 			return nil, err
 		}
 		if !ok {
@@ -1097,6 +1056,7 @@ func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 			rec = append(rec, kb[:]...)
 		}
 		rec = appendRow(rec, row)
+		// A failed Add has already removed the sorter's run files.
 		if err := sorter.Add(rec); err != nil {
 			return nil, err
 		}
@@ -1106,6 +1066,11 @@ func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := sorter.Stats()
+	ctx.Counters.SpilledBytes += st.Spilled
+	ctx.Counters.SpillRuns += int64(st.Runs)
+	s.stats.SpilledBytes += st.Spilled
+	s.stats.SpillRuns += int64(st.Runs)
 	s.stats.Opens++
 	return &sortIter{ctx: ctx, s: s, it: it, keyLen: keyLen, slots: len(s.Schema().Aliases)}, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"xqdb/internal/limit"
+	"xqdb/internal/recfile"
 	"xqdb/internal/store"
 	"xqdb/internal/tpm"
 	"xqdb/internal/xasr"
@@ -66,15 +67,34 @@ type Env map[string]Binding
 
 // Ctx is the execution context shared by all operators of one query.
 type Ctx struct {
-	Store    *store.Store
-	TempDir  string
-	Deadline *limit.Deadline
-	Env      Env
+	Store   *store.Store
+	TempDir string
+	// Budget is the per-query resource governor: deadline, cancellation,
+	// and the memory quota every buffering operator draws from. Nil means
+	// no limits.
+	Budget *limit.Budget
+	Env    Env
 	// SortBudget bounds operator memory for external sorts and spools.
 	SortBudget int
+	// FaultHook, when set, is consulted before temp-file writes (spools,
+	// sort runs, spilled operator buffers); the fault-injection harness
+	// uses it to fail the Nth write deterministically.
+	FaultHook func(op string) error
 	// Counters accumulates runtime statistics for EXPLAIN ANALYZE-style
 	// reporting and tests.
 	Counters Counters
+}
+
+// check polls the query's budget (cancellation + deadline); operators call
+// it once per produced tuple or merge step.
+func (c *Ctx) check() error { return c.Budget.Check() }
+
+// softBudget returns the per-operator buffering budget in bytes.
+func (c *Ctx) softBudget() int {
+	if c.SortBudget > 0 {
+		return c.SortBudget
+	}
+	return recfile.DefaultSortBudget
 }
 
 // Counters tallies operator activity during one query. RowsJoined counts
@@ -107,6 +127,12 @@ type Counters struct {
 	// compare against the RowsJoined/RowsStructural intermediates of the
 	// binary pipelines.
 	TwigPathSolutions int64
+	// SpilledBytes counts bytes written to temp files by buffering
+	// operators (spools, sort runs, twig solution buffers, anc output
+	// lists) when they overflow their memory budget.
+	SpilledBytes int64
+	// SpillRuns counts temp run files those operators created.
+	SpillRuns int64
 }
 
 // OpStats tallies one operator instance's runtime activity while a plan
@@ -123,6 +149,10 @@ type OpStats struct {
 	// ListMax is the buffered output-list high-water mark (anc-ordered
 	// structural join).
 	ListMax int64
+	// SpilledBytes counts bytes this operator wrote to temp files.
+	SpilledBytes int64
+	// SpillRuns counts temp run files this operator created.
+	SpillRuns int64
 }
 
 // resolveIn resolves an in/out-valued operand against the environment and

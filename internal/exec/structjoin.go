@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"xqdb/internal/recfile"
 	"xqdb/internal/tpm"
 )
 
@@ -202,7 +203,7 @@ func (it *structJoinIter) popBelow(pos uint32) {
 
 func (it *structJoinIter) Next() (Row, bool, error) {
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
 		if it.done {
@@ -304,18 +305,44 @@ func (it *structJoinIter) Close() error {
 	return err
 }
 
+// ancSeg is one segment of a Stack-Tree-Anc output list: either a run of
+// in-memory rows (mem non-nil) or a run of n encoded rows starting at byte
+// off of the iterator's shared spill file. Lists are chains of segments in
+// insertion order; spilling converts mem segments to disk segments in
+// place, so order survives arbitrary interleavings of buffering and
+// spilling. res tracks the governor bytes the segment still holds (released
+// when it spills or drains).
+type ancSeg struct {
+	mem   []Row
+	bytes int   // in-memory size of mem (0 once spilled)
+	res   int   // governor bytes reserved for mem
+	off   int64 // spill-file offset of the first record (disk segments)
+	n     int   // record count (disk segments)
+}
+
+// rows returns the number of buffered rows in the segment.
+func (s *ancSeg) rows() int {
+	if s.mem != nil {
+		return len(s.mem)
+	}
+	return s.n
+}
+
 // ancEntry is one stack slot of the Stack-Tree-Anc merge: a copy of the
 // ancestor-side input row plus the two output lists of the algorithm.
 // self holds the pairs whose ancestor is this entry; inherit holds the
 // pairs adopted from entries popped above it. An entry flushes
 // self-then-inherit when it pops — to the entry below it, or straight to
-// the output queue when it is the stack bottom. Popped slots keep their
-// backing arrays for reuse by later pushes.
+// the output queue when it is the stack bottom.
 type ancEntry struct {
 	row     Row
-	self    []Row
-	inherit []Row
+	self    []ancSeg
+	inherit []ancSeg
 }
+
+// ancSpillChunk is the minimum buffered-list size worth spilling; below it
+// an over-quota list stays in memory rather than paying a write per row.
+const ancSpillChunk = 4 << 10
 
 // structAncIter runs the ancestor-ordered merge (Stack-Tree-Anc). The
 // stream handling is identical to structJoinIter — both inputs in
@@ -329,7 +356,11 @@ type ancEntry struct {
 //
 // Output rows are materialized (the lists outlive the input rows'
 // buffers); consumed rows return to a free pool, and the buffered-row
-// high-water mark is tracked as the operator's list mark.
+// high-water mark is tracked as the operator's list mark. List memory is
+// drawn from the query budget; when a reservation is refused (or the soft
+// budget is exceeded) every buffered list spills to one shared temp file
+// and the lists continue as disk segments, so the non-bottom share of the
+// output degrades to disk instead of growing without bound.
 type structAncIter struct {
 	ctx         *Ctx
 	j           *StructuralJoin
@@ -349,14 +380,28 @@ type structAncIter struct {
 	stack []ancEntry
 
 	// out is the emission queue: immediately-emitted bottom pairs and
-	// flushed lists, in ancestor order. outIdx walks it; drained queues
-	// reset and reuse the backing array.
-	out    []Row
-	outIdx int
+	// flushed lists, in ancestor order, as a segment chain. outSeg/outPos
+	// walk it; drained queues reset and reuse the backing array.
+	out    []ancSeg
+	outSeg int
+	outPos int
 
-	last     Row   // row returned by the previous Next, recycled on entry
-	free     []Row // recycled row buffers
-	buffered int64 // rows currently held in self/inherit lists
+	last       Row   // row returned by the previous Next, recycled on entry
+	lastPooled bool  // whether last may return to the free pool
+	free       []Row // recycled row buffers
+	buffered   int64 // rows currently held in self/inherit lists
+
+	// spill machinery: one lazily created run file shared by every spilled
+	// segment, a seekable reader for emission, and the accounting the
+	// governor and counters need.
+	spillW    *recfile.Writer
+	spillPath string
+	segR      *recfile.SegReader
+	scratch   []byte
+	decbuf    Row   // reused decode buffer for disk-segment emission
+	listMem   int   // bytes currently held by mem segments in stack lists
+	reserved  int   // governor bytes held across all live segments
+	spilled   int64 // SpilledBytes already folded into counters
 }
 
 // newPair materializes the joined row for (anc, current descendant) from
@@ -396,6 +441,105 @@ func (it *structAncIter) bufAdd() {
 	}
 }
 
+// rowMem is the in-memory cost charged to the budget for one buffered row.
+func rowMem(row Row) int {
+	n := 24
+	for _, t := range row {
+		n += 16 + len(t.Value)
+	}
+	return n
+}
+
+// listAppend adds a materialized pair to a segment chain, charging the
+// budget, and reports whether the lists should spill: the governor refused
+// the reservation or the lists outgrew the soft budget, and there is
+// enough buffered to be worth writing.
+func (it *structAncIter) listAppend(list *[]ancSeg, row Row) (spill bool) {
+	need := rowMem(row)
+	granted := it.ctx.Budget.Reserve(need)
+	segs := *list
+	if n := len(segs); n > 0 && segs[n-1].mem != nil {
+		seg := &segs[n-1]
+		seg.mem = append(seg.mem, row)
+		seg.bytes += need
+		if granted {
+			seg.res += need
+		}
+	} else {
+		seg := ancSeg{mem: []Row{row}, bytes: need}
+		if granted {
+			seg.res = need
+		}
+		*list = append(segs, seg)
+	}
+	if granted {
+		it.reserved += need
+	}
+	it.listMem += need
+	it.bufAdd()
+	return (!granted || it.listMem > it.ctx.softBudget()) && it.listMem >= ancSpillChunk
+}
+
+// spillLists converts every in-memory list segment of every stack entry to
+// a disk segment of the shared spill file, recycling the spilled rows and
+// releasing their reservations. Segments convert in place, so each list
+// stays a correctly ordered chain.
+func (it *structAncIter) spillLists() error {
+	if it.spillW == nil {
+		it.spillPath = recfile.TempPath(it.ctx.TempDir, "anclist")
+		w, err := recfile.CreateWriter(it.spillPath)
+		if err != nil {
+			return err
+		}
+		w.Hook = it.ctx.FaultHook
+		it.spillW = w
+		it.ctx.Counters.SpillRuns++
+		it.j.stats.SpillRuns++
+	}
+	for i := range it.stack {
+		e := &it.stack[i]
+		for _, list := range [][]ancSeg{e.self, e.inherit} {
+			for si := range list {
+				if err := it.spillSeg(&list[si]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := it.spillW.Flush(); err != nil {
+		return err
+	}
+	delta := it.spillW.Bytes() - it.spilled
+	it.spilled = it.spillW.Bytes()
+	it.ctx.Counters.SpilledBytes += delta
+	it.j.stats.SpilledBytes += delta
+	return nil
+}
+
+// spillSeg writes one in-memory segment to the spill file and converts it
+// to a disk segment, returning its rows to the free pool.
+func (it *structAncIter) spillSeg(seg *ancSeg) error {
+	if seg.mem == nil {
+		return nil
+	}
+	off := it.spillW.Offset()
+	for _, row := range seg.mem {
+		it.scratch = appendRow(it.scratch[:0], row)
+		if err := it.spillW.Append(it.scratch); err != nil {
+			return err
+		}
+	}
+	it.ctx.Counters.SpilledTuples += int64(len(seg.mem))
+	for _, row := range seg.mem {
+		it.free = append(it.free, row)
+	}
+	it.ctx.Budget.Release(seg.res)
+	it.reserved -= seg.res
+	it.listMem -= seg.bytes
+	*seg = ancSeg{off: off, n: len(seg.mem)}
+	return nil
+}
+
 // push copies row onto the stack with fresh (capacity-reusing) lists.
 func (it *structAncIter) push(row Row) {
 	n := len(it.stack)
@@ -420,15 +564,22 @@ func (it *structAncIter) push(row Row) {
 // popOne pops the top entry and routes its output lists: self before
 // inherit, onto the entry below — or onto the output queue when the
 // popped entry was the stack bottom (its immediate pairs are already out;
-// only adopted lists remain).
+// only adopted lists remain). Moving segments to the output queue leaves
+// the buffered-list accounting: the rows are now queued for emission, not
+// buffered against future pops.
 func (it *structAncIter) popOne() {
 	n := len(it.stack)
 	top := &it.stack[n-1]
 	it.stack = it.stack[:n-1]
 	if n-1 == 0 {
-		it.buffered -= int64(len(top.self) + len(top.inherit))
-		it.out = append(it.out, top.self...)
-		it.out = append(it.out, top.inherit...)
+		for _, list := range [][]ancSeg{top.self, top.inherit} {
+			for si := range list {
+				seg := list[si]
+				it.buffered -= int64(seg.rows())
+				it.listMem -= seg.bytes
+				it.out = append(it.out, seg)
+			}
+		}
 	} else {
 		below := &it.stack[n-2]
 		below.inherit = append(below.inherit, top.self...)
@@ -447,8 +598,9 @@ func (it *structAncIter) popBelow(pos uint32) {
 
 // pairDesc pairs the current descendant row with every matching stack
 // entry: the bottom's pair goes straight to the output queue, the rest
-// buffer in their entry's self list.
+// buffer in their entry's self list (spilling the lists past the budget).
 func (it *structAncIter) pairDesc() error {
+	spill := false
 	for i := range it.stack {
 		e := &it.stack[i]
 		if !it.j.pairMatches(e.row, it.descRow) {
@@ -462,11 +614,19 @@ func (it *structAncIter) pairDesc() error {
 			continue
 		}
 		if i == 0 {
-			it.out = append(it.out, pr)
-		} else {
-			e.self = append(e.self, pr)
-			it.bufAdd()
+			// Bottom pairs drain promptly through Next; queue them as
+			// unaccounted mem segments (coalescing with a mem tail).
+			if n := len(it.out); n > 0 && it.out[n-1].mem != nil && n-1 >= it.outSeg {
+				it.out[n-1].mem = append(it.out[n-1].mem, pr)
+			} else {
+				it.out = append(it.out, ancSeg{mem: []Row{pr}})
+			}
+		} else if it.listAppend(&e.self, pr) {
+			spill = true
 		}
+	}
+	if spill {
+		return it.spillLists()
 	}
 	return nil
 }
@@ -475,6 +635,9 @@ func (it *structAncIter) pairDesc() error {
 // join is done.
 func (it *structAncIter) advance() error {
 	for {
+		if err := it.ctx.check(); err != nil {
+			return err
+		}
 		if !it.haveDesc && !it.descEOF {
 			row, ok, err := it.desc.Next()
 			if err != nil {
@@ -551,27 +714,83 @@ func (it *structAncIter) advance() error {
 	}
 }
 
+// emitNext pulls the next queued row out of the segment chain: in-memory
+// rows hand over their buffer (recycled after the consumer moves on), disk
+// rows decode into a reused buffer via the seekable segment reader.
+func (it *structAncIter) emitNext() (Row, bool, error) {
+	for it.outSeg < len(it.out) {
+		seg := &it.out[it.outSeg]
+		if seg.mem != nil {
+			if it.outPos < len(seg.mem) {
+				r := seg.mem[it.outPos]
+				seg.mem[it.outPos] = nil
+				it.outPos++
+				it.last = r
+				it.lastPooled = true
+				return r, true, nil
+			}
+		} else if it.outPos < seg.n {
+			if it.outPos == 0 {
+				if it.segR == nil {
+					r, err := recfile.OpenSegReader(it.spillPath)
+					if err != nil {
+						return nil, false, err
+					}
+					it.segR = r
+				}
+				if err := it.segR.Seek(seg.off); err != nil {
+					return nil, false, err
+				}
+			}
+			rec, err := it.segR.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if it.decbuf == nil {
+				it.decbuf = make(Row, len(it.j.schema.Aliases))
+			}
+			if err := decodeRowInto(it.decbuf, rec); err != nil {
+				return nil, false, err
+			}
+			it.outPos++
+			it.last = it.decbuf
+			it.lastPooled = false // reused decode buffer, never pooled
+			return it.decbuf, true, nil
+		}
+		// Segment drained: return its budget reservation.
+		it.ctx.Budget.Release(seg.res)
+		it.reserved -= seg.res
+		seg.res = 0
+		it.outSeg++
+		it.outPos = 0
+	}
+	return nil, false, nil
+}
+
 func (it *structAncIter) Next() (Row, bool, error) {
 	if it.last != nil {
 		// The previously returned row is dead per the rowIter contract.
-		it.free = append(it.free, it.last)
+		if it.lastPooled {
+			it.free = append(it.free, it.last)
+		}
 		it.last = nil
 	}
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return nil, false, err
 		}
-		if it.outIdx < len(it.out) {
-			r := it.out[it.outIdx]
-			it.out[it.outIdx] = nil
-			it.outIdx++
-			it.last = r
+		r, ok, err := it.emitNext()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
 			it.ctx.Counters.RowsStructural++
 			it.j.stats.Rows++
 			return r, true, nil
 		}
 		it.out = it.out[:0]
-		it.outIdx = 0
+		it.outSeg = 0
+		it.outPos = 0
 		if it.done {
 			return nil, false, nil
 		}
@@ -581,10 +800,23 @@ func (it *structAncIter) Next() (Row, bool, error) {
 	}
 }
 
+// Close releases the iterator's resources at any point mid-stream: the
+// input iterators, every outstanding budget reservation, and the spill
+// file (removed).
 func (it *structAncIter) Close() error {
 	err := it.left.Close()
 	if rerr := it.right.Close(); err == nil {
 		err = rerr
+	}
+	it.ctx.Budget.Release(it.reserved)
+	it.reserved = 0
+	if it.segR != nil {
+		it.segR.Close()
+		it.segR = nil
+	}
+	if it.spillW != nil {
+		it.spillW.Abort()
+		it.spillW = nil
 	}
 	return err
 }

@@ -301,6 +301,7 @@ func TestExplainAnalyzeAncStructuralJoin(t *testing.T) {
 
 counters: scanned=5 joined=0 structural=3 twig=0 emitted=0
           probes=0 rescans=0 sorted=0 spilled=0 stack-max=2 list-max=1 path-solutions=0
+          spill-bytes=0 spill-runs=0
 `
 	if got != want {
 		t.Errorf("golden EXPLAIN ANALYZE mismatch:\n-- got --\n%s\n-- want --\n%s", got, want)

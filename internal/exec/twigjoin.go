@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"io"
 
+	"xqdb/internal/recfile"
 	"xqdb/internal/tpm"
 	"xqdb/internal/xasr"
 )
@@ -136,7 +138,10 @@ func (j *TwigJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, erro
 		have:   make([]bool, k),
 		eofs:   make([]bool, k),
 		stacks: make([][]twigEntry, k),
-		sols:   make([][][]xasr.Tuple, len(j.paths)),
+		sols:   make([]*recfile.BoundedBuf, len(j.paths)),
+	}
+	for pi := range j.paths {
+		it.sols[pi] = it.newBuf("twigsol")
 	}
 	for i, s := range j.Streams {
 		si, err := s.open(ctx, nil, nil)
@@ -171,11 +176,37 @@ type twigJoinIter struct {
 	have   []bool
 	eofs   []bool
 	stacks [][]twigEntry
-	sols   [][][]xasr.Tuple // per path, buffered path solutions
+	// sols buffers path solutions per path, each encoded with appendRow;
+	// the buffers spill to temp run files past the budget.
+	sols    []*recfile.BoundedBuf
+	scratch []byte
 
-	results []Row
-	idx     int
-	ran     bool
+	// merge-phase state, kept on the iterator so Close can clean up after
+	// an error at any point.
+	acc    *recfile.BoundedBuf // accumulated partial matches (full-width rows)
+	sorter *recfile.Sorter     // final emission sort, live only during merge
+	sorted *recfile.Iterator   // sorted full matches
+	keyLen int
+	rowbuf Row // reused output buffer (see rowIter contract)
+	ran    bool
+}
+
+// newBuf returns a BoundedBuf wired to the query's budget and fault hook.
+func (it *twigJoinIter) newBuf(prefix string) *recfile.BoundedBuf {
+	b := recfile.NewBoundedBuf(it.ctx.TempDir, prefix, it.ctx.softBudget(), it.ctx.Budget)
+	b.SetHook(it.ctx.FaultHook)
+	return b
+}
+
+// closeBuf folds a buffer's spill activity into the counters and removes
+// its temp file. Each buffer must pass through here exactly once.
+func (it *twigJoinIter) closeBuf(b *recfile.BoundedBuf) {
+	it.ctx.Counters.SpilledTuples += b.SpilledRecs()
+	it.ctx.Counters.SpilledBytes += b.SpilledBytes()
+	it.ctx.Counters.SpillRuns += int64(b.SpillRuns())
+	it.j.stats.SpilledBytes += b.SpilledBytes()
+	it.j.stats.SpillRuns += int64(b.SpillRuns())
+	b.Close()
 }
 
 // ensureHead pulls the next tuple of stream i into heads[i] if none is
@@ -327,20 +358,27 @@ func edgeOK(axis tpm.Axis, p, c xasr.Tuple) bool {
 
 // emitPathSols expands the just-pushed leaf entry into root-to-leaf path
 // solutions by walking the stack pointer chains, checking each edge's
-// axis, and buffers them for the merge phase.
-func (it *twigJoinIter) emitPathSols(leaf int) {
-	path := it.j.paths[it.j.leafPath[leaf]]
+// axis, and buffers them for the merge phase. The buffer spills past the
+// budget, so a deep enumeration also polls the deadline per solution.
+func (it *twigJoinIter) emitPathSols(leaf int) error {
+	pi := it.j.leafPath[leaf]
+	path := it.j.paths[pi]
 	m := len(path) - 1
 	sol := make([]xasr.Tuple, len(path))
 	top := it.stacks[leaf][len(it.stacks[leaf])-1]
 	sol[m] = top.t
-	var rec func(level int, child twigEntry)
-	rec = func(level int, child twigEntry) {
+	var rec func(level int, child twigEntry) error
+	rec = func(level int, child twigEntry) error {
 		if level < 0 {
-			it.sols[it.j.leafPath[leaf]] = append(it.sols[it.j.leafPath[leaf]],
-				append([]xasr.Tuple(nil), sol...))
+			if err := it.ctx.check(); err != nil {
+				return err
+			}
+			it.scratch = appendRow(it.scratch[:0], sol)
+			if err := it.sols[pi].Append(it.scratch); err != nil {
+				return err
+			}
 			it.ctx.Counters.TwigPathSolutions++
-			return
+			return nil
 		}
 		node := path[level]
 		axis := it.j.Twig.Nodes[path[level+1]].Axis
@@ -352,11 +390,14 @@ func (it *twigJoinIter) emitPathSols(leaf int) {
 		for i := 0; i <= limit; i++ {
 			if edgeOK(axis, s[i].t, child.t) {
 				sol[level] = s[i].t
-				rec(level-1, s[i])
+				if err := rec(level-1, s[i]); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	rec(m-1, top)
+	return rec(m-1, top)
 }
 
 // run executes the stream phase to completion, then merges the buffered
@@ -364,7 +405,7 @@ func (it *twigJoinIter) emitPathSols(leaf int) {
 func (it *twigJoinIter) run() error {
 	j := it.j
 	for {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return err
 		}
 		if it.end() {
@@ -386,7 +427,9 @@ func (it *twigJoinIter) run() error {
 			it.cleanStack(q, qIn)
 			it.push(q)
 			if j.leafPath[q] >= 0 {
-				it.emitPathSols(q)
+				if err := it.emitPathSols(q); err != nil {
+					return err
+				}
 				it.stacks[q] = it.stacks[q][:len(it.stacks[q])-1]
 			}
 			continue
@@ -414,30 +457,60 @@ func (it *twigJoinIter) run() error {
 
 // merge joins the buffered path solutions across paths on their shared
 // prefix nodes, applies residual conditions, and sorts the full matches
-// by the OutOrder in-labels.
+// by the OutOrder in-labels. All intermediate state lives in BoundedBufs
+// and an external sorter, so the phase degrades to disk past the budget
+// instead of holding every partial match in memory. On error the
+// iterator's Close sweeps whatever buffers remain.
 func (it *twigJoinIter) merge() error {
 	j := it.j
 	k := len(j.Twig.Nodes)
 	covered := make([]bool, k)
 
-	var rows []Row
 	for pi, path := range j.paths {
-		if err := it.ctx.Deadline.Check(); err != nil {
+		if err := it.ctx.check(); err != nil {
 			return err
 		}
-		sols := it.sols[pi]
-		it.sols[pi] = nil
-		if len(sols) == 0 {
+		sb := it.sols[pi]
+		if sb.Len() == 0 {
 			return nil // a path with no solution means no match at all
 		}
 		if pi == 0 {
-			for _, s := range sols {
-				row := make(Row, k)
-				for li, n := range path {
-					row[n] = s[li]
-				}
-				rows = append(rows, row)
+			// Seed the accumulator with the first path's solutions
+			// scattered into full-width rows.
+			it.acc = it.newBuf("twigacc")
+			solIt, err := sb.Iter()
+			if err != nil {
+				return err
 			}
+			solRow := make(Row, len(path))
+			row := make(Row, k)
+			for {
+				rec, err := solIt.Next()
+				if err == io.EOF {
+					break
+				}
+				if err == nil {
+					err = it.ctx.check()
+				}
+				if err == nil {
+					err = decodeRowInto(solRow, rec)
+				}
+				if err != nil {
+					solIt.Close()
+					return err
+				}
+				for li, n := range path {
+					row[n] = solRow[li]
+				}
+				it.scratch = appendRow(it.scratch[:0], row)
+				if err := it.acc.Append(it.scratch); err != nil {
+					solIt.Close()
+					return err
+				}
+			}
+			solIt.Close()
+			it.closeBuf(sb)
+			it.sols[pi] = nil
 			for _, n := range path {
 				covered[n] = true
 			}
@@ -448,66 +521,200 @@ func (it *twigJoinIter) merge() error {
 		for shared < len(path) && covered[path[shared]] {
 			shared++
 		}
-		// Hash the accumulated rows on the shared nodes' in-labels.
-		index := make(map[string][]Row, len(rows))
-		var kb []byte
-		for _, row := range rows {
-			kb = kb[:0]
-			for _, n := range path[:shared] {
-				kb = binary.BigEndian.AppendUint32(kb, row[n].In)
-			}
-			index[string(kb)] = append(index[string(kb)], row)
+		next, err := it.joinPath(path, shared, sb)
+		if err != nil {
+			return err
 		}
-		var next []Row
-		for _, s := range sols {
-			if err := it.ctx.Deadline.Check(); err != nil {
-				return err
+		it.closeBuf(sb)
+		it.sols[pi] = nil
+		it.closeBuf(it.acc)
+		it.acc = next
+		for _, n := range path[shared:] {
+			covered[n] = true
+		}
+		if it.acc.Len() == 0 {
+			return nil
+		}
+	}
+	return it.finalize()
+}
+
+// joinPath block-hash-joins the accumulated partial matches with one
+// path's solutions on the shared prefix nodes: solutions are read in
+// budget-bounded blocks, each block is hashed on the shared in-labels, and
+// the accumulator streams once per block probing it. Order is repaired by
+// the finalize sort. On error the returned buffer has been discarded; the
+// caller's sb and acc stay live for Close to sweep.
+func (it *twigJoinIter) joinPath(path []int, shared int, sb *recfile.BoundedBuf) (*recfile.BoundedBuf, error) {
+	j := it.j
+	k := len(j.Twig.Nodes)
+	soft := it.ctx.softBudget()
+	next := it.newBuf("twigacc")
+	solIt, err := sb.Iter()
+	if err != nil {
+		next.Close()
+		return nil, err
+	}
+	defer solIt.Close()
+
+	solRow := make(Row, len(path))
+	probeRow := make(Row, k)
+	combined := make(Row, k)
+	var kb []byte
+	eof := false
+	for !eof {
+		// Load one block of this path's solutions, hashed on the shared
+		// prefix in-labels. Values survive the shared decode string, so
+		// retained copies are safe.
+		index := make(map[string][]Row)
+		blockBytes, blockCount := 0, 0
+		for blockBytes <= soft {
+			rec, err := solIt.Next()
+			if err == io.EOF {
+				eof = true
+				break
 			}
+			if err == nil {
+				err = it.ctx.check()
+			}
+			if err == nil {
+				err = decodeRowInto(solRow, rec)
+			}
+			if err != nil {
+				next.Close()
+				return nil, err
+			}
+			s := append(Row(nil), solRow...)
 			kb = kb[:0]
 			for li := 0; li < shared; li++ {
 				kb = binary.BigEndian.AppendUint32(kb, s[li].In)
 			}
-			for _, row := range index[string(kb)] {
-				combined := append(Row(nil), row...)
+			index[string(kb)] = append(index[string(kb)], s)
+			for _, t := range s {
+				blockBytes += 16 + len(t.Value)
+			}
+			blockCount++
+		}
+		if blockCount == 0 {
+			break
+		}
+		// Stream the accumulator against this block.
+		accIt, err := it.acc.Iter()
+		if err != nil {
+			next.Close()
+			return nil, err
+		}
+		for {
+			rec, err := accIt.Next()
+			if err == io.EOF {
+				break
+			}
+			if err == nil {
+				err = it.ctx.check()
+			}
+			if err == nil {
+				err = decodeRowInto(probeRow, rec)
+			}
+			if err != nil {
+				accIt.Close()
+				next.Close()
+				return nil, err
+			}
+			kb = kb[:0]
+			for _, n := range path[:shared] {
+				kb = binary.BigEndian.AppendUint32(kb, probeRow[n].In)
+			}
+			for _, s := range index[string(kb)] {
+				copy(combined, probeRow)
 				for li := shared; li < len(path); li++ {
 					combined[path[li]] = s[li]
 				}
-				next = append(next, combined)
+				it.scratch = appendRow(it.scratch[:0], combined)
+				if err := next.Append(it.scratch); err != nil {
+					accIt.Close()
+					next.Close()
+					return nil, err
+				}
 			}
 		}
-		rows = next
-		for _, n := range path[shared:] {
-			covered[n] = true
-		}
-		if len(rows) == 0 {
-			return nil
-		}
+		accIt.Close()
 	}
+	return next, nil
+}
 
-	if len(j.Conds) > 0 {
-		filtered := rows[:0]
-		for _, row := range rows {
+// finalize streams the accumulated full matches through the residual
+// conditions into an external sort on the OutOrder in-labels, from which
+// Next decodes rows. With an empty OutOrder the stable sort preserves the
+// accumulation order (the emission order is unspecified anyway).
+func (it *twigJoinIter) finalize() error {
+	j := it.j
+	it.keyLen = 4 * len(j.outSlots)
+	keyLen := it.keyLen
+	sorter := recfile.NewSorter(it.ctx.TempDir, func(a, b []byte) int {
+		return bytes.Compare(a[:keyLen], b[:keyLen])
+	}, it.ctx.SortBudget)
+	sorter.SetGovernor(it.ctx.Budget)
+	sorter.SetHook(it.ctx.FaultHook)
+	it.sorter = sorter
+
+	accIt, err := it.acc.Iter()
+	if err != nil {
+		return err
+	}
+	row := make(Row, len(j.Twig.Nodes))
+	var rec []byte
+	for {
+		r, err := accIt.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			err = it.ctx.check()
+		}
+		if err == nil {
+			err = decodeRowInto(row, r)
+		}
+		if err != nil {
+			accIt.Close()
+			return err
+		}
+		if len(j.Conds) > 0 {
 			pass, err := evalConds(j.Conds, row, j.schema, it.ctx.Env)
 			if err != nil {
+				accIt.Close()
 				return err
 			}
-			if pass {
-				filtered = append(filtered, row)
+			if !pass {
+				continue
 			}
 		}
-		rows = filtered
-	}
-
-	sort.Slice(rows, func(a, b int) bool {
-		ra, rb := rows[a], rows[b]
+		rec = rec[:0]
 		for _, s := range j.outSlots {
-			if ra[s].In != rb[s].In {
-				return ra[s].In < rb[s].In
-			}
+			rec = binary.BigEndian.AppendUint32(rec, row[s].In)
 		}
-		return false
-	})
-	it.results = rows
+		rec = appendRow(rec, row)
+		if err := sorter.Add(rec); err != nil {
+			// A failed Add already removed the sorter's run files.
+			it.sorter = nil
+			accIt.Close()
+			return err
+		}
+	}
+	accIt.Close()
+	it.closeBuf(it.acc)
+	it.acc = nil
+	sorted, err := sorter.Sort()
+	if err != nil {
+		it.sorter = nil
+		return err
+	}
+	st := sorter.Stats()
+	it.ctx.Counters.SpilledBytes += st.Spilled
+	it.ctx.Counters.SpillRuns += int64(st.Runs)
+	j.stats.SpilledBytes += st.Spilled
+	j.stats.SpillRuns += int64(st.Runs)
+	it.sorter = nil // run files now owned by the sorted iterator
+	it.sorted = sorted
 	return nil
 }
 
@@ -518,14 +725,25 @@ func (it *twigJoinIter) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 	}
-	if it.idx >= len(it.results) {
+	if it.sorted == nil {
 		return nil, false, nil
 	}
-	row := it.results[it.idx]
-	it.idx++
+	rec, err := it.sorted.Next()
+	if err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if it.rowbuf == nil {
+		it.rowbuf = make(Row, len(it.j.Twig.Nodes))
+	}
+	if err := decodeRowInto(it.rowbuf, rec[it.keyLen:]); err != nil {
+		return nil, false, err
+	}
 	it.ctx.Counters.RowsTwig++
 	it.j.stats.Rows++
-	return row, true, nil
+	return it.rowbuf, true, nil
 }
 
 func (it *twigJoinIter) Close() error {
@@ -534,6 +752,24 @@ func (it *twigJoinIter) Close() error {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	for pi, sb := range it.sols {
+		if sb != nil {
+			it.closeBuf(sb)
+			it.sols[pi] = nil
+		}
+	}
+	if it.acc != nil {
+		it.closeBuf(it.acc)
+		it.acc = nil
+	}
+	if it.sorter != nil {
+		it.sorter.Abort()
+		it.sorter = nil
+	}
+	if it.sorted != nil {
+		it.sorted.Close()
+		it.sorted = nil
 	}
 	return first
 }

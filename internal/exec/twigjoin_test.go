@@ -361,6 +361,7 @@ func TestExplainAnalyzeTwigUnderJoin(t *testing.T) {
 
 counters: scanned=12 joined=4 structural=0 twig=5 emitted=0
           probes=5 rescans=0 sorted=0 spilled=0 stack-max=2 list-max=0 path-solutions=5
+          spill-bytes=0 spill-runs=0
 `
 	if got != want {
 		t.Errorf("golden EXPLAIN ANALYZE mismatch:\n-- got --\n%s\n-- want --\n%s", got, want)

@@ -75,7 +75,7 @@ func Run(ctx *Ctx, p XPlan) ([]byte, error) {
 }
 
 func run(ctx *Ctx, p XPlan, out []byte) ([]byte, error) {
-	if err := ctx.Deadline.Check(); err != nil {
+	if err := ctx.check(); err != nil {
 		return out, err
 	}
 	switch p := p.(type) {
@@ -210,6 +210,6 @@ func evalRuntimeCond(ctx *Ctx, c xq.Cond) (bool, error) {
 	}
 	bindings[xq.RootVar] = root
 	ev := naive.New(ctx.Store)
-	ev.Deadline = ctx.Deadline
+	ev.Deadline = ctx.Budget.Deadline()
 	return ev.CondHolds(c, bindings)
 }

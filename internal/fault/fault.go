@@ -1,0 +1,56 @@
+// Package fault provides deterministic I/O fault injection for the
+// robustness harness: an Injector counts the I/O operations a query
+// performs and, when armed, fails exactly the Nth one. One injector serves
+// every hook site — pager page reads/writes and operator temp-file writes —
+// so "the Nth I/O of the query" is a single global sequence, and a failure
+// point found once replays identically from the same seed.
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by an armed injector at its trigger
+// point. Harness assertions use it to distinguish injected failures from
+// real ones.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Injector counts I/O operations and fails the Nth one after Arm. The zero
+// value is ready to use (counting, never failing). All methods are safe for
+// concurrent use.
+type Injector struct {
+	ops   atomic.Int64
+	n     atomic.Int64 // fail when ops reaches this value; 0 = disarmed
+	fired atomic.Bool
+}
+
+// Arm makes the injector fail the nth operation from now (n >= 1), after
+// resetting the operation counter. Arm(0) disarms.
+func (i *Injector) Arm(n int64) {
+	i.ops.Store(0)
+	i.fired.Store(false)
+	i.n.Store(n)
+}
+
+// Disarm stops the injector from failing; counting continues.
+func (i *Injector) Disarm() { i.n.Store(0) }
+
+// Ops returns the number of operations observed since the last Arm (or
+// since creation).
+func (i *Injector) Ops() int64 { return i.ops.Load() }
+
+// Fired reports whether the injector has triggered since the last Arm.
+func (i *Injector) Fired() bool { return i.fired.Load() }
+
+// Hook is the injection point: every hook site calls it with a short
+// operation tag ("read", "write", "append", "flush", "finish"). It counts
+// the operation and returns ErrInjected on the armed Nth one.
+func (i *Injector) Hook(op string) error {
+	ops := i.ops.Add(1)
+	if n := i.n.Load(); n > 0 && ops == n {
+		i.fired.Store(true)
+		return ErrInjected
+	}
+	return nil
+}

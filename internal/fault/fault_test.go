@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectorCountsWithoutFailing(t *testing.T) {
+	var inj Injector
+	for k := 0; k < 100; k++ {
+		if err := inj.Hook("read"); err != nil {
+			t.Fatalf("disarmed injector failed at op %d: %v", k, err)
+		}
+	}
+	if inj.Ops() != 100 {
+		t.Fatalf("ops = %d, want 100", inj.Ops())
+	}
+	if inj.Fired() {
+		t.Fatal("disarmed injector reports fired")
+	}
+}
+
+func TestInjectorFailsExactlyNth(t *testing.T) {
+	var inj Injector
+	inj.Hook("read") // pre-arm traffic must not shift the trigger
+	inj.Arm(7)
+	for k := 1; k <= 20; k++ {
+		err := inj.Hook("write")
+		if k == 7 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op 7: err = %v, want ErrInjected", err)
+			}
+		} else if err != nil {
+			t.Fatalf("op %d: unexpected error %v", k, err)
+		}
+	}
+	if !inj.Fired() {
+		t.Fatal("armed injector did not record firing")
+	}
+}
+
+func TestInjectorDisarmAndRearm(t *testing.T) {
+	var inj Injector
+	inj.Arm(3)
+	inj.Disarm()
+	for k := 0; k < 10; k++ {
+		if err := inj.Hook("read"); err != nil {
+			t.Fatalf("disarmed: %v", err)
+		}
+	}
+	inj.Arm(2)
+	if err := inj.Hook("read"); err != nil {
+		t.Fatal("op 1 after rearm failed")
+	}
+	if !errors.Is(inj.Hook("read"), ErrInjected) {
+		t.Fatal("op 2 after rearm did not fail")
+	}
+}

@@ -6,11 +6,15 @@ package limit
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
 // ErrTimeout is returned when a query exceeds its deadline.
 var ErrTimeout = errors.New("query deadline exceeded")
+
+// ErrCanceled is returned when a query's budget has been canceled.
+var ErrCanceled = errors.New("query canceled")
 
 // checkMask controls how often Check consults the clock: every 1024 calls.
 const checkMask = 1023
@@ -55,4 +59,110 @@ func (d *Deadline) Expired() bool {
 		return false
 	}
 	return time.Now().After(d.at)
+}
+
+// Budget is the per-query resource governor: a memory quota that buffering
+// operators draw reservations from, a deadline, and a cancellation flag.
+// The nil pointer grants everything, so code can call every method
+// unconditionally.
+//
+// Reserve/Release track bytes held in memory by operators; when Reserve
+// reports false the caller is over quota and should spill to disk instead
+// of growing (the reservation is NOT taken in that case). Cancel flips a
+// flag that Check surfaces as ErrCanceled at the next poll, so an
+// in-flight query unwinds through the normal error path — closing
+// iterators, removing temp files, and releasing pins on the way out.
+type Budget struct {
+	deadline *Deadline
+	quota    int64
+	used     atomic.Int64
+	canceled atomic.Bool
+}
+
+// NewBudget returns a Budget with the given memory quota in bytes (<= 0
+// means unlimited) and deadline (nil means none).
+func NewBudget(mem int, d *Deadline) *Budget {
+	b := &Budget{deadline: d}
+	if mem > 0 {
+		b.quota = int64(mem)
+	}
+	return b
+}
+
+// Check returns ErrCanceled after Cancel, or the deadline's error.
+func (b *Budget) Check() error {
+	if b == nil {
+		return nil
+	}
+	if b.canceled.Load() {
+		return ErrCanceled
+	}
+	return b.deadline.Check()
+}
+
+// Cancel makes all future Check calls return ErrCanceled. Safe to call
+// from another goroutine while the query runs.
+func (b *Budget) Cancel() {
+	if b != nil {
+		b.canceled.Store(true)
+	}
+}
+
+// Canceled reports whether Cancel has been called.
+func (b *Budget) Canceled() bool { return b != nil && b.canceled.Load() }
+
+// Reserve tries to take n bytes of the memory quota. It returns false —
+// without taking anything — when the reservation would exceed the quota;
+// the caller should spill. With no quota it still accounts the bytes (so
+// InUse stays meaningful) and always succeeds.
+func (b *Budget) Reserve(n int) bool {
+	if b == nil || n <= 0 {
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		next := cur + int64(n)
+		if b.quota > 0 && next > b.quota {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// Release returns n bytes previously taken with Reserve.
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	if b.used.Add(-int64(n)) < 0 {
+		// Defensive: never let sloppy accounting free quota that was
+		// never reserved.
+		b.used.Store(0)
+	}
+}
+
+// InUse returns the bytes currently reserved.
+func (b *Budget) InUse() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Quota returns the memory quota in bytes (0 = unlimited).
+func (b *Budget) Quota() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.quota
+}
+
+// Deadline returns the budget's deadline (nil when absent).
+func (b *Budget) Deadline() *Deadline {
+	if b == nil {
+		return nil
+	}
+	return b.deadline
 }

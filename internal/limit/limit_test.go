@@ -55,3 +55,84 @@ func TestGenerousDeadlineHolds(t *testing.T) {
 		}
 	}
 }
+
+func TestNilBudgetGrantsEverything(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 5000; i++ {
+		if err := b.Check(); err != nil {
+			t.Fatal("nil budget failed Check")
+		}
+	}
+	if !b.Reserve(1 << 30) {
+		t.Fatal("nil budget refused Reserve")
+	}
+	b.Release(1 << 30)
+	b.Cancel()
+	if b.Canceled() || b.InUse() != 0 || b.Quota() != 0 || b.Deadline() != nil {
+		t.Fatal("nil budget leaked state")
+	}
+}
+
+func TestBudgetReserveRelease(t *testing.T) {
+	b := NewBudget(100, nil)
+	if !b.Reserve(60) {
+		t.Fatal("first reservation refused")
+	}
+	if b.Reserve(50) {
+		t.Fatal("over-quota reservation granted")
+	}
+	if b.InUse() != 60 {
+		t.Fatalf("InUse = %d after refused reservation, want 60", b.InUse())
+	}
+	if !b.Reserve(40) {
+		t.Fatal("exact-fit reservation refused")
+	}
+	b.Release(100)
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d after full release", b.InUse())
+	}
+	// Over-release clamps to zero rather than minting quota.
+	b.Release(50)
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d after over-release", b.InUse())
+	}
+}
+
+func TestBudgetUnlimitedStillAccounts(t *testing.T) {
+	b := NewBudget(0, nil)
+	if !b.Reserve(1 << 30) {
+		t.Fatal("unlimited budget refused Reserve")
+	}
+	if b.InUse() != 1<<30 {
+		t.Fatalf("InUse = %d, want %d", b.InUse(), 1<<30)
+	}
+}
+
+func TestBudgetCancel(t *testing.T) {
+	b := NewBudget(0, After(time.Hour))
+	if err := b.Check(); err != nil {
+		t.Fatalf("fresh budget Check = %v", err)
+	}
+	b.Cancel()
+	if err := b.Check(); err != ErrCanceled {
+		t.Fatalf("canceled budget Check = %v, want ErrCanceled", err)
+	}
+	if !b.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestBudgetDeadlinePassthrough(t *testing.T) {
+	b := NewBudget(0, After(time.Nanosecond))
+	time.Sleep(time.Millisecond)
+	var err error
+	for i := 0; i < 2000 && err == nil; i++ {
+		err = b.Check()
+	}
+	if err != ErrTimeout {
+		t.Fatalf("budget Check = %v, want ErrTimeout", err)
+	}
+	if b.Deadline() == nil {
+		t.Fatal("Deadline() nil")
+	}
+}

@@ -214,6 +214,23 @@ func TwigJoinCost(streamCost, streamRows, pathSols, outRows float64) float64 {
 		outRows*cpuPerTuple*(1+math.Log2(outRows+2))
 }
 
+// SpillSurcharge prices the disk share of a buffering operator: bufRows
+// rows of bytesPerRow each are held by the operator at peak; the share
+// beyond the memory budget spills to a temp run file and is read back once,
+// so it pays a write+read page round trip. Within budget the surcharge is
+// zero — buffered plans stay exactly as priced before resource governance.
+func SpillSurcharge(bufRows, bytesPerRow, budget float64) float64 {
+	if budget <= 0 || bytesPerRow <= 0 {
+		return 0
+	}
+	bytes := bufRows * bytesPerRow
+	if bytes <= budget {
+		return 0
+	}
+	excessRows := (bytes - budget) / bytesPerRow
+	return 2 * Pages(excessRows)
+}
+
 // TextEquiJoinSel estimates a text-value equi-join between two text
 // relations whose parent element labels are known: the classic equi-join
 // formula 1/max(V_l, V_r), with V the number of distinct text values

@@ -32,6 +32,15 @@ func New(st *store.Store, cfg Config) *Planner {
 // Estimator exposes the planner's estimator (for tests and EXPLAIN).
 func (p *Planner) Estimator() *Estimator { return p.est }
 
+// spoolBudget is the operator memory budget the cost model prices
+// buffering against (SpoolBudget, defaulting to the executor's default).
+func (p *Planner) spoolBudget() float64 {
+	if p.cfg.SpoolBudget > 0 {
+		return float64(p.cfg.SpoolBudget)
+	}
+	return float64(recfile.DefaultSortBudget)
+}
+
 // Plan compiles a TPM plan into an executable plan, choosing a physical
 // operator tree for every relfor.
 func (p *Planner) Plan(t tpm.Plan) (exec.XPlan, error) {
@@ -655,7 +664,8 @@ func (p *Planner) twigCandidate(psx *tpm.PSX, info *psxInfo) (exec.PlanNode, flo
 	if outRows < 0.01 {
 		outRows = 0.01
 	}
-	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows)
+	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows) +
+		SpillSurcharge(outRows, spoolBytesPerRow*float64(len(tw.Nodes)), p.spoolBudget())
 	join := exec.NewTwigJoin(streams, *tw, residualConds(tw, info.cross), info.bindRels)
 	join.Est_ = exec.Est{Rows: outRows, Cost: cost}
 	proj := exec.NewProject(join, info.bindRels, true)
@@ -730,7 +740,8 @@ func (p *Planner) partialTwigSeed(psx *tpm.PSX, info *psxInfo) *built {
 		}
 	}
 	join := exec.NewTwigJoin(streams, *tw, residualConds(tw, intra), outOrder)
-	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows)
+	cost := TwigJoinCost(streamCost, streamRows, outRows, outRows) +
+		SpillSurcharge(outRows, spoolBytesPerRow*float64(len(tw.Nodes)), p.spoolBudget())
 	join.Est_ = exec.Est{Rows: outRows, Cost: cost}
 	b := &built{
 		node:       join,
@@ -898,10 +909,7 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 	// spilled inners are re-read from disk per outer row.
 	nlAccess := p.bestAccess(r, info.local[r], nil)
 	innerScanCost := nlAccess.cost
-	budget := float64(p.cfg.SpoolBudget)
-	if budget <= 0 {
-		budget = float64(recfile.DefaultSortBudget)
-	}
+	budget := p.spoolBudget()
 	rescan := Pages(innerRows)
 	if innerRows*spoolBytesPerRow <= budget {
 		rescan = innerRows * cpuPerTuple
@@ -944,7 +952,8 @@ func (p *Planner) joinNext(info *psxInfo, b *built, r string, t joinToggles) err
 					above = 0
 				}
 				bufRows := outRows * above / (1 + above)
-				structCost = StructuralJoinAncCost(b.cost, innerScanCost, b.rows, innerRows, outRows, bufRows)
+				structCost = StructuralJoinAncCost(b.cost, innerScanCost, b.rows, innerRows, outRows, bufRows) +
+					SpillSurcharge(bufRows, spoolBytesPerRow, p.spoolBudget())
 			} else {
 				structCost = StructuralJoinCost(b.cost, innerScanCost, b.rows, innerRows, outRows)
 			}

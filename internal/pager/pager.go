@@ -71,6 +71,11 @@ const maxShards = 64
 // ErrClosed is returned by operations on a closed Pager.
 var ErrClosed = errors.New("pager: closed")
 
+// IOHook is consulted before page-file reads ("read") and writes
+// ("write"); a non-nil return fails the operation with that error. The
+// fault-injection harness uses it to fail the Nth I/O deterministically.
+type IOHook func(op string) error
+
 // Options configures Open.
 type Options struct {
 	// PageSize is the page size in bytes for newly created files. It must
@@ -80,6 +85,8 @@ type Options struct {
 	CacheFrames int
 	// ReadOnly opens the file for reading only.
 	ReadOnly bool
+	// IOHook, when set, is consulted before every page read and write.
+	IOHook IOHook
 }
 
 // Stats counts buffer pool and file I/O activity since Open.
@@ -125,6 +132,7 @@ type Pager struct {
 	f        *os.File
 	pageSize int
 	readOnly bool
+	ioHook   IOHook
 
 	closed   atomic.Bool
 	numPages atomic.Uint32 // including the meta page
@@ -189,6 +197,7 @@ func Open(path string, opts Options) (*Pager, error) {
 		f:        f,
 		pageSize: opts.PageSize,
 		readOnly: opts.ReadOnly,
+		ioHook:   opts.IOHook,
 	}
 	fi, err := f.Stat()
 	if err != nil {
@@ -280,6 +289,24 @@ func (p *Pager) NumPages() int { return int(p.numPages.Load()) }
 // Shards returns the number of buffer pool stripes (for tests and
 // diagnostics).
 func (p *Pager) Shards() int { return len(p.shards) }
+
+// PinnedPages returns the total pin count across the buffer pool. A
+// quiescent pager (no operation in flight) must report zero; the leak
+// checks of the robustness harness rely on that after every query.
+func (p *Pager) PinnedPages() int {
+	total := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.frames {
+			if sh.frames[j].valid {
+				total += sh.frames[j].pins
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
 
 // Stats returns a snapshot of the I/O counters.
 func (p *Pager) Stats() Stats {
@@ -456,6 +483,12 @@ func (p *Pager) fetch(id PageID) (*Page, error) {
 	}
 	fr := &sh.frames[fi]
 	off := int64(id) * int64(p.pageSize)
+	if p.ioHook != nil {
+		if err := p.ioHook("read"); err != nil {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
+		}
+	}
 	n, err := p.f.ReadAt(fr.data, off)
 	if err != nil && err != io.EOF {
 		sh.mu.Unlock()
@@ -537,6 +570,11 @@ func (p *Pager) victimLocked(sh *shard) (int, error) {
 
 func (p *Pager) writeFrame(fr *frame) error {
 	off := int64(fr.id) * int64(p.pageSize)
+	if p.ioHook != nil {
+		if err := p.ioHook("write"); err != nil {
+			return fmt.Errorf("pager: writing page %d: %w", fr.id, err)
+		}
+	}
 	if _, err := p.f.WriteAt(fr.data, off); err != nil {
 		return fmt.Errorf("pager: writing page %d: %w", fr.id, err)
 	}

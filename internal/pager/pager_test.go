@@ -2,6 +2,7 @@ package pager
 
 import (
 	"encoding/binary"
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -199,5 +200,71 @@ func TestInvalidReads(t *testing.T) {
 func TestBadPageSizeRejected(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "x.db"), Options{PageSize: 1000}); err == nil {
 		t.Fatal("non-power-of-two page size accepted")
+	}
+}
+
+func TestIOHookFailsReads(t *testing.T) {
+	var calls int
+	var fail bool
+	hookErr := errors.New("injected")
+	p, _ := openTemp(t, Options{CacheFrames: 8, IOHook: func(op string) error {
+		calls++
+		if fail && op == "read" {
+			return hookErr
+		}
+		return nil
+	}})
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	pg.MarkDirty()
+	pg.Unpin()
+	// Push the page out of the pool so the next Read hits the file.
+	for i := 0; i < 20; i++ {
+		q, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.MarkDirty()
+		q.Unpin()
+	}
+	fail = true
+	if _, err := p.Read(id); !errors.Is(err, hookErr) {
+		t.Fatalf("Read with failing hook = %v, want injected error", err)
+	}
+	fail = false
+	rd, err := p.Read(id)
+	if err != nil {
+		t.Fatalf("Read after disarm: %v", err)
+	}
+	rd.Unpin()
+	if calls == 0 {
+		t.Fatal("hook never called")
+	}
+	if got := p.PinnedPages(); got != 0 {
+		t.Fatalf("PinnedPages after failed+ok reads = %d, want 0", got)
+	}
+}
+
+func TestPinnedPagesCounts(t *testing.T) {
+	p, _ := openTemp(t, Options{CacheFrames: 16})
+	var pages []*Page
+	for i := 0; i < 3; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, pg)
+	}
+	if got := p.PinnedPages(); got != 3 {
+		t.Fatalf("PinnedPages = %d, want 3", got)
+	}
+	for _, pg := range pages {
+		pg.Unpin()
+	}
+	if got := p.PinnedPages(); got != 0 {
+		t.Fatalf("PinnedPages after unpin = %d, want 0", got)
 	}
 }

@@ -1,0 +1,212 @@
+package recfile
+
+import (
+	"errors"
+	"io"
+	"os"
+
+	"xqdb/internal/limit"
+)
+
+// memRecOverhead approximates the per-record bookkeeping cost of holding a
+// record in memory (slice header + allocator slack), matching the Sorter's
+// accounting so budgets mean the same thing across buffering sites.
+const memRecOverhead = 24
+
+// ErrFrozen is returned by Append after Iter has frozen a BoundedBuf.
+var ErrFrozen = errors.New("recfile: append to frozen buffer")
+
+// BoundedBuf is an append-then-iterate record buffer with a bounded memory
+// footprint: records stay in memory while they fit the soft budget and the
+// per-query governor grants the reservation, then the whole buffer spills
+// to one temp run file and further appends stream straight to disk. It is
+// the single buffering primitive behind the spool, TwigJoin path-solution
+// lists, and the Stack-Tree-Anc output queues, so one limit.Budget governs
+// every buffering site of a query.
+type BoundedBuf struct {
+	dir    string
+	prefix string
+	soft   int
+	gov    *limit.Budget
+	hook   func(op string) error
+
+	mem      [][]byte
+	memBytes int
+	reserved int
+	count    int64
+
+	w           *Writer
+	path        string
+	frozen      bool
+	spilledRecs int64
+	closed      bool
+}
+
+// NewBoundedBuf returns a buffer spilling into dir. A soft budget of 0
+// selects DefaultSortBudget; gov may be nil (no quota).
+func NewBoundedBuf(dir, prefix string, soft int, gov *limit.Budget) *BoundedBuf {
+	if soft <= 0 {
+		soft = DefaultSortBudget
+	}
+	return &BoundedBuf{dir: dir, prefix: prefix, soft: soft, gov: gov}
+}
+
+// SetHook installs a fault-injection hook consulted on temp-file writes.
+func (b *BoundedBuf) SetHook(h func(op string) error) { b.hook = h }
+
+// Append adds one record (the slice is copied).
+func (b *BoundedBuf) Append(rec []byte) error {
+	if b.frozen || b.closed {
+		return ErrFrozen
+	}
+	if b.w == nil {
+		need := len(rec) + memRecOverhead
+		if b.memBytes+need <= b.soft && b.gov.Reserve(need) {
+			b.mem = append(b.mem, append([]byte(nil), rec...))
+			b.memBytes += need
+			b.reserved += need
+			b.count++
+			return nil
+		}
+		if err := b.startSpill(); err != nil {
+			return err
+		}
+	}
+	if err := b.w.Append(rec); err != nil {
+		return err
+	}
+	b.spilledRecs++
+	b.count++
+	return nil
+}
+
+// startSpill moves every in-memory record to a fresh run file and releases
+// the memory reservations; subsequent appends go straight to disk.
+func (b *BoundedBuf) startSpill() error {
+	path := TempPath(b.dir, b.prefix)
+	w, err := CreateWriter(path)
+	if err != nil {
+		return err
+	}
+	w.Hook = b.hook
+	for _, rec := range b.mem {
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	b.spilledRecs += int64(len(b.mem))
+	b.w = w
+	b.path = path
+	b.mem = nil
+	b.memBytes = 0
+	b.gov.Release(b.reserved)
+	b.reserved = 0
+	return nil
+}
+
+// Len returns the number of records appended.
+func (b *BoundedBuf) Len() int64 { return b.count }
+
+// Spilled reports whether the buffer overflowed to disk.
+func (b *BoundedBuf) Spilled() bool { return b.path != "" }
+
+// SpilledBytes returns the encoded bytes written to the run file.
+func (b *BoundedBuf) SpilledBytes() int64 {
+	if b.w == nil {
+		return 0
+	}
+	return b.w.Bytes()
+}
+
+// SpillRuns returns the number of run files created (0 or 1).
+func (b *BoundedBuf) SpillRuns() int {
+	if b.path == "" {
+		return 0
+	}
+	return 1
+}
+
+// SpilledRecs returns the number of records written to disk.
+func (b *BoundedBuf) SpilledRecs() int64 { return b.spilledRecs }
+
+// BoundedIter streams a BoundedBuf's records in append order.
+type BoundedIter struct {
+	mem [][]byte
+	idx int
+	r   *Reader
+}
+
+// Iter freezes the buffer and returns an iterator over its records in
+// append order. Iter may be called repeatedly (each call streams from the
+// start); Append is rejected afterwards. The run file, if any, stays owned
+// by the buffer — Close the buffer to remove it.
+func (b *BoundedBuf) Iter() (*BoundedIter, error) {
+	if b.closed {
+		return nil, errors.New("recfile: iterate closed buffer")
+	}
+	if !b.frozen {
+		b.frozen = true
+		if b.w != nil {
+			if err := b.w.Finish(); err != nil {
+				os.Remove(b.path)
+				b.path = ""
+				b.w = nil
+				return nil, err
+			}
+		}
+	}
+	if b.path != "" {
+		r, err := OpenReader(b.path)
+		if err != nil {
+			return nil, err
+		}
+		return &BoundedIter{r: r}, nil
+	}
+	return &BoundedIter{mem: b.mem}, nil
+}
+
+// Next returns the next record, or io.EOF. The slice is valid only until
+// the next call to Next.
+func (it *BoundedIter) Next() ([]byte, error) {
+	if it.r != nil {
+		return it.r.Next()
+	}
+	if it.idx >= len(it.mem) {
+		return nil, io.EOF
+	}
+	rec := it.mem[it.idx]
+	it.idx++
+	return rec, nil
+}
+
+// Close releases the iterator's reader; the buffer keeps its file.
+func (it *BoundedIter) Close() error {
+	if it.r != nil {
+		return it.r.Close()
+	}
+	it.mem = nil
+	return nil
+}
+
+// Close removes the run file (if any) and releases memory reservations.
+// It is idempotent and safe to call at any point, including mid-append
+// after an error.
+func (b *BoundedBuf) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.w != nil && !b.frozen {
+		b.w.Abort()
+	} else if b.path != "" {
+		os.Remove(b.path)
+	}
+	b.w = nil
+	b.path = ""
+	b.mem = nil
+	b.memBytes = 0
+	b.gov.Release(b.reserved)
+	b.reserved = 0
+	return nil
+}

@@ -1,0 +1,381 @@
+package recfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"xqdb/internal/limit"
+)
+
+func drainBuf(t *testing.T, b *BoundedBuf) [][]byte {
+	t.Helper()
+	it, err := b.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out [][]byte
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+func tempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestBoundedBufInMemory(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBoundedBuf(dir, "bb", 1<<20, nil)
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("rec-%03d", i))
+		want = append(want, rec)
+		if err := b.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Spilled() || b.SpillRuns() != 0 || b.SpilledRecs() != 0 {
+		t.Fatalf("small buffer spilled: runs=%d recs=%d", b.SpillRuns(), b.SpilledRecs())
+	}
+	// Iter is repeatable.
+	for pass := 0; pass < 2; pass++ {
+		got := drainBuf(t, b)
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d records, want %d", pass, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("pass %d record %d mismatch", pass, i)
+			}
+		}
+	}
+	if err := b.Append([]byte("late")); err != ErrFrozen {
+		t.Fatalf("append after Iter = %v, want ErrFrozen", err)
+	}
+	b.Close()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("leftover temp files: %v", got)
+	}
+}
+
+func TestBoundedBufSpills(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBoundedBuf(dir, "bb", 256, nil) // tiny soft budget
+	var want [][]byte
+	for i := 0; i < 500; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte("x"), i%30)))
+		want = append(want, rec)
+		if err := b.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Spilled() || b.SpillRuns() != 1 || b.SpilledBytes() == 0 || b.SpilledRecs() != 500 {
+		t.Fatalf("spill stats: runs=%d bytes=%d recs=%d", b.SpillRuns(), b.SpilledBytes(), b.SpilledRecs())
+	}
+	for pass := 0; pass < 2; pass++ {
+		got := drainBuf(t, b)
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d records, want %d", pass, len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("pass %d record %d mismatch", pass, i)
+			}
+		}
+	}
+	b.Close()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("leftover temp files after Close: %v", got)
+	}
+	if b.Close() != nil {
+		t.Fatal("second Close errored")
+	}
+}
+
+func TestBoundedBufGovernorForcesSpill(t *testing.T) {
+	dir := t.TempDir()
+	gov := limit.NewBudget(200, nil)
+	b := NewBoundedBuf(dir, "bb", 1<<20, gov) // huge soft budget, tight quota
+	for i := 0; i < 50; i++ {
+		if err := b.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Spilled() {
+		t.Fatal("tight governor quota did not force a spill")
+	}
+	if gov.InUse() != 0 {
+		t.Fatalf("reservations not released after spill: %d", gov.InUse())
+	}
+	got := drainBuf(t, b)
+	if len(got) != 50 {
+		t.Fatalf("%d records, want 50", len(got))
+	}
+	b.Close()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("leftover temp files: %v", got)
+	}
+}
+
+func TestBoundedBufCloseReleasesReservations(t *testing.T) {
+	gov := limit.NewBudget(1<<20, nil)
+	b := NewBoundedBuf(t.TempDir(), "bb", 1<<20, gov)
+	for i := 0; i < 20; i++ {
+		b.Append([]byte("0123456789"))
+	}
+	if gov.InUse() == 0 {
+		t.Fatal("no reservation taken")
+	}
+	b.Close()
+	if gov.InUse() != 0 {
+		t.Fatalf("reservations leaked: %d", gov.InUse())
+	}
+}
+
+func TestBoundedBufCloseMidWriteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	b := NewBoundedBuf(dir, "bb", 64, nil)
+	for i := 0; i < 100; i++ {
+		if err := b.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Spilled() {
+		t.Fatal("expected spill")
+	}
+	// Close without ever calling Iter: the unfinished writer must be
+	// aborted and its file removed.
+	b.Close()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("leftover temp files: %v", got)
+	}
+}
+
+func TestBoundedBufInjectedWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	errBoom := errors.New("boom")
+	var n int
+	b := NewBoundedBuf(dir, "bb", 64, nil)
+	b.SetHook(func(op string) error {
+		n++
+		if n == 10 {
+			return errBoom
+		}
+		return nil
+	})
+	var err error
+	for i := 0; i < 100 && err == nil; i++ {
+		err = b.Append([]byte(fmt.Sprintf("record-%04d", i)))
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("append error = %v, want injected", err)
+	}
+	b.Close()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("leftover temp files after injected failure: %v", got)
+	}
+}
+
+func TestSegReader(t *testing.T) {
+	dir := t.TempDir()
+	path := TempPath(dir, "seg")
+	w, err := CreateWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		offs = append(offs, w.Offset())
+		rec := []byte(fmt.Sprintf("seg-record-%05d", i))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read a segment while the writer is still open, after Flush.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenSegReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, start := range []int{0, 50, 199} {
+		if err := r.Seek(offs[start]); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, want[start]) {
+			t.Fatalf("segment at %d: got %q want %q", start, rec, want[start])
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(path)
+}
+
+func TestSorterInjectedFailureMidSpill(t *testing.T) {
+	dir := t.TempDir()
+	errBoom := errors.New("boom")
+	s := NewSorter(dir, bytes.Compare, 2<<10)
+	var n int
+	s.SetHook(func(op string) error {
+		n++
+		if n == 300 {
+			return errBoom
+		}
+		return nil
+	})
+	recs := randRecords(5000, 7)
+	var err error
+	for _, r := range recs {
+		if err = s.Add(r); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		_, err = s.Sort()
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("error = %v, want injected", err)
+	}
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("run files left after mid-spill failure: %v", got)
+	}
+}
+
+func TestSorterInjectedFailureMidMerge(t *testing.T) {
+	dir := t.TempDir()
+	errBoom := errors.New("boom")
+	recs := randRecords(20000, 8)
+	// Find how many hook calls a clean run makes before the final merge,
+	// then fail just past the spill phase so the failure lands in the
+	// intermediate merge.
+	for _, failAt := range []int{0, -1} {
+		s := NewSorter(dir, bytes.Compare, 2<<10)
+		s.fanin = 4 // force intermediate merge passes
+		var n, spillCalls int
+		if failAt == 0 {
+			s.SetHook(func(op string) error { n++; return nil })
+		} else {
+			s.SetHook(func(op string) error {
+				n++
+				if n == spillCalls+100 {
+					return errBoom
+				}
+				return nil
+			})
+		}
+		var err error
+		for _, r := range recs {
+			if err = s.Add(r); err != nil {
+				break
+			}
+		}
+		spillCalls = n // calls consumed by run spills (first pass only)
+		if err == nil {
+			var it *Iterator
+			it, err = s.Sort()
+			if err == nil {
+				it.Close()
+			}
+		}
+		if failAt == 0 {
+			if err != nil {
+				t.Fatalf("clean pass failed: %v", err)
+			}
+		} else {
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("error = %v, want injected mid-merge", err)
+			}
+		}
+		if got := tempFiles(t, dir); len(got) != 0 {
+			t.Fatalf("run files left (failAt=%d): %v", failAt, got)
+		}
+	}
+}
+
+func TestSorterAbortRemovesRuns(t *testing.T) {
+	dir := t.TempDir()
+	gov := limit.NewBudget(0, nil)
+	s := NewSorter(dir, bytes.Compare, 2<<10)
+	s.SetGovernor(gov)
+	for _, r := range randRecords(5000, 9) {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Abort()
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("run files left after Abort: %v", got)
+	}
+	if gov.InUse() != 0 {
+		t.Fatalf("reservations leaked after Abort: %d", gov.InUse())
+	}
+}
+
+func TestSorterGovernorForcesEarlySpill(t *testing.T) {
+	dir := t.TempDir()
+	gov := limit.NewBudget(1<<10, nil)
+	s := NewSorter(dir, bytes.Compare, 1<<30) // huge soft budget, tight quota
+	s.SetGovernor(gov)
+	recs := randRecords(2000, 10)
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := [][]byte{}
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+	it.Close()
+	checkSorted(t, recs, out)
+	if s.Stats().InMemory {
+		t.Fatal("tight governor quota did not force spilling")
+	}
+	if gov.InUse() != 0 {
+		t.Fatalf("reservations leaked: %d", gov.InUse())
+	}
+	if got := tempFiles(t, dir); len(got) != 0 {
+		t.Fatalf("run files left: %v", got)
+	}
+}

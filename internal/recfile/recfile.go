@@ -37,6 +37,11 @@ type Writer struct {
 	count  int64
 	bytes  int64
 	lenbuf [binary.MaxVarintLen64]byte
+
+	// Hook, when set, is consulted before every write ("append") and flush
+	// ("finish"); a non-nil return aborts the operation with that error.
+	// The fault-injection harness uses it to fail the Nth temp-file write.
+	Hook func(op string) error
 }
 
 // CreateWriter creates (truncating) a record file at path.
@@ -50,6 +55,11 @@ func CreateWriter(path string) (*Writer, error) {
 
 // Append writes one record.
 func (w *Writer) Append(rec []byte) error {
+	if w.Hook != nil {
+		if err := w.Hook("append"); err != nil {
+			return err
+		}
+	}
 	n := binary.PutUvarint(w.lenbuf[:], uint64(len(rec)))
 	if _, err := w.w.Write(w.lenbuf[:n]); err != nil {
 		return err
@@ -71,8 +81,30 @@ func (w *Writer) Bytes() int64 { return w.bytes }
 // Path returns the file path.
 func (w *Writer) Path() string { return w.path }
 
+// Offset returns the byte offset the next record will start at — the
+// encoded size written so far. Segment readers use it to address records
+// written earlier in a still-open file (after Flush).
+func (w *Writer) Offset() int64 { return w.bytes }
+
+// Flush forces buffered records to the OS so a concurrent SegReader on the
+// same path can see everything appended so far.
+func (w *Writer) Flush() error {
+	if w.Hook != nil {
+		if err := w.Hook("flush"); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
 // Finish flushes and closes the file, leaving it on disk for reading.
 func (w *Writer) Finish() error {
+	if w.Hook != nil {
+		if err := w.Hook("finish"); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
 	if err := w.w.Flush(); err != nil {
 		w.f.Close()
 		return err
@@ -144,3 +176,55 @@ func (r *Reader) Remove() error {
 	}
 	return err
 }
+
+// SegReader reads records from arbitrary byte offsets of a record file
+// through its own descriptor, so segments of a file still open for
+// appending can be replayed (after the writer Flushes). Seek positions the
+// reader; Next then streams records sequentially from there.
+type SegReader struct {
+	f   *os.File
+	r   *bufio.Reader
+	buf []byte
+}
+
+// OpenSegReader opens path for offset-addressed record reads.
+func OpenSegReader(path string) (*SegReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("recfile: %w", err)
+	}
+	return &SegReader{f: f, r: bufio.NewReaderSize(f, BlockSize)}, nil
+}
+
+// Seek positions the reader at the given byte offset (which must be a
+// record boundary previously obtained from Writer.Offset).
+func (r *SegReader) Seek(off int64) error {
+	if _, err := r.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	r.r.Reset(r.f)
+	return nil
+}
+
+// Next returns the next record, or io.EOF. The returned slice is valid
+// only until the next call to Next or Seek.
+func (r *SegReader) Next() ([]byte, error) {
+	size, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("recfile: corrupt record length: %w", err)
+	}
+	if uint64(cap(r.buf)) < size {
+		r.buf = make([]byte, size)
+	}
+	r.buf = r.buf[:size]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("recfile: truncated record: %w", err)
+	}
+	return r.buf, nil
+}
+
+// Close closes the underlying file (the file itself is kept).
+func (r *SegReader) Close() error { return r.f.Close() }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"xqdb/internal/limit"
 )
 
 // DefaultSortBudget is the in-memory run size used when Sorter.Budget is
@@ -26,14 +28,22 @@ type SortStats struct {
 // Sorter accumulates records and produces them in sorted order, spilling
 // sorted runs to disk when the memory budget is exceeded and k-way merging
 // them (textbook external merge sort).
+//
+// Error contract: when Add or Sort returns an error, the Sorter has
+// already removed its run files and released its governor reservations;
+// callers only need to stop using it. Abort does the same for a Sorter
+// abandoned mid-accumulation (e.g. on deadline).
 type Sorter struct {
 	dir    string
 	cmp    func(a, b []byte) int
 	budget int
 	fanin  int
+	gov    *limit.Budget
+	hook   func(op string) error
 
 	cur      [][]byte
 	curBytes int
+	reserved int
 	runs     []string
 	stats    SortStats
 }
@@ -47,20 +57,45 @@ func NewSorter(dir string, cmp func(a, b []byte) int, budget int) *Sorter {
 	return &Sorter{dir: dir, cmp: cmp, budget: budget, fanin: DefaultFanin}
 }
 
+// SetGovernor makes the sorter draw its in-memory bytes from the per-query
+// budget; when a reservation is refused the current run spills early.
+func (s *Sorter) SetGovernor(gov *limit.Budget) { s.gov = gov }
+
+// SetHook installs a fault-injection hook consulted on run-file writes.
+func (s *Sorter) SetHook(h func(op string) error) { s.hook = h }
+
 // Add appends one record (the slice is copied).
 func (s *Sorter) Add(rec []byte) error {
 	cp := append([]byte(nil), rec...)
+	need := len(cp) + 24
 	s.cur = append(s.cur, cp)
-	s.curBytes += len(cp) + 24
+	s.curBytes += need
 	s.stats.Records++
-	if s.curBytes >= s.budget {
+	if s.curBytes >= s.budget || !s.gov.Reserve(need) {
 		return s.spill()
 	}
+	s.reserved += need
 	return nil
 }
 
 func (s *Sorter) sortCur() {
 	sort.SliceStable(s.cur, func(i, j int) bool { return s.cmp(s.cur[i], s.cur[j]) < 0 })
+}
+
+// Abort discards accumulated state, removes every run file, and releases
+// governor reservations. For callers that stop sorting early (deadline,
+// upstream error) before Sort produced an Iterator.
+func (s *Sorter) Abort() { s.cleanup() }
+
+func (s *Sorter) cleanup() {
+	for _, p := range s.runs {
+		os.Remove(p)
+	}
+	s.runs = nil
+	s.cur = nil
+	s.curBytes = 0
+	s.gov.Release(s.reserved)
+	s.reserved = 0
 }
 
 func (s *Sorter) spill() error {
@@ -71,21 +106,29 @@ func (s *Sorter) spill() error {
 	path := TempPath(s.dir, "sortrun")
 	w, err := CreateWriter(path)
 	if err != nil {
+		s.cleanup()
 		return err
 	}
+	w.Hook = s.hook
 	for _, rec := range s.cur {
 		if err := w.Append(rec); err != nil {
 			w.Abort()
+			s.cleanup()
 			return err
 		}
 	}
 	if err := w.Finish(); err != nil {
+		os.Remove(path)
+		s.cleanup()
 		return err
 	}
 	s.stats.Spilled += w.Bytes()
+	s.stats.Runs++
 	s.runs = append(s.runs, path)
 	s.cur = nil
 	s.curBytes = 0
+	s.gov.Release(s.reserved)
+	s.reserved = 0
 	return nil
 }
 
@@ -100,15 +143,23 @@ type Iterator struct {
 	// merge case
 	h       *mergeHeap
 	readers []*Reader
+	// release returns governor reservations still held by the in-memory
+	// case when the iterator closes.
+	release func()
 }
 
 // Sort finishes accumulation and returns an iterator over all records in
-// cmp order. The Sorter must not be used after Sort.
+// cmp order. The Sorter must not be used after Sort (except to read
+// Stats). On error all run files have been removed.
 func (s *Sorter) Sort() (*Iterator, error) {
 	if len(s.runs) == 0 {
 		s.sortCur()
 		s.stats.InMemory = true
-		return &Iterator{mem: s.cur}, nil
+		it := &Iterator{mem: s.cur, release: func() {
+			s.gov.Release(s.reserved)
+			s.reserved = 0
+		}}
+		return it, nil
 	}
 	if err := s.spill(); err != nil {
 		return nil, err
@@ -123,6 +174,10 @@ func (s *Sorter) Sort() (*Iterator, error) {
 			}
 			merged, err := s.mergeToFile(s.runs[i:end])
 			if err != nil {
+				for _, p := range next {
+					os.Remove(p)
+				}
+				s.cleanup()
 				return nil, err
 			}
 			next = append(next, merged)
@@ -130,7 +185,14 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		s.runs = next
 		s.stats.MergePasses++
 	}
-	return s.openMerge(s.runs)
+	it, err := s.openMerge(s.runs)
+	if err != nil {
+		// openMerge's partial Close removed the runs it had opened;
+		// sweep the rest.
+		s.cleanup()
+		return nil, err
+	}
+	return it, nil
 }
 
 func (s *Sorter) mergeToFile(runs []string) (string, error) {
@@ -144,6 +206,7 @@ func (s *Sorter) mergeToFile(runs []string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	w.Hook = s.hook
 	for {
 		rec, err := it.Next()
 		if err == io.EOF {
@@ -159,6 +222,7 @@ func (s *Sorter) mergeToFile(runs []string) (string, error) {
 		}
 	}
 	if err := w.Finish(); err != nil {
+		os.Remove(path)
 		return "", err
 	}
 	s.stats.Spilled += w.Bytes()
@@ -219,7 +283,8 @@ func (it *Iterator) Next() ([]byte, error) {
 	return out, nil
 }
 
-// Close releases readers and deletes run files.
+// Close releases readers, deletes run files, and returns governor
+// reservations. Safe to call before exhaustion and more than once.
 func (it *Iterator) Close() error {
 	var err error
 	for _, r := range it.readers {
@@ -233,6 +298,10 @@ func (it *Iterator) Close() error {
 	it.readers = nil
 	it.h = nil
 	it.mem = nil
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
 	return err
 }
 

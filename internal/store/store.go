@@ -72,6 +72,9 @@ type Options struct {
 	NoParentIndex bool
 	// ReadOnly opens an existing store without write access.
 	ReadOnly bool
+	// IOHook, when set, is consulted before every page read and write
+	// (fault injection).
+	IOHook pager.IOHook
 }
 
 // Store is one stored document with its indexes and statistics.
@@ -122,6 +125,7 @@ func (s *Store) openPager() error {
 		PageSize:    s.opts.PageSize,
 		CacheFrames: s.opts.CacheFrames,
 		ReadOnly:    s.opts.ReadOnly,
+		IOHook:      s.opts.IOHook,
 	})
 	if err != nil {
 		return err
@@ -187,6 +191,9 @@ func (s *Store) TempDir() (string, error) {
 
 // PagerStats returns the buffer pool I/O counters.
 func (s *Store) PagerStats() pager.Stats { return s.pg.Stats() }
+
+// PinnedPages returns the buffer pool's total pin count (leak checks).
+func (s *Store) PinnedPages() int { return s.pg.PinnedPages() }
 
 // ResetPagerStats zeroes the buffer pool counters.
 func (s *Store) ResetPagerStats() { s.pg.ResetStats() }

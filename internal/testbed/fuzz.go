@@ -30,6 +30,11 @@ type FuzzConfig struct {
 	// Timeout bounds each query on each engine (default 30s — generous,
 	// so no engine times out and timing never masquerades as mismatch).
 	Timeout time.Duration
+	// Budget, when > 0, caps every engine under test (not the naive
+	// reference) at this many bytes of operator memory AND per-query
+	// buffered memory, so spill paths run under the full cross-engine
+	// byte-equivalence check.
+	Budget int
 }
 
 // FuzzMismatch is one query whose result on some engine configuration
@@ -392,7 +397,10 @@ func RunFuzz(dir string, cfg FuzzConfig) ([]FuzzMismatch, int, error) {
 			under = under[:0]
 			for i := range engines {
 				c := engines[i].Cfg
-				under = append(under, core.New(st, core.Config{Mode: core.ModeM4, Opt: &c, Timeout: cfg.Timeout}))
+				under = append(under, core.New(st, core.Config{
+					Mode: core.ModeM4, Opt: &c, Timeout: cfg.Timeout,
+					SortBudget: cfg.Budget, MemBudget: cfg.Budget,
+				}))
 			}
 		}
 		gen := &fuzzQueryGen{rng: rng, doc: doc}

@@ -124,6 +124,9 @@ type EffConfig struct {
 	CacheFrames int
 	// SortBudget bounds operator memory.
 	SortBudget int
+	// MemBudget caps each query's total buffered bytes across all its
+	// operators (0 = unlimited); over-budget operators spill to disk.
+	MemBudget int
 	// Modes are the engines to compare.
 	Modes []core.Mode
 	// Opt overrides the optimizer configuration of the TPM-based modes
@@ -144,6 +147,9 @@ type EffRow struct {
 	Mode  core.Mode
 	Cells [5]EffCell
 	Total float64
+	// SpilledBytes is the engine's total spill traffic across the five
+	// tests (non-zero only when a budget forces operators to disk).
+	SpilledBytes int64
 }
 
 // RunEfficiency loads the efficiency document once and times every engine
@@ -175,11 +181,12 @@ func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
 	var rows []EffRow
 	for _, m := range cfg.Modes {
 		row := EffRow{Mode: m}
-		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, Opt: cfg.Opt})
+		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, MemBudget: cfg.MemBudget, Opt: cfg.Opt})
 		for i, test := range tests {
 			start := time.Now()
 			_, err := e.Query(test.Query)
 			elapsed := time.Since(start).Seconds()
+			row.SpilledBytes += e.Counters().SpilledBytes
 			cell := EffCell{Seconds: elapsed}
 			if errors.Is(err, limit.ErrTimeout) {
 				cell.TimedOut = true
