@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"xqdb/internal/core"
+	"xqdb/internal/exec"
 	"xqdb/internal/opt"
 	"xqdb/internal/testbed"
 )
@@ -42,6 +44,9 @@ func run() error {
 	budget := flag.Int("budget", 0, "per-query memory budget in bytes (0 = unlimited): caps operator buffering and sort memory; over-budget operators spill to disk")
 	seed := flag.Int64("seed", 1, "workload seed")
 	join := flag.String("join", "auto", "force the join operator family in the efficiency suite: auto, twig, structural, structural-anc, inl, nl, bnl (non-auto runs the M4 engine only)")
+	batch := flag.Int("batch", exec.DefaultBatchSize, "operator batch capacity of the TPM engines (0 = row-at-a-time fallback)")
+	runs := flag.Int("runs", 1, "efficiency suite repetitions; the -json output reports per-test medians over them")
+	jsonPath := flag.String("json", "", "write efficiency results (per-test median seconds, allocs/op, spilled bytes) as JSON to this file")
 	report := flag.String("report", "", "also write a markdown report to this file")
 	flag.Parse()
 
@@ -82,6 +87,13 @@ func run() error {
 		fmt.Println()
 	}
 
+	// The CLI exposes 0 as the row-at-a-time fallback; the core config
+	// encodes row mode as a negative capacity (0 there means "default").
+	coreBatch := *batch
+	if *batch == 0 {
+		coreBatch = -1
+	}
+
 	var rows []testbed.EffRow
 	if *suite == "efficiency" || *suite == "grading" || *suite == "all" {
 		cap := *timeout
@@ -99,7 +111,7 @@ func run() error {
 			fmt.Printf("%s\n    rationale: %s\n", t, t.Why)
 		}
 		fmt.Println()
-		rows, err = testbed.RunEfficiency(dir, testbed.EffConfig{
+		cfg := testbed.EffConfig{
 			Entries:     *entries,
 			Seed:        *seed,
 			Timeout:     cap,
@@ -108,10 +120,20 @@ func run() error {
 			MemBudget:   *budget,
 			Modes:       joinModes,
 			Opt:         joinOpt,
-		})
-		if err != nil {
-			return err
+			BatchSize:   coreBatch,
 		}
+		if *runs < 1 {
+			*runs = 1
+		}
+		all := make([][]testbed.EffRow, 0, *runs)
+		for i := 0; i < *runs; i++ {
+			r, err := testbed.RunEfficiency(dir, cfg)
+			if err != nil {
+				return err
+			}
+			all = append(all, r)
+		}
+		rows = all[0]
 		figure7 = testbed.FormatFigure7(rows)
 		fmt.Println(figure7)
 		if *budget > 0 {
@@ -119,6 +141,12 @@ func run() error {
 				fmt.Printf("%-14s spilled %d bytes\n", r.Mode, r.SpilledBytes)
 			}
 			fmt.Println()
+		}
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, *entries, *seed, *batch, all); err != nil {
+				return err
+			}
+			fmt.Printf("JSON results written to %s\n\n", *jsonPath)
 		}
 	}
 
@@ -153,6 +181,84 @@ func run() error {
 		fmt.Printf("\nreport written to %s\n", *report)
 	}
 	return nil
+}
+
+// benchEngine is one engine's entry in the -json output.
+type benchEngine struct {
+	Name string `json:"name"`
+	// Batch is the CLI batch capacity (0 = row-at-a-time fallback).
+	Batch int `json:"batch"`
+	// TestsSec holds the per-test median seconds over all runs.
+	TestsSec []float64 `json:"tests_sec"`
+	TotalSec float64   `json:"total_sec"`
+	// AllocsPerOp is the median over runs of the engine's heap
+	// allocations per query (total across the five tests / 5).
+	AllocsPerOp  uint64 `json:"allocs_per_op"`
+	SpilledBytes int64  `json:"spilled_bytes"`
+}
+
+type benchReport struct {
+	Entries int           `json:"entries"`
+	Seed    int64         `json:"seed"`
+	Runs    int           `json:"runs"`
+	Batch   int           `json:"batch"`
+	Engines []benchEngine `json:"engines"`
+}
+
+// writeJSON aggregates repeated efficiency runs into per-test medians and
+// writes them as JSON.
+func writeJSON(path string, entries int, seed int64, batch int, all [][]testbed.EffRow) error {
+	byMode := map[core.Mode][]testbed.EffRow{}
+	var order []core.Mode
+	for _, rows := range all {
+		for _, r := range rows {
+			if _, seen := byMode[r.Mode]; !seen {
+				order = append(order, r.Mode)
+			}
+			byMode[r.Mode] = append(byMode[r.Mode], r)
+		}
+	}
+	rep := benchReport{Entries: entries, Seed: seed, Runs: len(all), Batch: batch}
+	for _, m := range order {
+		runs := byMode[m]
+		e := benchEngine{Name: m.String(), Batch: batch, TestsSec: make([]float64, 5)}
+		for i := 0; i < 5; i++ {
+			secs := make([]float64, len(runs))
+			for j, r := range runs {
+				secs[j] = r.Cells[i].Seconds
+			}
+			e.TestsSec[i] = median(secs)
+			e.TotalSec += e.TestsSec[i]
+		}
+		allocs := make([]float64, len(runs))
+		for j, r := range runs {
+			allocs[j] = float64(r.Allocs) / 5
+			if r.SpilledBytes > e.SpilledBytes {
+				e.SpilledBytes = r.SpilledBytes
+			}
+		}
+		e.AllocsPerOp = uint64(median(allocs))
+		rep.Engines = append(rep.Engines, e)
+	}
+	sort.Slice(rep.Engines, func(i, j int) bool { return rep.Engines[i].TotalSec < rep.Engines[j].TotalSec })
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // joinOverride maps the -join flag to an optimizer configuration

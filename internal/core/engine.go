@@ -91,6 +91,12 @@ type Config struct {
 	Opt *opt.Config
 	// NoMerge disables relfor merging regardless of Mode (ablations).
 	NoMerge bool
+	// BatchSize sets the operator batch capacity of the milestone 3/4
+	// executor: 0 uses exec.DefaultBatchSize, a negative value forces
+	// row-at-a-time execution (every operator runs through the row
+	// adapter — the pre-batching engine, kept as a correctness oracle and
+	// ablation point).
+	BatchSize int
 }
 
 // Engine evaluates XQ queries over one stored document under a fixed
@@ -211,14 +217,21 @@ func (e *Engine) execCtx(dl *limit.Deadline) (*exec.Ctx, error) {
 	e.mu.Lock()
 	e.current = budget
 	e.mu.Unlock()
-	return &exec.Ctx{
+	ctx := &exec.Ctx{
 		Store:      e.st,
 		TempDir:    tmp,
 		Budget:     budget,
 		Env:        exec.Env{},
 		SortBudget: e.cfg.SortBudget,
 		FaultHook:  e.cfg.FaultHook,
-	}, nil
+	}
+	switch {
+	case e.cfg.BatchSize < 0:
+		ctx.RowMode = true
+	case e.cfg.BatchSize > 0:
+		ctx.BatchSize = e.cfg.BatchSize
+	}
+	return ctx, nil
 }
 
 // Cancel aborts the in-flight query (if any): its next budget poll returns

@@ -1,0 +1,270 @@
+// Batch-at-a-time execution. Operators that can, exchange row batches —
+// columnar slabs of up to ~1k vartuple slots — instead of single rows, so
+// the per-row virtual Next call, budget poll, and row copy disappear from
+// the hot loops. Operators that cannot run through a row-at-a-time adapter,
+// which keeps the batched and row engines byte-equivalent by construction.
+
+package exec
+
+import "xqdb/internal/xasr"
+
+// DefaultBatchSize is the row capacity of operator batches.
+const DefaultBatchSize = 1024
+
+// Batch is a block of intermediate rows in columnar layout: one column of
+// XASR tuples per row slot, all columns the same length. A producer may
+// repoint Cols at its internal storage, so a batch's contents are only
+// valid until the next NextBatch or Close on its producer; consumers that
+// retain rows copy them (exactly the row-iterator contract, batch-sized).
+type Batch struct {
+	// Cols holds one column per row slot; every column has n entries.
+	Cols [][]xasr.Tuple
+	// Sel, when non-nil, is a selection vector: the physical row indices
+	// (into Cols) that survived a filter, in order. nil selects all n
+	// rows. Filtering sets Sel instead of compacting, so no rows move.
+	Sel []int32
+	// n is the physical row count.
+	n int
+}
+
+// reset prepares b to be filled with up to capRows rows of the given slot
+// count, reusing existing capacity.
+func (b *Batch) reset(slots, capRows int) {
+	if cap(b.Cols) < slots {
+		b.Cols = make([][]xasr.Tuple, slots)
+	} else {
+		b.Cols = b.Cols[:slots]
+	}
+	for i := range b.Cols {
+		if cap(b.Cols[i]) < capRows {
+			b.Cols[i] = make([]xasr.Tuple, 0, capRows)
+		} else {
+			b.Cols[i] = b.Cols[i][:0]
+		}
+	}
+	b.Sel = nil
+	b.n = 0
+}
+
+// Len returns the logical row count: the selected rows when a selection
+// vector is present, all physical rows otherwise.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.n
+}
+
+// rowIdx maps a logical row index to its physical index.
+func (b *Batch) rowIdx(i int) int {
+	if b.Sel != nil {
+		return int(b.Sel[i])
+	}
+	return i
+}
+
+// row gathers logical row i as a Row. Single-slot batches return a
+// zero-copy sub-slice of the column; wider batches gather into buf, whose
+// (possibly grown) backing the caller should keep for reuse.
+func (b *Batch) row(i int, buf Row) Row {
+	p := b.rowIdx(i)
+	if len(b.Cols) == 1 {
+		return b.Cols[0][p : p+1 : p+1]
+	}
+	buf = buf[:0]
+	for _, col := range b.Cols {
+		buf = append(buf, col[p])
+	}
+	return buf
+}
+
+// appendRow copies row into the batch as a new physical row.
+func (b *Batch) appendRow(row Row) {
+	for i, t := range row {
+		b.Cols[i] = append(b.Cols[i], t)
+	}
+	b.n++
+}
+
+// batchIter is the vectorized iterator contract. NextBatch fills b with up
+// to Ctx.batchCap() rows and returns the logical row count; 0 means the
+// stream is exhausted (producers with residual predicates keep pulling
+// until at least one row qualifies or their input ends, so a zero count
+// never merely means "everything in this batch was filtered out").
+type batchIter interface {
+	rowIter
+	NextBatch(b *Batch) (int, error)
+}
+
+// rowBatchAdapter lifts a row-at-a-time iterator to the batch contract by
+// copying rows into the batch. It is the compatibility path for operators
+// without a native NextBatch and the whole engine's path in RowMode.
+type rowBatchAdapter struct {
+	ctx   *Ctx
+	it    rowIter
+	slots int
+}
+
+func (a *rowBatchAdapter) Next() (Row, bool, error) { return a.it.Next() }
+func (a *rowBatchAdapter) Close() error             { return a.it.Close() }
+
+func (a *rowBatchAdapter) NextBatch(b *Batch) (int, error) {
+	capRows := a.ctx.batchCap()
+	b.reset(a.slots, capRows)
+	for b.n < capRows {
+		row, ok, err := a.it.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		b.appendRow(row)
+	}
+	return b.n, nil
+}
+
+// asBatch returns it's native batch implementation when it has one, or
+// wraps it in the row adapter. RowMode always takes the adapter (plus
+// single-row batches via batchCap), reproducing the row engine exactly.
+func asBatch(ctx *Ctx, it rowIter, slots int) batchIter {
+	if bi, ok := it.(batchIter); ok && !ctx.RowMode {
+		return bi
+	}
+	return &rowBatchAdapter{ctx: ctx, it: it, slots: slots}
+}
+
+// rowView serves the row-at-a-time contract on top of a batched producer,
+// for consumers (relfor, sort fills, spools) that want single rows but
+// should still drive the producer's batched fast path.
+type rowView struct {
+	src batchIter
+	b   Batch
+	pos int
+	buf Row
+}
+
+func (v *rowView) next() (Row, bool, error) {
+	for v.pos >= v.b.Len() {
+		n, err := v.src.NextBatch(&v.b)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		v.pos = 0
+	}
+	row := v.b.row(v.pos, v.buf)
+	if len(v.b.Cols) > 1 {
+		v.buf = row
+	}
+	v.pos++
+	return row, true, nil
+}
+
+// batchStream is a peekable batched stream over a document-ordered input,
+// used by the structural and twig merges for their descendant sides. It
+// exposes the rows of the current batch by logical index so the merges can
+// emit whole runs without re-materializing rows, and it answers seekInGE
+// first from the buffered batch (binary search — in-order streams are
+// In-sorted within a batch) and only then from the underlying cursor.
+type batchStream struct {
+	ctx    *Ctx
+	src    batchIter
+	seek   inSeeker
+	inSlot int
+	b      Batch
+	pos    int
+	eof    bool
+	rbuf   Row
+}
+
+func newBatchStream(ctx *Ctx, it rowIter, slots, inSlot int) *batchStream {
+	s := &batchStream{ctx: ctx, src: asBatch(ctx, it, slots), inSlot: inSlot}
+	if sk, ok := it.(inSeeker); ok {
+		s.seek = sk
+	}
+	return s
+}
+
+// ensure makes at least one unconsumed row available, reporting false at
+// end of stream.
+func (s *batchStream) ensure() (bool, error) {
+	for !s.eof && s.pos >= s.b.Len() {
+		n, err := s.src.NextBatch(&s.b)
+		if err != nil {
+			return false, err
+		}
+		if n == 0 {
+			s.eof = true
+			break
+		}
+		s.pos = 0
+	}
+	return !s.eof, nil
+}
+
+// in returns the In label of logical row i of the current batch.
+func (s *batchStream) in(i int) uint32 {
+	return s.b.Cols[s.inSlot][s.b.rowIdx(i)].In
+}
+
+// tup returns the join-slot tuple of logical row i of the current batch.
+func (s *batchStream) tup(i int) xasr.Tuple {
+	return s.b.Cols[s.inSlot][s.b.rowIdx(i)]
+}
+
+// row gathers logical row i of the current batch.
+func (s *batchStream) row(i int) Row {
+	row := s.b.row(i, s.rbuf)
+	if len(s.b.Cols) > 1 {
+		s.rbuf = row
+	}
+	return row
+}
+
+// seekInGE positions the stream at the first row with In >= target,
+// reporting false at end of stream. Rows already buffered below target are
+// dropped in-batch (the callers' skip semantics make that always safe);
+// only when the buffered batch is exhausted does the underlying cursor
+// seek.
+func (s *batchStream) seekInGE(target uint32) (bool, error) {
+	for {
+		lo, hi := s.pos, s.b.Len()
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if s.in(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		s.pos = lo
+		if s.pos < s.b.Len() {
+			return true, nil
+		}
+		if s.eof {
+			return false, nil
+		}
+		if s.seek != nil {
+			ok, err := s.seek.seekInGE(target)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				s.eof = true
+				return false, nil
+			}
+		}
+		n, err := s.src.NextBatch(&s.b)
+		if err != nil {
+			return false, err
+		}
+		if n == 0 {
+			s.eof = true
+			return false, nil
+		}
+		s.pos = 0
+	}
+}

@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xqdb/internal/limit"
+	"xqdb/internal/tpm"
+	"xqdb/internal/xasr"
+)
+
+// drainBatches pulls a plan to exhaustion through the batch contract,
+// copying rows out (batch contents are only valid until the next
+// NextBatch call).
+func drainBatches(t *testing.T, ctx *Ctx, n PlanNode) []Row {
+	t.Helper()
+	it, err := n.open(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	slots := len(n.Schema().Aliases)
+	bi := asBatch(ctx, it, slots)
+	var rows []Row
+	var b Batch
+	for {
+		k, err := bi.NextBatch(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			return rows
+		}
+		if b.Len() != k {
+			t.Fatalf("NextBatch returned %d but Len() is %d", k, b.Len())
+		}
+		for i := 0; i < k; i++ {
+			rows = append(rows, append(Row(nil), b.row(i, nil)...))
+		}
+	}
+}
+
+func sameRows(t *testing.T, label string, got, want []Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: row %d width %d, want %d", label, i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s: row %d slot %d = %+v, want %+v", label, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestScanNextBatchMatchesNext drains the same scans through both sides
+// of the iterator contract: the native NextBatch fill must produce
+// exactly the row sequence of Next, residual predicates included.
+func TestScanNextBatchMatchesNext(t *testing.T) {
+	doc := deepNestedDoc(8, 5)
+	plans := map[string]PlanNode{
+		"full":  NewScan("R", Access{Kind: AccessFull}, nil),
+		"label": labelScan("B", "b"),
+		"filtered": NewScan("B", Access{Kind: AccessLabel, Type: xasr.TypeElem, Value: "b"},
+			[]tpm.Cmp{tpm.Gt(tpm.AttrOp("B", tpm.ColIn), tpm.InOp(10))}),
+	}
+	for name, plan := range plans {
+		want := drain(t, testCtx(t, doc), plan)
+		got := drainBatches(t, testCtx(t, doc), plan)
+		sameRows(t, "scan/"+name, got, want)
+	}
+}
+
+// TestRowBatchAdapterRoundTrip forces the compatibility adapter (RowMode)
+// over a filtered scan and checks it reproduces the row engine exactly,
+// one row per batch.
+func TestRowBatchAdapterRoundTrip(t *testing.T) {
+	doc := deepNestedDoc(6, 4)
+	plan := NewScan("B", Access{Kind: AccessLabel, Type: xasr.TypeElem, Value: "b"},
+		[]tpm.Cmp{tpm.Gt(tpm.AttrOp("B", tpm.ColIn), tpm.InOp(7))})
+	want := drain(t, testCtx(t, doc), plan)
+
+	ctx := testCtx(t, doc)
+	ctx.RowMode = true
+	if cap := ctx.batchCap(); cap != 1 {
+		t.Fatalf("RowMode batchCap = %d, want 1", cap)
+	}
+	it, err := plan.open(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	bi := asBatch(ctx, it, len(plan.Schema().Aliases))
+	if _, native := bi.(*rowBatchAdapter); !native {
+		t.Fatalf("RowMode must route through the row adapter, got %T", bi)
+	}
+	var rows []Row
+	var b Batch
+	for {
+		k, err := bi.NextBatch(&b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			break
+		}
+		if k != 1 {
+			t.Fatalf("RowMode batch carried %d rows, want 1", k)
+		}
+		rows = append(rows, append(Row(nil), b.row(0, nil)...))
+	}
+	sameRows(t, "adapter", rows, want)
+}
+
+// TestBatchSizeEquivalence replays a structural join under every batch
+// capacity class — tiny, prime, default — plus the row adapter, and
+// requires byte-identical row sequences. Capacity must never be
+// observable in results.
+func TestBatchSizeEquivalence(t *testing.T) {
+	doc := deepNestedDoc(12, 9)
+	plan := NewStructuralJoin(labelScan("A", "a"), labelScan("B", "b"), descPred("A", "B"), nil)
+	want := drain(t, testCtx(t, doc), plan)
+	if len(want) == 0 {
+		t.Fatal("empty reference result — test document broken")
+	}
+
+	for _, size := range []int{1, 2, 3, 7, DefaultBatchSize} {
+		ctx := testCtx(t, doc)
+		ctx.BatchSize = size
+		sameRows(t, "batch-size", drainBatches(t, ctx, plan), want)
+	}
+	ctx := testCtx(t, doc)
+	ctx.RowMode = true
+	sameRows(t, "row-mode", drainBatches(t, ctx, plan), want)
+}
+
+// TestBatchDeadlineAborts covers the per-batch poll: Budget.CheckN runs
+// once per batch instead of once per row, so an expired deadline must
+// still abort mid-stream — within roughly one batch of work, not after
+// the join completes — and Close must leak no pins, temp files, or
+// budget reservations.
+func TestBatchDeadlineAborts(t *testing.T) {
+	ctx := tinyCtx(t, deepNestedDoc(120, 60), 4<<10, limit.After(time.Millisecond))
+	join := NewStructuralJoin(labelScan("A", "a"), labelScan("B", "b"), descPred("A", "B"), nil)
+	it, err := join.open(ctx, nil, nil)
+	if err == nil {
+		bi := asBatch(ctx, it, len(join.Schema().Aliases))
+		start := time.Now()
+		var b Batch
+		for {
+			k, nerr := bi.NextBatch(&b)
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if k == 0 {
+				break
+			}
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("deadline abort took %v — per-batch polling too coarse", elapsed)
+		}
+		if cerr := it.Close(); cerr != nil {
+			t.Errorf("close after abort: %v", cerr)
+		}
+	}
+	if !errors.Is(err, limit.ErrTimeout) {
+		t.Fatalf("batched join finished with %v, want %v", err, limit.ErrTimeout)
+	}
+	if n := tempFileCount(t, ctx); n != 0 {
+		t.Errorf("deadline abort leaked %d temp files", n)
+	}
+	if u := ctx.Budget.InUse(); u != 0 {
+		t.Errorf("deadline abort leaked %d budget bytes", u)
+	}
+	if p := ctx.Store.PinnedPages(); p != 0 {
+		t.Errorf("deadline abort leaked %d pinned pages", p)
+	}
+}

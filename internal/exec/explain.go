@@ -81,6 +81,14 @@ func explainNodePrefixed(b *strings.Builder, n PlanNode, head, rest string, anal
 	if analyze {
 		st := n.Stats()
 		fmt.Fprintf(b, "  (actual rows=%d opens=%d", st.Rows, st.Opens)
+		if st.Batches > 0 {
+			fmt.Fprintf(b, " batches=%d", st.Batches)
+		}
+		if st.SelRows > 0 {
+			// Selectivity of the operator's residual predicate: rows kept
+			// over rows the predicate saw.
+			fmt.Fprintf(b, " sel=%.2f", float64(st.Rows)/float64(st.SelRows))
+		}
 		if st.StackMax > 0 {
 			fmt.Fprintf(b, " stack=%d", st.StackMax)
 		}
@@ -115,8 +123,8 @@ func ExplainAnalyze(p XPlan, c Counters) string {
 		c.RowsScanned, c.RowsJoined, c.RowsStructural, c.RowsTwig, c.RowsEmitted)
 	fmt.Fprintf(&b, "          probes=%d rescans=%d sorted=%d spilled=%d stack-max=%d list-max=%d path-solutions=%d\n",
 		c.IndexProbes, c.InnerRescans, c.SortedRows, c.SpilledTuples, c.StructStackMax, c.StructListMax, c.TwigPathSolutions)
-	fmt.Fprintf(&b, "          spill-bytes=%d spill-runs=%d\n",
-		c.SpilledBytes, c.SpillRuns)
+	fmt.Fprintf(&b, "          spill-bytes=%d spill-runs=%d batches=%d\n",
+		c.SpilledBytes, c.SpillRuns, c.Batches)
 	return b.String()
 }
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -115,6 +116,7 @@ type Scan struct {
 
 	schema *Schema
 	stats  OpStats
+	cc     compiledConds
 }
 
 // NewScan builds a scan node.
@@ -171,6 +173,9 @@ func (s *Scan) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 		}
 	}
 	s.stats.Opens++
+	if err := s.cc.compile(s.Conds, s.schema); err != nil {
+		return nil, err
+	}
 	it := &scanIter{ctx: ctx, scan: s}
 	switch s.Access.Kind {
 	case AccessFull:
@@ -226,6 +231,8 @@ type scanIter struct {
 	child *store.ChildCursor
 	// rowbuf backs every Row this iterator returns (see rowIter contract).
 	rowbuf [1]xasr.Tuple
+	// lbuf is the label-entry scratch NextBatch expands into tuples.
+	lbuf []store.LabelEntry
 }
 
 func (it *scanIter) Next() (Row, bool, error) {
@@ -255,7 +262,10 @@ func (it *scanIter) Next() (Row, bool, error) {
 		it.ctx.Counters.RowsScanned++
 		it.rowbuf[0] = t
 		row := Row(it.rowbuf[:])
-		pass, err := evalConds(it.scan.Conds, row, it.scan.schema, it.ctx.Env)
+		if len(it.scan.Conds) > 0 {
+			it.scan.stats.SelRows++
+		}
+		pass, err := it.scan.cc.eval(row, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -263,6 +273,73 @@ func (it *scanIter) Next() (Row, bool, error) {
 			it.scan.stats.Rows++
 			return row, true, nil
 		}
+	}
+}
+
+// NextBatch fills b straight from the store's leaf-at-a-time cursors: one
+// bulk copy per leaf, no per-row materialization, and one budget poll per
+// batch. Residual conditions compact the column in place, and the loop
+// keeps pulling until at least one row qualifies, so a zero return always
+// means the range is exhausted.
+func (it *scanIter) NextBatch(b *Batch) (int, error) {
+	capRows := it.ctx.batchCap()
+	b.reset(1, capRows)
+	conds := it.scan.Conds
+	for {
+		col := b.Cols[0][:capRows]
+		var n int
+		var err error
+		switch {
+		case it.prim != nil:
+			n, err = it.prim.NextBatch(col)
+		case it.label != nil:
+			if cap(it.lbuf) < capRows {
+				it.lbuf = make([]store.LabelEntry, capRows)
+			}
+			lb := it.lbuf[:capRows]
+			n, err = it.label.NextBatch(lb)
+			for i := 0; i < n; i++ {
+				e := lb[i]
+				col[i] = xasr.Tuple{In: e.In, Out: e.Out, ParentIn: e.ParentIn,
+					Type: it.scan.Access.Type, Value: it.scan.Access.Value}
+			}
+		case it.child != nil:
+			n, err = it.child.NextBatch(col)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if err := it.ctx.checkN(n); err != nil {
+			return 0, err
+		}
+		it.ctx.Counters.RowsScanned += int64(n)
+		kept := n
+		if len(conds) > 0 {
+			it.scan.stats.SelRows += int64(n)
+			kept = 0
+			for i := 0; i < n; i++ {
+				pass, err := it.scan.cc.eval(col[i:i+1], it.ctx.Env)
+				if err != nil {
+					return 0, err
+				}
+				if pass {
+					col[kept] = col[i]
+					kept++
+				}
+			}
+			if kept == 0 {
+				continue
+			}
+		}
+		b.Cols[0] = col[:kept]
+		b.n = kept
+		it.scan.stats.Rows += int64(kept)
+		it.scan.stats.Batches++
+		it.ctx.Counters.Batches++
+		return kept, nil
 	}
 }
 
@@ -307,6 +384,7 @@ type Filter struct {
 	Est_  Est
 
 	stats OpStats
+	cc    compiledConds
 }
 
 // Schema implements PlanNode.
@@ -330,13 +408,22 @@ func (f *Filter) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
 		return nil, err
 	}
 	f.stats.Opens++
-	return &filterIter{ctx: ctx, f: f, child: child}, nil
+	if err := f.cc.compile(f.Conds, f.Schema()); err != nil {
+		child.Close()
+		return nil, err
+	}
+	it := &filterIter{ctx: ctx, f: f, child: child}
+	it.childB = asBatch(ctx, child, len(f.Schema().Aliases))
+	return it, nil
 }
 
 type filterIter struct {
-	ctx   *Ctx
-	f     *Filter
-	child rowIter
+	ctx    *Ctx
+	f      *Filter
+	child  rowIter
+	childB batchIter
+	selbuf []int32
+	rbuf   Row
 }
 
 func (it *filterIter) Next() (Row, bool, error) {
@@ -345,7 +432,8 @@ func (it *filterIter) Next() (Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		pass, err := evalConds(it.f.Conds, row, it.f.Schema(), it.ctx.Env)
+		it.f.stats.SelRows++
+		pass, err := it.f.cc.eval(row, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -353,6 +441,46 @@ func (it *filterIter) Next() (Row, bool, error) {
 			it.f.stats.Rows++
 			return row, true, nil
 		}
+	}
+}
+
+// NextBatch evaluates the residual conjunction over a whole child batch
+// and publishes the qualifying rows as a selection vector — no row is
+// copied or moved. It keeps pulling until a batch with at least one
+// qualifying row arrives or the child ends.
+func (it *filterIter) NextBatch(b *Batch) (int, error) {
+	for {
+		n, err := it.childB.NextBatch(b)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		it.f.stats.SelRows += int64(n)
+		sel := it.selbuf[:0]
+		for i := 0; i < n; i++ {
+			row := b.row(i, it.rbuf)
+			if len(b.Cols) > 1 {
+				it.rbuf = row
+			}
+			pass, err := it.f.cc.eval(row, it.ctx.Env)
+			if err != nil {
+				return 0, err
+			}
+			if pass {
+				sel = append(sel, int32(b.rowIdx(i)))
+			}
+		}
+		it.selbuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		it.f.stats.Rows += int64(len(sel))
+		it.f.stats.Batches++
+		it.ctx.Counters.Batches++
+		return len(sel), nil
 	}
 }
 
@@ -364,8 +492,14 @@ func (it *filterIter) Close() error { return it.child.Close() }
 // budget (drawing on the query's limit.Budget), spilling to a temp record
 // file beyond it. It supports repeated sequential replay — milestone 3's
 // "write each intermediate result to disk, re-read it whenever necessary".
+//
+// Records are batch-framed: uvarint row count, then that many appendRow
+// encodings. Spill granularity is therefore batch-sized, and replay
+// decodes a whole frame against one shared string instead of allocating
+// per row.
 type spool struct {
 	slots   int
+	rows    int64
 	buf     *recfile.BoundedBuf
 	scratch []byte
 }
@@ -377,14 +511,39 @@ func newSpool(ctx *Ctx, slots int) *spool {
 }
 
 func (sp *spool) add(ctx *Ctx, row Row) error {
-	sp.scratch = appendRow(sp.scratch[:0], row)
+	sp.scratch = binary.AppendUvarint(sp.scratch[:0], 1)
+	sp.scratch = appendRow(sp.scratch, row)
+	sp.rows++
+	return sp.buf.Append(sp.scratch)
+}
+
+// addBatch appends a whole batch as one frame. rbuf is the caller-owned
+// row-gather scratch.
+func (sp *spool) addBatch(b *Batch, rbuf *Row) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	sp.scratch = binary.AppendUvarint(sp.scratch[:0], uint64(n))
+	for i := 0; i < n; i++ {
+		row := b.row(i, *rbuf)
+		if len(b.Cols) > 1 {
+			*rbuf = row
+		}
+		sp.scratch = appendRow(sp.scratch, row)
+	}
+	sp.rows += int64(n)
 	return sp.buf.Append(sp.scratch)
 }
 
 // finish freezes the spool and folds its spill activity into the query
-// counters and the owning operator's stats.
+// counters and the owning operator's stats. Once a BoundedBuf spills it
+// moves its entire contents to the run file, so the spilled-tuple count is
+// all rows or none.
 func (sp *spool) finish(ctx *Ctx, stats *OpStats) error {
-	ctx.Counters.SpilledTuples += sp.buf.SpilledRecs()
+	if sp.buf.Spilled() {
+		ctx.Counters.SpilledTuples += sp.rows
+	}
 	ctx.Counters.SpilledBytes += sp.buf.SpilledBytes()
 	ctx.Counters.SpillRuns += int64(sp.buf.SpillRuns())
 	if stats != nil {
@@ -413,22 +572,44 @@ type spoolIter struct {
 	sp     *spool
 	it     *recfile.BoundedIter
 	rowbuf Row // reused output buffer (see rowIter contract)
+	// Current frame: raw record, its shared string conversion, decode
+	// offset, and rows left. One string allocation covers every row of
+	// the frame — the NL-join replay path decodes each inner row once
+	// per outer row, so this is the difference between one allocation
+	// per batch and one per joined pair.
+	rec       []byte
+	shared    string
+	off       int
+	remaining int
 }
 
 func (it *spoolIter) Next() (Row, bool, error) {
-	rec, err := it.it.Next()
-	if err == io.EOF {
-		return nil, false, nil
-	}
-	if err != nil {
-		return nil, false, err
+	for it.remaining == 0 {
+		rec, err := it.it.Next()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		cnt, n := binary.Uvarint(rec)
+		if n <= 0 {
+			return nil, false, fmt.Errorf("exec: corrupt spool frame")
+		}
+		it.rec = rec
+		it.shared = string(rec)
+		it.off = n
+		it.remaining = int(cnt)
 	}
 	if it.rowbuf == nil {
 		it.rowbuf = make(Row, it.sp.slots)
 	}
-	if err := decodeRowInto(it.rowbuf, rec); err != nil {
+	off, err := decodeRowAt(it.rowbuf, it.rec, it.shared, it.off)
+	if err != nil {
 		return nil, false, err
 	}
+	it.off = off
+	it.remaining--
 	return it.rowbuf, true, nil
 }
 
@@ -446,6 +627,7 @@ type NLJoin struct {
 
 	schema *Schema
 	stats  OpStats
+	cc     compiledConds
 }
 
 // NewNLJoin builds a nested-loops join node.
@@ -479,6 +661,10 @@ func (j *NLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error)
 	// The inner is materialized lazily, on the first outer row: an empty
 	// outer (e.g. a scan for a non-existent label) must cost nothing.
 	j.stats.Opens++
+	if err := j.cc.compile(j.Conds, j.schema); err != nil {
+		left.Close()
+		return nil, err
+	}
 	return &nlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
 }
 
@@ -491,16 +677,23 @@ func materializeInner(ctx *Ctx, inner PlanNode, outer Row, outerSchema *Schema, 
 	}
 	defer rIt.Close()
 	sp := newSpool(ctx, len(inner.Schema().Aliases))
+	src := asBatch(ctx, rIt, sp.slots)
+	var in Batch
+	var rbuf Row
 	for {
-		row, ok, err := rIt.Next()
+		n, err := src.NextBatch(&in)
 		if err != nil {
 			sp.remove()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		if err := sp.add(ctx, row); err != nil {
+		if err := ctx.checkN(n); err != nil {
+			sp.remove()
+			return nil, err
+		}
+		if err := sp.addBatch(&in, &rbuf); err != nil {
 			sp.remove()
 			return nil, err
 		}
@@ -561,7 +754,7 @@ func (it *nlJoinIter) Next() (Row, bool, error) {
 			continue
 		}
 		it.joined = append(append(it.joined[:0], it.lRow...), rRow...)
-		pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
+		pass, err := it.j.cc.eval(it.joined, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -598,6 +791,7 @@ type BNLJoin struct {
 
 	schema *Schema
 	stats  OpStats
+	cc     compiledConds
 }
 
 // NewBNLJoin builds a block nested-loops join node.
@@ -632,6 +826,10 @@ func (j *BNLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 		return nil, err
 	}
 	j.stats.Opens++
+	if err := j.cc.compile(j.Conds, j.schema); err != nil {
+		left.Close()
+		return nil, err
+	}
 	return &bnlJoinIter{ctx: ctx, j: j, left: left, outer: outer, outerSchema: outerSchema}, nil
 }
 
@@ -718,7 +916,7 @@ func (it *bnlJoinIter) Next() (Row, bool, error) {
 			l := it.block[it.bIdx]
 			it.bIdx++
 			it.joined = append(append(it.joined[:0], l...), it.rRow...)
-			pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
+			pass, err := it.j.cc.eval(it.joined, it.ctx.Env)
 			if err != nil {
 				return nil, false, err
 			}
@@ -757,6 +955,7 @@ type INLJoin struct {
 
 	schema *Schema
 	stats  OpStats
+	cc     compiledConds
 }
 
 // NewINLJoin builds an index nested-loops join node.
@@ -796,6 +995,10 @@ func (j *INLJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 		return nil, err
 	}
 	j.stats.Opens++
+	if err := j.cc.compile(j.Conds, j.schema); err != nil {
+		left.Close()
+		return nil, err
+	}
 	return &inlJoinIter{ctx: ctx, j: j, left: left}, nil
 }
 
@@ -836,7 +1039,7 @@ func (it *inlJoinIter) Next() (Row, bool, error) {
 			continue
 		}
 		it.joined = append(append(it.joined[:0], it.lRow...), rRow...)
-		pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
+		pass, err := it.j.cc.eval(it.joined, it.ctx.Env)
 		if err != nil {
 			return nil, false, err
 		}
@@ -916,12 +1119,16 @@ func (p *Project) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error
 		return nil, err
 	}
 	p.stats.Opens++
-	return &projectIter{p: p, child: child}, nil
+	it := &projectIter{ctx: ctx, p: p, child: child}
+	it.childB = asBatch(ctx, child, len(p.Child.Schema().Aliases))
+	return it, nil
 }
 
 type projectIter struct {
-	p     *Project
-	child rowIter
+	ctx    *Ctx
+	p      *Project
+	child  rowIter
+	childB batchIter
 	// bufs double-buffers the output rows: the previously emitted row must
 	// stay intact for dedup comparison while the next candidate is built,
 	// so emissions alternate between the two (see rowIter contract).
@@ -929,6 +1136,12 @@ type projectIter struct {
 	cur  int
 	prev Row
 	have bool
+	// Batch state: the child batch whose columns the output batch
+	// repoints, the dedup selection scratch, and the previously emitted
+	// keys (carried across batches).
+	in      Batch
+	selbuf  []int32
+	prevIns []uint32
 }
 
 func (it *projectIter) Next() (Row, bool, error) {
@@ -963,6 +1176,70 @@ func sameBindings(a, b Row) bool {
 		}
 	}
 	return true
+}
+
+// NextBatch repoints the output batch at the kept input columns — a
+// projection moves no rows at all. Dedup rebuilds the selection vector by
+// comparing consecutive logical rows on the kept slots, carrying the last
+// emitted keys across batch boundaries.
+func (it *projectIter) NextBatch(b *Batch) (int, error) {
+	slots := it.p.slots
+	for {
+		n, err := it.childB.NextBatch(&it.in)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if cap(b.Cols) < len(slots) {
+			b.Cols = make([][]xasr.Tuple, len(slots))
+		} else {
+			b.Cols = b.Cols[:len(slots)]
+		}
+		for i, s := range slots {
+			b.Cols[i] = it.in.Cols[s]
+		}
+		b.n = it.in.n
+		b.Sel = it.in.Sel
+		out := n
+		if it.p.Dedup {
+			if cap(it.prevIns) < len(slots) {
+				it.prevIns = make([]uint32, len(slots))
+			}
+			prev := it.prevIns[:len(slots)]
+			sel := it.selbuf[:0]
+			for i := 0; i < n; i++ {
+				phys := it.in.rowIdx(i)
+				same := it.have
+				for c := range slots {
+					if b.Cols[c][phys].In != prev[c] {
+						same = false
+						break
+					}
+				}
+				if same {
+					continue
+				}
+				for c := range slots {
+					prev[c] = b.Cols[c][phys].In
+				}
+				it.have = true
+				sel = append(sel, int32(phys))
+			}
+			it.prevIns = prev
+			it.selbuf = sel
+			if len(sel) == 0 {
+				continue
+			}
+			b.Sel = sel
+			out = len(sel)
+		}
+		it.p.stats.Rows += int64(out)
+		it.p.stats.Batches++
+		it.ctx.Counters.Batches++
+		return out, nil
+	}
 }
 
 func (it *projectIter) Close() error { return it.child.Close() }
@@ -1032,35 +1309,44 @@ func (s *Sort) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, error) {
 	}, ctx.SortBudget)
 	sorter.SetGovernor(ctx.Budget)
 	sorter.SetHook(ctx.FaultHook)
+	src := asBatch(ctx, child, len(s.Child.Schema().Aliases))
+	var in Batch
+	var rbuf Row
 	var rec []byte
 	for {
-		if err := ctx.check(); err != nil {
-			sorter.Abort()
-			return nil, err
-		}
-		row, ok, err := child.Next()
+		n, err := src.NextBatch(&in)
 		if err != nil {
 			sorter.Abort()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		rec = rec[:0]
-		for _, slot := range s.keySlots {
-			var kb [4]byte
-			kb[0] = byte(row[slot].In >> 24)
-			kb[1] = byte(row[slot].In >> 16)
-			kb[2] = byte(row[slot].In >> 8)
-			kb[3] = byte(row[slot].In)
-			rec = append(rec, kb[:]...)
-		}
-		rec = appendRow(rec, row)
-		// A failed Add has already removed the sorter's run files.
-		if err := sorter.Add(rec); err != nil {
+		if err := ctx.checkN(n); err != nil {
+			sorter.Abort()
 			return nil, err
 		}
-		ctx.Counters.SortedRows++
+		for i := 0; i < n; i++ {
+			row := in.row(i, rbuf)
+			if len(in.Cols) > 1 {
+				rbuf = row
+			}
+			rec = rec[:0]
+			for _, slot := range s.keySlots {
+				var kb [4]byte
+				kb[0] = byte(row[slot].In >> 24)
+				kb[1] = byte(row[slot].In >> 16)
+				kb[2] = byte(row[slot].In >> 8)
+				kb[3] = byte(row[slot].In)
+				rec = append(rec, kb[:]...)
+			}
+			rec = appendRow(rec, row)
+			// A failed Add has already removed the sorter's run files.
+			if err := sorter.Add(rec); err != nil {
+				return nil, err
+			}
+		}
+		ctx.Counters.SortedRows += int64(n)
 	}
 	it, err := sorter.Sort()
 	if err != nil {

@@ -80,6 +80,14 @@ type Ctx struct {
 	// sort runs, spilled operator buffers); the fault-injection harness
 	// uses it to fail the Nth write deterministically.
 	FaultHook func(op string) error
+	// BatchSize caps the rows per operator batch (0 means
+	// DefaultBatchSize). Awkward sizes (1, 7) are exercised by the fuzz
+	// harness to shake out batch-boundary bugs.
+	BatchSize int
+	// RowMode forces every operator onto the row-at-a-time adapter with
+	// single-row batches — the faithful pre-batching execution mode, kept
+	// as a fallback and as the fuzz/bench baseline.
+	RowMode bool
 	// Counters accumulates runtime statistics for EXPLAIN ANALYZE-style
 	// reporting and tests.
 	Counters Counters
@@ -88,6 +96,22 @@ type Ctx struct {
 // check polls the query's budget (cancellation + deadline); operators call
 // it once per produced tuple or merge step.
 func (c *Ctx) check() error { return c.Budget.Check() }
+
+// checkN polls the query's budget once for a batch of n rows; batched
+// operators call it per batch instead of per row.
+func (c *Ctx) checkN(n int) error { return c.Budget.CheckN(n) }
+
+// batchCap returns the row capacity batched operators size their batches
+// to.
+func (c *Ctx) batchCap() int {
+	if c.RowMode {
+		return 1
+	}
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
 
 // softBudget returns the per-operator buffering budget in bytes.
 func (c *Ctx) softBudget() int {
@@ -133,6 +157,8 @@ type Counters struct {
 	SpilledBytes int64
 	// SpillRuns counts temp run files those operators created.
 	SpillRuns int64
+	// Batches counts row batches produced by natively batched operators.
+	Batches int64
 }
 
 // OpStats tallies one operator instance's runtime activity while a plan
@@ -153,6 +179,13 @@ type OpStats struct {
 	SpilledBytes int64
 	// SpillRuns counts temp run files this operator created.
 	SpillRuns int64
+	// Batches counts row batches this operator produced natively (zero
+	// for operators running through the row-at-a-time adapter).
+	Batches int64
+	// SelRows counts candidate rows examined by this operator's residual
+	// predicate; Rows/SelRows is the observed selectivity EXPLAIN ANALYZE
+	// prints as sel=.
+	SelRows int64
 }
 
 // resolveIn resolves an in/out-valued operand against the environment and
@@ -200,6 +233,18 @@ func resolveIn(op tpm.Operand, outer Row, outerSchema *Schema, env Env) (uint32,
 // operandOn evaluates an operand against a row, returning either a numeric
 // or a string value.
 func operandOn(op tpm.Operand, row Row, schema *Schema, env Env) (num uint32, str string, isStr bool, err error) {
+	slot := -1
+	if op.Kind == tpm.OpAttr {
+		if slot = schema.Slot(op.Attr.Rel); slot < 0 {
+			return 0, "", false, fmt.Errorf("exec: attribute %s not in schema %v", op.Attr, schema.Aliases)
+		}
+	}
+	return operandSlot(op, slot, row, env)
+}
+
+// operandSlot is operandOn with the attribute slot already resolved —
+// the per-row path of compiled conjunctions, which does no map lookups.
+func operandSlot(op tpm.Operand, slot int, row Row, env Env) (num uint32, str string, isStr bool, err error) {
 	switch op.Kind {
 	case tpm.OpConstStr:
 		return 0, op.Str, true, nil
@@ -211,10 +256,6 @@ func operandOn(op tpm.Operand, row Row, schema *Schema, env Env) (num uint32, st
 		n, err := resolveIn(op, nil, nil, env)
 		return n, "", false, err
 	case tpm.OpAttr:
-		slot := schema.Slot(op.Attr.Rel)
-		if slot < 0 {
-			return 0, "", false, fmt.Errorf("exec: attribute %s not in schema %v", op.Attr, schema.Aliases)
-		}
 		t := row[slot]
 		switch op.Attr.Col {
 		case tpm.ColIn:
@@ -243,6 +284,64 @@ func evalConds(conds []tpm.Cmp, row Row, schema *Schema, env Env) (bool, error) 
 	return true, nil
 }
 
+// compiledConds is a conjunction whose attribute operands were resolved
+// to row slots once, at operator open. Per-row evaluation then indexes
+// the row directly instead of hashing alias strings through the schema
+// map for every condition of every row — the dominant cost of predicate
+// evaluation in tight join loops.
+type compiledConds struct {
+	conds []tpm.Cmp
+	slots [][2]int // per condition: left/right OpAttr slot, -1 for non-attrs
+}
+
+// compile resolves conds' attribute slots against schema, once per plan
+// node: the first open compiles, later opens (INL probes reopen their
+// inner scan per outer row) reuse the slots. Unknown attributes surface
+// at open time instead of on the first row.
+func (cc *compiledConds) compile(conds []tpm.Cmp, schema *Schema) error {
+	if cc.slots != nil || len(conds) == 0 {
+		return nil
+	}
+	cc.conds = conds
+	cc.slots = make([][2]int, len(conds))
+	for i, c := range conds {
+		for side, op := range [2]tpm.Operand{c.Left, c.Right} {
+			slot := -1
+			if op.Kind == tpm.OpAttr {
+				if slot = schema.Slot(op.Attr.Rel); slot < 0 {
+					return fmt.Errorf("exec: attribute %s not in schema %v", op.Attr, schema.Aliases)
+				}
+			}
+			cc.slots[i][side] = slot
+		}
+	}
+	return nil
+}
+
+// eval evaluates the compiled conjunction against row. A zero-value
+// compiledConds (no conditions) passes everything.
+func (cc *compiledConds) eval(row Row, env Env) (bool, error) {
+	for i, c := range cc.conds {
+		ok, err := evalCondSlots(c, cc.slots[i], row, env)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func evalCondSlots(c tpm.Cmp, slots [2]int, row Row, env Env) (bool, error) {
+	ln, ls, lStr, err := operandSlot(c.Left, slots[0], row, env)
+	if err != nil {
+		return false, err
+	}
+	rn, rs, rStr, err := operandSlot(c.Right, slots[1], row, env)
+	if err != nil {
+		return false, err
+	}
+	return cmpValues(c, ln, ls, lStr, rn, rs, rStr)
+}
+
 func evalCond(c tpm.Cmp, row Row, schema *Schema, env Env) (bool, error) {
 	ln, ls, lStr, err := operandOn(c.Left, row, schema, env)
 	if err != nil {
@@ -252,6 +351,10 @@ func evalCond(c tpm.Cmp, row Row, schema *Schema, env Env) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	return cmpValues(c, ln, ls, lStr, rn, rs, rStr)
+}
+
+func cmpValues(c tpm.Cmp, ln uint32, ls string, lStr bool, rn uint32, rs string, rStr bool) (bool, error) {
 	if lStr != rStr {
 		return false, fmt.Errorf("exec: type mismatch in condition %s", c)
 	}
@@ -298,11 +401,18 @@ func appendRow(dst []byte, row Row) []byte {
 // slot count). One string conversion is shared by all slot values, so
 // decoding costs a single allocation per row regardless of arity.
 func decodeRowInto(row Row, rec []byte) error {
-	shared := string(rec)
-	off := 0
+	_, err := decodeRowAt(row, rec, string(rec), 0)
+	return err
+}
+
+// decodeRowAt decodes one appendRow-encoded row from rec starting at off,
+// returning the offset past it. shared must be the string conversion of
+// rec: slot values are sliced out of it, so batch-framed records (many
+// rows per record) pay a single string allocation for the whole batch.
+func decodeRowAt(row Row, rec []byte, shared string, off int) (int, error) {
 	for i := range row {
 		if len(rec)-off < 13 {
-			return fmt.Errorf("exec: corrupt spooled row")
+			return 0, fmt.Errorf("exec: corrupt spooled row")
 		}
 		t := xasr.Tuple{
 			In:       binary.BigEndian.Uint32(rec[off:]),
@@ -313,11 +423,11 @@ func decodeRowInto(row Row, rec []byte) error {
 		off += 13
 		vlen, n := binary.Uvarint(rec[off:])
 		if n <= 0 || uint64(len(rec)-off-n) < vlen {
-			return fmt.Errorf("exec: corrupt spooled row value")
+			return 0, fmt.Errorf("exec: corrupt spooled row value")
 		}
 		t.Value = shared[off+n : off+n+int(vlen)]
 		off += n + int(vlen)
 		row[i] = t
 	}
-	return nil
+	return off, nil
 }

@@ -48,6 +48,7 @@ type StructuralJoin struct {
 
 	schema   *Schema
 	stats    OpStats
+	cc       compiledConds
 	ancLeft  bool // the ancestor side is Left
 	ancSlot  int  // slot of Pred.Anc within its side's schema
 	descSlot int  // slot of Pred.Desc within its side's schema
@@ -109,53 +110,62 @@ func (j *StructuralJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter
 		return nil, err
 	}
 	j.stats.Opens++
-	if j.AncOrder {
-		it := &structAncIter{ctx: ctx, j: j, left: left, right: right}
-		if j.ancLeft {
-			it.anc, it.desc = left, right
-		} else {
-			it.anc, it.desc = right, left
-		}
-		it.descSeek, _ = it.desc.(inSeeker)
-		return it, nil
+	if err := j.cc.compile(j.Conds, j.schema); err != nil {
+		left.Close()
+		right.Close()
+		return nil, err
 	}
-	it := &structJoinIter{ctx: ctx, j: j, left: left, right: right}
+	var anc, desc rowIter
+	var descSlots int
 	if j.ancLeft {
-		it.anc, it.desc = left, right
+		anc, desc = left, right
+		descSlots = len(j.Right.Schema().Aliases)
 	} else {
-		it.anc, it.desc = right, left
+		anc, desc = right, left
+		descSlots = len(j.Left.Schema().Aliases)
 	}
-	it.descSeek, _ = it.desc.(inSeeker)
-	return it, nil
+	ds := newBatchStream(ctx, desc, descSlots, j.descSlot)
+	if j.AncOrder {
+		return &structAncIter{ctx: ctx, j: j, left: left, right: right, anc: anc, ds: ds}, nil
+	}
+	return &structJoinIter{ctx: ctx, j: j, left: left, right: right, anc: anc, ds: ds}, nil
 }
 
-// structJoinIter runs the merge. Both streams are consumed in document
-// order; stack holds copies of ancestor-side rows whose intervals enclose
-// the current descendant position, bottom = outermost. Per descendant row
-// the matching stack entries emit one pair per Next call (emitIdx walks
-// the stack bottom-up), so the operator stays fully pipelined.
+// structJoinIter runs the merge batch-at-a-time. Both streams are
+// consumed in document order; stack holds copies of ancestor-side rows
+// whose intervals enclose the current descendant position, bottom =
+// outermost. The descendant side arrives through a batchStream, and the
+// merge emits whole runs: every descendant row up to
+// min(stack-top out, next ancestor in) sees the identical stack, so the
+// per-row stack maintenance — and on the descendant axis the per-pair
+// containment check itself — is hoisted out of the emission loop, which
+// degenerates to column appends.
 type structJoinIter struct {
 	ctx         *Ctx
 	j           *StructuralJoin
 	left, right rowIter
-	anc, desc   rowIter
-	descSeek    inSeeker // non-nil if desc supports seekInGE
+	anc         rowIter
+	ds          *batchStream // descendant side, batch-buffered
 
 	ancRow  Row // head of the ancestor stream (valid until anc.Next)
 	haveAnc bool
 	ancEOF  bool
-
-	descRow  Row // current descendant row (valid until desc.Next)
-	haveDesc bool
-	done     bool
+	done    bool
 
 	// stack entries are copies (children reuse their row buffers); popped
 	// slots keep their backing arrays for reuse by later pushes.
-	stack    []Row
-	emitIdx  int
+	stack []Row
+
+	// Run emission state: descendant rows ds.pos..runEnd of the current
+	// batch all see the identical stack; emitS is the next stack index for
+	// the current descendant. Emission resumes mid-run across NextBatch
+	// calls when the output batch fills.
+	runEnd   int
+	emitS    int
 	emitting bool
 
-	joined Row // reused output buffer (see rowIter contract)
+	view   rowView // serves the row contract on top of NextBatch
+	joined Row     // scratch row for residual-condition evaluation
 }
 
 // pairMatches evaluates the structural predicate between an ancestor-side
@@ -201,54 +211,97 @@ func (it *structJoinIter) popBelow(pos uint32) {
 	}
 }
 
-func (it *structJoinIter) Next() (Row, bool, error) {
+// emitRun appends (descendant, stack entry) pairs of the current run to
+// out until the output batch fills or the run is exhausted, clearing
+// emitting in the latter case. Pairs emit per descendant, stack
+// bottom-up — the row engine's order. fast skips the per-pair predicate:
+// within a run on the descendant axis every stack entry strictly
+// contains every descendant row (labels are drawn from one counter, so
+// interval endpoints never collide and self-pairs cannot arise).
+func (it *structJoinIter) emitRun(out *Batch, capRows int, fast bool) error {
+	stack := it.stack
+	dcols := it.ds.b.Cols
+	descW := len(dcols)
+	ancW := len(stack[0])
+	var ancOff, descOff int
+	if it.j.ancLeft {
+		descOff = ancW
+	} else {
+		ancOff = descW
+	}
 	for {
-		if err := it.ctx.check(); err != nil {
-			return nil, false, err
+		if out.n >= capRows {
+			return nil
 		}
-		if it.done {
-			return nil, false, nil
+		if it.emitS >= len(stack) {
+			it.emitS = 0
+			it.ds.pos++
+			if it.ds.pos >= it.runEnd {
+				it.emitting = false
+				return nil
+			}
 		}
-		if it.emitting {
-			for it.emitIdx < len(it.stack) {
-				entry := it.stack[it.emitIdx]
-				it.emitIdx++
-				if !it.j.pairMatches(entry, it.descRow) {
+		entry := stack[it.emitS]
+		it.emitS++
+		p := it.ds.b.rowIdx(it.ds.pos)
+		if !fast {
+			descRow := it.ds.row(it.ds.pos)
+			if !it.j.pairMatches(entry, descRow) {
+				continue
+			}
+			if len(it.j.Conds) > 0 {
+				if it.j.ancLeft {
+					it.joined = append(append(it.joined[:0], entry...), descRow...)
+				} else {
+					it.joined = append(append(it.joined[:0], descRow...), entry...)
+				}
+				pass, err := it.j.cc.eval(it.joined, it.ctx.Env)
+				if err != nil {
+					return err
+				}
+				if !pass {
 					continue
 				}
-				if it.j.ancLeft {
-					it.joined = append(append(it.joined[:0], entry...), it.descRow...)
-				} else {
-					it.joined = append(append(it.joined[:0], it.descRow...), entry...)
-				}
-				pass, err := evalConds(it.j.Conds, it.joined, it.j.schema, it.ctx.Env)
-				if err != nil {
-					return nil, false, err
-				}
-				if pass {
-					it.ctx.Counters.RowsStructural++
-					it.j.stats.Rows++
-					return it.joined, true, nil
-				}
 			}
-			it.emitting = false
-			it.haveDesc = false
 		}
-		if !it.haveDesc {
-			row, ok, err := it.desc.Next()
-			if err != nil {
-				return nil, false, err
-			}
-			if !ok {
-				// No more descendants: pending ancestors cannot produce
-				// output.
-				it.done = true
-				return nil, false, nil
-			}
-			it.descRow = row
-			it.haveDesc = true
+		for c := 0; c < ancW; c++ {
+			out.Cols[ancOff+c] = append(out.Cols[ancOff+c], entry[c])
 		}
-		dIn := it.descRow[it.j.descSlot].In
+		for c := 0; c < descW; c++ {
+			out.Cols[descOff+c] = append(out.Cols[descOff+c], dcols[c][p])
+		}
+		out.n++
+	}
+}
+
+func (it *structJoinIter) NextBatch(out *Batch) (int, error) {
+	capRows := it.ctx.batchCap()
+	out.reset(len(it.j.schema.Aliases), capRows)
+	if err := it.ctx.check(); err != nil {
+		return 0, err
+	}
+	fast := it.j.Pred.Axis != tpm.AxisChild && len(it.j.Conds) == 0
+	for out.n < capRows {
+		if it.emitting {
+			if err := it.emitRun(out, capRows, fast); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if it.done {
+			break
+		}
+		ok, err := it.ds.ensure()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			// No more descendants: pending ancestors cannot produce
+			// output.
+			it.done = true
+			break
+		}
+		dIn := it.ds.in(it.ds.pos)
 
 		// Pull and stack every ancestor starting before the current
 		// descendant; later ones cannot contain it.
@@ -256,7 +309,7 @@ func (it *structJoinIter) Next() (Row, bool, error) {
 			if !it.haveAnc {
 				row, ok, err := it.anc.Next()
 				if err != nil {
-					return nil, false, err
+					return 0, err
 				}
 				if !ok {
 					it.ancEOF = true
@@ -278,23 +331,52 @@ func (it *structJoinIter) Next() (Row, bool, error) {
 		if len(it.stack) == 0 {
 			if it.ancEOF {
 				it.done = true
-				return nil, false, nil
+				break
 			}
 			// No enclosing ancestor: nothing before the next ancestor's
 			// subtree can match, so leap the descendant stream forward.
 			// The pull loop above only leaves an unconsumed head when
 			// aIn >= dIn, so the target always makes forward progress.
-			it.haveDesc = false
-			if it.descSeek != nil {
-				if _, err := it.descSeek.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
-					return nil, false, err
-				}
+			if _, err := it.ds.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
+				return 0, err
 			}
 			continue
 		}
+
+		// Run detection: every buffered descendant whose in label is at
+		// most min(stack-top out, next ancestor in) sees this exact stack
+		// — no pops (the top has the smallest out) and no pushes (the
+		// pending ancestor starts after the run) can intervene.
+		runMax := it.stack[len(it.stack)-1][it.j.ancSlot].Out
+		if !it.ancEOF {
+			if aIn := it.ancRow[it.j.ancSlot].In; aIn < runMax {
+				runMax = aIn
+			}
+		}
+		end := it.ds.pos + 1
+		for n := it.ds.b.Len(); end < n && it.ds.in(end) <= runMax; end++ {
+		}
+		it.runEnd = end
+		it.emitS = 0
 		it.emitting = true
-		it.emitIdx = 0
 	}
+	if out.n > 0 {
+		it.j.stats.Rows += int64(out.n)
+		it.ctx.Counters.RowsStructural += int64(out.n)
+		it.j.stats.Batches++
+		it.ctx.Counters.Batches++
+		if err := it.ctx.checkN(out.n); err != nil {
+			return 0, err
+		}
+	}
+	return out.n, nil
+}
+
+func (it *structJoinIter) Next() (Row, bool, error) {
+	if it.view.src == nil {
+		it.view.src = it
+	}
+	return it.view.next()
 }
 
 func (it *structJoinIter) Close() error {
@@ -365,17 +447,15 @@ type structAncIter struct {
 	ctx         *Ctx
 	j           *StructuralJoin
 	left, right rowIter
-	anc, desc   rowIter
-	descSeek    inSeeker // non-nil if desc supports seekInGE
+	anc         rowIter
+	ds          *batchStream // descendant side, batch-buffered
 
 	ancRow  Row // head of the ancestor stream (valid until anc.Next)
 	haveAnc bool
 	ancEOF  bool
 
-	descRow  Row // current descendant row (valid until desc.Next)
-	haveDesc bool
-	descEOF  bool
-	done     bool
+	descRow Row // descendant row being paired (view into ds's batch)
+	done    bool
 
 	stack []ancEntry
 
@@ -418,7 +498,7 @@ func (it *structAncIter) newPair(anc Row) (Row, error) {
 	} else {
 		buf = append(append(buf, it.descRow...), anc...)
 	}
-	pass, err := evalConds(it.j.Conds, buf, it.j.schema, it.ctx.Env)
+	pass, err := it.j.cc.eval(buf, it.ctx.Env)
 	if err != nil {
 		return nil, err
 	}
@@ -599,11 +679,13 @@ func (it *structAncIter) popBelow(pos uint32) {
 // pairDesc pairs the current descendant row with every matching stack
 // entry: the bottom's pair goes straight to the output queue, the rest
 // buffer in their entry's self list (spilling the lists past the budget).
-func (it *structAncIter) pairDesc() error {
+// matchAll skips the per-pair predicate; the caller asserts every stack
+// entry matches (descendant-axis runs, see structJoinIter.emitRun).
+func (it *structAncIter) pairDesc(matchAll bool) error {
 	spill := false
 	for i := range it.stack {
 		e := &it.stack[i]
-		if !it.j.pairMatches(e.row, it.descRow) {
+		if !matchAll && !it.j.pairMatches(e.row, it.descRow) {
 			continue
 		}
 		pr, err := it.newPair(e.row)
@@ -632,25 +714,17 @@ func (it *structAncIter) pairDesc() error {
 }
 
 // advance runs merge steps until the output queue is non-empty or the
-// join is done.
+// join is done, consuming the descendant side a run at a time.
 func (it *structAncIter) advance() error {
 	for {
 		if err := it.ctx.check(); err != nil {
 			return err
 		}
-		if !it.haveDesc && !it.descEOF {
-			row, ok, err := it.desc.Next()
-			if err != nil {
-				return err
-			}
-			if !ok {
-				it.descEOF = true
-			} else {
-				it.descRow = row
-				it.haveDesc = true
-			}
+		ok, err := it.ds.ensure()
+		if err != nil {
+			return err
 		}
-		if it.descEOF {
+		if !ok {
 			// No more descendants: no further pairs, flush every
 			// buffered list in pop order.
 			for len(it.stack) > 0 {
@@ -659,7 +733,7 @@ func (it *structAncIter) advance() error {
 			it.done = true
 			return nil
 		}
-		dIn := it.descRow[it.j.descSlot].In
+		dIn := it.ds.in(it.ds.pos)
 
 		// Pull and stack every ancestor starting before the current
 		// descendant; later ones cannot contain it.
@@ -693,21 +767,39 @@ func (it *structAncIter) advance() error {
 			}
 			// No enclosing ancestor: leap the descendant stream to the
 			// next ancestor's subtree (see structJoinIter).
-			it.haveDesc = false
-			if it.descSeek != nil {
-				if _, err := it.descSeek.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
-					return err
-				}
+			if _, err := it.ds.seekInGE(it.ancRow[it.j.ancSlot].In + 1); err != nil {
+				return err
 			}
 			if len(it.out) > 0 {
 				return nil // the pops above flushed a finished epoch
 			}
 			continue
 		}
-		if err := it.pairDesc(); err != nil {
+
+		// Pair the whole run of buffered descendants that see this exact
+		// stack (see structJoinIter.NextBatch for the run bound); on the
+		// descendant axis the per-pair predicate is skipped wholesale.
+		runMax := it.stack[len(it.stack)-1].row[it.j.ancSlot].Out
+		if !it.ancEOF {
+			if aIn := it.ancRow[it.j.ancSlot].In; aIn < runMax {
+				runMax = aIn
+			}
+		}
+		end := it.ds.pos + 1
+		for n := it.ds.b.Len(); end < n && it.ds.in(end) <= runMax; end++ {
+		}
+		matchAll := it.j.Pred.Axis != tpm.AxisChild
+		run := end - it.ds.pos
+		for it.ds.pos < end {
+			it.descRow = it.ds.row(it.ds.pos)
+			if err := it.pairDesc(matchAll); err != nil {
+				return err
+			}
+			it.ds.pos++
+		}
+		if err := it.ctx.checkN(run); err != nil {
 			return err
 		}
-		it.haveDesc = false
 		if len(it.out) > 0 {
 			return nil
 		}

@@ -63,6 +63,7 @@ type TwigJoin struct {
 
 	schema   *Schema
 	stats    OpStats
+	cc       compiledConds
 	children [][]int // node -> child node indices
 	leafPath []int   // leaf node -> index into paths (-1 for inner nodes)
 	paths    [][]int // root-to-leaf node index lists, DFS preorder
@@ -130,15 +131,15 @@ func (j *TwigJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, erro
 	}
 	k := len(j.Streams)
 	it := &twigJoinIter{
-		ctx:    ctx,
-		j:      j,
-		its:    make([]rowIter, k),
-		seeks:  make([]inSeeker, k),
-		heads:  make([]xasr.Tuple, k),
-		have:   make([]bool, k),
-		eofs:   make([]bool, k),
-		stacks: make([][]twigEntry, k),
-		sols:   make([]*recfile.BoundedBuf, len(j.paths)),
+		ctx:     ctx,
+		j:       j,
+		its:     make([]rowIter, k),
+		streams: make([]*batchStream, k),
+		heads:   make([]xasr.Tuple, k),
+		have:    make([]bool, k),
+		eofs:    make([]bool, k),
+		stacks:  make([][]twigEntry, k),
+		sols:    make([]*recfile.BoundedBuf, len(j.paths)),
 	}
 	for pi := range j.paths {
 		it.sols[pi] = it.newBuf("twigsol")
@@ -152,9 +153,13 @@ func (j *TwigJoin) open(ctx *Ctx, outer Row, outerSchema *Schema) (rowIter, erro
 			return nil, err
 		}
 		it.its[i] = si
-		it.seeks[i], _ = si.(inSeeker)
+		it.streams[i] = newBatchStream(ctx, si, 1, 0)
 	}
 	j.stats.Opens++
+	if err := j.cc.compile(j.Conds, j.schema); err != nil {
+		it.Close()
+		return nil, err
+	}
 	return it, nil
 }
 
@@ -168,14 +173,14 @@ type twigEntry struct {
 }
 
 type twigJoinIter struct {
-	ctx    *Ctx
-	j      *TwigJoin
-	its    []rowIter
-	seeks  []inSeeker
-	heads  []xasr.Tuple // peeked head per stream
-	have   []bool
-	eofs   []bool
-	stacks [][]twigEntry
+	ctx     *Ctx
+	j       *TwigJoin
+	its     []rowIter
+	streams []*batchStream // batch-buffered view over its
+	heads   []xasr.Tuple   // peeked head per stream
+	have    []bool
+	eofs    []bool
+	stacks  [][]twigEntry
 	// sols buffers path solutions per path, each encoded with appendRow;
 	// the buffers spill to temp run files past the budget.
 	sols    []*recfile.BoundedBuf
@@ -218,7 +223,8 @@ func (it *twigJoinIter) ensureHead(i int) (bool, error) {
 	if it.eofs[i] {
 		return false, nil
 	}
-	row, ok, err := it.its[i].Next()
+	s := it.streams[i]
+	ok, err := s.ensure()
 	if err != nil {
 		return false, err
 	}
@@ -226,9 +232,15 @@ func (it *twigJoinIter) ensureHead(i int) (bool, error) {
 		it.eofs[i] = true
 		return false, nil
 	}
-	it.heads[i] = row[0]
+	it.heads[i] = s.tup(s.pos)
 	it.have[i] = true
 	return true, nil
+}
+
+// dropHead consumes stream i's pending head.
+func (it *twigJoinIter) dropHead(i int) {
+	it.have[i] = false
+	it.streams[i].pos++
 }
 
 // markEOF drops the remainder of stream i: its tuples can no longer
@@ -307,7 +319,7 @@ func (it *twigJoinIter) getNext(q int) (int, bool, error) {
 			if !ok || it.heads[q].Out >= it.heads[nmax].In {
 				break
 			}
-			it.have[q] = false
+			it.dropHead(q)
 		}
 	}
 	if it.have[q] && it.heads[q].In < it.heads[nmin].In {
@@ -335,7 +347,7 @@ func (it *twigJoinIter) push(q int) {
 		ptr = len(it.stacks[parent]) - 1
 	}
 	it.stacks[q] = append(it.stacks[q], twigEntry{t: it.heads[q], ptr: ptr})
-	it.have[q] = false
+	it.dropHead(q)
 	depth := int64(len(it.stacks[q]))
 	if depth > it.j.stats.StackMax {
 		it.j.stats.StackMax = depth
@@ -445,11 +457,9 @@ func (it *twigJoinIter) run() error {
 			it.markEOF(q)
 			continue
 		}
-		it.have[q] = false
-		if it.seeks[q] != nil {
-			if _, err := it.seeks[q].seekInGE(it.heads[parent].In + 1); err != nil {
-				return err
-			}
+		it.dropHead(q)
+		if _, err := it.streams[q].seekInGE(it.heads[parent].In + 1); err != nil {
+			return err
 		}
 	}
 	return it.merge()
@@ -679,7 +689,7 @@ func (it *twigJoinIter) finalize() error {
 			return err
 		}
 		if len(j.Conds) > 0 {
-			pass, err := evalConds(j.Conds, row, j.schema, it.ctx.Env)
+			pass, err := j.cc.eval(row, it.ctx.Env)
 			if err != nil {
 				accIt.Close()
 				return err

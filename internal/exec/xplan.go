@@ -140,12 +140,22 @@ func runRelFor(ctx *Ctx, p *XRelFor, out []byte) ([]byte, error) {
 	defer it.Close()
 
 	if len(p.Vars) == 0 {
-		// Nullary pass-fail: nonempty result means "true".
+		// Nullary pass-fail: nonempty result means "true". Pull through the
+		// row contract — the batched operators' row views stop after one
+		// batch, keeping the early-out cheap.
 		_, ok, err := it.Next()
 		if err != nil || !ok {
 			return out, err
 		}
 		return run(ctx, p.Body, out)
+	}
+
+	// Drive a batched root through a row view: the operator pipeline moves
+	// batches, only the final binding loop walks rows.
+	next := it.Next
+	if bi, ok := it.(batchIter); ok && !ctx.RowMode {
+		v := &rowView{src: bi}
+		next = v.next
 	}
 
 	// Save shadowed bindings so nested relfors over the same names (from
@@ -166,7 +176,7 @@ func runRelFor(ctx *Ctx, p *XRelFor, out []byte) ([]byte, error) {
 	}()
 
 	for {
-		row, ok, err := it.Next()
+		row, ok, err := next()
 		if err != nil {
 			return out, err
 		}

@@ -52,6 +52,26 @@ func (d *Deadline) Check() error {
 	return nil
 }
 
+// CheckN is Check for batched operators: it advances the poll counter by n
+// rows at once, sampling the clock whenever the counter crosses a sampling
+// boundary. A batch of n rows therefore triggers exactly as many clock
+// samples as n row-at-a-time Check calls would, so moving polling to once
+// per batch does not make deadlines any less responsive in row terms.
+func (d *Deadline) CheckN(n int) error {
+	if d == nil || d.at.IsZero() || n <= 0 {
+		return nil
+	}
+	before := d.count
+	d.count += n
+	if before&^checkMask == d.count&^checkMask {
+		return nil
+	}
+	if time.Now().After(d.at) {
+		return ErrTimeout
+	}
+	return nil
+}
+
 // Expired reports whether the deadline has passed, checking the clock
 // immediately.
 func (d *Deadline) Expired() bool {
@@ -98,6 +118,19 @@ func (b *Budget) Check() error {
 		return ErrCanceled
 	}
 	return b.deadline.Check()
+}
+
+// CheckN is Check advanced by n rows at once (see Deadline.CheckN).
+// Cancellation is still observed on every call, so a canceled query
+// unwinds at the next batch boundary at the latest.
+func (b *Budget) CheckN(n int) error {
+	if b == nil {
+		return nil
+	}
+	if b.canceled.Load() {
+		return ErrCanceled
+	}
+	return b.deadline.CheckN(n)
 }
 
 // Cancel makes all future Check calls return ErrCanceled. Safe to call

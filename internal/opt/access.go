@@ -217,7 +217,7 @@ func (p *Planner) planAccess(alias string, conds []tpm.Cmp, prefix map[string]bo
 			access:   acc,
 			residual: residualExcept(subsumed...),
 			scanned:  scanned,
-			cost:     e.Height() + Pages(scanned) + scanned*cpuPerTuple,
+			cost:     e.Height() + Pages(scanned) + scanned*cpuBatchedTuple,
 		})
 	}
 
@@ -228,7 +228,7 @@ func (p *Planner) planAccess(alias string, conds []tpm.Cmp, prefix map[string]bo
 			access:   exec.Access{Kind: exec.AccessParent, Parent: parts.parentEq.norm.Right},
 			residual: residualExcept(parts.parentEq),
 			scanned:  fan,
-			cost:     e.Height() + Pages(fan) + fan*cpuPerTuple,
+			cost:     e.Height() + Pages(fan) + fan*cpuBatchedTuple,
 		})
 	}
 
@@ -247,7 +247,7 @@ func (p *Planner) planAccess(alias string, conds []tpm.Cmp, prefix map[string]bo
 			},
 			residual: residualExcept(subsumed...),
 			scanned:  rangeRows,
-			cost:     e.Height() + Pages(rangeRows) + rangeRows*cpuPerTuple,
+			cost:     e.Height() + Pages(rangeRows) + rangeRows*cpuBatchedTuple,
 		})
 	}
 
@@ -256,7 +256,7 @@ func (p *Planner) planAccess(alias string, conds []tpm.Cmp, prefix map[string]bo
 		access:   exec.Access{Kind: exec.AccessFull},
 		residual: residualExcept(),
 		scanned:  rowsAll,
-		cost:     Pages(rowsAll) + rowsAll*cpuPerTuple,
+		cost:     Pages(rowsAll) + rowsAll*cpuBatchedTuple,
 	})
 	return out
 }

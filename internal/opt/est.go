@@ -16,6 +16,16 @@ const (
 	tuplesPerPage = 100  // XASR tuples per 4 KiB page (≈40 bytes/tuple)
 	cpuPerTuple   = 0.01 // CPU cost of producing one tuple, in page units
 	probeBase     = 1.0  // B+-tree descent cost per index probe
+
+	// cpuBatchedTuple is the per-tuple CPU charge on batch-at-a-time paths:
+	// scans fill batches straight from leaf cursors and the structural/twig
+	// merges consume and emit them in runs, so the per-row virtual call,
+	// budget poll, and copy amortize over ~DefaultBatchSize rows. What
+	// remains is the real per-row work (predicate evaluation, column
+	// appends), calibrated at a quarter of the row-engine charge. Row-wise
+	// machinery — index probes, nested-loops inner passes, sorts, spool
+	// replay — keeps the full cpuPerTuple.
+	cpuBatchedTuple = cpuPerTuple / 4
 )
 
 // Estimator derives cardinality and selectivity estimates from the stored
@@ -159,10 +169,12 @@ func (e *Estimator) DescendantPairSel(ancLabel string, haveLabel bool) float64 {
 // StructuralJoinCost is the cost of a stack-based structural merge join:
 // both inputs are read once (their page costs live in outerCost and
 // innerCost), every input tuple passes the stack machinery once, and each
-// output pair costs one tuple's CPU. There is no probe cost and no inner
-// rescan — the defining advantage over the nested-loops family.
+// output pair costs one (batch-amortized) tuple's CPU — the merge consumes
+// descendant runs batch-at-a-time and emits by column appends. There is no
+// probe cost and no inner rescan — the defining advantage over the
+// nested-loops family.
 func StructuralJoinCost(outerCost, innerCost, outerRows, innerRows, outRows float64) float64 {
-	return outerCost + innerCost + (outerRows+innerRows)*cpuPerTuple + outRows*cpuPerTuple
+	return outerCost + innerCost + (outerRows+innerRows)*cpuBatchedTuple + outRows*cpuBatchedTuple
 }
 
 // StructuralJoinAncCost is the cost of the ancestor-ordered
@@ -210,7 +222,9 @@ func (e *Estimator) AncNesting(ancLabel string, haveLabel bool) float64 {
 // structural joins — no per-step intermediate results beyond the path
 // solutions themselves.
 func TwigJoinCost(streamCost, streamRows, pathSols, outRows float64) float64 {
-	return streamCost + streamRows*cpuPerTuple + pathSols*cpuPerTuple +
+	// Stream consumption is batch-amortized (the k streams arrive through
+	// batch buffers); path enumeration and the merge sort stay row-wise.
+	return streamCost + streamRows*cpuBatchedTuple + pathSols*cpuPerTuple +
 		outRows*cpuPerTuple*(1+math.Log2(outRows+2))
 }
 

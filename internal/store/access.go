@@ -155,6 +155,35 @@ func (c *tupleLeafCursor) next() (xasr.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// nextBatch copies up to len(dst) tuples into dst, returning how many were
+// produced; 0 means the range is exhausted. In the steady state this is one
+// memcpy per leaf, with no per-tuple work at all — it is the fill path for
+// the batch-at-a-time executor.
+func (c *tupleLeafCursor) nextBatch(dst []xasr.Tuple) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n := 0
+	for n < len(dst) {
+		if c.i >= len(c.tuples) {
+			if c.done {
+				break
+			}
+			if err := c.fill(); err != nil {
+				c.err = err
+				c.done = true
+				c.tuples = c.tuples[:0]
+				return 0, err
+			}
+			continue
+		}
+		k := copy(dst[n:], c.tuples[c.i:])
+		n += k
+		c.i += k
+	}
+	return n, nil
+}
+
 // fill decodes the next leaf's worth of tuples. Numeric columns are
 // decoded straight off the pinned page; value bytes are gathered into one
 // scratch buffer whose single string conversion backs every tuple's Value
@@ -233,6 +262,10 @@ func (s *Store) OpenRange(lo, hi uint32) (*TupleCursor, error) {
 // Next returns the next tuple, or ok=false at the end of the range. The
 // returned tuple is a value copy and stays valid indefinitely.
 func (tc *TupleCursor) Next() (xasr.Tuple, bool, error) { return tc.next() }
+
+// NextBatch copies up to len(dst) tuples into dst, returning how many were
+// produced; 0 means the range is exhausted.
+func (tc *TupleCursor) NextBatch(dst []xasr.Tuple) (int, error) { return tc.nextBatch(dst) }
 
 // SeekGE advances the cursor so the next tuple returned is the first
 // remaining one with in >= target. Within the already-decoded leaf this
@@ -345,6 +378,34 @@ func (lc *LabelRangeCursor) Next() (LabelEntry, bool, error) {
 	return e, true, nil
 }
 
+// NextBatch copies up to len(dst) entries into dst, returning how many
+// were produced; 0 means the range is exhausted. One memcpy per leaf in
+// the steady state.
+func (lc *LabelRangeCursor) NextBatch(dst []LabelEntry) (int, error) {
+	if lc.err != nil {
+		return 0, lc.err
+	}
+	n := 0
+	for n < len(dst) {
+		if lc.i >= len(lc.entries) {
+			if lc.done {
+				break
+			}
+			if err := lc.fill(); err != nil {
+				lc.err = err
+				lc.done = true
+				lc.entries = lc.entries[:0]
+				return 0, err
+			}
+			continue
+		}
+		k := copy(dst[n:], lc.entries[lc.i:])
+		n += k
+		lc.i += k
+	}
+	return n, nil
+}
+
 // SeekGE advances the cursor so the next entry returned is the first
 // remaining one with In >= target, staying within the (type, value)
 // prefix and both bounds of the opened range (targets below the lower
@@ -441,6 +502,10 @@ func (s *Store) OpenChildren(parentIn uint32) (*ChildCursor, error) {
 
 // Next returns the next child tuple, or ok=false past the last child.
 func (cc *ChildCursor) Next() (xasr.Tuple, bool, error) { return cc.next() }
+
+// NextBatch copies up to len(dst) child tuples into dst, returning how
+// many were produced; 0 means the last child has been returned.
+func (cc *ChildCursor) NextBatch(dst []xasr.Tuple) (int, error) { return cc.nextBatch(dst) }
 
 // Close returns the cursor and its buffers to the store's pool. The
 // cursor must not be used afterwards.

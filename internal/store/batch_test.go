@@ -1,0 +1,167 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xqdb/internal/xasr"
+)
+
+// wideDoc builds a flat document large enough that every index spans
+// multiple leaves, so NextBatch exercises its leaf-boundary refills.
+func wideDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<a id=\"%d\"><b>x%04d</b></a>", i, i)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+// TestTupleCursorNextBatchMatchesNext drains the same ranges through
+// Next and through NextBatch at several dst capacities (including ones
+// that straddle leaf boundaries) and requires identical tuple sequences.
+func TestTupleCursorNextBatchMatchesNext(t *testing.T) {
+	s := newStore(t, wideDoc(800), Options{})
+	max := s.MaxIn() + 1
+	ranges := [][2]uint32{{0, 0}, {0, max}, {max / 3, 2 * max / 3}, {max - 5, max}}
+	for _, r := range ranges {
+		tc, err := s.OpenRange(r[0], r[1])
+		if err != nil {
+			t.Fatalf("OpenRange(%d,%d): %v", r[0], r[1], err)
+		}
+		want := drainTuples(t, tc)
+		for _, cap := range []int{1, 7, 64, 1024} {
+			tc, err := s.OpenRange(r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []xasr.Tuple
+			dst := make([]xasr.Tuple, cap)
+			for {
+				k, err := tc.NextBatch(dst)
+				if err != nil {
+					t.Fatalf("NextBatch: %v", err)
+				}
+				if k == 0 {
+					break
+				}
+				got = append(got, dst[:k]...)
+			}
+			tc.Close()
+			if !tuplesEqual(got, want) {
+				t.Fatalf("range [%d,%d) cap %d: NextBatch %d tuples != Next %d", r[0], r[1], cap, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestLabelCursorNextBatchMatchesNext does the same for the label index.
+func TestLabelCursorNextBatchMatchesNext(t *testing.T) {
+	s := newStore(t, wideDoc(800), Options{})
+	lc, err := s.OpenLabelRange(xasr.TypeElem, "b", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []LabelEntry
+	for {
+		e, ok, err := lc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		want = append(want, e)
+	}
+	lc.Close()
+	if len(want) != 800 {
+		t.Fatalf("label drain found %d entries, want 800", len(want))
+	}
+	for _, cap := range []int{1, 7, 64, 1024} {
+		lc, err := s.OpenLabelRange(xasr.TypeElem, "b", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []LabelEntry
+		dst := make([]LabelEntry, cap)
+		for {
+			k, err := lc.NextBatch(dst)
+			if err != nil {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			if k == 0 {
+				break
+			}
+			got = append(got, dst[:k]...)
+		}
+		lc.Close()
+		if len(got) != len(want) {
+			t.Fatalf("cap %d: %d entries, want %d", cap, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cap %d: entry %d = %+v, want %+v", cap, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestChildCursorNextBatchMatchesNext does the same for the child index,
+// on a root with hundreds of children.
+func TestChildCursorNextBatchMatchesNext(t *testing.T) {
+	s := newStore(t, wideDoc(500), Options{})
+	rc, err := s.OpenLabelRange(xasr.TypeElem, "r", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, ok, err := rc.Next()
+	rc.Close()
+	if err != nil || !ok {
+		t.Fatalf("locating <r>: ok=%v err=%v", ok, err)
+	}
+	cc, err := s.OpenChildren(re.In)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]xasr.Tuple, 0, 500)
+	for {
+		var tp xasr.Tuple
+		tp, ok, err = cc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		want = append(want, tp)
+	}
+	cc.Close()
+	if len(want) != 500 {
+		t.Fatalf("child drain found %d tuples, want 500", len(want))
+	}
+	for _, cap := range []int{1, 7, 64, 1024} {
+		cc, err := s.OpenChildren(re.In)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []xasr.Tuple
+		dst := make([]xasr.Tuple, cap)
+		for {
+			k, err := cc.NextBatch(dst)
+			if err != nil {
+				t.Fatalf("NextBatch: %v", err)
+			}
+			if k == 0 {
+				break
+			}
+			got = append(got, dst[:k]...)
+		}
+		cc.Close()
+		if !tuplesEqual(got, want) {
+			t.Fatalf("cap %d: NextBatch %d tuples != Next %d", cap, len(got), len(want))
+		}
+	}
+}

@@ -35,6 +35,15 @@ type FuzzConfig struct {
 	// buffered memory, so spill paths run under the full cross-engine
 	// byte-equivalence check.
 	Budget int
+	// BatchSizes is the operator batch-capacity dimension: iteration i runs
+	// every engine at BatchSizes[i mod len]. Values follow
+	// core.Config.BatchSize (0 = default capacity, negative = row-at-a-time
+	// adapter). Defaults to {0, 1, 7, -1}, so the full-size batches, the
+	// degenerate one-row batches, an odd mid-size that never divides leaf
+	// or run lengths, and the pure row path all face the byte-equivalence
+	// check. The dimension draws nothing from the seed stream, so pinned
+	// seeds replay the same documents and queries regardless.
+	BatchSizes []int
 }
 
 // FuzzMismatch is one query whose result on some engine configuration
@@ -44,6 +53,7 @@ type FuzzMismatch struct {
 	Doc     string
 	Query   string
 	Engine  string
+	Batch   int // core.Config.BatchSize the engine ran at
 	Got     string
 	Want    string
 	GotErr  error
@@ -364,6 +374,9 @@ func RunFuzz(dir string, cfg FuzzConfig) ([]FuzzMismatch, int, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if len(cfg.BatchSizes) == 0 {
+		cfg.BatchSizes = []int{0, 1, 7, -1}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	engines := FuzzEngines()
 
@@ -394,14 +407,18 @@ func RunFuzz(dir string, cfg FuzzConfig) ([]FuzzMismatch, int, error) {
 				return mismatches, checks, fmt.Errorf("testbed: loading %s: %w", doc.desc, err)
 			}
 			ref = core.New(st, core.Config{Mode: core.ModeM2, Timeout: cfg.Timeout})
-			under = under[:0]
-			for i := range engines {
-				c := engines[i].Cfg
-				under = append(under, core.New(st, core.Config{
-					Mode: core.ModeM4, Opt: &c, Timeout: cfg.Timeout,
-					SortBudget: cfg.Budget, MemBudget: cfg.Budget,
-				}))
-			}
+		}
+		// The batch-capacity dimension rotates per iteration, independent
+		// of the seed stream.
+		batch := cfg.BatchSizes[iter%len(cfg.BatchSizes)]
+		under = under[:0]
+		for i := range engines {
+			c := engines[i].Cfg
+			under = append(under, core.New(st, core.Config{
+				Mode: core.ModeM4, Opt: &c, Timeout: cfg.Timeout,
+				SortBudget: cfg.Budget, MemBudget: cfg.Budget,
+				BatchSize: batch,
+			}))
 		}
 		gen := &fuzzQueryGen{rng: rng, doc: doc}
 		q := gen.query()
@@ -412,7 +429,8 @@ func RunFuzz(dir string, cfg FuzzConfig) ([]FuzzMismatch, int, error) {
 			if got != want || (gotErr == nil) != (wantErr == nil) {
 				mismatches = append(mismatches, FuzzMismatch{
 					Iter: iter, Doc: doc.desc, Query: q, Engine: engines[i].Name,
-					Got: got, Want: want, GotErr: gotErr, WantErr: wantErr,
+					Batch: batch,
+					Got:   got, Want: want, GotErr: gotErr, WantErr: wantErr,
 				})
 			}
 		}

@@ -49,6 +49,11 @@ type RobustConfig struct {
 	// forced operator family (the reference engine stays cost-based, so
 	// every comparison doubles as a cross-config equivalence check).
 	Opt *opt.Config
+	// BatchSize follows core.Config.BatchSize for the budgeted and
+	// deadlined engines (0 = executor default, negative = row-at-a-time);
+	// the clean reference always runs at the default so every comparison
+	// doubles as a batch-vs-reference equivalence check.
+	BatchSize int
 	// Docs are the documents to replay on (default Documents(1)).
 	Docs []Doc
 	// Queries are the queries to replay (default the correctness suite,
@@ -156,12 +161,12 @@ func RunRobustness(dir string, cfg RobustConfig) (RobustReport, error) {
 		budgeted := core.New(st, core.Config{
 			Mode: core.ModeM4, Opt: cfg.Opt, Timeout: cfg.Timeout,
 			SortBudget: cfg.Budget, MemBudget: cfg.Budget,
-			FaultHook: inj.Hook,
+			FaultHook: inj.Hook, BatchSize: cfg.BatchSize,
 		})
 		deadlined := core.New(st, core.Config{
 			Mode: core.ModeM4, Opt: cfg.Opt, Timeout: cfg.TightDeadline,
 			SortBudget: cfg.Budget, MemBudget: cfg.Budget,
-			FaultHook: inj.Hook,
+			FaultHook: inj.Hook, BatchSize: cfg.BatchSize,
 		})
 
 		for _, q := range cfg.Queries {

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -69,6 +70,43 @@ func TestRobustnessSuite(t *testing.T) {
 			}
 			if rep.Timeouts == 0 {
 				t.Error("tight-deadline pass aborted nothing — deadline not exercised")
+			}
+		})
+	}
+}
+
+// TestRobustnessBatchSizes replays the robustness harness — tiny budgets,
+// fault injection, tight deadlines — with the budgeted and deadlined
+// engines pinned to an adversarial batch capacity (a prime that straddles
+// run boundaries) and to the row adapter. The clean reference stays at
+// the default capacity, so every byte comparison doubles as a
+// batch-vs-reference equivalence check under spill and abort pressure.
+func TestRobustnessBatchSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robustness suite in -short mode")
+	}
+	for _, batch := range []int{7, -1} {
+		name := fmt.Sprintf("batch=%d", batch)
+		if batch < 0 {
+			name = "batch=row"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := RobustConfig{Seed: RobustSeedCI, BatchSize: batch}
+			rep, err := RunRobustness(t.TempDir(), cfg)
+			if err != nil {
+				t.Fatalf("robustness harness (seed %d): %v", cfg.Seed, err)
+			}
+			t.Logf("robustness: %d queries, %d fault runs (%d fired), %d deadline aborts, spilled=%dB",
+				rep.Queries, rep.FaultRuns, rep.FaultFired, rep.Timeouts, rep.SpilledBytes)
+			for i, f := range rep.Failures {
+				if i >= 10 {
+					t.Errorf("... and %d more failures", len(rep.Failures)-10)
+					break
+				}
+				t.Errorf("seed=%d: %s", cfg.Seed, f)
+			}
+			if rep.Timeouts == 0 {
+				t.Error("tight-deadline pass aborted nothing — per-batch polling not exercised")
 			}
 		})
 	}
@@ -179,7 +217,7 @@ func TestFuzzUnderTinyBudget(t *testing.T) {
 			t.Errorf("... and %d more mismatches", len(mismatches)-10)
 			break
 		}
-		t.Errorf("seed=%d iter=%d doc=%s engine=%s\nquery: %s\n got: %.160q (err %v)\nwant: %.160q (err %v)",
-			cfg.Seed, m.Iter, m.Doc, m.Engine, m.Query, m.Got, m.GotErr, m.Want, m.WantErr)
+		t.Errorf("seed=%d iter=%d doc=%s engine=%s batch=%d\nquery: %s\n got: %.160q (err %v)\nwant: %.160q (err %v)",
+			cfg.Seed, m.Iter, m.Doc, m.Engine, m.Batch, m.Query, m.Got, m.GotErr, m.Want, m.WantErr)
 	}
 }

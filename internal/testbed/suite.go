@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"xqdb/internal/core"
+	"xqdb/internal/exec"
 	"xqdb/internal/limit"
 	"xqdb/internal/opt"
 	"xqdb/internal/store"
@@ -133,6 +135,10 @@ type EffConfig struct {
 	// (M3/M4 and their variants) — the hook the xqbench -join flag uses
 	// to force one join operator family across the whole suite.
 	Opt *opt.Config
+	// BatchSize follows core.Config.BatchSize: 0 uses the executor
+	// default, a negative value forces row-at-a-time execution. Only the
+	// TPM-based modes have a batched executor; M1/M2 ignore it.
+	BatchSize int
 }
 
 // EffCell is one engine/test measurement.
@@ -140,6 +146,9 @@ type EffCell struct {
 	Seconds  float64
 	TimedOut bool
 	Err      error
+	// Allocs is the heap allocation count of the run (runtime.MemStats
+	// Mallocs delta — a coarse but comparable allocs/op figure).
+	Allocs uint64
 }
 
 // EffRow is one engine's row of the Figure 7 table.
@@ -147,9 +156,15 @@ type EffRow struct {
 	Mode  core.Mode
 	Cells [5]EffCell
 	Total float64
+	// Batch is the operator batch capacity the engine ran with (core
+	// semantics: 0 = executor default, negative = row-at-a-time).
+	Batch int
 	// SpilledBytes is the engine's total spill traffic across the five
 	// tests (non-zero only when a budget forces operators to disk).
 	SpilledBytes int64
+	// Allocs is the engine's total heap allocation count across the five
+	// tests.
+	Allocs uint64
 }
 
 // RunEfficiency loads the efficiency document once and times every engine
@@ -180,14 +195,19 @@ func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
 	capSec := cfg.Timeout.Seconds()
 	var rows []EffRow
 	for _, m := range cfg.Modes {
-		row := EffRow{Mode: m}
-		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, MemBudget: cfg.MemBudget, Opt: cfg.Opt})
+		row := EffRow{Mode: m, Batch: cfg.BatchSize}
+		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, MemBudget: cfg.MemBudget, Opt: cfg.Opt, BatchSize: cfg.BatchSize})
 		for i, test := range tests {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			before := ms.Mallocs
 			start := time.Now()
 			_, err := e.Query(test.Query)
 			elapsed := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms)
 			row.SpilledBytes += e.Counters().SpilledBytes
-			cell := EffCell{Seconds: elapsed}
+			cell := EffCell{Seconds: elapsed, Allocs: ms.Mallocs - before}
+			row.Allocs += cell.Allocs
 			if errors.Is(err, limit.ErrTimeout) {
 				cell.TimedOut = true
 				cell.Seconds = capSec // assigned the cap, per the paper
@@ -209,9 +229,9 @@ func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
 // one row per engine, user time per test in seconds, and the total.
 func FormatFigure7(rows []EffRow) string {
 	var b strings.Builder
-	b.WriteString("Engine          Test 1    Test 2    Test 3    Test 4    Test 5     Total\n")
+	b.WriteString("Engine         batch    Test 1    Test 2    Test 3    Test 4    Test 5     Total\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-14s", r.Mode)
+		fmt.Fprintf(&b, "%-14s%5s", r.Mode, batchLabel(r.Batch))
 		for _, c := range r.Cells {
 			mark := " "
 			if c.TimedOut {
@@ -223,6 +243,19 @@ func FormatFigure7(rows []EffRow) string {
 	}
 	b.WriteString("(* = stopped at the cap and assigned the cap, as in the paper)\n")
 	return b.String()
+}
+
+// batchLabel renders a core.Config.BatchSize value for the table: the
+// executor default shows its real capacity, negative shows "row".
+func batchLabel(n int) string {
+	switch {
+	case n < 0:
+		return "row"
+	case n == 0:
+		return fmt.Sprint(exec.DefaultBatchSize)
+	default:
+		return fmt.Sprint(n)
+	}
 }
 
 // WriteReport writes a full testbed report (correctness matrix + Figure 7

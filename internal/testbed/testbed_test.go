@@ -410,8 +410,8 @@ func TestRandomizedEquivalenceFuzz(t *testing.T) {
 			t.Errorf("... and %d more mismatches", len(mismatches)-10)
 			break
 		}
-		t.Errorf("seed=%d iter=%d doc=%s engine=%s\nquery: %s\n got: %.160q (err %v)\nwant: %.160q (err %v)",
-			cfg.Seed, m.Iter, m.Doc, m.Engine, m.Query, m.Got, m.GotErr, m.Want, m.WantErr)
+		t.Errorf("seed=%d iter=%d doc=%s engine=%s batch=%d\nquery: %s\n got: %.160q (err %v)\nwant: %.160q (err %v)",
+			cfg.Seed, m.Iter, m.Doc, m.Engine, m.Batch, m.Query, m.Got, m.GotErr, m.Want, m.WantErr)
 	}
 }
 
