@@ -97,6 +97,11 @@ type Config struct {
 	// adapter — the pre-batching engine, kept as a correctness oracle and
 	// ablation point).
 	BatchSize int
+	// DOP is the degree of intra-query parallelism (0 or 1 = serial): the
+	// planner may wrap large leaf scans in exchange operators running up
+	// to DOP workers, and the executor caps any planned exchange at this
+	// many workers.
+	DOP int
 }
 
 // Engine evaluates XQ queries over one stored document under a fixed
@@ -130,7 +135,11 @@ func (e *Engine) Counters() exec.Counters { return e.counters }
 // optConfig derives the optimizer configuration for the mode.
 func (e *Engine) optConfig() opt.Config {
 	if e.cfg.Opt != nil {
-		return *e.cfg.Opt
+		cfg := *e.cfg.Opt
+		if cfg.DOP == 0 {
+			cfg.DOP = e.cfg.DOP
+		}
+		return cfg
 	}
 	var cfg opt.Config
 	switch e.cfg.Mode {
@@ -144,6 +153,7 @@ func (e *Engine) optConfig() opt.Config {
 		cfg = opt.M4()
 	}
 	cfg.SpoolBudget = e.cfg.SortBudget
+	cfg.DOP = e.cfg.DOP
 	return cfg
 }
 
@@ -224,6 +234,7 @@ func (e *Engine) execCtx(dl *limit.Deadline) (*exec.Ctx, error) {
 		Env:        exec.Env{},
 		SortBudget: e.cfg.SortBudget,
 		FaultHook:  e.cfg.FaultHook,
+		DOP:        e.cfg.DOP,
 	}
 	switch {
 	case e.cfg.BatchSize < 0:

@@ -88,6 +88,10 @@ type Ctx struct {
 	// single-row batches — the faithful pre-batching execution mode, kept
 	// as a fallback and as the fuzz/bench baseline.
 	RowMode bool
+	// DOP caps the workers any exchange operator of this query may run
+	// (0 means "as planned"; 1 forces serial execution at runtime even
+	// when the plan carries exchange nodes).
+	DOP int
 	// Counters accumulates runtime statistics for EXPLAIN ANALYZE-style
 	// reporting and tests.
 	Counters Counters
@@ -161,6 +165,32 @@ type Counters struct {
 	Batches int64
 }
 
+// merge folds another tally into c — high-water marks take the maximum,
+// everything else sums. Exchange workers run on private Counters and merge
+// them here, under the gather's close, so no counter field is ever written
+// concurrently.
+func (c *Counters) merge(o *Counters) {
+	c.RowsScanned += o.RowsScanned
+	c.RowsJoined += o.RowsJoined
+	c.RowsEmitted += o.RowsEmitted
+	c.InnerRescans += o.InnerRescans
+	c.IndexProbes += o.IndexProbes
+	c.SortedRows += o.SortedRows
+	c.SpilledTuples += o.SpilledTuples
+	c.RowsStructural += o.RowsStructural
+	if o.StructStackMax > c.StructStackMax {
+		c.StructStackMax = o.StructStackMax
+	}
+	if o.StructListMax > c.StructListMax {
+		c.StructListMax = o.StructListMax
+	}
+	c.RowsTwig += o.RowsTwig
+	c.TwigPathSolutions += o.TwigPathSolutions
+	c.SpilledBytes += o.SpilledBytes
+	c.SpillRuns += o.SpillRuns
+	c.Batches += o.Batches
+}
+
 // OpStats tallies one operator instance's runtime activity while a plan
 // executes; EXPLAIN ANALYZE prints them next to the optimizer estimates.
 // Plans are compiled per query execution, so the tallies belong to exactly
@@ -186,6 +216,25 @@ type OpStats struct {
 	// predicate; Rows/SelRows is the observed selectivity EXPLAIN ANALYZE
 	// prints as sel=.
 	SelRows int64
+}
+
+// merge folds another instance's tallies into s — high-water marks take
+// the maximum, everything else sums. Exchange workers run per-worker scan
+// copies with private stats and merge them into the shared plan node's
+// stats at close.
+func (s *OpStats) merge(o *OpStats) {
+	s.Opens += o.Opens
+	s.Rows += o.Rows
+	if o.StackMax > s.StackMax {
+		s.StackMax = o.StackMax
+	}
+	if o.ListMax > s.ListMax {
+		s.ListMax = o.ListMax
+	}
+	s.SpilledBytes += o.SpilledBytes
+	s.SpillRuns += o.SpillRuns
+	s.Batches += o.Batches
+	s.SelRows += o.SelRows
 }
 
 // resolveIn resolves an in/out-valued operand against the environment and

@@ -20,10 +20,12 @@ var ErrCanceled = errors.New("query canceled")
 const checkMask = 1023
 
 // Deadline is a cooperative query deadline. The zero value and the nil
-// pointer never expire, so code can call Check unconditionally.
+// pointer never expire, so code can call Check unconditionally. The poll
+// counter is atomic: the workers of one parallel query fragment share a
+// single Deadline and advance it concurrently.
 type Deadline struct {
 	at    time.Time
-	count int
+	count atomic.Int64
 }
 
 // After returns a Deadline expiring d from now. A non-positive d returns
@@ -42,8 +44,7 @@ func (d *Deadline) Check() error {
 	if d == nil || d.at.IsZero() {
 		return nil
 	}
-	d.count++
-	if d.count&checkMask != 0 {
+	if d.count.Add(1)&checkMask != 0 {
 		return nil
 	}
 	if time.Now().After(d.at) {
@@ -61,9 +62,8 @@ func (d *Deadline) CheckN(n int) error {
 	if d == nil || d.at.IsZero() || n <= 0 {
 		return nil
 	}
-	before := d.count
-	d.count += n
-	if before&^checkMask == d.count&^checkMask {
+	after := d.count.Add(int64(n))
+	if (after-int64(n))&^checkMask == after&^checkMask {
 		return nil
 	}
 	if time.Now().After(d.at) {

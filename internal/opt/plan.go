@@ -78,6 +78,7 @@ func (p *Planner) Plan(t tpm.Plan) (exec.XPlan, error) {
 		if err != nil {
 			return nil, err
 		}
+		root = p.parallelize(root)
 		body, err := p.Plan(t.Body)
 		if err != nil {
 			return nil, err

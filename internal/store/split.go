@@ -1,0 +1,102 @@
+// Morsel-boundary cursor splitting. The parallel exchange operator
+// partitions one scan's in-range into disjoint sub-ranges ("morsels") that
+// workers claim independently; because every sub-range is a half-open
+// in-interval and document order is in-order, concatenating the morsel
+// outputs in range order reproduces the serial scan byte for byte.
+
+package store
+
+import "xqdb/internal/xasr"
+
+// Interval is a half-open in-label range [Lo, Hi); Hi = 0 means unbounded
+// above, mirroring the cursor-opening convention.
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// SplitRange partitions the primary in-range [lo, hi) into up to parts
+// contiguous sub-ranges of roughly equal in-width. In-labels are dense
+// enough over a document (every node consumes two counter values) that a
+// uniform cut in in-space is a reasonable proxy for a uniform cut in rows;
+// morsel claiming absorbs the remaining skew. hi = 0 (unbounded) is
+// resolved against the root's out label, past which no in can exist.
+func (s *Store) SplitRange(lo, hi uint32, parts int) ([]Interval, error) {
+	if !s.loaded {
+		return nil, ErrNotLoaded
+	}
+	if hi == 0 {
+		root, err := s.Root()
+		if err != nil {
+			return nil, err
+		}
+		hi = root.Out + 1
+	}
+	if hi <= lo {
+		return []Interval{{Lo: lo, Hi: hi}}, nil
+	}
+	width := uint64(hi - lo)
+	if parts < 1 {
+		parts = 1
+	}
+	if uint64(parts) > width {
+		parts = int(width)
+	}
+	ivs := make([]Interval, 0, parts)
+	step := width / uint64(parts)
+	rem := width % uint64(parts)
+	cur := uint64(lo)
+	for i := 0; i < parts; i++ {
+		next := cur + step
+		if uint64(i) < rem {
+			next++
+		}
+		ivs = append(ivs, Interval{Lo: uint32(cur), Hi: uint32(next)})
+		cur = next
+	}
+	return ivs, nil
+}
+
+// SplitLabelRange partitions the label-index entries for (typ, value) with
+// lo <= in < hi into interval-aligned sub-ranges of roughly target entries
+// each. A single index-only pre-scan picks the cut points: a cut is placed
+// only where the next entry's in exceeds the maximum out seen so far, so no
+// entry's (in, out) interval ever straddles a morsel boundary — nested
+// label occurrences stay inside one morsel. The pre-scan reads the same
+// index leaves the workers are about to read, so its cost is one extra
+// index pass, not a tuple scan.
+func (s *Store) SplitLabelRange(typ xasr.NodeType, value string, lo, hi uint32, target int) ([]Interval, error) {
+	if target < 1 {
+		target = 1
+	}
+	lc, err := s.OpenLabelRange(typ, value, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	defer lc.Close()
+	ivs := []Interval{{Lo: lo}}
+	var maxOut uint32
+	sinceCut := 0
+	var buf [256]LabelEntry
+	for {
+		n, err := lc.NextBatch(buf[:])
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		for _, e := range buf[:n] {
+			if sinceCut >= target && e.In > maxOut {
+				ivs[len(ivs)-1].Hi = e.In
+				ivs = append(ivs, Interval{Lo: e.In})
+				sinceCut = 0
+			}
+			if e.Out > maxOut {
+				maxOut = e.Out
+			}
+			sinceCut++
+		}
+	}
+	ivs[len(ivs)-1].Hi = hi
+	return ivs, nil
+}

@@ -1,0 +1,201 @@
+package testbed
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"xqdb/internal/core"
+	"xqdb/internal/opt"
+	"xqdb/internal/store"
+)
+
+// ParallelShape is one query of the intra-query parallelism suite.
+type ParallelShape struct {
+	Name  string
+	Query string
+	Why   string
+}
+
+// ParallelShapes returns the scan-dominated shapes the parallel suite
+// compares serial against exchange-parallel execution on. The suite runs
+// with the label index disabled, so every name and value test becomes a
+// residual condition on a primary full scan — the per-tuple compare work
+// lands in the exchange workers, and the highly selective sieves let
+// almost nothing cross the exchange into the serial gather. That isolates
+// what the suite measures: how the morsel-parallel scan itself scales,
+// not index lookup or serial emission.
+func ParallelShapes() []ParallelShape {
+	return []ParallelShape{
+		{
+			Name:  "sieve-miss",
+			Query: `for $t in //text() return if ($t = "zzz") then <hit/> else ()`,
+			Why:   "full scan + value sieve that matches nothing: all compare CPU parallelizes, zero rows cross the exchange",
+		},
+		{
+			Name:  "sieve-year",
+			Query: `for $t in //text() return if ($t = "1995") then <y95/> else ()`,
+			Why:   "full scan + value sieve with sparse matches: a trickle of rows crosses the ordered gather",
+		},
+		{
+			Name:  "struct-sieve",
+			Query: `for $p in //phdthesis return for $c in $p//cdrom return <hit/>`,
+			Why:   "structural join over two sieved full scans: both leaves run under exchanges, the merge consumes a trickle",
+		},
+	}
+}
+
+// ParallelConfig parameterizes the parallel suite.
+type ParallelConfig struct {
+	// Entries scales the DBLP-shaped document (default 20000).
+	Entries int
+	// Seed makes the document deterministic.
+	Seed int64
+	// Runs is the number of timed runs per engine per shape; the reported
+	// seconds are medians over them (default 5).
+	Runs int
+	// DOP is the parallel engine's worker count (default 4); the serial
+	// engine always runs at DOP 0.
+	DOP int
+	// Timeout bounds each query (default 60s).
+	Timeout time.Duration
+}
+
+// ParallelRow is one shape's serial-vs-parallel measurement.
+type ParallelRow struct {
+	Name        string  `json:"name"`
+	Query       string  `json:"query"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// ParallelReport is the full suite result (and the BENCH_PR8.json schema).
+type ParallelReport struct {
+	Entries int   `json:"entries"`
+	Seed    int64 `json:"seed"`
+	Runs    int   `json:"runs"`
+	DOP     int   `json:"dop"`
+	// GOMAXPROCS is the schedulable CPU count of the measuring host. It
+	// bounds any real speedup: on a single-CPU host the suite measures
+	// exchange overhead (speedup ≈ 1.0 means the parallel machinery is
+	// close to free), not scaling.
+	GOMAXPROCS    int           `json:"gomaxprocs"`
+	Shapes        []ParallelRow `json:"shapes"`
+	MedianSpeedup float64       `json:"median_speedup"`
+}
+
+// RunParallel loads the efficiency document and times every parallel
+// shape on two engines that differ only in DOP: a serial M4 engine and
+// one whose planner may price exchanges at cfg.DOP workers. Both run
+// without the label index (see ParallelShapes). Every parallel result is
+// byte-checked against the serial result before anything is timed — a
+// divergence is an error, not a data point.
+func RunParallel(dir string, cfg ParallelConfig) (ParallelReport, error) {
+	if cfg.Entries <= 0 {
+		cfg.Entries = 20000
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 5
+	}
+	if cfg.DOP <= 0 {
+		cfg.DOP = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	rep := ParallelReport{
+		Entries: cfg.Entries, Seed: cfg.Seed, Runs: cfg.Runs, DOP: cfg.DOP,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	st, err := store.Open(filepath.Join(dir, "parallel"), store.Options{})
+	if err != nil {
+		return rep, err
+	}
+	defer st.Close()
+	if err := st.LoadString(EfficiencyDoc(cfg.Entries, cfg.Seed)); err != nil {
+		return rep, err
+	}
+
+	optCfg := opt.M4()
+	optCfg.UseLabelIndex = false
+	serial := core.New(st, core.Config{Mode: core.ModeM4, Opt: &optCfg, Timeout: cfg.Timeout})
+	parallel := core.New(st, core.Config{Mode: core.ModeM4, Opt: &optCfg, Timeout: cfg.Timeout, DOP: cfg.DOP})
+
+	var speedups []float64
+	for _, sh := range ParallelShapes() {
+		// Correctness gate (and cache warmup): identical bytes or bust.
+		want, err := serial.Query(sh.Query)
+		if err != nil {
+			return rep, fmt.Errorf("testbed: serial %s: %w", sh.Name, err)
+		}
+		got, err := parallel.Query(sh.Query)
+		if err != nil {
+			return rep, fmt.Errorf("testbed: parallel %s: %w", sh.Name, err)
+		}
+		if got != want {
+			return rep, fmt.Errorf("testbed: %s: parallel bytes diverge from serial (%d vs %d bytes)",
+				sh.Name, len(got), len(want))
+		}
+		serialSecs := make([]float64, 0, cfg.Runs)
+		parallelSecs := make([]float64, 0, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			start := time.Now()
+			if _, err := serial.Query(sh.Query); err != nil {
+				return rep, fmt.Errorf("testbed: serial %s run %d: %w", sh.Name, r, err)
+			}
+			serialSecs = append(serialSecs, time.Since(start).Seconds())
+			start = time.Now()
+			if _, err := parallel.Query(sh.Query); err != nil {
+				return rep, fmt.Errorf("testbed: parallel %s run %d: %w", sh.Name, r, err)
+			}
+			parallelSecs = append(parallelSecs, time.Since(start).Seconds())
+		}
+		row := ParallelRow{
+			Name:        sh.Name,
+			Query:       sh.Query,
+			SerialSec:   medianOf(serialSecs),
+			ParallelSec: medianOf(parallelSecs),
+		}
+		if row.ParallelSec > 0 {
+			row.Speedup = row.SerialSec / row.ParallelSec
+		}
+		speedups = append(speedups, row.Speedup)
+		rep.Shapes = append(rep.Shapes, row)
+	}
+	rep.MedianSpeedup = medianOf(speedups)
+	return rep, nil
+}
+
+// FormatParallel renders the parallel suite results as a table.
+func FormatParallel(rep ParallelReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shape            serial(s)  dop=%d(s)   speedup\n", rep.DOP)
+	for _, r := range rep.Shapes {
+		fmt.Fprintf(&b, "%-16s%10.3f%10.3f%9.2fx\n", r.Name, r.SerialSec, r.ParallelSec, r.Speedup)
+	}
+	fmt.Fprintf(&b, "median speedup at dop=%d: %.2fx (%d entries, %d runs, GOMAXPROCS=%d)\n",
+		rep.DOP, rep.MedianSpeedup, rep.Entries, rep.Runs, rep.GOMAXPROCS)
+	if rep.GOMAXPROCS < rep.DOP {
+		fmt.Fprintf(&b, "note: host schedules %d CPU(s) < dop=%d — speedup is capped at %d; on this host the suite measures exchange overhead, not scaling\n",
+			rep.GOMAXPROCS, rep.DOP, rep.GOMAXPROCS)
+	}
+	return b.String()
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
