@@ -25,6 +25,7 @@ import (
 	"xqdb/internal/core"
 	"xqdb/internal/exec"
 	"xqdb/internal/opt"
+	"xqdb/internal/plancache"
 	"xqdb/internal/testbed"
 )
 
@@ -48,6 +49,7 @@ func run() error {
 	batch := flag.Int("batch", exec.DefaultBatchSize, "operator batch capacity of the TPM engines (0 = row-at-a-time fallback)")
 	dop := flag.Int("dop", 0, "intra-query parallelism of the TPM engines (0 = serial): the planner may run large leaf scans under exchange operators with this many workers; also the parallel-suite worker count (where 0 means 4)")
 	runs := flag.Int("runs", 1, "efficiency suite repetitions; the -json output reports per-test medians over them")
+	planCache := flag.Int("plancache", 0, "plan-cache entries shared across efficiency runs (0 = no cache); repeated runs skip parse+optimize and the hit rate is reported")
 	jsonPath := flag.String("json", "", "write efficiency results (per-test median seconds, allocs/op, spilled bytes) as JSON to this file")
 	report := flag.String("report", "", "also write a markdown report to this file")
 	flag.Parse()
@@ -128,6 +130,11 @@ func run() error {
 		if *runs < 1 {
 			*runs = 1
 		}
+		var cache *plancache.Cache
+		if *planCache > 0 {
+			cache = plancache.New(*planCache)
+			cfg.PlanCache = cache
+		}
 		all := make([][]testbed.EffRow, 0, *runs)
 		for i := 0; i < *runs; i++ {
 			r, err := testbed.RunEfficiency(dir, cfg)
@@ -139,6 +146,11 @@ func run() error {
 		rows = all[0]
 		figure7 = testbed.FormatFigure7(rows)
 		fmt.Println(figure7)
+		if cache != nil {
+			st := cache.Stats()
+			fmt.Printf("plan cache: %d entries, %d hits / %d lookups (hit rate %.2f)\n\n",
+				cache.Len(), st.Hits, st.Hits+st.Misses, st.HitRate())
+		}
 		if *budget > 0 {
 			for _, r := range rows {
 				fmt.Printf("%-14s spilled %d bytes\n", r.Mode, r.SpilledBytes)

@@ -4,26 +4,70 @@
 //
 // Usage (all flags come before the command):
 //
-//	xqdb -db DIR -doc NAME load FILE.xml
+//	xqdb -db DIR -doc NAME load [-force] FILE.xml
 //	xqdb -db DIR -doc NAME [-mode m4|m3|m2|m1|tpm|badstats] query 'QUERY'
 //	xqdb -db DIR -doc NAME [-mode ...] explain 'QUERY'
 //	xqdb -db DIR -doc NAME stats
 //	xqdb -db DIR -doc NAME dump
+//
+// A document that is already loaded is NOT re-shredded by load unless
+// -force is given, so scripts can run "load" idempotently.
+//
+// Exit codes discriminate failure classes for scripts and CI:
+//
+//	0  success
+//	1  internal failure (I/O, database)
+//	2  usage error (flags, commands, modes)
+//	3  query parse error
+//	4  document load failure
+//	5  query execution failure (including timeout)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"xqdb"
+	"xqdb/internal/xq"
 )
+
+// Exit codes (see package comment).
+const (
+	exitInternal = 1
+	exitUsage    = 2
+	exitParse    = 3
+	exitLoad     = 4
+	exitExec     = 5
+)
+
+// cliError carries the exit code of a failure class.
+type cliError struct {
+	code int
+	err  error
+}
+
+func (e *cliError) Error() string { return e.err.Error() }
+func (e *cliError) Unwrap() error { return e.err }
+
+func classify(code int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &cliError{code: code, err: err}
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "xqdb:", err)
-		os.Exit(1)
+		code := exitInternal
+		var ce *cliError
+		if errors.As(err, &ce) {
+			code = ce.code
+		}
+		os.Exit(code)
 	}
 }
 
@@ -33,12 +77,13 @@ func run(args []string) error {
 	docName := fs.String("doc", "doc", "document name")
 	mode := fs.String("mode", "m4", "engine: m4, m3, m2, m1, tpm, badstats")
 	timeout := fs.Duration("timeout", 0, "per-query timeout (0 = none)")
+	force := fs.Bool("force", false, "load: re-shred even if the document already exists")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return classify(exitUsage, err)
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command (load, query, explain, stats, dump)")
+		return classify(exitUsage, fmt.Errorf("missing command (load, query, explain, stats, dump)"))
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -51,17 +96,25 @@ func run(args []string) error {
 	switch cmd {
 	case "load":
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: load FILE.xml")
+			return classify(exitUsage, fmt.Errorf("usage: load FILE.xml"))
+		}
+		if !*force {
+			if doc, err := db.OpenDocument(*docName); err == nil {
+				st := doc.Stats()
+				fmt.Printf("document %q already loaded (%d nodes); use -force to re-shred\n",
+					*docName, st.Nodes)
+				return nil
+			}
 		}
 		f, err := os.Open(rest[0])
 		if err != nil {
-			return err
+			return classify(exitLoad, err)
 		}
 		defer f.Close()
 		start := time.Now()
 		doc, err := db.CreateDocument(*docName, f)
 		if err != nil {
-			return err
+			return classify(exitLoad, err)
 		}
 		st := doc.Stats()
 		fmt.Printf("loaded %q: %d nodes (%d elements, %d text) in %v\n",
@@ -69,7 +122,10 @@ func run(args []string) error {
 		return nil
 	case "query", "explain":
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: %s 'QUERY'", cmd)
+			return classify(exitUsage, fmt.Errorf("usage: %s 'QUERY'", cmd))
+		}
+		if err := xqdb.ParseQuery(rest[0]); err != nil {
+			return classify(exitParse, err)
 		}
 		doc, err := db.OpenDocument(*docName)
 		if err != nil {
@@ -77,13 +133,13 @@ func run(args []string) error {
 		}
 		m, err := parseMode(*mode)
 		if err != nil {
-			return err
+			return classify(exitUsage, err)
 		}
 		opts := xqdb.QueryOptions{Mode: m, Timeout: *timeout}
 		if cmd == "explain" {
 			out, err := doc.Explain(rest[0], opts)
 			if err != nil {
-				return err
+				return classify(exitExec, err)
 			}
 			fmt.Print(out)
 			return nil
@@ -91,7 +147,7 @@ func run(args []string) error {
 		start := time.Now()
 		out, err := doc.Query(rest[0], opts)
 		if err != nil {
-			return err
+			return classifyQueryErr(err)
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "(%s, %v)\n", m, time.Since(start).Round(time.Microsecond))
@@ -120,8 +176,18 @@ func run(args []string) error {
 		fmt.Println(xml)
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return classify(exitUsage, fmt.Errorf("unknown command %q", cmd))
 	}
+}
+
+// classifyQueryErr separates parse failures surfacing from evaluation
+// (e.g. a mode that parses lazily) from execution failures.
+func classifyQueryErr(err error) error {
+	var pe *xq.ParseError
+	if errors.As(err, &pe) {
+		return classify(exitParse, err)
+	}
+	return classify(exitExec, err)
 }
 
 func parseMode(s string) (xqdb.Mode, error) {

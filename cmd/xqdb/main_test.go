@@ -1,0 +1,61 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ce *cliError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return exitInternal
+}
+
+func TestExitCodesDiscriminateFailures(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	var doc strings.Builder
+	doc.WriteString("<r>")
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&doc, "<x>%d</x>", i)
+	}
+	doc.WriteString("</r>")
+	if err := os.WriteFile(xmlPath, []byte(doc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := filepath.Join(dir, "db")
+	base := []string{"-db", db, "-doc", "d"}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no command", []string{}, exitUsage},
+		{"unknown command", []string{"frobnicate"}, exitUsage},
+		{"load missing file", []string{"load", filepath.Join(dir, "nope.xml")}, exitLoad},
+		{"load", []string{"load", xmlPath}, 0},
+		{"load again is idempotent", []string{"load", xmlPath}, 0},
+		{"forced reload", []string{"-force", "load", xmlPath}, 0},
+		{"query", []string{"query", `for $x in /r/x return $x`}, 0},
+		{"parse error", []string{"query", `for $x in`}, exitParse},
+		{"unknown mode", []string{"-mode", "warp", "query", `for $x in /r/x return $x`}, exitUsage},
+		{"query missing doc", []string{"-doc", "nosuch", "query", `for $x in /r/x return $x`}, exitInternal},
+		{"timeout is an exec failure", []string{"-timeout", "1ns", "query",
+			`for $x in //x return for $y in //x return if ($x/text() = $y/text()) then <m/> else ()`}, exitExec},
+	}
+	for _, tc := range cases {
+		args := append(append([]string{}, base...), tc.args...)
+		if got := exitCode(run(args)); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"xqdb/internal/core"
+	"xqdb/internal/plancache"
+)
+
+func doc(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<x>%d</x>", i)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func TestLoadListQueryDrop(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if epoch, err := c.LoadString("a", doc(10)); err != nil || epoch != 1 {
+		t.Fatalf("load a: epoch=%d err=%v", epoch, err)
+	}
+	if epoch, err := c.LoadString("b", doc(20)); err != nil || epoch != 1 {
+		t.Fatalf("load b: epoch=%d err=%v", epoch, err)
+	}
+
+	infos := c.List()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Fatalf("list = %+v", infos)
+	}
+	if infos[0].Nodes == 0 || infos[1].Nodes <= infos[0].Nodes {
+		t.Fatalf("stats not per-document: %+v", infos)
+	}
+
+	d, err := c.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Engine(core.Config{Mode: core.ModeM4}).Query(
+		`for $x in /r/x return if ($x/text() = "19") then <hit/> else ()`)
+	d.Release()
+	if err != nil || out != "<hit/>" {
+		t.Fatalf("query via catalog: %q, %v", out, err)
+	}
+
+	if err := c.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("b"); err == nil {
+		t.Fatal("acquired a dropped document")
+	}
+	if _, err := os.Stat(filepath.Join(c.docsDir(), "b")); !os.IsNotExist(err) {
+		t.Errorf("drop left data on disk: %v", err)
+	}
+	if err := c.Drop("b"); err == nil {
+		t.Error("double drop succeeded")
+	}
+}
+
+func TestReloadBumpsEpochAndKeepsOldReaders(t *testing.T) {
+	cache := plancache.New(16)
+	c, err := Open(t.TempDir(), Options{PlanCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.LoadString("d", doc(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the old version while reloading.
+	old, err := c.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the cache under epoch 1.
+	q := `for $x in /r/x return $x`
+	if _, err := old.Engine(core.Config{Mode: core.ModeM4}).Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache len = %d after priming", cache.Len())
+	}
+
+	epoch, err := c.LoadString("d", doc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("reload epoch = %d, want 2", epoch)
+	}
+	if cache.Len() != 0 {
+		t.Error("reload did not invalidate the plan cache")
+	}
+
+	// The held old version still answers from the OLD data.
+	out, err := old.Engine(core.Config{Mode: core.ModeM4}).Query(
+		`for $x in /r/x return if ($x/text() = "4") then <old/> else ()`)
+	if err != nil || out != "<old/>" {
+		t.Fatalf("old version query: %q, %v", out, err)
+	}
+	oldDir := old.dir
+	old.Release() // drains: old version directory is purged
+
+	fresh, err := c.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Release()
+	if fresh.Epoch() != 2 {
+		t.Fatalf("live epoch = %d, want 2", fresh.Epoch())
+	}
+	out, err = fresh.Engine(core.Config{Mode: core.ModeM4}).Query(
+		`for $x in /r/x return if ($x/text() = "6") then <new/> else ()`)
+	if err != nil || out != "<new/>" {
+		t.Fatalf("new version query: %q, %v", out, err)
+	}
+	if _, err := os.Stat(oldDir); !os.IsNotExist(err) {
+		t.Errorf("drained old version still on disk: %v", err)
+	}
+}
+
+func TestEpochSurvivesReopen(t *testing.T) {
+	root := t.TempDir()
+	c, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadString("d", doc(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LoadString("d", doc(4)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// A partial version directory (crashed load) must be swept on reopen.
+	partial := filepath.Join(root, "docs", "d", "v9")
+	if err := os.MkdirAll(partial, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	d, err := c2.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Release()
+	if d.Epoch() != 2 {
+		t.Fatalf("reopened epoch = %d, want 2", d.Epoch())
+	}
+	if _, err := os.Stat(partial); !os.IsNotExist(err) {
+		t.Error("partial version directory survived reopen")
+	}
+	// The next load continues the epoch sequence.
+	if epoch, err := c2.LoadString("d", doc(5)); err != nil || epoch != 3 {
+		t.Fatalf("post-reopen load: epoch=%d err=%v", epoch, err)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, name := range []string{"", ".", "..", "a/b", "../x", ".hidden", strings.Repeat("a", 80)} {
+		if _, err := c.LoadString(name, doc(1)); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestConcurrentCatalogUse(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{PlanCache: plancache.New(32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, name := range []string{"a", "b"} {
+		if _, err := c.LoadString(name, doc(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"a", "b"}[g%2]
+			for i := 0; i < 10; i++ {
+				if g == 0 && i == 5 {
+					if _, err := c.LoadString("a", doc(60)); err != nil {
+						t.Errorf("concurrent reload: %v", err)
+						return
+					}
+					continue
+				}
+				d, err := c.Acquire(name)
+				if err != nil {
+					t.Errorf("acquire %s: %v", name, err)
+					return
+				}
+				_, err = d.Engine(core.Config{Mode: core.ModeM4}).NewHandle().Query(
+					`for $x in /r/x return if ($x/text() = "13") then <hit/> else ()`)
+				d.Release()
+				if err != nil {
+					t.Errorf("query %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

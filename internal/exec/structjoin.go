@@ -830,7 +830,7 @@ func (it *structAncIter) emitNext() (Row, bool, error) {
 					}
 					it.segR = r
 				}
-				if err := it.segR.Seek(seg.off); err != nil {
+				if err := it.segR.SeekTo(seg.off); err != nil {
 					return nil, false, err
 				}
 			}

@@ -158,10 +158,10 @@ func M3() Config {
 // order strategies to choose from.
 func M4() Config {
 	return Config{
-		CostBased:      true,
-		Strategies:     OrderPreserve | OrderSemijoin | OrderSort,
-		UseLabelIndex:  true,
-		UseParentIndex: true,
+		CostBased:        true,
+		Strategies:       OrderPreserve | OrderSemijoin | OrderSort,
+		UseLabelIndex:    true,
+		UseParentIndex:   true,
 		UseINL:           true,
 		UseBNL:           true,
 		UseStructural:    true,

@@ -1,0 +1,133 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xqdb/internal/exec"
+	"xqdb/internal/opt"
+)
+
+func key(doc string, epoch uint64, q string) Key {
+	return Key{Doc: DocVersion{Name: doc, Epoch: epoch}, Query: Normalize(q), Cfg: opt.M4(), Merge: true}
+}
+
+func plan(s string) exec.XPlan { return &exec.XText{Content: s} }
+
+func TestHitMissAndEpochInvalidation(t *testing.T) {
+	c := New(8)
+	k := key("dblp", 1, "for $x in //a return $x")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, plan("p1"))
+	if p, ok := c.Get(k); !ok || p.(*exec.XText).Content != "p1" {
+		t.Fatalf("miss after put: %v %v", p, ok)
+	}
+	// Whitespace-reformatted text hits the same entry.
+	if _, ok := c.Get(key("dblp", 1, "  for   $x in\n\t//a return $x ")); !ok {
+		t.Fatal("normalized variant missed")
+	}
+	// A stats-epoch bump makes every old entry unreachable.
+	if _, ok := c.Get(key("dblp", 2, "for $x in //a return $x")); ok {
+		t.Fatal("stale epoch hit")
+	}
+	// A different planner config keys separately.
+	k3 := k
+	k3.Cfg.UseTwig = false
+	if _, ok := c.Get(k3); ok {
+		t.Fatal("different config hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 3 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 3 misses / 1 put", st)
+	}
+	if got := st.HitRate(); got != 0.4 {
+		t.Fatalf("hit rate = %v, want 0.4", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key("d", 1, "q1"), plan("1"))
+	c.Put(key("d", 1, "q2"), plan("2"))
+	c.Get(key("d", 1, "q1")) // q1 now most recent
+	c.Put(key("d", 1, "q3"), plan("3"))
+	if _, ok := c.Get(key("d", 1, "q2")); ok {
+		t.Fatal("LRU kept the least recent entry")
+	}
+	if _, ok := c.Get(key("d", 1, "q1")); !ok {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestInvalidateDoc(t *testing.T) {
+	c := New(8)
+	c.Put(key("a", 1, "q1"), plan("1"))
+	c.Put(key("a", 2, "q1"), plan("2"))
+	c.Put(key("b", 1, "q1"), plan("3"))
+	if n := c.InvalidateDoc("a"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, ok := c.Get(key("b", 1, "q1")); !ok {
+		t.Fatal("invalidation dropped another doc's entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	c.Put(key("d", 1, "q"), plan("p"))
+	if _, ok := c.Get(key("d", 1, "q")); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.InvalidateDoc("d")
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatal("nil cache not inert")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := [][2]string{
+		{"for $x in //a return $x", "for $x in //a return $x"},
+		{"  for\t$x   in //a\n return $x  ", "for $x in //a return $x"},
+		{`if ($x/text() = "a  b") then <m/> else ()`, `if ($x/text() = "a  b") then <m/> else ()`},
+		{"if ($x/text() = 'a \t b') then <m/> else ()", "if ($x/text() = 'a \t b') then <m/> else ()"},
+		{"a  \"x  y\"  b", `a "x  y" b`},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc[0]); got != tc[1] {
+			t.Errorf("Normalize(%q) = %q, want %q", tc[0], got, tc[1])
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key("d", 1, fmt.Sprintf("q%d", i%24))
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, plan("p"))
+				}
+				if i%50 == 0 {
+					c.InvalidateDoc("d")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

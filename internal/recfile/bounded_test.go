@@ -224,7 +224,7 @@ func TestSegReader(t *testing.T) {
 	}
 	defer r.Close()
 	for _, start := range []int{0, 50, 199} {
-		if err := r.Seek(offs[start]); err != nil {
+		if err := r.SeekTo(offs[start]); err != nil {
 			t.Fatal(err)
 		}
 		rec, err := r.Next()

@@ -196,9 +196,9 @@ func OpenSegReader(path string) (*SegReader, error) {
 	return &SegReader{f: f, r: bufio.NewReaderSize(f, BlockSize)}, nil
 }
 
-// Seek positions the reader at the given byte offset (which must be a
+// SeekTo positions the reader at the given byte offset (which must be a
 // record boundary previously obtained from Writer.Offset).
-func (r *SegReader) Seek(off int64) error {
+func (r *SegReader) SeekTo(off int64) error {
 	if _, err := r.f.Seek(off, io.SeekStart); err != nil {
 		return err
 	}
@@ -207,7 +207,7 @@ func (r *SegReader) Seek(off int64) error {
 }
 
 // Next returns the next record, or io.EOF. The returned slice is valid
-// only until the next call to Next or Seek.
+// only until the next call to Next or SeekTo.
 func (r *SegReader) Next() ([]byte, error) {
 	size, err := binary.ReadUvarint(r.r)
 	if err == io.EOF {

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xqdb/internal/catalog"
+	"xqdb/internal/core"
+	"xqdb/internal/plancache"
+)
+
+type testServer struct {
+	*httptest.Server
+	cat   *catalog.Catalog
+	cache *plancache.Cache
+	srv   *Server
+}
+
+func newTestServer(t *testing.T) *testServer {
+	t.Helper()
+	cache := plancache.New(64)
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{PlanCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Catalog: cat, Cache: cache,
+		Defaults: core.Config{Mode: core.ModeM4, SortBudget: 1 << 20}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); cat.Close() })
+	return &testServer{Server: ts, cat: cat, cache: cache, srv: srv}
+}
+
+func (ts *testServer) do(t *testing.T, method, path, body string, wantStatus int) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d, want %d: %s", method, path, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func xmlDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<r>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<x>%d</x>", i)
+	}
+	b.WriteString("</r>")
+	return b.String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/alpha", xmlDoc(10), http.StatusOK)
+	ts.do(t, "PUT", "/docs/beta", xmlDoc(30), http.StatusOK)
+
+	var docs struct{ Docs []catalog.Info }
+	if err := json.Unmarshal(ts.do(t, "GET", "/docs", "", http.StatusOK), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs.Docs) != 2 || docs.Docs[0].Name != "alpha" || docs.Docs[1].Name != "beta" {
+		t.Fatalf("docs = %+v", docs.Docs)
+	}
+
+	// Query each document; results come from the right one.
+	q := `for $x in /r/x return if ($x/text() = "25") then <hit/> else ()`
+	var qr QueryResponse
+	if err := json.Unmarshal(ts.do(t, "POST", "/query?doc=beta", q, http.StatusOK), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.XML != "<hit/>" || qr.CacheHit || qr.Doc != "beta" || qr.Epoch != 1 {
+		t.Fatalf("beta query = %+v", qr)
+	}
+	if qr.Counters.RowsScanned == 0 {
+		t.Error("response has no counters")
+	}
+	if err := json.Unmarshal(ts.do(t, "POST", "/query?doc=alpha", q, http.StatusOK), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.XML != "" || qr.Doc != "alpha" {
+		t.Fatalf("alpha query = %+v", qr)
+	}
+
+	// Repeating the query (reformatted) on beta hits the plan cache with
+	// identical bytes.
+	q2 := "for  $x in /r/x\n return if ($x/text() = \"25\") then <hit/> else ()"
+	if err := json.Unmarshal(ts.do(t, "POST", "/query?doc=beta", q2, http.StatusOK), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.CacheHit || qr.XML != "<hit/>" {
+		t.Fatalf("repeat query = %+v, want cache hit with <hit/>", qr)
+	}
+
+	// format=xml returns the bare document and marks the cache state.
+	req, _ := http.NewRequest("POST", ts.URL+"/query?doc=beta&format=xml", strings.NewReader(q))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(raw) != "<hit/>" || resp.Header.Get("X-Plan-Cache") != "hit" {
+		t.Fatalf("xml format: %q, X-Plan-Cache=%q", raw, resp.Header.Get("X-Plan-Cache"))
+	}
+
+	// Reload bumps the epoch; the next query misses the cache but answers
+	// from the new data.
+	ts.do(t, "PUT", "/docs/beta", xmlDoc(26), http.StatusOK)
+	if err := json.Unmarshal(ts.do(t, "POST", "/query?doc=beta", q, http.StatusOK), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.CacheHit || qr.Epoch != 2 || qr.XML != "<hit/>" {
+		t.Fatalf("post-reload query = %+v", qr)
+	}
+
+	// Explain renders the pipeline without executing.
+	plan := ts.do(t, "POST", "/explain?doc=beta", q, http.StatusOK)
+	if !strings.Contains(string(plan), "physical plan") {
+		t.Fatalf("explain output: %s", plan)
+	}
+
+	// Errors discriminate: unknown doc 404, parse failure 400.
+	ts.do(t, "POST", "/query?doc=nosuch", q, http.StatusNotFound)
+	ts.do(t, "POST", "/query?doc=beta", "for $x in", http.StatusBadRequest)
+	ts.do(t, "POST", "/query?doc=beta", "", http.StatusBadRequest)
+	ts.do(t, "POST", "/query?doc=beta&mode=warp", q, http.StatusBadRequest)
+
+	// Stats reports the cache traffic.
+	var stats struct {
+		PlanCache struct {
+			Entries int     `json:"entries"`
+			Hits    int64   `json:"hits"`
+			HitRate float64 `json:"hitRate"`
+		} `json:"planCache"`
+	}
+	if err := json.Unmarshal(ts.do(t, "GET", "/stats", "", http.StatusOK), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCache.Hits < 2 || stats.PlanCache.Entries == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	ts.do(t, "DELETE", "/docs/alpha", "", http.StatusOK)
+	ts.do(t, "POST", "/query?doc=alpha", q, http.StatusNotFound)
+	ts.do(t, "DELETE", "/docs/alpha", "", http.StatusNotFound)
+}
+
+// TestServerSessionCancel cancels a long query through its session id:
+// the victim request fails with 409 while a parallel query on another
+// session succeeds, and the abort leaks no temp files or pins.
+func TestServerSessionCancel(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/d", xmlDoc(2000), http.StatusOK)
+
+	victim := make(chan int, 1)
+	go func() {
+		resp, err := ts.Client().Post(
+			ts.URL+"/query?doc=d&session=victim&sortbudget=4096&membudget=1048576",
+			"text/plain",
+			strings.NewReader(`for $x in //x return for $y in //x return if ($x/text() = $y/text()) then <m/> else ()`))
+		if err != nil {
+			victim <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		victim <- resp.StatusCode
+	}()
+
+	// Hammer the cancel endpoint until the victim request returns;
+	// bystander queries on other sessions keep working meanwhile.
+	q := `for $x in /r/x return if ($x/text() = "7") then <hit/> else ()`
+	deadline := time.After(30 * time.Second)
+	for done := false; !done; {
+		select {
+		case status := <-victim:
+			if status != http.StatusConflict {
+				t.Fatalf("victim status = %d, want %d", status, http.StatusConflict)
+			}
+			done = true
+		case <-deadline:
+			t.Fatal("victim request never returned")
+		default:
+			ts.do(t, "POST", "/sessions/victim/cancel", "", http.StatusOK)
+			var qr QueryResponse
+			if err := json.Unmarshal(ts.do(t, "POST", "/query?doc=d&session=other", q, http.StatusOK), &qr); err != nil {
+				t.Fatal(err)
+			}
+			if qr.XML != "<hit/>" {
+				t.Fatalf("bystander got %+v", qr)
+			}
+		}
+	}
+
+	// The abort cleaned up: no temp files, no pinned pages.
+	d, err := ts.cat.Acquire("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Release()
+	if dir, derr := d.Store().TempDir(); derr == nil {
+		if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+			t.Errorf("cancel leaked %d temp files", len(ents))
+		}
+	}
+	if pins := d.Store().PinnedPages(); pins != 0 {
+		t.Errorf("cancel leaked %d pinned pages", pins)
+	}
+}
+
+// TestServerConcurrentSessions is the -race stress: N sessions × mixed
+// documents × random cancels, all against one server.
+func TestServerConcurrentSessions(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/a", xmlDoc(300), http.StatusOK)
+	ts.do(t, "PUT", "/docs/b", xmlDoc(400), http.StatusOK)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			doc := []string{"a", "b"}[g%2]
+			session := fmt.Sprintf("s%d", g)
+			for i := 0; i < 8; i++ {
+				if i%4 == 3 {
+					// Random-ish cancels; usually land on an idle session.
+					resp, err := ts.Client().Post(
+						ts.URL+"/sessions/"+session+"/cancel", "", nil)
+					if err != nil {
+						t.Errorf("cancel: %v", err)
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				q := fmt.Sprintf(`for $x in /r/x return if ($x/text() = "%d") then <hit/> else ()`, 100+i)
+				resp, err := ts.Client().Post(
+					ts.URL+"/query?doc="+doc+"&session="+session, "text/plain", strings.NewReader(q))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				// 200 or (rarely) 409 if our own cancel raced in.
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+					t.Errorf("query status %d: %s", resp.StatusCode, body)
+					return
+				}
+				if resp.StatusCode == http.StatusOK && !strings.Contains(string(body), "<hit/>") {
+					t.Errorf("query body: %s", body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var stats struct {
+		PlanCache struct {
+			HitRate float64 `json:"hitRate"`
+		} `json:"planCache"`
+	}
+	if err := json.Unmarshal(ts.do(t, "GET", "/stats", "", http.StatusOK), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanCache.HitRate == 0 {
+		t.Error("no cache hits across the stress run")
+	}
+}

@@ -1,0 +1,61 @@
+package testbed
+
+import (
+	"testing"
+
+	"xqdb/internal/plancache"
+)
+
+// TestCacheEquivalenceFullSuite runs every correctness query on every
+// testbed document twice through a plan-cached engine and demands the
+// cached (hit) execution return byte-identical results to an uncached
+// engine — the end-to-end guarantee behind serving cached plans.
+func TestCacheEquivalenceFullSuite(t *testing.T) {
+	mismatches, err := RunCacheEquivalence(t.TempDir(), Documents(1), CorrectnessQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mismatches {
+		switch {
+		case m.NoHit:
+			t.Errorf("%s / %q: repeat run missed the plan cache", m.Doc, m.Query)
+		case m.ErrU != nil || m.ErrC != nil:
+			t.Errorf("%s / %q: error divergence: uncached=%v cached=%v", m.Doc, m.Query, m.ErrU, m.ErrC)
+		default:
+			t.Errorf("%s / %q:\n  uncached: %s\n  cached:   %s", m.Doc, m.Query, m.Uncached, m.Cached)
+		}
+	}
+}
+
+// TestEfficiencySharedCache runs the efficiency suite twice over one
+// shared plan cache: the second pass compiles nothing new and the hit
+// rate reflects it.
+func TestEfficiencySharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency suite in -short mode")
+	}
+	cache := plancache.New(0)
+	cfg := EffConfig{Entries: 100, PlanCache: cache}
+	dir := t.TempDir()
+	if _, err := RunEfficiency(dir+"/a", cfg); err != nil {
+		t.Fatal(err)
+	}
+	st1 := cache.Stats()
+	if st1.Puts == 0 {
+		t.Fatal("first pass cached no plans")
+	}
+	if _, err := RunEfficiency(dir+"/b", cfg); err != nil {
+		t.Fatal(err)
+	}
+	st2 := cache.Stats()
+	if st2.Puts != st1.Puts {
+		t.Errorf("second pass recompiled: puts %d -> %d", st1.Puts, st2.Puts)
+	}
+	if st2.Hits <= st1.Hits {
+		t.Errorf("second pass hit nothing: hits %d -> %d", st1.Hits, st2.Hits)
+	}
+	if st2.HitRate() == 0 {
+		t.Error("hit rate is zero after repeat pass")
+	}
+	t.Logf("plan cache: %d entries, hit rate %.2f", cache.Len(), st2.HitRate())
+}

@@ -14,6 +14,7 @@ import (
 	"xqdb/internal/exec"
 	"xqdb/internal/limit"
 	"xqdb/internal/opt"
+	"xqdb/internal/plancache"
 	"xqdb/internal/store"
 )
 
@@ -143,6 +144,10 @@ type EffConfig struct {
 	// TPM-based modes may wrap large leaf scans in exchange operators
 	// running up to this many workers. M1/M2 ignore it.
 	DOP int
+	// PlanCache, when set, is shared by every TPM-based engine in the run
+	// (modes key separately by optimizer config); the caller reads the
+	// hit rate off it afterward. M1/M2 ignore it.
+	PlanCache *plancache.Cache
 }
 
 // EffCell is one engine/test measurement.
@@ -203,7 +208,8 @@ func RunEfficiency(dir string, cfg EffConfig) ([]EffRow, error) {
 	var rows []EffRow
 	for _, m := range cfg.Modes {
 		row := EffRow{Mode: m, Batch: cfg.BatchSize, DOP: cfg.DOP}
-		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, MemBudget: cfg.MemBudget, Opt: cfg.Opt, BatchSize: cfg.BatchSize, DOP: cfg.DOP})
+		e := core.New(st, core.Config{Mode: m, Timeout: cfg.Timeout, SortBudget: cfg.SortBudget, MemBudget: cfg.MemBudget, Opt: cfg.Opt, BatchSize: cfg.BatchSize, DOP: cfg.DOP,
+			PlanCache: cfg.PlanCache, CacheDoc: plancache.DocVersion{Name: "efficiency", Epoch: 1}})
 		for i, test := range tests {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
@@ -293,6 +299,61 @@ type EquivMismatch struct {
 	A, B  string
 	ErrA  error
 	ErrB  error
+}
+
+// CacheMismatch records a query whose cached execution diverged from its
+// uncached one — different bytes, different error state, or a repeat run
+// that failed to hit the cache.
+type CacheMismatch struct {
+	Doc      string
+	Query    string
+	Uncached string
+	Cached   string
+	ErrU     error
+	ErrC     error
+	// NoHit marks a repeat of a cacheable query that missed the cache.
+	NoHit bool
+}
+
+// RunCacheEquivalence evaluates every query on every document twice
+// through a plan-cached engine — priming miss, then hit — and compares
+// the hit's bytes against an uncached engine's result. Byte-identical
+// output over the full suite means executing a clone of a cached plan
+// changes no semantics.
+func RunCacheEquivalence(dir string, docs []Doc, queries []string) ([]CacheMismatch, error) {
+	var out []CacheMismatch
+	for _, doc := range docs {
+		st, err := store.Open(filepath.Join(dir, "cache-equiv-"+doc.Name), store.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := st.LoadString(doc.XML); err != nil {
+			st.Close()
+			return nil, err
+		}
+		plain := core.New(st, core.Config{Mode: core.ModeM4})
+		cached := core.New(st, core.Config{Mode: core.ModeM4,
+			PlanCache: plancache.New(0),
+			CacheDoc:  plancache.DocVersion{Name: doc.Name, Epoch: 1}})
+		for _, q := range queries {
+			want, errU := plain.Query(q)
+			if _, errPrime := cached.NewHandle().Query(q); (errPrime == nil) != (errU == nil) {
+				out = append(out, CacheMismatch{Doc: doc.Name, Query: q, Uncached: want, ErrU: errU, ErrC: errPrime})
+				continue
+			}
+			res, errC := cached.NewHandle().Query(q)
+			switch {
+			case (errC == nil) != (errU == nil):
+				out = append(out, CacheMismatch{Doc: doc.Name, Query: q, Uncached: want, ErrU: errU, ErrC: errC})
+			case errC == nil && res.XML != want:
+				out = append(out, CacheMismatch{Doc: doc.Name, Query: q, Uncached: want, Cached: res.XML})
+			case errC == nil && !res.CacheHit:
+				out = append(out, CacheMismatch{Doc: doc.Name, Query: q, NoHit: true})
+			}
+		}
+		st.Close()
+	}
+	return out, nil
 }
 
 // RunEquivalence evaluates every query on every document under two M4

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of cmd/xqserver: build it, load two documents over
+# HTTP, check queries (including a plan-cache hit with byte-identical
+# output and a session cancel), then shut down cleanly and verify nothing
+# leaked (no temp files, server exits 0).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+addr="localhost:${XQSERVER_PORT:-8099}"
+base="http://$addr"
+server_pid=""
+
+cleanup() {
+  [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() { echo "server_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== build =="
+go build -o "$workdir/xqserver" ./cmd/xqserver
+
+echo "== generate documents =="
+{
+  printf '<r>'
+  for i in $(seq 0 1999); do printf '<x>%d</x>' "$i"; done
+  printf '</r>'
+} > "$workdir/big.xml"
+printf '<lib><book><title>XML</title></book><book><title>DB</title></book></lib>' > "$workdir/small.xml"
+
+echo "== start server =="
+"$workdir/xqserver" -store "$workdir/cat" -addr "$addr" -sortbudget 4096 &
+server_pid=$!
+for i in $(seq 1 50); do
+  curl -sf "$base/docs" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && fail "server did not come up"
+  sleep 0.1
+done
+
+echo "== load two documents =="
+curl -sf -X PUT --data-binary @"$workdir/big.xml" "$base/docs/big" | grep -q '"epoch": 1' || fail "load big"
+curl -sf -X PUT --data-binary @"$workdir/small.xml" "$base/docs/small" | grep -q '"epoch": 1' || fail "load small"
+curl -sf "$base/docs" | grep -q '"name": "small"' || fail "list docs"
+
+echo "== query both documents =="
+q='for $b in //book return $b/title'
+out=$(curl -sf -X POST --data "$q" "$base/query?doc=small&format=xml")
+[ "$out" = "<title>XML</title><title>DB</title>" ] || fail "small query returned: $out"
+curl -sf -X POST --data 'for $x in /r/x return if ($x/text() = "7") then <hit/> else ()' \
+  "$base/query?doc=big" | grep -q '<hit/>' || fail "big query"
+
+echo "== plan-cache hit with identical bytes =="
+hit=$(curl -sf -X POST --data "$q" "$base/query?doc=small&format=xml" -D "$workdir/headers")
+grep -qi 'X-Plan-Cache: hit' "$workdir/headers" || fail "repeat query did not hit the plan cache"
+[ "$hit" = "$out" ] || fail "cached result differs: $hit vs $out"
+curl -sf "$base/stats" | grep -q '"hits": ' || fail "stats endpoint"
+
+echo "== session cancel =="
+slow='for $x in //x return for $y in //x return for $z in //x return if ($x/text() = $y/text() and $y/text() = $z/text()) then <m/> else ()'
+status_file="$workdir/victim_status"
+( curl -s -o /dev/null -w '%{http_code}' -X POST --data "$slow" \
+    "$base/query?doc=big&session=victim" > "$status_file" ) &
+victim=$!
+sleep 0.3
+for i in $(seq 1 100); do
+  curl -sf -X POST "$base/sessions/victim/cancel" >/dev/null || fail "cancel endpoint"
+  kill -0 "$victim" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$victim" || true
+[ "$(cat "$status_file")" = "409" ] || fail "victim status $(cat "$status_file"), want 409"
+
+echo "== graceful shutdown =="
+kill -TERM "$server_pid"
+server_exit=0
+wait "$server_pid" || server_exit=$?
+server_pid=""
+[ "$server_exit" = 0 ] || fail "server exited $server_exit"
+
+echo "== no leaked temp files =="
+leaks=$(cd "$workdir/cat" && find . -path '*/tmp/*' -type f | wc -l)
+[ "$leaks" = 0 ] || fail "$leaks leaked temp files"
+
+echo "server_smoke: PASS"
