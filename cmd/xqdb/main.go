@@ -7,8 +7,13 @@
 //	xqdb -db DIR -doc NAME load [-force] FILE.xml
 //	xqdb -db DIR -doc NAME [-mode m4|m3|m2|m1|tpm|badstats] query 'QUERY'
 //	xqdb -db DIR -doc NAME [-mode ...] explain 'QUERY'
+//	xqdb -db DIR -doc NAME update 'STATEMENT'
 //	xqdb -db DIR -doc NAME stats
 //	xqdb -db DIR -doc NAME dump
+//
+// update applies one crash-safe update statement, e.g.
+// "insert node <name>Zoe</name> into /journal/authors",
+// "delete node //volume" or "replace node /j/title with <title>New</title>".
 //
 // A document that is already loaded is NOT re-shredded by load unless
 // -force is given, so scripts can run "load" idempotently.
@@ -21,6 +26,8 @@
 //	3  query parse error
 //	4  document load failure
 //	5  query execution failure (including timeout)
+//	6  update or recovery failure (the statement parsed but did not
+//	   commit cleanly, or the store needed recovery and it failed)
 package main
 
 import (
@@ -41,6 +48,7 @@ const (
 	exitParse    = 3
 	exitLoad     = 4
 	exitExec     = 5
+	exitUpdate   = 6
 )
 
 // cliError carries the exit code of a failure class.
@@ -64,8 +72,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xqdb:", err)
 		code := exitInternal
 		var ce *cliError
-		if errors.As(err, &ce) {
+		switch {
+		case errors.As(err, &ce):
 			code = ce.code
+		case errors.Is(err, xqdb.ErrRecovery):
+			code = exitUpdate
 		}
 		os.Exit(code)
 	}
@@ -83,7 +94,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return classify(exitUsage, fmt.Errorf("missing command (load, query, explain, stats, dump)"))
+		return classify(exitUsage, fmt.Errorf("missing command (load, query, explain, update, stats, dump)"))
 	}
 	cmd, rest := rest[0], rest[1:]
 
@@ -151,6 +162,26 @@ func run(args []string) error {
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "(%s, %v)\n", m, time.Since(start).Round(time.Microsecond))
+		return nil
+	case "update":
+		if len(rest) != 1 {
+			return classify(exitUsage, fmt.Errorf("usage: update 'STATEMENT'"))
+		}
+		doc, err := db.OpenDocument(*docName)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := doc.Update(rest[0])
+		if err != nil {
+			var pe *xq.ParseError
+			if errors.As(err, &pe) {
+				return classify(exitParse, err)
+			}
+			return classify(exitUpdate, err)
+		}
+		fmt.Printf("updated %d of %d targets (seq %d) in %v\n",
+			res.Applied, res.Targets, res.Seq, time.Since(start).Round(time.Microsecond))
 		return nil
 	case "stats":
 		doc, err := db.OpenDocument(*docName)

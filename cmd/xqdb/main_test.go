@@ -51,11 +51,41 @@ func TestExitCodesDiscriminateFailures(t *testing.T) {
 		{"query missing doc", []string{"-doc", "nosuch", "query", `for $x in /r/x return $x`}, exitInternal},
 		{"timeout is an exec failure", []string{"-timeout", "1ns", "query",
 			`for $x in //x return for $y in //x return if ($x/text() = $y/text()) then <m/> else ()`}, exitExec},
+		{"update insert", []string{"update", `insert node <x>new</x> into /r`}, 0},
+		{"update delete", []string{"update", `delete node //x`}, 0},
+		{"update parse error", []string{"update", `delete nodes from //x`}, exitParse},
+		{"update usage", []string{"update"}, exitUsage},
+		{"update missing doc", []string{"-doc", "nosuch", "update", `delete node //x`}, exitInternal},
 	}
 	for _, tc := range cases {
 		args := append(append([]string{}, base...), tc.args...)
 		if got := exitCode(run(args)); got != tc.want {
 			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
 		}
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte(`<j><authors><name>Ana</name></authors><title>DB</title></j>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := filepath.Join(dir, "db")
+	base := []string{"-db", db, "-doc", "d"}
+	steps := [][]string{
+		{"load", xmlPath},
+		{"update", `insert node <name>Bob</name> into /j/authors`},
+		{"update", `replace node /j/title with <title>XML</title>`},
+		{"update", `delete node /j/authors/name`},
+	}
+	for _, s := range steps {
+		if err := run(append(append([]string{}, base...), s...)); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	// The database directory must reopen cleanly with the changes applied.
+	if err := run(append(append([]string{}, base...), "query", `/j`)); err != nil {
+		t.Fatalf("query after updates: %v", err)
 	}
 }

@@ -144,7 +144,7 @@ type pathEntry struct {
 
 // Insert stores value under key, replacing any existing value.
 func (t *Tree) Insert(key, value []byte) error {
-	if err := checkCellSize(t.pg.PageSize(), leafCellSize(key, value)); err != nil {
+	if err := checkCellSize(t.pg.UsableSize(), leafCellSize(key, value)); err != nil {
 		return err
 	}
 	// Descend, keeping the path pinned for split propagation.

@@ -18,7 +18,7 @@ const bulkFillFraction = 0.90
 // clustered primary tree: the XASR tuples arrive sorted by "in".
 func BulkLoad(pg *pager.Pager, next func() (key, value []byte, ok bool, err error)) (*Tree, error) {
 	t := &Tree{pg: pg}
-	fillTarget := int(float64(pg.PageSize()-hdrSize) * bulkFillFraction)
+	fillTarget := int(float64(pg.UsableSize()-hdrSize) * bulkFillFraction)
 
 	type entry struct {
 		firstKey []byte
@@ -59,7 +59,7 @@ func BulkLoad(pg *pager.Pager, next func() (key, value []byte, ok bool, err erro
 		havePrev = true
 
 		size := leafCellSize(key, val)
-		if err := checkCellSize(pg.PageSize(), size); err != nil {
+		if err := checkCellSize(pg.UsableSize(), size); err != nil {
 			cur.Unpin()
 			return nil, err
 		}

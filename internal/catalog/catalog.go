@@ -17,6 +17,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xqdb/internal/core"
 	"xqdb/internal/plancache"
@@ -38,6 +40,10 @@ import (
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 
 const okMarker = "ok"
+
+// ErrNotFound reports that a catalog has no document under the requested
+// name. Callers map it to their own not-found signaling (HTTP 404).
+var ErrNotFound = errors.New("no such document")
 
 // Options configures a catalog.
 type Options struct {
@@ -63,10 +69,20 @@ type Catalog struct {
 // or drop of the name) until the last holder releases.
 type Doc struct {
 	name  string
-	epoch uint64
+	epoch uint64 // version-directory number (fixed for this Doc's lifetime)
 	dir   string
 	st    *store.Store
 	cache *plancache.Cache
+
+	// statsEpoch is the statistics epoch exposed to the plan cache. It
+	// starts at the directory epoch plus the store's applied-update
+	// sequence (so a restart after updates never repeats a pre-update
+	// identity) and bumps on every in-place update.
+	statsEpoch atomic.Uint64
+
+	// updMu serializes update statements against this version; queries
+	// are unaffected (the store itself is safe for concurrent readers).
+	updMu sync.Mutex
 
 	mu      sync.Mutex
 	refs    int
@@ -136,7 +152,9 @@ func (c *Catalog) recover(name string) error {
 		if err != nil {
 			return err
 		}
-		c.docs[name] = &Doc{name: name, epoch: epoch, dir: dir, st: st, cache: c.opts.PlanCache, refs: 1}
+		doc := &Doc{name: name, epoch: epoch, dir: dir, st: st, cache: c.opts.PlanCache, refs: 1}
+		doc.statsEpoch.Store(epoch + st.AppliedSeq())
+		c.docs[name] = doc
 		live = true
 	}
 	if !live {
@@ -159,7 +177,10 @@ func (c *Catalog) Load(name string, r io.Reader) (uint64, error) {
 	c.mu.Lock()
 	epoch := uint64(1)
 	if old := c.docs[name]; old != nil {
-		epoch = old.epoch + 1
+		// The stats epoch can run ahead of the directory epoch (in-place
+		// updates bump it); base the new directory past both so cache
+		// identities never repeat.
+		epoch = old.Epoch() + 1
 	}
 	c.mu.Unlock()
 
@@ -183,6 +204,7 @@ func (c *Catalog) Load(name string, r io.Reader) (uint64, error) {
 	}
 
 	doc := &Doc{name: name, epoch: epoch, dir: dir, st: st, cache: c.opts.PlanCache, refs: 1}
+	doc.statsEpoch.Store(epoch)
 	c.mu.Lock()
 	old := c.docs[name]
 	c.docs[name] = doc
@@ -199,6 +221,30 @@ func (c *Catalog) LoadString(name, doc string) (uint64, error) {
 	return c.Load(name, strings.NewReader(doc))
 }
 
+// Update applies one update statement to the live version of name,
+// atomically and durably (WAL-first; a crash mid-update recovers to
+// either the pre- or post-update state). Updates on the same document
+// serialize; queries keep running throughout. On success the document's
+// statistics epoch bumps, so cached plans compiled under the old
+// statistics stop matching and are eagerly invalidated.
+func (c *Catalog) Update(name, stmt string) (core.UpdateResult, error) {
+	doc, err := c.Acquire(name)
+	if err != nil {
+		return core.UpdateResult{}, err
+	}
+	defer doc.Release()
+	doc.updMu.Lock()
+	defer doc.updMu.Unlock()
+	res, err := doc.Engine(core.Config{}).Update(stmt)
+	if res.Applied > 0 {
+		// Bump even when err != nil: a post-durability fault means the
+		// change IS applied and cached plans are stale regardless.
+		doc.statsEpoch.Add(1)
+		c.opts.PlanCache.InvalidateDoc(name)
+	}
+	return res, err
+}
+
 // Acquire returns the live version of name with a reference held. Callers
 // must Release it when their query finishes.
 func (c *Catalog) Acquire(name string) (*Doc, error) {
@@ -206,13 +252,13 @@ func (c *Catalog) Acquire(name string) (*Doc, error) {
 	doc := c.docs[name]
 	c.mu.Unlock()
 	if doc == nil {
-		return nil, fmt.Errorf("catalog: no document %q", name)
+		return nil, fmt.Errorf("catalog: %w: %q", ErrNotFound, name)
 	}
 	doc.mu.Lock()
 	defer doc.mu.Unlock()
 	if doc.retired && doc.refs == 0 {
 		// Lost a race with Drop's final release; the store is closed.
-		return nil, fmt.Errorf("catalog: no document %q", name)
+		return nil, fmt.Errorf("catalog: %w: %q", ErrNotFound, name)
 	}
 	doc.refs++
 	return doc, nil
@@ -226,7 +272,7 @@ func (c *Catalog) Drop(name string) error {
 	delete(c.docs, name)
 	c.mu.Unlock()
 	if doc == nil {
-		return fmt.Errorf("catalog: no document %q", name)
+		return fmt.Errorf("catalog: %w: %q", ErrNotFound, name)
 	}
 	c.opts.PlanCache.InvalidateDoc(name)
 	doc.retire(true)
@@ -242,6 +288,11 @@ type Info struct {
 	Texts int64  `json:"texts"`
 	// Queries is the number of queries currently holding the document.
 	Queries int `json:"queries"`
+	// AppliedSeq is the number of update statements applied to this
+	// version; WALBytes and CheckpointLSN describe its write-ahead log.
+	AppliedSeq    uint64 `json:"applied_seq"`
+	WALBytes      int64  `json:"wal_bytes"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
 }
 
 // List returns the live documents sorted by name.
@@ -254,7 +305,13 @@ func (c *Catalog) List() []Info {
 	c.mu.Unlock()
 	infos := make([]Info, 0, len(docs))
 	for _, d := range docs {
-		info := Info{Name: d.name, Epoch: d.epoch}
+		info := Info{
+			Name:          d.name,
+			Epoch:         d.Epoch(),
+			AppliedSeq:    d.st.AppliedSeq(),
+			WALBytes:      d.st.WALBytes(),
+			CheckpointLSN: d.st.LastCheckpointLSN(),
+		}
 		if st := d.st.Stats(); st != nil {
 			info.Nodes, info.Elems, info.Texts = st.Nodes, st.Elems, st.Texts
 		}
@@ -289,8 +346,9 @@ func (c *Catalog) Close() error {
 // Name returns the document's catalog name.
 func (d *Doc) Name() string { return d.name }
 
-// Epoch returns the document's statistics epoch.
-func (d *Doc) Epoch() uint64 { return d.epoch }
+// Epoch returns the document's statistics epoch: the version-directory
+// number plus one per in-place update applied to it.
+func (d *Doc) Epoch() uint64 { return d.statsEpoch.Load() }
 
 // Store returns the backing store (valid until Release).
 func (d *Doc) Store() *store.Store { return d.st }
@@ -300,7 +358,7 @@ func (d *Doc) Stats() *xasr.Stats { return d.st.Stats() }
 
 // Version returns the plan-cache identity of this document version.
 func (d *Doc) Version() plancache.DocVersion {
-	return plancache.DocVersion{Name: d.name, Epoch: d.epoch}
+	return plancache.DocVersion{Name: d.name, Epoch: d.Epoch()}
 }
 
 // Engine returns a query engine over this document version, wired to the

@@ -248,6 +248,8 @@ func (h *Handle) detach() {
 // engine's plan cache when configured.
 func (h *Handle) Query(src string) (*Result, error) {
 	e := h.e
+	e.st.ReadLock() // updates drain and stay out for the whole query
+	defer e.st.ReadUnlock()
 	switch e.cfg.Mode {
 	case ModeM1, ModeM2:
 		q, err := xq.Parse(src)
@@ -318,6 +320,8 @@ func (e *Engine) Query(src string) (string, error) {
 // QueryExpr evaluates an already-parsed query (bypassing the plan cache,
 // which keys on query text).
 func (e *Engine) QueryExpr(q xq.Expr) (string, error) {
+	e.st.ReadLock()
+	defer e.st.ReadUnlock()
 	switch e.cfg.Mode {
 	case ModeM1, ModeM2:
 		return e.evalDirect(q)
@@ -456,6 +460,8 @@ func (e *Engine) ExplainAnalyze(src string) (string, error) {
 	case ModeM1, ModeM2:
 		return "", fmt.Errorf("core: %s has no physical plan to analyze", e.cfg.Mode)
 	}
+	e.st.ReadLock()
+	defer e.st.ReadUnlock()
 	out, xplan, counters, err := e.compileAndRun(q, limit.After(e.cfg.Timeout), nil)
 	if err != nil {
 		return "", err
@@ -511,8 +517,10 @@ func (e *Engine) Explain(src string) (string, error) {
 		b.WriteString("\n-- TPM (merged) --\n")
 		b.WriteString(tpm.Format(plan))
 	}
+	e.st.ReadLock() // the planner reads statistics and index heights
 	planner := opt.New(e.st, e.optConfig())
 	xplan, err := planner.Plan(plan)
+	e.st.ReadUnlock()
 	if err != nil {
 		return "", err
 	}

@@ -18,7 +18,7 @@ import (
 // analysis is repeated to catch any scheduling dependence leaking into
 // the rendering.
 func TestExplainAnalyzeExchangeGolden(t *testing.T) {
-	st, err := store.Open(t.TempDir(), store.Options{})
+	st, err := store.Open(t.TempDir(), store.Options{LabelStride: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

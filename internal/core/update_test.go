@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xqdb/internal/store"
+)
+
+func updEngine(t *testing.T, doc string) *Engine {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.LoadString(doc); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return New(st, Config{Mode: ModeM4})
+}
+
+func TestEngineUpdateInsert(t *testing.T) {
+	e := updEngine(t, `<journal><authors><name>Ana</name></authors><title>DB</title></journal>`)
+	res, err := e.Update(`insert node <name>Bob</name> into /journal/authors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 1 || res.Applied != 1 || res.Seq != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	got, err := e.Query(`//name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "<name>Ana</name><name>Bob</name>" {
+		t.Fatalf("after insert: %s", got)
+	}
+}
+
+func TestEngineUpdateDeleteMultiTarget(t *testing.T) {
+	e := updEngine(t, `<j><a><name>Ana</name><name>Bob</name></a><name>Cyd</name></j>`)
+	res, err := e.Update(`delete node //name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 3 || res.Applied != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	got, err := e.Query(`/j`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "<j><a/></j>" {
+		t.Fatalf("after delete: %s", got)
+	}
+}
+
+func TestEngineUpdateNestedDeleteSkips(t *testing.T) {
+	// //a selects both the outer and the inner a; deleting the outer one
+	// consumes the inner target, which must be skipped, not fail.
+	e := updEngine(t, `<r><a><a><x/></a></a><b/></r>`)
+	res, err := e.Update(`delete node //a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 2 || res.Applied != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got, _ := e.Query(`/r`); got != "<r><b/></r>" {
+		t.Fatalf("after delete: %s", got)
+	}
+}
+
+func TestEngineUpdateReplace(t *testing.T) {
+	e := updEngine(t, `<j><title>Old</title><year>1999</year></j>`)
+	if _, err := e.Update(`replace node /j/title with <title>New</title>`); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.Query(`/j`); got != "<j><title>New</title><year>1999</year></j>" {
+		t.Fatalf("after replace: %s", got)
+	}
+}
+
+func TestEngineUpdateTextTarget(t *testing.T) {
+	e := updEngine(t, `<j><t>keep</t><t>drop</t></j>`)
+	res, err := e.Update(`delete node /j/t/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if got, _ := e.Query(`/j`); got != "<j><t/><t/></j>" {
+		t.Fatalf("after delete: %s", got)
+	}
+}
+
+func TestEngineUpdateNoTargetsIsNoop(t *testing.T) {
+	e := updEngine(t, `<j><t>x</t></j>`)
+	res, err := e.Update(`delete node //missing`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 0 || res.Applied != 0 || res.Seq != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEngineUpdateInvalidatesM1DOM(t *testing.T) {
+	e := updEngine(t, `<j><t>x</t></j>`)
+	e.cfg.Mode = ModeM1
+	before, err := e.Query(`//t`)
+	if err != nil || before != "<t>x</t>" {
+		t.Fatalf("before: %q, %v", before, err)
+	}
+	if _, err := e.Update(`insert node <t>y</t> into /j`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Query(`//t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != "<t>x</t><t>y</t>" {
+		t.Fatalf("M1 served a stale DOM: %q", after)
+	}
+}
+
+func TestEngineUpdateAllModesSeeChanges(t *testing.T) {
+	engines := newEngines(t, `<j><a><name>Ana</name></a></j>`)
+	if _, err := engines[ModeM4].Update(`insert node <name>Bob</name>, <name>Cyd</name> after /j/a/name`); err != nil {
+		t.Fatal(err)
+	}
+	want, err := engines[ModeM1].Query(`//name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(want, "Bob") || !strings.Contains(want, "Cyd") {
+		t.Fatalf("reference missing inserts: %s", want)
+	}
+	for m, e := range engines {
+		got, err := e.Query(`//name`)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if got != want {
+			t.Errorf("%s disagrees after update:\n got: %s\nwant: %s", m, got, want)
+		}
+	}
+}
+
+func TestEngineUpdateParseErrors(t *testing.T) {
+	e := updEngine(t, `<j><t>x</t></j>`)
+	if _, err := e.Update(`delete node t`); err == nil {
+		t.Fatal("unrooted path accepted")
+	}
+	if _, err := e.Update(`insert node <a>{//x}</a> into /j`); err == nil {
+		t.Fatal("non-constant fragment accepted")
+	}
+}

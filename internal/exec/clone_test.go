@@ -21,7 +21,7 @@ func clonePlanFixture(t *testing.T) (*store.Store, XPlan) {
 		b.WriteString("<a><b><c>x</c></b></a>")
 	}
 	b.WriteString("</r>")
-	st, err := store.Open(t.TempDir(), store.Options{})
+	st, err := store.Open(t.TempDir(), store.Options{LabelStride: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,7 @@ const figure2 = `<journal><authors><name>Ana</name><name>Bob</name></authors><ti
 
 func testCtx(t testing.TB, doc string) *Ctx {
 	t.Helper()
-	st, err := store.Open(t.TempDir(), store.Options{})
+	st, err := store.Open(t.TempDir(), store.Options{LabelStride: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,13 +1,22 @@
 // Package fault provides deterministic I/O fault injection for the
 // robustness harness: an Injector counts the I/O operations a query
 // performs and, when armed, fails exactly the Nth one. One injector serves
-// every hook site — pager page reads/writes and operator temp-file writes —
-// so "the Nth I/O of the query" is a single global sequence, and a failure
-// point found once replays identically from the same seed.
+// every hook site — pager page reads/writes, operator temp-file writes and
+// WAL appends/flushes — so "the Nth I/O of the query" is a single global
+// sequence, and a failure point found once replays identically from the
+// same seed.
+//
+// Hook sites tag each operation "class:op" ("page:read", "temp:append",
+// "wal:flush"). Beyond the global Nth-op arming, an injector can be armed
+// on one class (ArmClass) or one exact operation tag (ArmAt), so a crash
+// test aimed at, say, the WAL does not trip on unrelated temp-file
+// traffic.
 package fault
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -16,6 +25,29 @@ import (
 // real ones.
 var ErrInjected = errors.New("fault: injected I/O error")
 
+// Named crash points: the exact operation tags a durability test arms with
+// ArmAt to crash at the interesting instants of the commit protocol.
+const (
+	// CrashAfterWALAppend fires after a WAL group flush has become
+	// durable (the commit is on disk, the in-memory state is not).
+	CrashAfterWALAppend = "wal:appended"
+	// CrashBeforePageWrite fires before a dirty page is written back to
+	// the data file.
+	CrashBeforePageWrite = "page:write"
+	// CrashMidCheckpoint fires between the data-file flush and the WAL
+	// truncation of a checkpoint.
+	CrashMidCheckpoint = "wal:mid-checkpoint"
+)
+
+// Class splits a "class:op" tag and returns its class ("page:read" →
+// "page"). Untagged ops form their own class.
+func Class(op string) string {
+	if i := strings.IndexByte(op, ':'); i >= 0 {
+		return op[:i]
+	}
+	return op
+}
+
 // Injector counts I/O operations and fails the Nth one after Arm. The zero
 // value is ready to use (counting, never failing). All methods are safe for
 // concurrent use.
@@ -23,34 +55,89 @@ type Injector struct {
 	ops   atomic.Int64
 	n     atomic.Int64 // fail when ops reaches this value; 0 = disarmed
 	fired atomic.Bool
+
+	// Scoped arming (class or exact op). The atomic flag keeps the
+	// common unarmed/global-armed hot path lock-free.
+	scoped atomic.Bool
+	mu     sync.Mutex
+	key    string // class (ArmClass) or exact tag (ArmAt)
+	exact  bool   // true: match op == key; false: match Class(op) == key
+	sn     int64  // fail the sn-th matching op
+	scount int64  // matching ops seen since scoped arming
 }
 
 // Arm makes the injector fail the nth operation from now (n >= 1), after
-// resetting the operation counter. Arm(0) disarms.
+// resetting the operation counter. Arm(0) disarms. Arm cancels any scoped
+// arming.
 func (i *Injector) Arm(n int64) {
 	i.ops.Store(0)
 	i.fired.Store(false)
+	i.scoped.Store(false)
 	i.n.Store(n)
 }
 
+// ArmClass makes the injector fail the nth operation (n >= 1, from now)
+// whose class matches class — e.g. ArmClass("wal", 2) fails the second WAL
+// operation regardless of interleaved page or temp traffic. Cancels global
+// arming.
+func (i *Injector) ArmClass(class string, n int64) { i.armScoped(class, false, n) }
+
+// ArmAt makes the injector fail the nth occurrence (n >= 1, from now) of
+// the exact operation tag op — the named crash points above. Cancels
+// global arming.
+func (i *Injector) ArmAt(op string, n int64) { i.armScoped(op, true, n) }
+
+func (i *Injector) armScoped(key string, exact bool, n int64) {
+	i.mu.Lock()
+	i.key, i.exact, i.sn, i.scount = key, exact, n, 0
+	i.mu.Unlock()
+	i.ops.Store(0)
+	i.fired.Store(false)
+	i.n.Store(0)
+	i.scoped.Store(n > 0)
+}
+
 // Disarm stops the injector from failing; counting continues.
-func (i *Injector) Disarm() { i.n.Store(0) }
+func (i *Injector) Disarm() {
+	i.n.Store(0)
+	i.scoped.Store(false)
+}
 
 // Ops returns the number of operations observed since the last Arm (or
 // since creation).
 func (i *Injector) Ops() int64 { return i.ops.Load() }
 
-// Fired reports whether the injector has triggered since the last Arm.
+// Fired reports whether the injector has triggered since the last arming.
 func (i *Injector) Fired() bool { return i.fired.Load() }
 
-// Hook is the injection point: every hook site calls it with a short
-// operation tag ("read", "write", "append", "flush", "finish"). It counts
-// the operation and returns ErrInjected on the armed Nth one.
+// Hook is the injection point: every hook site calls it with a "class:op"
+// operation tag ("page:read", "temp:append", "wal:flush"). It counts the
+// operation and returns ErrInjected at the armed trigger.
 func (i *Injector) Hook(op string) error {
 	ops := i.ops.Add(1)
 	if n := i.n.Load(); n > 0 && ops == n {
 		i.fired.Store(true)
 		return ErrInjected
+	}
+	if i.scoped.Load() {
+		i.mu.Lock()
+		match := false
+		if i.sn > 0 {
+			if i.exact {
+				match = op == i.key
+			} else {
+				match = Class(op) == i.key
+			}
+		}
+		if match {
+			i.scount++
+			if i.scount == i.sn {
+				i.mu.Unlock()
+				i.fired.Store(true)
+				return ErrInjected
+			}
+		}
+		i.mu.Unlock()
 	}
 	return nil
 }

@@ -39,6 +39,81 @@ func TestInjectorFailsExactlyNth(t *testing.T) {
 	}
 }
 
+func TestClass(t *testing.T) {
+	for op, want := range map[string]string{
+		"page:read":          "page",
+		"temp:append":        "temp",
+		"wal:mid-checkpoint": "wal",
+		"read":               "read",
+	} {
+		if got := Class(op); got != want {
+			t.Fatalf("Class(%q) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestInjectorArmClass(t *testing.T) {
+	var inj Injector
+	inj.ArmClass("wal", 2)
+	// Interleaved page/temp traffic must not advance the wal counter.
+	seq := []string{"page:read", "wal:append", "temp:append", "page:write", "wal:flush", "wal:append"}
+	var failedAt int
+	for k, op := range seq {
+		if err := inj.Hook(op); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: %v", k, err)
+			}
+			failedAt = k
+		}
+	}
+	if failedAt != 4 { // second wal op is seq[4]
+		t.Fatalf("failed at index %d, want 4", failedAt)
+	}
+	if !inj.Fired() {
+		t.Fatal("not fired")
+	}
+	// After firing once, nothing further fails until rearmed... the nth
+	// already fired; later matches must pass.
+	if err := inj.Hook("wal:append"); err != nil {
+		t.Fatalf("post-fire op failed: %v", err)
+	}
+}
+
+func TestInjectorArmAtExactOp(t *testing.T) {
+	var inj Injector
+	inj.ArmAt(CrashAfterWALAppend, 1)
+	for _, op := range []string{"wal:append", "wal:flush", "page:write"} {
+		if err := inj.Hook(op); err != nil {
+			t.Fatalf("non-matching op %q failed: %v", op, err)
+		}
+	}
+	if !errors.Is(inj.Hook(CrashAfterWALAppend), ErrInjected) {
+		t.Fatal("exact op did not fail")
+	}
+}
+
+func TestScopedArmingCancelsGlobal(t *testing.T) {
+	var inj Injector
+	inj.Arm(1)
+	inj.ArmClass("wal", 1)
+	if err := inj.Hook("page:read"); err != nil {
+		t.Fatalf("global arming survived ArmClass: %v", err)
+	}
+	if !errors.Is(inj.Hook("wal:append"), ErrInjected) {
+		t.Fatal("class arming inactive")
+	}
+	inj.ArmClass("wal", 1)
+	inj.Arm(1)
+	if !errors.Is(inj.Hook("page:read"), ErrInjected) {
+		t.Fatal("global arming inactive after rearm")
+	}
+	inj.Arm(0)
+	inj.Disarm()
+	if err := inj.Hook("wal:append"); err != nil {
+		t.Fatalf("disarmed injector failed: %v", err)
+	}
+}
+
 func TestInjectorDisarmAndRearm(t *testing.T) {
 	var inj Injector
 	inj.Arm(3)

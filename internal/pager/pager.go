@@ -18,7 +18,22 @@
 // sync/atomic and lock-free. Only the file metadata (page count, freelist,
 // app header) keeps a single mutex; it is taken on the write/allocate path
 // used at load time and never on the hot read path. Lock order is always
-// meta → shard, never the reverse.
+// meta → shard → update-state, never the reverse.
+//
+// # Durability
+//
+// When Options.WAL is set, every non-meta page carries an 8-byte LSN
+// header (Data() exposes only the usable remainder) and mutations happen
+// inside update units: BeginUpdate snapshots the metadata and starts
+// capturing before-images of every page touched; CommitUpdate stamps each
+// dirtied page with a fresh LSN, appends whole-page redo images plus a
+// commit record to the WAL and group-flushes it — only then may the pages
+// reach the data file (pages dirtied by an open unit are pinned into the
+// pool, and a page is never written back before the WAL covering it is
+// durable). AbortUpdate restores the before-images. Recover replays
+// committed units from the log, skipping pages whose on-disk LSN already
+// covers a record, so replay is idempotent; Checkpoint flushes and fsyncs
+// the data file and then truncates the log.
 package pager
 
 import (
@@ -28,8 +43,11 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+
+	"xqdb/internal/wal"
 )
 
 // PageID identifies a page within the file. Page 0 is the meta page and is
@@ -40,7 +58,7 @@ type PageID uint32
 const NilPage PageID = 0
 
 const (
-	magic        = "XQDBPG01"
+	magic        = "XQDBPG02"
 	metaPageID   = PageID(0)
 	offMagic     = 0
 	offPageSize  = 8
@@ -51,6 +69,11 @@ const (
 	// the client (the store layer keeps B+-tree roots and counters there).
 	AppHeaderSize = 128
 )
+
+// PageHdrSize is the per-page header on every non-meta page: the 8-byte
+// LSN of the last WAL record that wrote the page. Page.Data() starts past
+// it.
+const PageHdrSize = 8
 
 // DefaultPageSize is the page size used when Options.PageSize is zero.
 const DefaultPageSize = 4096
@@ -71,9 +94,15 @@ const maxShards = 64
 // ErrClosed is returned by operations on a closed Pager.
 var ErrClosed = errors.New("pager: closed")
 
-// IOHook is consulted before page-file reads ("read") and writes
-// ("write"); a non-nil return fails the operation with that error. The
-// fault-injection harness uses it to fail the Nth I/O deterministically.
+// ErrUpdateActive is returned when an operation that would write
+// uncommitted pages runs while an update unit is open, or a second unit is
+// begun.
+var ErrUpdateActive = errors.New("pager: update unit active")
+
+// IOHook is consulted before page-file reads ("page:read") and writes
+// ("page:write"); a non-nil return fails the operation with that error.
+// The fault-injection harness uses it to fail the Nth I/O
+// deterministically.
 type IOHook func(op string) error
 
 // Options configures Open.
@@ -87,6 +116,10 @@ type Options struct {
 	ReadOnly bool
 	// IOHook, when set, is consulted before every page read and write.
 	IOHook IOHook
+	// WAL, when set, enables update units: mutations between BeginUpdate
+	// and CommitUpdate are logged to it before any page reaches the data
+	// file.
+	WAL *wal.Log
 }
 
 // Stats counts buffer pool and file I/O activity since Open.
@@ -115,6 +148,10 @@ type frame struct {
 	dirty  bool
 	refbit bool
 	valid  bool
+	// unlogged marks a frame dirtied by the open update unit whose redo
+	// record is not yet on the WAL: it must not be evicted (written back)
+	// until the unit commits.
+	unlogged bool
 }
 
 // shard is one stripe of the buffer pool: a private frame array, hash
@@ -126,13 +163,23 @@ type shard struct {
 	clock  int
 }
 
+// beforeImage is the pre-update state of one touched page, kept for
+// AbortUpdate.
+type beforeImage struct {
+	data     []byte // full frame bytes incl. LSN header; nil for fresh pages
+	wasDirty bool
+}
+
 // Pager manages the page file and its buffer pool. All methods are safe
-// for concurrent use.
+// for concurrent use, except that update units (BeginUpdate through
+// CommitUpdate/AbortUpdate) assume a single writer with no concurrent
+// mutators; the layers above serialize writers per store.
 type Pager struct {
 	f        *os.File
 	pageSize int
 	readOnly bool
 	ioHook   IOHook
+	wal      *wal.Log
 
 	closed   atomic.Bool
 	numPages atomic.Uint32 // including the meta page
@@ -147,6 +194,26 @@ type Pager struct {
 
 	shards    []shard
 	shardMask uint32
+
+	// updActive is the lock-free fast-path check on fetch; upd holds the
+	// open unit's before-images and metadata snapshot.
+	updActive atomic.Bool
+	upd       struct {
+		sync.Mutex
+		touched   map[PageID]*beforeImage
+		freeHead  PageID
+		appHdr    [AppHeaderSize]byte
+		metaDirty bool
+		numPages  uint32
+	}
+
+	// dpt is the dirty-page table: pages whose latest committed image is
+	// on the WAL but not yet in the data file, with the LSN of that
+	// image. Entries clear as pages are written back.
+	dpt struct {
+		sync.Mutex
+		pages map[PageID]uint64
+	}
 
 	stats counters
 }
@@ -198,7 +265,9 @@ func Open(path string, opts Options) (*Pager, error) {
 		pageSize: opts.PageSize,
 		readOnly: opts.ReadOnly,
 		ioHook:   opts.IOHook,
+		wal:      opts.WAL,
 	}
+	p.dpt.pages = make(map[PageID]uint64)
 	fi, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -259,19 +328,24 @@ func (p *Pager) readMeta() error {
 	return nil
 }
 
-// writeMetaLocked persists the meta page. Caller holds p.meta (or has
-// exclusive access during Open).
-func (p *Pager) writeMetaLocked() error {
-	if !p.meta.metaDirty {
-		return nil
-	}
+// buildMetaLocked renders the meta page image. Caller holds p.meta.
+func (p *Pager) buildMetaLocked() []byte {
 	buf := make([]byte, p.pageSize)
 	copy(buf[offMagic:], magic)
 	binary.LittleEndian.PutUint32(buf[offPageSize:], uint32(p.pageSize))
 	binary.LittleEndian.PutUint32(buf[offNumPages:], p.numPages.Load())
 	binary.LittleEndian.PutUint32(buf[offFreeHead:], uint32(p.meta.freeHead))
 	copy(buf[offAppHeader:], p.meta.appHdr[:])
-	if _, err := p.f.WriteAt(buf, 0); err != nil {
+	return buf
+}
+
+// writeMetaLocked persists the meta page. Caller holds p.meta (or has
+// exclusive access during Open).
+func (p *Pager) writeMetaLocked() error {
+	if !p.meta.metaDirty {
+		return nil
+	}
+	if _, err := p.f.WriteAt(p.buildMetaLocked(), 0); err != nil {
 		return fmt.Errorf("pager: writing meta page: %w", err)
 	}
 	p.stats.pagesWritten.Add(1)
@@ -281,6 +355,10 @@ func (p *Pager) writeMetaLocked() error {
 
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
+
+// UsableSize returns the bytes of a page available to clients: the page
+// size minus the per-page LSN header.
+func (p *Pager) UsableSize() int { return p.pageSize - PageHdrSize }
 
 // NumPages returns the number of pages in the file, including the meta
 // page and freed pages.
@@ -306,6 +384,14 @@ func (p *Pager) PinnedPages() int {
 		sh.mu.Unlock()
 	}
 	return total
+}
+
+// DirtyLogged returns the size of the dirty-page table: committed pages
+// whose images live only on the WAL so far.
+func (p *Pager) DirtyLogged() int {
+	p.dpt.Lock()
+	defer p.dpt.Unlock()
+	return len(p.dpt.pages)
 }
 
 // Stats returns a snapshot of the I/O counters.
@@ -348,18 +434,30 @@ func (p *Pager) SetAppHeader(hdr [AppHeaderSize]byte) {
 // must be marked dirty before unpinning.
 type Page struct {
 	ID    PageID
+	p     *Pager
 	sh    *shard
 	frame int
 }
 
-// Data returns the page contents. The slice is only valid while the page
-// is pinned.
-func (pg *Page) Data() []byte { return pg.sh.frames[pg.frame].data }
+// Data returns the page contents past the LSN header. The slice is only
+// valid while the page is pinned.
+func (pg *Page) Data() []byte { return pg.sh.frames[pg.frame].data[PageHdrSize:] }
 
-// MarkDirty records that the page was modified.
+// LSN returns the LSN of the last WAL record that wrote this page (0 if
+// never logged).
+func (pg *Page) LSN() uint64 {
+	return binary.LittleEndian.Uint64(pg.sh.frames[pg.frame].data)
+}
+
+// MarkDirty records that the page was modified. Inside an update unit the
+// frame additionally becomes unevictable until the unit resolves.
 func (pg *Page) MarkDirty() {
 	pg.sh.mu.Lock()
-	pg.sh.frames[pg.frame].dirty = true
+	fr := &pg.sh.frames[pg.frame]
+	fr.dirty = true
+	if pg.p.updActive.Load() {
+		fr.unlogged = true
+	}
 	pg.sh.mu.Unlock()
 }
 
@@ -457,6 +555,26 @@ func (p *Pager) Read(id PageID) (*Page, error) {
 	return p.fetch(id)
 }
 
+// captureLocked records the before-image of a page first touched by the
+// open update unit. Caller holds the page's shard mutex; fr may be nil for
+// a fresh page that has no prior image.
+func (p *Pager) captureLocked(id PageID, fr *frame) {
+	p.upd.Lock()
+	if p.upd.touched == nil {
+		p.upd.Unlock()
+		return
+	}
+	if _, ok := p.upd.touched[id]; !ok {
+		img := &beforeImage{}
+		if fr != nil {
+			img.data = append([]byte(nil), fr.data...)
+			img.wasDirty = fr.dirty
+		}
+		p.upd.touched[id] = img
+	}
+	p.upd.Unlock()
+}
+
 // fetch returns the page pinned, loading it from the file into its shard
 // if necessary.
 func (p *Pager) fetch(id PageID) (*Page, error) {
@@ -472,9 +590,12 @@ func (p *Pager) fetch(id PageID) (*Page, error) {
 	if fi, ok := sh.table[id]; ok {
 		sh.frames[fi].pins++
 		sh.frames[fi].refbit = true
+		if p.updActive.Load() {
+			p.captureLocked(id, &sh.frames[fi])
+		}
 		sh.mu.Unlock()
 		p.stats.cacheHits.Add(1)
-		return &Page{ID: id, sh: sh, frame: fi}, nil
+		return &Page{ID: id, p: p, sh: sh, frame: fi}, nil
 	}
 	fi, err := p.victimLocked(sh)
 	if err != nil {
@@ -484,7 +605,7 @@ func (p *Pager) fetch(id PageID) (*Page, error) {
 	fr := &sh.frames[fi]
 	off := int64(id) * int64(p.pageSize)
 	if p.ioHook != nil {
-		if err := p.ioHook("read"); err != nil {
+		if err := p.ioHook("page:read"); err != nil {
 			sh.mu.Unlock()
 			return nil, fmt.Errorf("pager: reading page %d: %w", id, err)
 		}
@@ -505,11 +626,15 @@ func (p *Pager) fetch(id PageID) (*Page, error) {
 	fr.dirty = false
 	fr.refbit = true
 	fr.valid = true
+	fr.unlogged = false
 	sh.table[id] = fi
+	if p.updActive.Load() {
+		p.captureLocked(id, fr)
+	}
 	sh.mu.Unlock()
 	p.stats.cacheMisses.Add(1)
 	p.stats.pagesRead.Add(1)
-	return &Page{ID: id, sh: sh, frame: fi}, nil
+	return &Page{ID: id, p: p, sh: sh, frame: fi}, nil
 }
 
 // newFrame claims a frame for a brand-new page without reading the file.
@@ -534,12 +659,18 @@ func (p *Pager) newFrame(id PageID) (*Page, error) {
 	fr.dirty = false
 	fr.refbit = true
 	fr.valid = true
+	fr.unlogged = false
 	sh.table[id] = fi
-	return &Page{ID: id, sh: sh, frame: fi}, nil
+	if p.updActive.Load() {
+		p.captureLocked(id, nil)
+	}
+	return &Page{ID: id, p: p, sh: sh, frame: fi}, nil
 }
 
 // victimLocked finds a free or evictable frame in sh using the clock
-// algorithm, writing back a dirty victim. Caller holds sh.mu.
+// algorithm, writing back a dirty victim. Frames dirtied by the open
+// update unit are unevictable (their redo is not yet logged). Caller holds
+// sh.mu.
 func (p *Pager) victimLocked(sh *shard) (int, error) {
 	n := len(sh.frames)
 	for sweep := 0; sweep < 2*n+1; sweep++ {
@@ -549,7 +680,7 @@ func (p *Pager) victimLocked(sh *shard) (int, error) {
 		if !fr.valid {
 			return fi, nil
 		}
-		if fr.pins > 0 {
+		if fr.pins > 0 || fr.unlogged {
 			continue
 		}
 		if fr.refbit {
@@ -569,9 +700,17 @@ func (p *Pager) victimLocked(sh *shard) (int, error) {
 }
 
 func (p *Pager) writeFrame(fr *frame) error {
+	if p.wal != nil {
+		// WAL-before-page: never write a page whose covering log record
+		// is not durable.
+		if lsn := binary.LittleEndian.Uint64(fr.data); lsn > p.wal.FlushedLSN() {
+			return fmt.Errorf("pager: page %d write ahead of WAL (lsn %d > flushed %d)",
+				fr.id, lsn, p.wal.FlushedLSN())
+		}
+	}
 	off := int64(fr.id) * int64(p.pageSize)
 	if p.ioHook != nil {
-		if err := p.ioHook("write"); err != nil {
+		if err := p.ioHook("page:write"); err != nil {
 			return fmt.Errorf("pager: writing page %d: %w", fr.id, err)
 		}
 	}
@@ -580,6 +719,302 @@ func (p *Pager) writeFrame(fr *frame) error {
 	}
 	p.stats.pagesWritten.Add(1)
 	fr.dirty = false
+	p.dpt.Lock()
+	delete(p.dpt.pages, fr.id)
+	p.dpt.Unlock()
+	return nil
+}
+
+// BeginUpdate opens an update unit: the metadata is snapshotted and every
+// page touched from here captures a before-image, so AbortUpdate can
+// restore the pre-unit state exactly. Requires Options.WAL.
+func (p *Pager) BeginUpdate() error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if p.readOnly || p.wal == nil {
+		return errors.New("pager: update on read-only or WAL-less pager")
+	}
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	p.upd.Lock()
+	defer p.upd.Unlock()
+	if p.upd.touched != nil {
+		return ErrUpdateActive
+	}
+	p.upd.touched = make(map[PageID]*beforeImage)
+	p.upd.freeHead = p.meta.freeHead
+	p.upd.appHdr = p.meta.appHdr
+	p.upd.metaDirty = p.meta.metaDirty
+	p.upd.numPages = p.numPages.Load()
+	p.updActive.Store(true)
+	return nil
+}
+
+// InUpdate reports whether an update unit is open.
+func (p *Pager) InUpdate() bool { return p.updActive.Load() }
+
+// CommitUpdate makes the open unit durable: every page it dirtied is
+// stamped with a fresh LSN and appended to the WAL as a redo image, the
+// (possibly dirty) meta page follows, then a commit record carrying seq,
+// and the whole unit reaches disk in one group flush.
+//
+// committed reports whether the unit is durable on the log: a non-nil
+// error with committed=true means the commit hit disk but a hook fired
+// just after (the crash-harness's "died right after commit" point) — the
+// in-memory state is kept. With committed=false the caller must
+// AbortUpdate to roll back.
+func (p *Pager) CommitUpdate(seq uint64) (committed bool, err error) {
+	if !p.updActive.Load() {
+		return false, errors.New("pager: commit without update unit")
+	}
+	p.meta.Lock()
+	defer p.meta.Unlock()
+
+	// Collect the unit's dirtied frames. They cannot be evicted or
+	// concurrently modified (single writer), so holding each shard lock
+	// only while scanning is safe.
+	type dirtyRef struct {
+		sh *shard
+		fi int
+		id PageID
+	}
+	var dirties []dirtyRef
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for j := range sh.frames {
+			if sh.frames[j].valid && sh.frames[j].unlogged {
+				dirties = append(dirties, dirtyRef{sh: sh, fi: j, id: sh.frames[j].id})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(dirties, func(i, j int) bool { return dirties[i].id < dirties[j].id })
+
+	lsns := make(map[PageID]uint64, len(dirties))
+	for _, d := range dirties {
+		fr := &d.sh.frames[d.fi]
+		lsn := p.wal.NextLSN()
+		binary.LittleEndian.PutUint64(fr.data, lsn)
+		got, aerr := p.wal.AppendPage(uint32(d.id), fr.data)
+		if aerr != nil {
+			p.wal.DropBuffer()
+			return false, aerr
+		}
+		if got != lsn {
+			p.wal.DropBuffer()
+			return false, fmt.Errorf("pager: LSN skew (%d != %d)", got, lsn)
+		}
+		lsns[d.id] = lsn
+	}
+	if p.meta.metaDirty {
+		if _, aerr := p.wal.AppendPage(0, p.buildMetaLocked()); aerr != nil {
+			p.wal.DropBuffer()
+			return false, aerr
+		}
+	}
+	if _, aerr := p.wal.AppendCommit(seq); aerr != nil {
+		p.wal.DropBuffer()
+		return false, aerr
+	}
+	ferr := p.wal.Flush()
+	if p.wal.LastSeq() < seq {
+		// The group flush did not reach disk: nothing of the unit is
+		// durable. Strip the stamped LSNs so the frames don't claim
+		// coverage by records that never made it.
+		for _, d := range dirties {
+			binary.LittleEndian.PutUint64(d.sh.frames[d.fi].data, 0)
+		}
+		p.wal.DropBuffer()
+		if ferr == nil {
+			ferr = errors.New("pager: WAL flush incomplete")
+		}
+		return false, ferr
+	}
+	// Durable. Clear the unit and record the pages as logged-but-unwritten.
+	p.dpt.Lock()
+	for id, lsn := range lsns {
+		p.dpt.pages[id] = lsn
+	}
+	p.dpt.Unlock()
+	for _, d := range dirties {
+		d.sh.mu.Lock()
+		d.sh.frames[d.fi].unlogged = false
+		d.sh.mu.Unlock()
+	}
+	p.upd.Lock()
+	p.upd.touched = nil
+	p.upd.Unlock()
+	p.updActive.Store(false)
+	return true, ferr
+}
+
+// AbortUpdate rolls the open unit back: touched pages are restored from
+// their before-images (fresh allocations are discarded) and the metadata
+// snapshot is reinstated. A no-op if no unit is open.
+func (p *Pager) AbortUpdate() {
+	if !p.updActive.Load() {
+		return
+	}
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	p.upd.Lock()
+	touched := p.upd.touched
+	p.upd.touched = nil
+	p.upd.Unlock()
+	p.updActive.Store(false)
+	for id, img := range touched {
+		sh := p.shardFor(id)
+		sh.mu.Lock()
+		fi, ok := sh.table[id]
+		if ok {
+			fr := &sh.frames[fi]
+			if img.data != nil {
+				copy(fr.data, img.data)
+				fr.dirty = img.wasDirty
+				fr.unlogged = false
+			} else {
+				// Fresh allocation: the page did not exist before the
+				// unit; drop the frame.
+				fr.valid = false
+				fr.pins = 0
+				fr.unlogged = false
+				delete(sh.table, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	p.meta.freeHead = p.upd.freeHead
+	p.meta.appHdr = p.upd.appHdr
+	p.meta.metaDirty = p.upd.metaDirty
+	p.numPages.Store(p.upd.numPages)
+}
+
+// Recover replays committed units from the WAL into the data file. It must
+// run right after Open, before any pages are read through the pool. Page
+// images whose on-disk LSN already covers them are skipped, so replaying
+// twice (a crash during recovery) is harmless. Uncommitted trailing
+// records are ignored. Returns the highest committed sequence number seen
+// and the number of page images applied.
+func (p *Pager) Recover() (lastSeq uint64, applied int, err error) {
+	if p.wal == nil {
+		return 0, 0, nil
+	}
+	type pimg struct {
+		id  uint32
+		lsn uint64
+		img []byte
+	}
+	var pending []pimg
+	rerr := p.wal.Replay(func(lsn uint64, typ byte, payload []byte) error {
+		switch typ {
+		case wal.RecPage:
+			if len(payload) < 4 {
+				return fmt.Errorf("pager: recover: short page record at LSN %d", lsn)
+			}
+			pending = append(pending, pimg{
+				id:  binary.LittleEndian.Uint32(payload),
+				img: append([]byte(nil), payload[4:]...),
+			})
+		case wal.RecCommit:
+			for _, pi := range pending {
+				ok, aerr := p.applyImage(pi.id, pi.img)
+				if aerr != nil {
+					return aerr
+				}
+				if ok {
+					applied++
+				}
+			}
+			pending = nil
+			lastSeq = binary.LittleEndian.Uint64(payload)
+		case wal.RecCheckpoint:
+			if s := binary.LittleEndian.Uint64(payload); s > lastSeq {
+				lastSeq = s
+			}
+			pending = nil
+		}
+		return nil
+	})
+	if rerr != nil {
+		return lastSeq, applied, rerr
+	}
+	if applied > 0 {
+		if err := p.f.Sync(); err != nil {
+			return lastSeq, applied, fmt.Errorf("pager: recover: %w", err)
+		}
+		if err := p.readMeta(); err != nil {
+			return lastSeq, applied, err
+		}
+	}
+	return lastSeq, applied, nil
+}
+
+// applyImage writes one redo page image unless the on-disk page already
+// carries an equal or newer LSN. The meta page (no LSN header) is always
+// applied; the last committed image wins.
+func (p *Pager) applyImage(id uint32, img []byte) (bool, error) {
+	if len(img) != p.pageSize {
+		return false, fmt.Errorf("pager: recover: page %d image size %d != %d", id, len(img), p.pageSize)
+	}
+	off := int64(id) * int64(p.pageSize)
+	if id != 0 {
+		recLSN := binary.LittleEndian.Uint64(img)
+		var hdr [PageHdrSize]byte
+		n, err := p.f.ReadAt(hdr[:], off)
+		if err != nil && err != io.EOF {
+			return false, fmt.Errorf("pager: recover: %w", err)
+		}
+		if n == PageHdrSize {
+			if diskLSN := binary.LittleEndian.Uint64(hdr[:]); diskLSN >= recLSN {
+				return false, nil
+			}
+		}
+	}
+	if p.ioHook != nil {
+		if err := p.ioHook("page:write"); err != nil {
+			return false, fmt.Errorf("pager: recover: %w", err)
+		}
+	}
+	if _, err := p.f.WriteAt(img, off); err != nil {
+		return false, fmt.Errorf("pager: recover: %w", err)
+	}
+	p.stats.pagesWritten.Add(1)
+	return true, nil
+}
+
+// Checkpoint makes the data file self-contained: every dirty page and the
+// meta page are written back and fsynced, then the WAL is compacted down
+// to a single checkpoint record carrying lastSeq. The "wal:mid-checkpoint"
+// crash point sits between the two steps — a crash there leaves a fully
+// flushed data file plus a still-complete log, either of which recovers.
+func (p *Pager) Checkpoint(lastSeq uint64) error {
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	if p.updActive.Load() {
+		return ErrUpdateActive
+	}
+	if err := p.flushMetaLocked(); err != nil {
+		return err
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: checkpoint: %w", err)
+	}
+	p.dpt.Lock()
+	p.dpt.pages = make(map[PageID]uint64)
+	p.dpt.Unlock()
+	if p.wal != nil {
+		if err := p.wal.CrashHook("wal:mid-checkpoint"); err != nil {
+			return err
+		}
+		if err := p.wal.Checkpoint(lastSeq); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -594,8 +1029,12 @@ func (p *Pager) Flush() error {
 }
 
 // flushMetaLocked writes back every dirty frame shard by shard, then the
-// meta page. Caller holds p.meta (lock order meta → shard).
+// meta page. Caller holds p.meta (lock order meta → shard). Refuses to run
+// under an open update unit — that would push uncommitted pages to disk.
 func (p *Pager) flushMetaLocked() error {
+	if p.updActive.Load() {
+		return ErrUpdateActive
+	}
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
@@ -641,13 +1080,31 @@ func (p *Pager) Close() error {
 	} else {
 		// Read-only: nothing to flush, but still sweep the shard locks to
 		// serialize with in-flight fetches before closing the file.
-		for i := range p.shards {
-			p.shards[i].mu.Lock()
-			p.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
-		}
+		p.shardBarrier()
 	}
 	if cerr := p.f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// CloseNoFlush closes the file descriptor without writing anything back —
+// the crash harness's simulated kill -9. Page writes that completed
+// earlier survive (they reached the OS); everything buffered in the pool
+// or the unit state is lost.
+func (p *Pager) CloseNoFlush() error {
+	p.meta.Lock()
+	defer p.meta.Unlock()
+	if p.closed.Swap(true) {
+		return nil
+	}
+	p.shardBarrier()
+	return p.f.Close()
+}
+
+func (p *Pager) shardBarrier() {
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+		p.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
 }

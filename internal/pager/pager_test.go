@@ -209,7 +209,7 @@ func TestIOHookFailsReads(t *testing.T) {
 	hookErr := errors.New("injected")
 	p, _ := openTemp(t, Options{CacheFrames: 8, IOHook: func(op string) error {
 		calls++
-		if fail && op == "read" {
+		if fail && op == "page:read" {
 			return hookErr
 		}
 		return nil

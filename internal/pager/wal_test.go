@@ -1,0 +1,326 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"xqdb/internal/fault"
+	"xqdb/internal/wal"
+)
+
+// openWal opens a pager + WAL pair in dir.
+func openWal(t *testing.T, dir string, hook func(string) error) (*Pager, *wal.Log) {
+	t.Helper()
+	w, err := wal.Open(filepath.Join(dir, "wal.log"), hook)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	p, err := Open(filepath.Join(dir, "pages.db"), Options{
+		PageSize: 512, CacheFrames: 16, IOHook: hook, WAL: w,
+	})
+	if err != nil {
+		t.Fatalf("pager.Open: %v", err)
+	}
+	return p, w
+}
+
+func TestUpdateUnitCommitAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	p, w := openWal(t, dir, nil)
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	copy(pg.Data(), "base state")
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p.BeginUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ = p.Read(id)
+	copy(pg.Data(), "new  state")
+	pg.MarkDirty()
+	pg.Unpin()
+	committed, err := p.CommitUpdate(1)
+	if err != nil || !committed {
+		t.Fatalf("CommitUpdate = %v %v", committed, err)
+	}
+	if p.DirtyLogged() != 1 {
+		t.Fatalf("DirtyLogged = %d, want 1", p.DirtyLogged())
+	}
+	// Simulate a crash before the page is written back.
+	if err := p.CloseNoFlush(); err != nil {
+		t.Fatal(err)
+	}
+	w.CloseNoFlush()
+
+	p2, w2 := openWal(t, dir, nil)
+	defer w2.Close()
+	defer p2.Close()
+	lastSeq, applied, err := p2.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if lastSeq != 1 || applied == 0 {
+		t.Fatalf("Recover = seq %d applied %d", lastSeq, applied)
+	}
+	pg, err = p2.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Data()[:10]) != "new  state" {
+		t.Fatalf("recovered content %q", pg.Data()[:10])
+	}
+	if pg.LSN() == 0 {
+		t.Fatal("recovered page has no LSN")
+	}
+	pg.Unpin()
+	// Idempotence: a second recovery applies nothing.
+	if _, applied, err := p2.Recover(); err != nil || applied != 0 {
+		t.Fatalf("second Recover applied %d (%v)", applied, err)
+	}
+}
+
+func TestUpdateUnitAbortRestores(t *testing.T) {
+	dir := t.TempDir()
+	p, w := openWal(t, dir, nil)
+	defer w.Close()
+	defer p.Close()
+	pg, _ := p.Allocate()
+	id := pg.ID
+	copy(pg.Data(), "original")
+	pg.MarkDirty()
+	pg.Unpin()
+	hdrBefore := p.AppHeader()
+	numBefore := p.NumPages()
+
+	if err := p.BeginUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ = p.Read(id)
+	copy(pg.Data(), "mutated!")
+	pg.MarkDirty()
+	pg.Unpin()
+	fresh, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshID := fresh.ID
+	fresh.Unpin()
+	var hdr [AppHeaderSize]byte
+	copy(hdr[:], "scribbled header")
+	p.SetAppHeader(hdr)
+	p.AbortUpdate()
+
+	pg, err = p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Data()[:8]) != "original" {
+		t.Fatalf("abort left %q", pg.Data()[:8])
+	}
+	pg.Unpin()
+	if p.AppHeader() != hdrBefore {
+		t.Fatal("app header not restored")
+	}
+	if p.NumPages() != numBefore {
+		t.Fatalf("NumPages = %d, want %d", p.NumPages(), numBefore)
+	}
+	if _, err := p.Read(freshID); err == nil {
+		t.Fatal("aborted fresh page still readable")
+	}
+	if got := p.PinnedPages(); got != 0 {
+		t.Fatalf("pins after abort = %d", got)
+	}
+}
+
+func TestUnloggedFramesNotEvicted(t *testing.T) {
+	dir := t.TempDir()
+	p, w := openWal(t, dir, nil)
+	defer w.Close()
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, pg.ID)
+		pg.MarkDirty()
+		pg.Unpin()
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BeginUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := p.Read(ids[0])
+	copy(pg.Data(), "uncommitted")
+	pg.MarkDirty()
+	pg.Unpin()
+	// Churn the whole 16-frame pool with clean reads: the unlogged page
+	// must survive in memory without ever reaching the file.
+	written := p.Stats().PagesWritten
+	for _, id := range ids {
+		q, err := p.Read(id)
+		if err != nil {
+			t.Fatalf("read %d: %v", id, err)
+		}
+		q.Unpin()
+	}
+	if p.Stats().PagesWritten != written {
+		t.Fatalf("pages written during open unit: %d", p.Stats().PagesWritten-written)
+	}
+	pg, _ = p.Read(ids[0])
+	if string(pg.Data()[:11]) != "uncommitted" {
+		t.Fatalf("unlogged page lost: %q", pg.Data()[:11])
+	}
+	pg.Unpin()
+	p.AbortUpdate()
+}
+
+func TestCommitCrashAtWALFlushRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	var inj fault.Injector
+	p, w := openWal(t, dir, inj.Hook)
+	defer w.Close()
+	defer p.Close()
+	pg, _ := p.Allocate()
+	id := pg.ID
+	copy(pg.Data(), "stable")
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := p.BeginUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ = p.Read(id)
+	copy(pg.Data(), "doomed")
+	pg.MarkDirty()
+	pg.Unpin()
+	inj.ArmAt("wal:flush", 1)
+	committed, err := p.CommitUpdate(1)
+	inj.Disarm()
+	if committed || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("CommitUpdate = %v %v, want uncommitted injected", committed, err)
+	}
+	p.AbortUpdate()
+	pg, _ = p.Read(id)
+	if string(pg.Data()[:6]) != "stable" {
+		t.Fatalf("rollback left %q", pg.Data()[:6])
+	}
+	pg.Unpin()
+	if w.LastSeq() != 0 {
+		t.Fatalf("LastSeq = %d after failed flush", w.LastSeq())
+	}
+}
+
+func TestCommitCrashAfterWALAppendIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	var inj fault.Injector
+	p, w := openWal(t, dir, inj.Hook)
+	pg, _ := p.Allocate()
+	id := pg.ID
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BeginUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ = p.Read(id)
+	copy(pg.Data(), "survives")
+	pg.MarkDirty()
+	pg.Unpin()
+	inj.ArmAt(fault.CrashAfterWALAppend, 1)
+	committed, err := p.CommitUpdate(1)
+	inj.Disarm()
+	if !committed || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("CommitUpdate = %v %v, want committed + injected", committed, err)
+	}
+	// Crash without flushing pages; redo must resurrect the change.
+	p.CloseNoFlush()
+	w.CloseNoFlush()
+	p2, w2 := openWal(t, dir, nil)
+	defer w2.Close()
+	defer p2.Close()
+	if seq, _, err := p2.Recover(); err != nil || seq != 1 {
+		t.Fatalf("Recover = %d %v", seq, err)
+	}
+	pg, err = p2.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.Data()[:8]) != "survives" {
+		t.Fatalf("recovered %q", pg.Data()[:8])
+	}
+	pg.Unpin()
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	p, w := openWal(t, dir, nil)
+	defer w.Close()
+	defer p.Close()
+	pg, _ := p.Allocate()
+	id := pg.ID
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := p.BeginUpdate(); err != nil {
+			t.Fatal(err)
+		}
+		pg, _ = p.Read(id)
+		binary.LittleEndian.PutUint64(pg.Data(), seq)
+		pg.MarkDirty()
+		pg.Unpin()
+		if committed, err := p.CommitUpdate(seq); err != nil || !committed {
+			t.Fatalf("seq %d: %v %v", seq, committed, err)
+		}
+	}
+	if w.Bytes() < 3*512 {
+		t.Fatalf("WAL suspiciously small before checkpoint: %d", w.Bytes())
+	}
+	if err := p.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() > 64 {
+		t.Fatalf("WAL not truncated: %d bytes", w.Bytes())
+	}
+	if p.DirtyLogged() != 0 {
+		t.Fatalf("dirty-page table not empty after checkpoint")
+	}
+	if w.LastSeq() != 3 {
+		t.Fatalf("LastSeq = %d", w.LastSeq())
+	}
+}
+
+func TestUsableSize(t *testing.T) {
+	dir := t.TempDir()
+	p, w := openWal(t, dir, nil)
+	defer w.Close()
+	defer p.Close()
+	if got := p.UsableSize(); got != 512-PageHdrSize {
+		t.Fatalf("UsableSize = %d", got)
+	}
+	pg, _ := p.Allocate()
+	defer pg.Unpin()
+	if len(pg.Data()) != 512-PageHdrSize {
+		t.Fatalf("Data len = %d", len(pg.Data()))
+	}
+}

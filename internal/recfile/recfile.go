@@ -56,7 +56,7 @@ func CreateWriter(path string) (*Writer, error) {
 // Append writes one record.
 func (w *Writer) Append(rec []byte) error {
 	if w.Hook != nil {
-		if err := w.Hook("append"); err != nil {
+		if err := w.Hook("temp:append"); err != nil {
 			return err
 		}
 	}
@@ -90,7 +90,7 @@ func (w *Writer) Offset() int64 { return w.bytes }
 // same path can see everything appended so far.
 func (w *Writer) Flush() error {
 	if w.Hook != nil {
-		if err := w.Hook("flush"); err != nil {
+		if err := w.Hook("temp:flush"); err != nil {
 			return err
 		}
 	}
@@ -100,7 +100,7 @@ func (w *Writer) Flush() error {
 // Finish flushes and closes the file, leaving it on disk for reading.
 func (w *Writer) Finish() error {
 	if w.Hook != nil {
-		if err := w.Hook("finish"); err != nil {
+		if err := w.Hook("temp:finish"); err != nil {
 			w.f.Close()
 			return err
 		}

@@ -4,6 +4,7 @@
 //	GET    /docs                 list documents
 //	PUT    /docs/{name}          load (or reload) a document; body = XML
 //	DELETE /docs/{name}          drop a document
+//	POST   /docs/{name}/update   apply the body as one update statement
 //	POST   /query?doc=NAME       evaluate the body as an XQ query
 //	POST   /explain?doc=NAME     render the compilation pipeline
 //	GET    /sessions             list sessions with in-flight queries
@@ -33,6 +34,7 @@ import (
 	"xqdb/internal/exec"
 	"xqdb/internal/limit"
 	"xqdb/internal/plancache"
+	"xqdb/internal/store"
 	"xqdb/internal/xq"
 )
 
@@ -71,6 +73,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("PUT /docs/{name}", s.handleLoadDoc)
 	mux.HandleFunc("DELETE /docs/{name}", s.handleDropDoc)
+	mux.HandleFunc("POST /docs/{name}/update", s.handleUpdateDoc)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("GET /sessions", s.handleListSessions)
@@ -182,6 +185,53 @@ func (s *Server) handleDropDoc(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// UpdateResponse is the JSON body of a /docs/{name}/update result.
+type UpdateResponse struct {
+	Doc     string  `json:"doc"`
+	Epoch   uint64  `json:"epoch"`
+	Targets int     `json:"targets"`
+	Applied int     `json:"applied"`
+	Seq     uint64  `json:"seq"`
+	Elapsed float64 `json:"elapsedMs"`
+}
+
+// handleUpdateDoc applies the body as one update statement, atomically
+// and durably. Statement parse errors are 400, an unknown document 404, a
+// busy store 409 (updates on one document serialize in the catalog, so
+// this needs a concurrent non-catalog writer), anything else 500.
+func (s *Server) handleUpdateDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, err := s.readQuery(w, r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	start := time.Now()
+	res, err := s.cfg.Catalog.Update(name, src)
+	if err != nil {
+		switch {
+		case errors.Is(err, catalog.ErrNotFound):
+			err = &apiError{http.StatusNotFound, err.Error()}
+		case errors.Is(err, store.ErrBusy):
+			err = &apiError{http.StatusConflict, err.Error()}
+		}
+		fail(w, err)
+		return
+	}
+	resp := UpdateResponse{
+		Doc:     name,
+		Targets: res.Targets,
+		Applied: res.Applied,
+		Seq:     res.Seq,
+		Elapsed: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if d, err := s.cfg.Catalog.Acquire(name); err == nil {
+		resp.Epoch = d.Epoch()
+		d.Release()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // parseQueryConfig maps the request's URL parameters onto core.Config,

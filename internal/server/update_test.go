@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestUpdateEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/d", `<r><a>1</a><a>2</a></r>`, 200)
+
+	out := ts.do(t, "POST", "/docs/d/update", `insert node <a>3</a> into /r`, 200)
+	var resp UpdateResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Targets != 1 || resp.Applied != 1 || resp.Seq != 1 || resp.Epoch != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	res := ts.do(t, "POST", "/query?doc=d&format=xml", `//a/text()`, 200)
+	if string(res) != "123" {
+		t.Fatalf("after update: %q", res)
+	}
+}
+
+func TestUpdateEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/d", `<r><a>1</a></r>`, 200)
+
+	ts.do(t, "POST", "/docs/missing/update", `delete node //a`, 404)
+	ts.do(t, "POST", "/docs/d/update", `delete nodes from //a`, 400)
+	ts.do(t, "POST", "/docs/d/update", ``, 400)
+	// Deleting the only child of the root is legal; deleting the root
+	// itself is impossible to express (paths select below the root).
+	ts.do(t, "POST", "/docs/d/update", `delete node /r/a`, 200)
+}
+
+func TestUpdateEndpointStatsExposeWAL(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/d", `<r><a>1</a></r>`, 200)
+	ts.do(t, "POST", "/docs/d/update", `insert node <a>2</a> into /r`, 200)
+
+	out := ts.do(t, "GET", "/stats", "", 200)
+	var stats struct {
+		Docs []struct {
+			Name          string `json:"name"`
+			AppliedSeq    uint64 `json:"applied_seq"`
+			WALBytes      int64  `json:"wal_bytes"`
+			CheckpointLSN uint64 `json:"checkpoint_lsn"`
+		} `json:"docs"`
+	}
+	if err := json.Unmarshal(out, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Docs) != 1 || stats.Docs[0].AppliedSeq != 1 || stats.Docs[0].WALBytes == 0 {
+		t.Fatalf("stats docs = %+v", stats.Docs)
+	}
+}
+
+func TestUpdateEndpointSerializesPerDoc(t *testing.T) {
+	ts := newTestServer(t)
+	ts.do(t, "PUT", "/docs/d", `<r></r>`, 200)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ts.do(t, "POST", "/docs/d/update",
+				fmt.Sprintf(`insert node <a>%d</a> into /r`, g), 200)
+		}(g)
+	}
+	wg.Wait()
+
+	res := ts.do(t, "POST", "/query?doc=d&format=xml", `//a`, 200)
+	if n := strings.Count(string(res), "<a>"); n != 8 {
+		t.Fatalf("want 8 inserts, got %d: %s", n, res)
+	}
+}

@@ -548,8 +548,9 @@ func (s *Store) ScanDescendants(in, out uint32, fn func(xasr.Tuple) bool) error 
 
 // CardLabel returns the statistics cardinality for an element label.
 func (s *Store) CardLabel(label string) int64 {
-	if s.stats == nil {
+	st := s.stats.Load()
+	if st == nil {
 		return 0
 	}
-	return s.stats.Card(label)
+	return st.Card(label)
 }

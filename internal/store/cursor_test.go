@@ -69,7 +69,7 @@ func TestTupleCursorMatchesScan(t *testing.T) {
 // TestLabelCursorMatchesFigure2 pins exact label-index results on the
 // Figure 2 document through the batch-backed cursor.
 func TestLabelCursorMatchesFigure2(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	lc, err := s.OpenLabelRange(xasr.TypeElem, "name", 0, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestLabelCursorMatchesFigure2(t *testing.T) {
 // cursor against the known children of Figure 2's nodes, including the
 // prefix-successor boundary (children of node 3 must not leak node 12's).
 func TestChildCursorMatchesFigure2(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	wantChildren := map[uint32][]uint32{
 		1:  {2},
 		2:  {3, 13},

@@ -30,31 +30,37 @@ func (s *Store) AppendSubtree(dst []byte, in uint32) ([]byte, error) {
 // AppendSubtreeTuple is AppendSubtree when the root tuple is already at
 // hand (saves the point lookup).
 func (s *Store) AppendSubtreeTuple(dst []byte, root xasr.Tuple) ([]byte, error) {
-	switch root.Type {
-	case xasr.TypeText:
+	if root.Type == xasr.TypeText {
 		return xmltok.AppendEscaped(dst, root.Value), nil
-	case xasr.TypeElem:
-		if root.Out == root.In+1 {
-			dst = append(dst, '<')
-			dst = append(dst, root.Value...)
-			return append(dst, '/', '>'), nil
-		}
-		dst = append(dst, '<')
-		dst = append(dst, root.Value...)
-		dst = append(dst, '>')
-	case xasr.TypeRoot:
-		// The document node has no tags of its own.
 	}
 
-	// Scan the descendants in document order, maintaining a stack of open
-	// element out-labels to emit closing tags at the right points.
+	// Scan the subtree in document order. An element's open tag is held
+	// back until the next tuple decides whether it has children: with gap
+	// labels out == in+1 no longer identifies leaves, but any child's in
+	// lies strictly inside (in, out), so a one-tuple lookahead does.
 	type openElem struct {
 		out   uint32
 		label string
 	}
 	var stack []openElem
-	closeUpTo := func(nextIn uint32) {
-		for len(stack) > 0 && stack[len(stack)-1].out < nextIn {
+	var pend openElem
+	havePend := false
+	flushPending := func(nextIn uint64) {
+		if !havePend {
+			return
+		}
+		havePend = false
+		dst = append(dst, '<')
+		dst = append(dst, pend.label...)
+		if nextIn < uint64(pend.out) {
+			dst = append(dst, '>')
+			stack = append(stack, pend)
+		} else {
+			dst = append(dst, '/', '>')
+		}
+	}
+	closeUpTo := func(nextIn uint64) {
+		for len(stack) > 0 && uint64(stack[len(stack)-1].out) < nextIn {
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			dst = append(dst, '<', '/')
@@ -62,33 +68,27 @@ func (s *Store) AppendSubtreeTuple(dst []byte, root xasr.Tuple) ([]byte, error) 
 			dst = append(dst, '>')
 		}
 	}
+	if root.Type == xasr.TypeElem {
+		pend = openElem{out: root.Out, label: root.Value}
+		havePend = true
+	}
 	err := s.ScanDescendants(root.In, root.Out, func(t xasr.Tuple) bool {
-		closeUpTo(t.In)
+		in := uint64(t.In)
+		flushPending(in)
+		closeUpTo(in)
 		switch t.Type {
 		case xasr.TypeText:
 			dst = xmltok.AppendEscaped(dst, t.Value)
 		case xasr.TypeElem:
-			if t.Out == t.In+1 {
-				dst = append(dst, '<')
-				dst = append(dst, t.Value...)
-				dst = append(dst, '/', '>')
-			} else {
-				dst = append(dst, '<')
-				dst = append(dst, t.Value...)
-				dst = append(dst, '>')
-				stack = append(stack, openElem{out: t.Out, label: t.Value})
-			}
+			pend = openElem{out: t.Out, label: t.Value}
+			havePend = true
 		}
 		return true
 	})
 	if err != nil {
 		return dst, err
 	}
-	closeUpTo(^uint32(0))
-	if root.Type == xasr.TypeElem {
-		dst = append(dst, '<', '/')
-		dst = append(dst, root.Value...)
-		dst = append(dst, '>')
-	}
+	flushPending(^uint64(0))
+	closeUpTo(^uint64(0))
 	return dst, nil
 }

@@ -27,10 +27,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xqdb/internal/btree"
 	"xqdb/internal/pager"
 	"xqdb/internal/recfile"
+	"xqdb/internal/wal"
 	"xqdb/internal/xasr"
 	"xqdb/internal/xmltok"
 )
@@ -38,9 +40,20 @@ import (
 // RootIn is the in label of the document root node (always 1).
 const RootIn uint32 = 1
 
+// DefaultLabelStride is the gap between consecutive XASR labels assigned
+// at shred time. Labels are ≡ 1 (mod stride), so each adjacent pair leaves
+// stride-1 unused labels as headroom for later subtree insertions; a
+// stride of 1 reproduces the dense labeling of the read-only milestones.
+const DefaultLabelStride = 8
+
+// DefaultCheckpointBytes is the WAL size past which a commit triggers a
+// fuzzy checkpoint (flush + log truncation).
+const DefaultCheckpointBytes = 1 << 20
+
 // File names inside a store directory.
 const (
 	dataFileName  = "data.db"
+	walFileName   = "wal.log"
 	statsFileName = "stats.bin"
 	tmpDirName    = "tmp"
 )
@@ -73,8 +86,28 @@ type Options struct {
 	// ReadOnly opens an existing store without write access.
 	ReadOnly bool
 	// IOHook, when set, is consulted before every page read and write
-	// (fault injection).
+	// and every WAL append/flush (fault injection).
 	IOHook pager.IOHook
+	// LabelStride is the gap between labels assigned at shred time
+	// (default DefaultLabelStride; 1 = dense labels, no insert headroom).
+	LabelStride uint32
+	// CheckpointBytes is the WAL size that triggers a checkpoint after a
+	// commit (default DefaultCheckpointBytes).
+	CheckpointBytes int64
+}
+
+func (o Options) labelStride() uint32 {
+	if o.LabelStride == 0 {
+		return DefaultLabelStride
+	}
+	return o.LabelStride
+}
+
+func (o Options) checkpointBytes() int64 {
+	if o.CheckpointBytes == 0 {
+		return DefaultCheckpointBytes
+	}
+	return o.CheckpointBytes
 }
 
 // Store is one stored document with its indexes and statistics.
@@ -82,13 +115,24 @@ type Store struct {
 	dir  string
 	opts Options
 
-	pg        *pager.Pager
-	primary   *btree.Tree
-	labelIdx  *btree.Tree // nil if absent
-	parentIdx *btree.Tree // nil if absent
-	stats     *xasr.Stats
-	maxIn     uint32
-	loaded    bool
+	pg         *pager.Pager
+	wal        *wal.Log // nil when read-only
+	primary    *btree.Tree
+	labelIdx   *btree.Tree                // nil if absent
+	parentIdx  *btree.Tree                // nil if absent
+	stats      atomic.Pointer[xasr.Stats] // installed snapshots are immutable
+	textHashes xasr.TextHashes            // touched only at open and under updBusy
+	appliedSeq atomic.Uint64              // seq of the last committed update unit
+	updBusy    atomic.Bool                // one Tx at a time
+	maxIn      atomic.Uint32
+	loaded     bool
+
+	// rw excludes updates from readers: queries and serialization hold
+	// the read side for their whole run (see ReadLock), an update unit
+	// holds the write side from Begin to Commit/Abort. Updates mutate
+	// B+-tree pages in place, so this exclusion — not just the atomics
+	// above — is what keeps concurrent readers correct.
+	rw sync.RWMutex
 
 	// Cursor pools: opened cursors and their decode buffers are recycled
 	// through these, so probe-heavy plans (index nested-loops joins open a
@@ -98,26 +142,104 @@ type Store struct {
 	ccPool sync.Pool // *ChildCursor
 }
 
-// Open opens or creates a store in dir.
+// Open opens or creates a store in dir. A read-write open replays any
+// committed-but-unapplied WAL tail into the page file first (redo
+// recovery) and rebuilds the statistics if they predate the replayed
+// updates; a read-only open refuses a store with replay pending.
 func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts}
-	if err := s.openPager(); err != nil {
-		return nil, err
-	}
-	if err := s.loadHeader(); err != nil {
-		s.pg.Close()
-		return nil, err
-	}
-	if s.loaded {
-		if err := s.loadStats(); err != nil {
+	walPath := filepath.Join(dir, walFileName)
+
+	if opts.ReadOnly {
+		lastSeq, redo, err := wal.Scan(walPath)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if redo {
+			return nil, errors.New("store: WAL replay pending; open read-write to recover")
+		}
+		s.appliedSeq.Store(lastSeq)
+		if err := s.openPager(); err != nil {
+			return nil, err
+		}
+		if err := s.finishOpen(lastSeq, false); err != nil {
 			s.pg.Close()
 			return nil, err
 		}
+		return s, nil
+	}
+
+	// A crash inside saveStats can strand its temp file; sweep it so a
+	// recovered directory holds exactly the expected file set.
+	os.Remove(filepath.Join(dir, statsFileName+".tmp"))
+
+	w, err := wal.Open(walPath, wal.Hook(s.opts.IOHook))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.wal = w
+	if err := s.openPager(); err != nil {
+		w.CloseNoFlush()
+		return nil, err
+	}
+	lastSeq, applied, err := s.pg.Recover()
+	if err != nil {
+		err = fmt.Errorf("%w: %w", ErrRecovery, err)
+	}
+	if err == nil && applied > 0 {
+		// The redone images are durable; fold them into a checkpoint so
+		// the log does not replay forever.
+		if cerr := s.pg.Checkpoint(lastSeq); cerr != nil {
+			err = fmt.Errorf("%w: %w", ErrRecovery, cerr)
+		}
+	}
+	if err == nil {
+		s.appliedSeq.Store(lastSeq)
+		err = s.finishOpen(lastSeq, true)
+	}
+	if err != nil {
+		s.pg.CloseNoFlush()
+		w.CloseNoFlush()
+		return nil, err
 	}
 	return s, nil
+}
+
+// finishOpen reads the header and statistics once the page file reflects
+// every committed update up to lastSeq. Stale or unreadable statistics
+// (a crash can land between the WAL commit and the stats rewrite) are
+// rebuilt from the primary tree when the store is writable.
+func (s *Store) finishOpen(lastSeq uint64, writable bool) error {
+	if err := s.loadHeader(); err != nil {
+		return err
+	}
+	if !s.loaded {
+		return nil
+	}
+	stamp, err := s.loadStats()
+	if !writable {
+		return err // read-only: serve the stats as stored
+	}
+	if err == nil && stamp == lastSeq {
+		if s.textHashes == nil {
+			if s.stats.Load().Texts == 0 {
+				s.textHashes = xasr.TextHashes{}
+			} else {
+				// Pre-WAL stats file: rebuild to get the multisets.
+				err = errors.New("rebuild")
+			}
+		}
+		if err == nil {
+			return nil
+		}
+	}
+	if err := s.recomputeStats(lastSeq); err != nil {
+		return err
+	}
+	return s.saveStats()
 }
 
 func (s *Store) openPager() error {
@@ -126,6 +248,7 @@ func (s *Store) openPager() error {
 		CacheFrames: s.opts.CacheFrames,
 		ReadOnly:    s.opts.ReadOnly,
 		IOHook:      s.opts.IOHook,
+		WAL:         s.wal,
 	})
 	if err != nil {
 		return err
@@ -140,7 +263,7 @@ func (s *Store) loadHeader() error {
 	if !s.loaded {
 		return nil
 	}
-	s.maxIn = binary.LittleEndian.Uint32(hdr[hdrMaxIn:])
+	s.maxIn.Store(binary.LittleEndian.Uint32(hdr[hdrMaxIn:]))
 	s.primary = btree.Open(s.pg, pager.PageID(binary.LittleEndian.Uint32(hdr[hdrPrimaryRoot:])))
 	if r := binary.LittleEndian.Uint32(hdr[hdrLabelRoot:]); r != 0 {
 		s.labelIdx = btree.Open(s.pg, pager.PageID(r))
@@ -160,7 +283,7 @@ func (s *Store) saveHeader() {
 	if s.parentIdx != nil {
 		binary.LittleEndian.PutUint32(hdr[hdrParentRoot:], uint32(s.parentIdx.Root()))
 	}
-	binary.LittleEndian.PutUint32(hdr[hdrMaxIn:], s.maxIn)
+	binary.LittleEndian.PutUint32(hdr[hdrMaxIn:], s.maxIn.Load())
 	if s.loaded {
 		hdr[hdrLoaded] = 1
 	}
@@ -170,11 +293,21 @@ func (s *Store) saveHeader() {
 // Loaded reports whether the store holds a document.
 func (s *Store) Loaded() bool { return s.loaded }
 
-// Stats returns the persisted document statistics (nil before Load).
-func (s *Store) Stats() *xasr.Stats { return s.stats }
+// Stats returns the persisted document statistics (nil before Load). The
+// returned snapshot is immutable; an update installs a fresh one.
+func (s *Store) Stats() *xasr.Stats { return s.stats.Load() }
 
 // MaxIn returns the largest in/out label assigned (the document root's out).
-func (s *Store) MaxIn() uint32 { return s.maxIn }
+func (s *Store) MaxIn() uint32 { return s.maxIn.Load() }
+
+// ReadLock takes the store's read side: update units (Begin) are excluded
+// until ReadUnlock. Queries and whole-tree serializations that can run
+// concurrently with updates must hold it for their full duration — update
+// units rewrite B+-tree pages in place.
+func (s *Store) ReadLock() { s.rw.RLock() }
+
+// ReadUnlock releases ReadLock.
+func (s *Store) ReadUnlock() { s.rw.RUnlock() }
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
@@ -248,13 +381,28 @@ func (s *Store) Load(r io.Reader) error {
 	if s.opts.ReadOnly {
 		return errors.New("store: load into read-only store")
 	}
-	// Recreate the page file from scratch: a load replaces the document.
+	// Recreate the page file and the WAL from scratch: a load replaces
+	// the document, and nothing before it can need replaying.
 	if err := s.pg.Close(); err != nil {
 		return err
+	}
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			return err
+		}
+		s.wal = nil
 	}
 	if err := os.Remove(filepath.Join(s.dir, dataFileName)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := os.Remove(filepath.Join(s.dir, walFileName)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	w, err := wal.Open(filepath.Join(s.dir, walFileName), wal.Hook(s.opts.IOHook))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = w
 	if err := s.openPager(); err != nil {
 		return err
 	}
@@ -274,7 +422,7 @@ func (s *Store) Load(r io.Reader) error {
 	}
 
 	var rec []byte
-	stats, err := xasr.Shred(xmltok.New(r), func(t xasr.Tuple) error {
+	stats, texts, err := xasr.ShredStride(xmltok.New(r), s.opts.labelStride(), func(t xasr.Tuple) error {
 		rec = encodeKV(rec[:0], xasr.PrimaryKey(t.In), xasr.EncodePrimaryValue(t))
 		if err := primSort.Add(rec); err != nil {
 			return err
@@ -311,14 +459,19 @@ func (s *Store) Load(r io.Reader) error {
 		}
 	}
 
-	s.stats = stats
-	s.maxIn = stats.MaxIn
+	s.stats.Store(stats)
+	s.textHashes = texts
+	s.appliedSeq.Store(0)
+	s.maxIn.Store(stats.MaxIn)
 	s.loaded = true
 	s.saveHeader()
 	if err := s.saveStats(); err != nil {
 		return err
 	}
-	return s.pg.Flush()
+	if err := s.pg.Flush(); err != nil {
+		return err
+	}
+	return s.pg.Sync()
 }
 
 // LoadString is Load from a string, for tests and examples.
@@ -352,17 +505,82 @@ func bulkLoadFromSorter(pg *pager.Pager, sorter *recfile.Sorter) (*btree.Tree, e
 	return tree, nil
 }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store. A clean read-write close also
+// checkpoints, so the next open starts from an empty log.
 func (s *Store) Close() error {
 	if s.pg == nil {
 		return nil
 	}
-	err := s.pg.Close()
+	var err error
+	if s.wal != nil {
+		if e := s.pg.Flush(); e != nil && err == nil {
+			err = e
+		}
+		if e := s.pg.Checkpoint(s.wal.LastSeq()); e != nil && err == nil {
+			err = e
+		}
+	}
+	if e := s.pg.Close(); e != nil && err == nil {
+		err = e
+	}
+	if s.wal != nil {
+		if e := s.wal.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
 	s.pg = nil
+	s.wal = nil
 	return err
 }
 
-// statsFile is the gob-serialized form of xasr.Stats.
+// CrashClose abandons the store without flushing anything — pages and WAL
+// buffers in memory are lost, exactly as in a process kill. For the crash
+// harness and tests.
+func (s *Store) CrashClose() {
+	if s.pg != nil {
+		s.pg.CloseNoFlush()
+		s.pg = nil
+	}
+	if s.wal != nil {
+		s.wal.CloseNoFlush()
+		s.wal = nil
+	}
+}
+
+// AppliedSeq returns the sequence number of the last committed update
+// unit (0 right after a Load).
+func (s *Store) AppliedSeq() uint64 { return s.appliedSeq.Load() }
+
+// WALBytes returns the current size of the write-ahead log payload.
+func (s *Store) WALBytes() int64 {
+	if s.wal == nil {
+		return 0
+	}
+	return s.wal.Bytes()
+}
+
+// LastCheckpointLSN returns the LSN of the last checkpoint record, or 0.
+func (s *Store) LastCheckpointLSN() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	return uint64(s.wal.LastCheckpointLSN())
+}
+
+// Checkpoint flushes all dirty pages and truncates the WAL.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.pg.Flush(); err != nil {
+		return err
+	}
+	return s.pg.Checkpoint(s.wal.LastSeq())
+}
+
+// statsFile is the gob-serialized form of xasr.Stats, plus the update
+// sequence number the statistics reflect and the text-hash multisets the
+// update path maintains LabelDistinctTexts with.
 type statsFile struct {
 	Nodes      int64
 	Elems      int64
@@ -377,48 +595,71 @@ type statsFile struct {
 	SumDepth           int64
 	MaxDepth           int32
 	MaxFanout          int32
+	AppliedSeq         uint64
+	THashes            map[string]map[uint64]int64
 }
 
+// saveStats writes the statistics via temp-file-and-rename: a crash mid-
+// write must not tear the previous stats file, because recovery decides
+// from its AppliedSeq stamp whether a rescan is needed.
 func (s *Store) saveStats() error {
-	f, err := os.Create(filepath.Join(s.dir, statsFileName))
+	path := filepath.Join(s.dir, statsFileName)
+	f, err := os.Create(path + ".tmp")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
+	st := s.stats.Load()
 	sf := statsFile{
-		Nodes: s.stats.Nodes, Elems: s.stats.Elems, Texts: s.stats.Texts,
-		MaxIn: s.stats.MaxIn, LabelCount: s.stats.LabelCount,
-		LabelSubtreeSum:    s.stats.LabelSubtreeSum,
-		LabelDistinctTexts: s.stats.LabelDistinctTexts,
-		SumDepth:           s.stats.SumDepth, MaxDepth: s.stats.MaxDepth, MaxFanout: s.stats.MaxFanout,
+		Nodes: st.Nodes, Elems: st.Elems, Texts: st.Texts,
+		MaxIn: st.MaxIn, LabelCount: st.LabelCount,
+		LabelSubtreeSum:    st.LabelSubtreeSum,
+		LabelDistinctTexts: st.LabelDistinctTexts,
+		SumDepth:           st.SumDepth, MaxDepth: st.MaxDepth, MaxFanout: st.MaxFanout,
+		AppliedSeq: s.appliedSeq.Load(),
+		THashes:    s.textHashes,
 	}
 	if err := gob.NewEncoder(f).Encode(&sf); err != nil {
+		f.Close()
+		os.Remove(path + ".tmp")
 		return fmt.Errorf("store: encoding stats: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path + ".tmp")
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }
 
-func (s *Store) loadStats() error {
+func (s *Store) loadStats() (stamp uint64, err error) {
 	f, err := os.Open(filepath.Join(s.dir, statsFileName))
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return 0, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
 	var sf statsFile
 	if err := gob.NewDecoder(f).Decode(&sf); err != nil {
-		return fmt.Errorf("store: decoding stats: %w", err)
+		return 0, fmt.Errorf("store: decoding stats: %w", err)
 	}
-	s.stats = &xasr.Stats{
+	st := &xasr.Stats{
 		Nodes: sf.Nodes, Elems: sf.Elems, Texts: sf.Texts,
 		MaxIn: sf.MaxIn, LabelCount: sf.LabelCount,
 		LabelSubtreeSum:    sf.LabelSubtreeSum,
 		LabelDistinctTexts: sf.LabelDistinctTexts,
 		SumDepth:           sf.SumDepth, MaxDepth: sf.MaxDepth, MaxFanout: sf.MaxFanout,
 	}
-	if s.stats.LabelCount == nil {
-		s.stats.LabelCount = map[string]int64{}
+	if st.LabelCount == nil {
+		st.LabelCount = map[string]int64{}
 	}
-	return nil
+	s.stats.Store(st)
+	s.textHashes = sf.THashes
+	return sf.AppliedSeq, nil
 }
 
 // encodeKV packs a key/value pair into one spill record.

@@ -27,9 +27,10 @@ func newStore(t testing.TB, doc string, opts Options) *Store {
 	return s
 }
 
-// TestFigure2Labels checks the exact in/out assignment of Figure 2.
+// TestFigure2Labels checks the exact in/out assignment of Figure 2
+// (dense labels: the figure predates gap labeling, so stride is pinned).
 func TestFigure2Labels(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	want := []xasr.Tuple{
 		{In: 1, Out: 18, ParentIn: 0, Type: xasr.TypeRoot, Value: ""},
 		{In: 2, Out: 17, ParentIn: 1, Type: xasr.TypeElem, Value: "journal"},
@@ -60,7 +61,7 @@ func TestFigure2Labels(t *testing.T) {
 
 // TestExample1Tuples checks the two tuples spelled out in Example 1.
 func TestExample1Tuples(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	journal, ok, err := s.Lookup(2)
 	if err != nil || !ok {
 		t.Fatalf("lookup journal: ok=%v err=%v", ok, err)
@@ -104,7 +105,7 @@ func TestReconstructionMatchesDOM(t *testing.T) {
 }
 
 func TestSubtreeSerialization(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	got, err := s.AppendSubtree(nil, 3) // <authors>
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +124,7 @@ func TestSubtreeSerialization(t *testing.T) {
 }
 
 func TestScanLabelAndChildren(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	var ins []uint32
 	if err := s.ScanLabel(xasr.TypeElem, "name", func(e LabelEntry) bool {
 		ins = append(ins, e.In)
@@ -149,7 +150,7 @@ func TestScanLabelAndChildren(t *testing.T) {
 }
 
 func TestScanLabelRangeForDescendants(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	// Descendant names of journal (2,17): in-range (2, 17).
 	var ins []uint32
 	if err := s.ScanLabelRange(xasr.TypeElem, "name", 3, 17, func(e LabelEntry) bool {
@@ -173,7 +174,7 @@ func TestScanLabelRangeForDescendants(t *testing.T) {
 }
 
 func TestStatsCollected(t *testing.T) {
-	s := newStore(t, figure2, Options{})
+	s := newStore(t, figure2, Options{LabelStride: 1})
 	st := s.Stats()
 	if st.Nodes != 9 || st.Elems != 5 || st.Texts != 3 {
 		t.Errorf("counts: nodes=%d elems=%d texts=%d", st.Nodes, st.Elems, st.Texts)

@@ -1,0 +1,524 @@
+package testbed
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"xqdb/internal/core"
+	"xqdb/internal/fault"
+	"xqdb/internal/store"
+	"xqdb/internal/xasr"
+	"xqdb/internal/xmlgen"
+)
+
+// CrashConfig parameterizes the crash-recovery harness: a pinned-seed
+// random update script killed at every injected I/O crash point, with the
+// recovered store byte-compared against a surviving-prefix oracle.
+type CrashConfig struct {
+	// Seed drives the script generation; the same seed replays the
+	// identical statement sequence and crash points.
+	Seed int64
+	// Statements is the length of the update script (default 24).
+	Statements int
+	// Points is how many crash points to spread across the script's
+	// global I/O-operation sequence (default 100). The named crash
+	// points of the commit protocol are exercised on top of these.
+	Points int
+	// CacheFrames bounds the buffer pool (default 32 — small enough that
+	// the injector sees real page traffic).
+	CacheFrames int
+	// CheckpointBytes triggers fuzzy checkpoints aggressively (default
+	// 4 KiB) so the sweep crosses checkpoint crash windows many times.
+	CheckpointBytes int64
+	// Doc is the base document (default a small DBLP-shaped document).
+	Doc string
+	// Queries are the correctness queries replayed on every recovered
+	// store (default CorrectnessQueries()).
+	Queries []string
+}
+
+// CrashFailure records one crash-recovery violation.
+type CrashFailure struct {
+	Point string // "op@N" or "wal:appended@K"
+	Stmt  int    // statement index the run crashed in (-1: none)
+	Kind  string // "panic", "recovery", "seq", "xml-mismatch", "query-mismatch", "stats-mismatch", "file-leak", "temp-leak", "pin-leak", ...
+	Got   string
+	Want  string
+	Err   error
+}
+
+func (f CrashFailure) String() string {
+	return fmt.Sprintf("%s [%s stmt %d]: err=%v got=%.120q want=%.120q",
+		f.Kind, f.Point, f.Stmt, f.Err, f.Got, f.Want)
+}
+
+// CrashReport summarizes one sweep.
+type CrashReport struct {
+	Points    int // crash points exercised
+	Fired     int // points where the armed fault actually triggered
+	Survived  int // crashed statement was durable; recovery redid it
+	Discarded int // crashed statement left no trace
+	TotalOps  int64
+	Failures  []CrashFailure
+}
+
+// crashStats is the subset of the statistics a recovered store must
+// reproduce exactly — byte-equal to a fresh re-shred of the recovered
+// document. MaxIn, MaxDepth and MaxFanout are monotone upper bounds
+// (deletes do not shrink them), so they are excluded.
+type crashStats struct {
+	Nodes, Elems, Texts, SumDepth                   int64
+	LabelCount, LabelSubtreeSum, LabelDistinctTexts map[string]int64
+}
+
+func crashStatsOf(s *xasr.Stats) crashStats {
+	norm := func(m map[string]int64) map[string]int64 {
+		out := map[string]int64{}
+		for k, v := range m {
+			if v != 0 {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	if s == nil {
+		return crashStats{}
+	}
+	return crashStats{
+		Nodes: s.Nodes, Elems: s.Elems, Texts: s.Texts, SumDepth: s.SumDepth,
+		LabelCount:         norm(s.LabelCount),
+		LabelSubtreeSum:    norm(s.LabelSubtreeSum),
+		LabelDistinctTexts: norm(s.LabelDistinctTexts),
+	}
+}
+
+// oraclePrefix is the ground-truth state after the first p statements of
+// the script, built by replaying them cleanly from the base document.
+type oraclePrefix struct {
+	seq   uint64   // AppliedSeq after the prefix
+	xml   string   // full serialized document
+	qres  []string // correctness-query results
+	stats crashStats
+}
+
+// crashPoint is one armed kill: either the Nth I/O operation of the whole
+// script (global) or the Kth occurrence of a named commit-protocol tag.
+type crashPoint struct {
+	label  string
+	global int64
+	tag    string
+	occ    int64
+}
+
+type crashHarness struct {
+	dir, base string
+	cfg       CrashConfig
+	script    []string
+	prefixes  []oraclePrefix
+	rep       *CrashReport
+}
+
+// RunCrashRecovery generates a deterministic update script against a base
+// document, then for every crash point: replays the script with the fault
+// injector armed, treats the injected failure as a kill (CrashClose — no
+// flush, no cleanup), reopens the store so redo recovery runs, and checks
+// the recovered store against the surviving-prefix oracle:
+//
+//   - the applied-update sequence identifies a valid prefix (the crashed
+//     statement is either fully durable or fully absent, never torn);
+//   - the full document serialization is byte-identical to a clean replay
+//     of that prefix;
+//   - every correctness query returns byte-identical results;
+//   - the recovered statistics equal a fresh re-shred's exactly
+//     (LabelSubtreeSum, LabelDistinctTexts included);
+//   - nothing leaked: no temp files, no pinned pages, no stray files
+//     beside the data file, the WAL and the stats snapshot.
+//
+// Everything derives from cfg.Seed, so a failing point replays exactly.
+func RunCrashRecovery(dir string, cfg CrashConfig) (CrashReport, error) {
+	if cfg.Statements <= 0 {
+		cfg.Statements = 24
+	}
+	if cfg.Points <= 0 {
+		cfg.Points = 100
+	}
+	if cfg.CacheFrames <= 0 {
+		cfg.CacheFrames = 32
+	}
+	if cfg.CheckpointBytes <= 0 {
+		cfg.CheckpointBytes = 4 << 10
+	}
+	if cfg.Doc == "" {
+		cfg.Doc = xmlgen.DBLP(xmlgen.DBLPConfig{Entries: 10, Seed: 16})
+	}
+	if cfg.Queries == nil {
+		cfg.Queries = CorrectnessQueries()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var rep CrashReport
+	h := &crashHarness{
+		dir:    dir,
+		base:   filepath.Join(dir, "base"),
+		cfg:    cfg,
+		script: crashScript(rng, cfg.Statements),
+		rep:    &rep,
+	}
+
+	// Shred the base document once; every trial starts from a copy.
+	st, err := store.Open(h.base, h.cleanOpts())
+	if err != nil {
+		return rep, err
+	}
+	if err := st.LoadString(cfg.Doc); err != nil {
+		st.Close()
+		return rep, fmt.Errorf("testbed: loading crash base: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return rep, err
+	}
+
+	totalOps, err := h.countOps()
+	if err != nil {
+		return rep, err
+	}
+	rep.TotalOps = totalOps
+	if err := h.buildOracle(); err != nil {
+		return rep, err
+	}
+
+	// Global sweep: cfg.Points kills spread over the script's whole I/O
+	// sequence, plus the named commit-protocol points at several
+	// occurrence counts each.
+	var points []crashPoint
+	step := totalOps / int64(cfg.Points)
+	if step < 1 {
+		step = 1
+	}
+	for n := int64(1); n <= totalOps; n += step {
+		points = append(points, crashPoint{label: fmt.Sprintf("op@%d", n), global: n})
+	}
+	for _, tag := range []string{
+		fault.CrashAfterWALAppend, fault.CrashBeforePageWrite,
+		fault.CrashMidCheckpoint, "wal:flush", "wal:append", "page:read",
+	} {
+		for _, occ := range []int64{1, 2, 7} {
+			points = append(points, crashPoint{
+				label: fmt.Sprintf("%s@%d", tag, occ), tag: tag, occ: occ,
+			})
+		}
+	}
+
+	for _, pt := range points {
+		h.trial(pt)
+	}
+	return rep, nil
+}
+
+// crashScript generates the deterministic update script: inserts, deletes
+// and replaces over the DBLP labels, growing the document linearly and
+// periodically deleting what earlier statements inserted.
+func crashScript(rng *rand.Rand, n int) []string {
+	stmts := make([]string, 0, n)
+	for i := 0; len(stmts) < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			stmts = append(stmts, fmt.Sprintf(`insert node <note>rev %d</note> into //article`, i))
+		case 1:
+			stmts = append(stmts, fmt.Sprintf(`insert node <ee>ref-%d</ee>, <url>u%d</url> into //inproceedings`, i, i))
+		case 2:
+			stmts = append(stmts, `delete node //note`)
+		case 3:
+			stmts = append(stmts, fmt.Sprintf(`replace node //year with <year>%d</year>`, 1980+rng.Intn(40)))
+		case 4:
+			stmts = append(stmts, fmt.Sprintf(`insert node <errata>fix %d</errata> before //title`, i))
+		case 5:
+			stmts = append(stmts, `delete node //errata`)
+		case 6:
+			stmts = append(stmts, fmt.Sprintf(`insert node <loaded><at>t%d</at></loaded> into /dblp`, i))
+		case 7:
+			stmts = append(stmts, fmt.Sprintf(`replace node //volume with <volume>%d</volume>`, 1+rng.Intn(99)))
+		}
+	}
+	return stmts
+}
+
+func (h *crashHarness) cleanOpts() store.Options {
+	return store.Options{
+		CacheFrames:     h.cfg.CacheFrames,
+		CheckpointBytes: h.cfg.CheckpointBytes,
+	}
+}
+
+func (h *crashHarness) injOpts(inj *fault.Injector) store.Options {
+	o := h.cleanOpts()
+	o.IOHook = inj.Hook
+	return o
+}
+
+// countOps replays the script once with a counting (never-failing)
+// injector to learn the total hooked-I/O length of the run, which the
+// global sweep spreads its kills over.
+func (h *crashHarness) countOps() (int64, error) {
+	work := filepath.Join(h.dir, "count")
+	if err := copyDir(work, h.base); err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(work)
+	inj := &fault.Injector{}
+	st, err := store.Open(work, h.injOpts(inj))
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	inj.Arm(0) // reset the counter after open, stay disarmed
+	eng := core.New(st, core.Config{})
+	for i, stmt := range h.script {
+		if _, err := eng.Update(stmt); err != nil {
+			return 0, fmt.Errorf("testbed: crash script statement %d failed clean: %w", i, err)
+		}
+	}
+	return inj.Ops(), nil
+}
+
+// buildOracle replays the script cleanly, snapshotting after every prefix:
+// applied sequence, full serialization, query results, and the statistics
+// of a fresh re-shred of the serialized document.
+func (h *crashHarness) buildOracle() error {
+	work := filepath.Join(h.dir, "oracle")
+	if err := copyDir(work, h.base); err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	st, err := store.Open(work, h.cleanOpts())
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	eng := core.New(st, core.Config{})
+	snapshot := func() error {
+		xml, err := st.AppendSubtree(nil, store.RootIn)
+		if err != nil {
+			return err
+		}
+		qres := make([]string, len(h.cfg.Queries))
+		for i, q := range h.cfg.Queries {
+			if qres[i], err = eng.Query(q); err != nil {
+				return fmt.Errorf("testbed: oracle query %q: %w", q, err)
+			}
+		}
+		stats, err := h.reshredStats(string(xml))
+		if err != nil {
+			return err
+		}
+		h.prefixes = append(h.prefixes, oraclePrefix{
+			seq: st.AppliedSeq(), xml: string(xml), qres: qres, stats: stats,
+		})
+		return nil
+	}
+	if err := snapshot(); err != nil {
+		return err
+	}
+	for i, stmt := range h.script {
+		if _, err := eng.Update(stmt); err != nil {
+			return fmt.Errorf("testbed: oracle statement %d failed: %w", i, err)
+		}
+		if err := snapshot(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reshredStats shreds doc into a scratch store and returns the exact
+// statistics the shredder computes for it.
+func (h *crashHarness) reshredStats(doc string) (crashStats, error) {
+	scratch := filepath.Join(h.dir, "reshred")
+	os.RemoveAll(scratch)
+	st, err := store.Open(scratch, store.Options{})
+	if err != nil {
+		return crashStats{}, err
+	}
+	defer os.RemoveAll(scratch)
+	defer st.Close()
+	if err := st.LoadString(doc); err != nil {
+		return crashStats{}, err
+	}
+	return crashStatsOf(st.Stats()), nil
+}
+
+func (h *crashHarness) fail(pt crashPoint, stmt int, kind, got, want string, err error) {
+	h.rep.Failures = append(h.rep.Failures, CrashFailure{
+		Point: pt.label, Stmt: stmt, Kind: kind, Got: got, Want: want, Err: err,
+	})
+}
+
+// trial kills the script at one crash point and checks recovery.
+func (h *crashHarness) trial(pt crashPoint) {
+	h.rep.Points++
+	work := filepath.Join(h.dir, "trial")
+	os.RemoveAll(work)
+	if err := copyDir(work, h.base); err != nil {
+		h.fail(pt, -1, "setup", "", "", err)
+		return
+	}
+	defer os.RemoveAll(work)
+
+	inj := &fault.Injector{}
+	st, err := store.Open(work, h.injOpts(inj))
+	if err != nil {
+		h.fail(pt, -1, "open", "", "", err)
+		return
+	}
+	// Arm after open so the operation counter aligns with countOps.
+	if pt.tag != "" {
+		inj.ArmAt(pt.tag, pt.occ)
+	} else {
+		inj.Arm(pt.global)
+	}
+	eng := core.New(st, core.Config{})
+	crashed := -1
+	for i, stmt := range h.script {
+		_, err, panicked := safeUpdate(eng, stmt)
+		if panicked {
+			h.fail(pt, i, "panic", "", "", err)
+			st.CrashClose()
+			return
+		}
+		if err != nil {
+			crashed = i
+			break
+		}
+	}
+	if inj.Fired() {
+		h.rep.Fired++
+	}
+
+	if crashed < 0 {
+		// The armed fault never fired (a named tag the run does not reach
+		// that often): the script completed — verify the final state.
+		inj.Disarm()
+		h.verify(pt, -1, st, len(h.script))
+		if err := st.Close(); err != nil {
+			h.fail(pt, -1, "close", "", "", err)
+		}
+		return
+	}
+
+	// The kill: drop every buffer without flushing, exactly as a crashed
+	// process would, then reopen without the hook so redo recovery runs.
+	st.CrashClose()
+	st2, err := store.Open(work, h.cleanOpts())
+	if err != nil {
+		h.fail(pt, crashed, "recovery", "", "", err)
+		return
+	}
+
+	// The crashed statement must be all-or-nothing: the recovered
+	// sequence is either the prefix before it or (commit made durable
+	// before the kill) the prefix including it.
+	seq := st2.AppliedSeq()
+	before, after := h.prefixes[crashed].seq, h.prefixes[crashed+1].seq
+	p := -1
+	switch {
+	case seq == after && after != before:
+		p = crashed + 1
+		h.rep.Survived++
+	case seq == before:
+		p = crashed
+		h.rep.Discarded++
+	default:
+		h.fail(pt, crashed, "seq", fmt.Sprint(seq), fmt.Sprintf("%d or %d", before, after), nil)
+		st2.Close()
+		return
+	}
+	h.verify(pt, crashed, st2, p)
+	if err := st2.Close(); err != nil {
+		h.fail(pt, crashed, "close", "", "", err)
+	}
+}
+
+// verify byte-compares a recovered store against the oracle state after
+// the first p statements, and checks the leak invariants.
+func (h *crashHarness) verify(pt crashPoint, stmt int, st *store.Store, p int) {
+	want := h.prefixes[p]
+
+	xml, err := st.AppendSubtree(nil, store.RootIn)
+	if err != nil {
+		h.fail(pt, stmt, "xml-mismatch", "", "", err)
+	} else if string(xml) != want.xml {
+		h.fail(pt, stmt, "xml-mismatch", string(xml), want.xml, nil)
+	}
+
+	eng := core.New(st, core.Config{})
+	for i, q := range h.cfg.Queries {
+		got, err, panicked := safeQuery(eng, q)
+		switch {
+		case panicked:
+			h.fail(pt, stmt, "panic", "", "", err)
+		case err != nil:
+			h.fail(pt, stmt, "query-mismatch", "", want.qres[i], err)
+		case got != want.qres[i]:
+			h.fail(pt, stmt, "query-mismatch", got, want.qres[i], nil)
+		}
+	}
+
+	if got := crashStatsOf(st.Stats()); !reflect.DeepEqual(got, want.stats) {
+		h.fail(pt, stmt, "stats-mismatch",
+			fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", want.stats), nil)
+	}
+
+	for _, f := range leakChecks(st, "crash", pt.label, "recovered") {
+		h.fail(pt, stmt, f.Kind, "", "", f.Err)
+	}
+	// The recovered directory must hold exactly the expected file set: no
+	// stranded WAL segments, stats temps or anything else.
+	if ents, err := os.ReadDir(st.Dir()); err == nil {
+		for _, e := range ents {
+			switch e.Name() {
+			case "data.db", "wal.log", "stats.bin", "tmp":
+			default:
+				h.fail(pt, stmt, "file-leak", e.Name(), "", nil)
+			}
+		}
+	}
+}
+
+// safeUpdate applies one update statement, converting a panic into an
+// error so the sweep can keep going (and record the violation).
+func safeUpdate(e *core.Engine, stmt string) (res core.UpdateResult, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	res, err = e.Update(stmt)
+	return res, err, false
+}
+
+// copyDir copies a store directory file by file (trial isolation).
+func copyDir(dst, src string) error {
+	return filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+}

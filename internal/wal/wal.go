@@ -1,0 +1,384 @@
+// Package wal implements the write-ahead log under the pager: an
+// append-only file of physiological redo records (whole-page after-images
+// plus commit and checkpoint markers), each uvarint-framed and CRC-guarded,
+// addressed by monotonically increasing LSNs.
+//
+// Records accumulate in memory and reach disk in one group flush
+// (write + fsync) per commit, so a commit unit is durable atomically: on
+// reopen the log is scanned, any torn tail (partial or corrupt trailing
+// bytes from a crash mid-flush) is truncated away, and only records before
+// the tear replay.
+//
+// LSNs never regress: the file header stores the base LSN of its first
+// record, and a checkpoint rewrites the log as a new file (temp + rename)
+// whose base continues where the old log ended. A page stamped with an LSN
+// therefore always compares correctly against any future log.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// LSN addresses a byte position in the logical (never-truncated) log
+// stream, offset by one so the first record has LSN 1: 0 means "none" —
+// the sentinel a never-logged page carries in its header.
+type LSN = uint64
+
+// Record types.
+const (
+	// RecPage is a whole-page after-image: payload = u32 page id + the
+	// raw page bytes (including the page's LSN header).
+	RecPage byte = 1
+	// RecCommit ends a commit unit: payload = u64 update sequence
+	// number. Page records since the previous commit belong to it.
+	RecCommit byte = 2
+	// RecCheckpoint marks that all effects up to and including sequence
+	// number (payload, u64) are durable in the data file. A compacted
+	// log starts with one.
+	RecCheckpoint byte = 3
+)
+
+const (
+	magic   = "XQDBWAL1"
+	hdrSize = 16 // magic + u64 base LSN
+	// maxRecord bounds a record length during scan so a corrupt length
+	// byte cannot cause a huge allocation.
+	maxRecord = 1 << 26
+)
+
+// Hook mirrors pager.IOHook: consulted before (and, for flush, after)
+// I/O with a "wal:op" tag; a non-nil return aborts the operation.
+type Hook func(op string) error
+
+// Log is an open write-ahead log. Methods are not safe for concurrent use
+// with each other except the read-only accessors; the pager serializes
+// writers.
+type Log struct {
+	path string
+	hook Hook
+	f    *os.File
+
+	base     LSN    // LSN of file offset hdrSize
+	durable  int64  // file offset past the last flushed byte
+	buf      []byte // appended but not yet flushed records
+	bufSeq   uint64 // highest commit seq sitting in buf
+	lastSeq  uint64 // highest durable commit/checkpoint seq
+	lastCkpt LSN    // LSN of the last durable checkpoint record
+}
+
+// Open opens (creating if absent) the log at path, scans it, truncates any
+// torn tail, and reports the highest committed sequence number it holds.
+func Open(path string, hook Hook) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	w := &Log{path: path, hook: hook, f: f}
+	if err := w.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Log) load() error {
+	info, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [hdrSize]byte
+		copy(hdr[:], magic)
+		if _, err := w.f.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("wal: init: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: init: %w", err)
+		}
+		w.durable = hdrSize
+		return nil
+	}
+	raw, err := io.ReadAll(io.NewSectionReader(w.f, 0, info.Size()))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < hdrSize || string(raw[:8]) != magic {
+		return fmt.Errorf("wal: %s: bad header", w.path)
+	}
+	w.base = binary.LittleEndian.Uint64(raw[8:])
+	valid := int64(hdrSize)
+	body := raw[hdrSize:]
+	for off := 0; off < len(body); {
+		n, typ, payload, ok := decodeRecord(body[off:])
+		if !ok {
+			break // torn tail
+		}
+		switch typ {
+		case RecCommit:
+			w.lastSeq = binary.LittleEndian.Uint64(payload)
+		case RecCheckpoint:
+			if s := binary.LittleEndian.Uint64(payload); s > w.lastSeq {
+				w.lastSeq = s
+			}
+			w.lastCkpt = w.base + uint64(off) + 1
+		}
+		off += n
+		valid = int64(hdrSize + off)
+	}
+	if valid < info.Size() {
+		if err := w.f.Truncate(valid); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	w.durable = valid
+	return nil
+}
+
+// decodeRecord decodes one framed record at the start of b. It returns the
+// total encoded length consumed. ok is false for a truncated or corrupt
+// record.
+func decodeRecord(b []byte) (n int, typ byte, payload []byte, ok bool) {
+	plen, ln := binary.Uvarint(b)
+	if ln <= 0 || plen > maxRecord {
+		return 0, 0, nil, false
+	}
+	total := ln + 1 + int(plen) + 4
+	if len(b) < total {
+		return 0, 0, nil, false
+	}
+	typ = b[ln]
+	payload = b[ln+1 : ln+1+int(plen)]
+	want := binary.LittleEndian.Uint32(b[ln+1+int(plen):])
+	if crc32.ChecksumIEEE(b[ln:ln+1+int(plen)]) != want {
+		return 0, 0, nil, false
+	}
+	return total, typ, payload, true
+}
+
+func appendRecord(dst []byte, typ byte, payload []byte) []byte {
+	var lenbuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenbuf[:], uint64(len(payload)))
+	dst = append(dst, lenbuf[:n]...)
+	start := len(dst)
+	dst = append(dst, typ)
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var crcbuf [4]byte
+	binary.LittleEndian.PutUint32(crcbuf[:], crc)
+	return append(dst, crcbuf[:]...)
+}
+
+// NextLSN returns the LSN the next appended record will receive. A commit
+// unit stamps page headers with it before building the page record, so the
+// image on the log already carries its own LSN.
+func (w *Log) NextLSN() LSN { return w.base + uint64(w.durable-hdrSize) + uint64(len(w.buf)) + 1 }
+
+// Append buffers one record and returns its LSN. Nothing is durable until
+// Flush.
+func (w *Log) Append(typ byte, payload []byte) (LSN, error) {
+	if err := w.crash("wal:append"); err != nil {
+		return 0, err
+	}
+	lsn := w.NextLSN()
+	w.buf = appendRecord(w.buf, typ, payload)
+	if typ == RecCommit {
+		w.bufSeq = binary.LittleEndian.Uint64(payload)
+	}
+	return lsn, nil
+}
+
+// AppendPage buffers a page after-image record.
+func (w *Log) AppendPage(pageID uint32, image []byte) (LSN, error) {
+	payload := make([]byte, 4+len(image))
+	binary.LittleEndian.PutUint32(payload, pageID)
+	copy(payload[4:], image)
+	return w.Append(RecPage, payload)
+}
+
+// AppendCommit buffers a commit record for update sequence seq.
+func (w *Log) AppendCommit(seq uint64) (LSN, error) {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], seq)
+	return w.Append(RecCommit, p[:])
+}
+
+// Flush writes every buffered record in one write and fsyncs — the group
+// flush that makes a commit unit durable. Durability is recorded before
+// the trailing "wal:appended" hook runs, so an injected crash there
+// simulates dying just after the commit hit disk.
+func (w *Log) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if err := w.crash("wal:flush"); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt(w.buf, w.durable); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	w.durable += int64(len(w.buf))
+	w.buf = w.buf[:0]
+	if w.bufSeq > w.lastSeq {
+		w.lastSeq = w.bufSeq
+	}
+	return w.crash("wal:appended")
+}
+
+// DropBuffer discards buffered, unflushed records (a clean abort of an
+// uncommitted unit).
+func (w *Log) DropBuffer() { w.buf = w.buf[:0]; w.bufSeq = 0 }
+
+// Replay calls fn for every durable record in order. It must not be
+// interleaved with appends.
+func (w *Log) Replay(fn func(lsn LSN, typ byte, payload []byte) error) error {
+	if w.durable <= hdrSize {
+		return nil
+	}
+	body, err := io.ReadAll(io.NewSectionReader(w.f, hdrSize, w.durable-hdrSize))
+	if err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	for off := 0; off < len(body); {
+		n, typ, payload, ok := decodeRecord(body[off:])
+		if !ok {
+			return fmt.Errorf("wal: replay: corrupt record at LSN %d", w.base+uint64(off))
+		}
+		if err := fn(w.base+uint64(off)+1, typ, payload); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Checkpoint compacts the log: all effects up to lastSeq are durable in
+// the data file, so every earlier record is dead. A replacement log —
+// header continuing the LSN sequence plus a single checkpoint record — is
+// written to a temp file, fsynced, and renamed over the old one. Buffered
+// records must have been flushed (or dropped) first.
+func (w *Log) Checkpoint(lastSeq uint64) error {
+	if len(w.buf) != 0 {
+		return fmt.Errorf("wal: checkpoint with unflushed records")
+	}
+	newBase := w.base + uint64(w.durable-hdrSize)
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], lastSeq)
+	content := make([]byte, hdrSize, hdrSize+32)
+	copy(content, magic)
+	binary.LittleEndian.PutUint64(content[8:], newBase)
+	content = appendRecord(content, RecCheckpoint, p[:])
+
+	tmp := w.path + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := tf.Write(content); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	w.f.Close()
+	w.f = tf
+	w.base = newBase
+	w.durable = int64(len(content))
+	w.lastSeq = lastSeq
+	w.lastCkpt = newBase + 1
+	return nil
+}
+
+// LastSeq returns the highest durable committed sequence number.
+func (w *Log) LastSeq() uint64 { return w.lastSeq }
+
+// LastCheckpointLSN returns the LSN of the last durable checkpoint record
+// (0 if none).
+func (w *Log) LastCheckpointLSN() LSN { return w.lastCkpt }
+
+// FlushedLSN returns the LSN one past the last durable byte: a page may be
+// written back only when its LSN is below this.
+func (w *Log) FlushedLSN() LSN { return w.base + uint64(w.durable-hdrSize) }
+
+// Bytes returns the durable log size in bytes (excluding the header) —
+// the store's checkpoint trigger.
+func (w *Log) Bytes() int64 { return w.durable - hdrSize + int64(len(w.buf)) }
+
+// CrashHook runs the injection hook with op; the pager uses it for the
+// mid-checkpoint crash point.
+func (w *Log) CrashHook(op string) error { return w.crash(op) }
+
+func (w *Log) crash(op string) error {
+	if w.hook == nil {
+		return nil
+	}
+	return w.hook(op)
+}
+
+// Close flushes buffered records and closes the file.
+func (w *Log) Close() error {
+	if err := w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// CloseNoFlush closes the file descriptor without flushing buffered
+// records — the crash harness's simulated kill. Durable bytes (completed
+// write+fsync) survive; everything else is lost.
+func (w *Log) CloseNoFlush() error { return w.f.Close() }
+
+// Scan reads the log at path without modifying it (no torn-tail
+// truncation) and reports the highest committed sequence number and
+// whether any committed records follow the last checkpoint — i.e. whether
+// a writable open would have redo work to do. A missing file scans clean.
+func Scan(path string) (lastSeq uint64, redo bool, err error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < hdrSize || string(raw[:8]) != magic {
+		return 0, false, fmt.Errorf("wal: %s: bad header", path)
+	}
+	body := raw[hdrSize:]
+	for off := 0; off < len(body); {
+		n, typ, payload, ok := decodeRecord(body[off:])
+		if !ok {
+			break
+		}
+		switch typ {
+		case RecCommit:
+			lastSeq = binary.LittleEndian.Uint64(payload)
+			redo = true
+		case RecCheckpoint:
+			if s := binary.LittleEndian.Uint64(payload); s > lastSeq {
+				lastSeq = s
+			}
+			redo = false
+		}
+		off += n
+	}
+	return lastSeq, redo, nil
+}

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Log {
+	t.Helper()
+	w, err := Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w
+}
+
+func TestAppendFlushReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	lsn1, err := w.AppendPage(7, []byte("page-seven-image"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 0 {
+		t.Fatal("commit visible before flush")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d, want 1", w.LastSeq())
+	}
+	w.Close()
+
+	w2 := openT(t, path)
+	defer w2.Close()
+	if w2.LastSeq() != 1 {
+		t.Fatalf("reopened LastSeq = %d, want 1", w2.LastSeq())
+	}
+	var got []byte
+	var types []byte
+	err = w2.Replay(func(lsn LSN, typ byte, payload []byte) error {
+		types = append(types, typ)
+		if typ == RecPage {
+			if lsn != lsn1 {
+				t.Fatalf("page LSN = %d, want %d", lsn, lsn1)
+			}
+			if binary.LittleEndian.Uint32(payload) != 7 {
+				t.Fatalf("page id = %d", binary.LittleEndian.Uint32(payload))
+			}
+			got = append([]byte(nil), payload[4:]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("page-seven-image")) {
+		t.Fatalf("image = %q", got)
+	}
+	if len(types) != 2 || types[0] != RecPage || types[1] != RecCommit {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	w.AppendPage(1, []byte("alpha"))
+	w.AppendCommit(1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durable := w.durable
+	w.AppendPage(2, []byte("beta"))
+	w.AppendCommit(2)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Tear the second unit: chop the file two bytes into its commit
+	// record. The preceding page record survives the scan but the unit
+	// never commits.
+	info, _ := os.Stat(path)
+	torn := info.Size() - 12
+	if err := os.Truncate(path, torn); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openT(t, path)
+	if w2.LastSeq() != 1 {
+		t.Fatalf("LastSeq after tear = %d, want 1", w2.LastSeq())
+	}
+	if w2.durable < durable || w2.durable >= torn {
+		t.Fatalf("durable = %d, want in [%d, %d)", w2.durable, durable, torn)
+	}
+	// And the truncation is physical: the partial record is gone.
+	valid := w2.durable
+	w2.Close()
+	if info, _ := os.Stat(path); info.Size() != valid {
+		t.Fatalf("file size = %d, want %d", info.Size(), valid)
+	}
+}
+
+func TestCorruptRecordStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	w.AppendCommit(1)
+	w.Flush()
+	mid := w.durable
+	w.AppendCommit(2)
+	w.Flush()
+	w.Close()
+
+	// Flip one byte inside the second record: CRC must reject it and the
+	// scan must stop at the first unit.
+	raw, _ := os.ReadFile(path)
+	raw[mid+2] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+
+	w2 := openT(t, path)
+	defer w2.Close()
+	if w2.LastSeq() != 1 {
+		t.Fatalf("LastSeq = %d, want 1", w2.LastSeq())
+	}
+}
+
+func TestCheckpointCompactsAndKeepsLSNsMonotonic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	for seq := uint64(1); seq <= 5; seq++ {
+		w.AppendPage(uint32(seq), bytes.Repeat([]byte{byte(seq)}, 64))
+		w.AppendCommit(seq)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := w.FlushedLSN()
+	if err := w.Checkpoint(5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() >= 64 {
+		t.Fatalf("log not compacted: %d bytes", w.Bytes())
+	}
+	if w.FlushedLSN() < before {
+		t.Fatalf("LSN regressed: %d < %d", w.FlushedLSN(), before)
+	}
+	if w.LastCheckpointLSN() != before+1 {
+		t.Fatalf("ckpt LSN = %d, want %d", w.LastCheckpointLSN(), before+1)
+	}
+	// New appends continue past the old stream.
+	lsn, err := w.AppendCommit(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn <= before {
+		t.Fatalf("post-checkpoint LSN %d not past %d", lsn, before)
+	}
+	w.Flush()
+	w.Close()
+
+	w2 := openT(t, path)
+	defer w2.Close()
+	if w2.LastSeq() != 6 {
+		t.Fatalf("LastSeq = %d, want 6", w2.LastSeq())
+	}
+	if w2.LastCheckpointLSN() != before+1 {
+		t.Fatalf("reopened ckpt LSN = %d, want %d", w2.LastCheckpointLSN(), before+1)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("checkpoint temp file leaked")
+	}
+}
+
+func TestDropBuffer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w := openT(t, path)
+	defer w.Close()
+	w.AppendPage(1, []byte("x"))
+	w.AppendCommit(9)
+	w.DropBuffer()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.LastSeq() != 0 || w.Bytes() != 0 {
+		t.Fatalf("dropped unit leaked: seq=%d bytes=%d", w.LastSeq(), w.Bytes())
+	}
+}
+
+func TestScanReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	if seq, redo, err := Scan(path); err != nil || seq != 0 || redo {
+		t.Fatalf("missing file: %d %v %v", seq, redo, err)
+	}
+	w := openT(t, path)
+	w.AppendPage(1, []byte("img"))
+	w.AppendCommit(3)
+	w.Flush()
+	w.Close()
+	seq, redo, err := Scan(path)
+	if err != nil || seq != 3 || !redo {
+		t.Fatalf("Scan = %d %v %v, want 3 true nil", seq, redo, err)
+	}
+	w = openT(t, path)
+	w.Checkpoint(3)
+	w.Close()
+	seq, redo, err = Scan(path)
+	if err != nil || seq != 3 || redo {
+		t.Fatalf("post-ckpt Scan = %d %v %v, want 3 false nil", seq, redo, err)
+	}
+}

@@ -328,30 +328,100 @@ func (s *Stats) DistinctTexts(label string) (int64, bool) {
 	return s.LabelDistinctTexts[label], true
 }
 
-// Shred streams tokens from tz, assigns in/out labels, and calls emit for
-// every completed tuple. Tuples are emitted as their nodes complete
-// (postorder for elements); callers that need in-order must sort, which is
-// what store.Load does via the external sorter. Returns the collected
-// statistics.
+// TextHash hashes a text value for the distinct-text statistics; the
+// update path uses it to maintain the same multisets incrementally.
+func TextHash(s string) uint64 { return fnv1a(s) }
+
+// TextHashes is, per element label, the multiset of text-value hashes
+// occurring as direct children of elements with that label. The store
+// persists it alongside the statistics so deletions can decrement
+// LabelDistinctTexts exactly. Inner maps exist only while non-empty, and a
+// label has an entry only while it has text children — matching what a
+// fresh shred produces, so recovered and re-shredded stats compare equal.
+type TextHashes map[string]map[uint64]int64
+
+// Add records one text child under label and reports whether its value is
+// newly distinct for the label.
+func (th TextHashes) Add(label, text string) bool {
+	m := th[label]
+	if m == nil {
+		m = make(map[uint64]int64)
+		th[label] = m
+	}
+	h := fnv1a(text)
+	m[h]++
+	return m[h] == 1
+}
+
+// Remove drops one text child under label and reports whether its value is
+// no longer present at all for the label.
+func (th TextHashes) Remove(label, text string) bool {
+	m := th[label]
+	if m == nil {
+		return false
+	}
+	h := fnv1a(text)
+	m[h]--
+	if m[h] > 0 {
+		return false
+	}
+	delete(m, h)
+	if len(m) == 0 {
+		delete(th, label)
+	}
+	return true
+}
+
+// Distinct rebuilds the LabelDistinctTexts statistic from the multisets.
+func (th TextHashes) Distinct() map[string]int64 {
+	out := make(map[string]int64, len(th))
+	for label, m := range th {
+		out[label] = int64(len(m))
+	}
+	return out
+}
+
+// Shred streams tokens from tz, assigns dense (stride-1) in/out labels,
+// and calls emit for every completed tuple. See ShredStride.
 func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
+	stats, _, err := ShredStride(tz, 1, emit)
+	return stats, err
+}
+
+// ShredStride streams tokens from tz, assigns in/out labels spaced stride
+// apart (gap labeling: the unused labels between consecutive assignments
+// are headroom for later subtree insertions, so small edits don't renumber
+// the world), and calls emit for every completed tuple. Tuples are emitted
+// as their nodes complete (postorder for elements); callers that need
+// in-order must sort, which is what store.Load does via the external
+// sorter. Returns the collected statistics and the per-label text-hash
+// multisets behind LabelDistinctTexts.
+func ShredStride(tz *xmltok.Tokenizer, stride uint32, emit func(Tuple) error) (*Stats, TextHashes, error) {
+	if stride == 0 {
+		stride = 1
+	}
 	stats := &Stats{LabelCount: make(map[string]int64), LabelSubtreeSum: make(map[string]int64)}
 	// Distinct text values per parent label, deduplicated during the
-	// single pass. Only the counts survive into the statistics, so the
-	// sets hold 64-bit FNV-1a hashes instead of the values themselves —
-	// a mostly-unique corpus (author names, titles) would otherwise be
-	// held in memory in full for the whole load; collisions only shave
-	// a negligible sliver off an estimator-only cardinality.
-	distinctTexts := map[string]map[uint64]struct{}{}
+	// single pass as 64-bit FNV-1a hashes instead of the values
+	// themselves — a mostly-unique corpus (author names, titles) would
+	// otherwise be held in memory in full for the whole load; collisions
+	// only shave a negligible sliver off an estimator-only cardinality.
+	texts := TextHashes{}
 	type open struct {
 		in       uint32
 		parentIn uint32
 		label    string
 		fanout   int32
+		seenAt   int64 // stats.Nodes when the element opened
 	}
 	counter := uint32(1)
+	next := func() uint32 {
+		v := counter
+		counter += stride
+		return v
+	}
 	// The root (document) node is open from the start.
-	stack := []open{{in: counter, parentIn: 0}}
-	counter++
+	stack := []open{{in: next(), parentIn: 0}}
 	stats.Nodes++
 	depth := func() int32 { return int32(len(stack) - 1) }
 
@@ -361,18 +431,18 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch tok.Kind {
 		case xmltok.StartElement:
 			stack[len(stack)-1].fanout++
+			stats.Nodes++
 			stack = append(stack, open{
-				in:       counter,
+				in:       next(),
 				parentIn: stack[len(stack)-1].in,
 				label:    tok.Name,
+				seenAt:   stats.Nodes,
 			})
-			counter++
-			stats.Nodes++
 			stats.Elems++
 			stats.LabelCount[tok.Name]++
 			d := depth()
@@ -386,28 +456,21 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 			if top.fanout > stats.MaxFanout {
 				stats.MaxFanout = top.fanout
 			}
-			out := counter
-			counter++
-			// (out-in-1)/2 is exactly the element's proper-descendant
-			// count: every descendant consumes two labels in (in, out).
-			stats.LabelSubtreeSum[top.label] += int64(out-top.in-1) / 2
+			out := next()
+			// Every node completed since the element opened is a proper
+			// descendant (stride-independent, unlike the dense-label
+			// (out-in-1)/2 identity).
+			stats.LabelSubtreeSum[top.label] += stats.Nodes - top.seenAt
 			if err := emit(Tuple{In: top.in, Out: out, ParentIn: top.parentIn, Type: TypeElem, Value: top.label}); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		case xmltok.Text:
 			stack[len(stack)-1].fanout++
 			if parentLabel := stack[len(stack)-1].label; parentLabel != "" {
-				set := distinctTexts[parentLabel]
-				if set == nil {
-					set = map[uint64]struct{}{}
-					distinctTexts[parentLabel] = set
-				}
-				set[fnv1a(tok.Text)] = struct{}{}
+				texts.Add(parentLabel, tok.Text)
 			}
-			in := counter
-			counter++
-			out := counter
-			counter++
+			in := next()
+			out := next()
 			stats.Nodes++
 			stats.Texts++
 			d := int64(len(stack)) // text node is one below the open element
@@ -416,7 +479,7 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 				stats.MaxDepth = int32(d)
 			}
 			if err := emit(Tuple{In: in, Out: out, ParentIn: stack[len(stack)-1].in, Type: TypeText, Value: tok.Text}); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
@@ -425,15 +488,11 @@ func Shred(tz *xmltok.Tokenizer, emit func(Tuple) error) (*Stats, error) {
 	if rootOpen.fanout > stats.MaxFanout {
 		stats.MaxFanout = rootOpen.fanout
 	}
-	out := counter
-	counter++
+	out := next()
 	if err := emit(Tuple{In: rootOpen.in, Out: out, ParentIn: 0, Type: TypeRoot}); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	stats.MaxIn = counter - 1
-	stats.LabelDistinctTexts = make(map[string]int64, len(distinctTexts))
-	for label, set := range distinctTexts {
-		stats.LabelDistinctTexts[label] = int64(len(set))
-	}
-	return stats, nil
+	stats.MaxIn = out
+	stats.LabelDistinctTexts = texts.Distinct()
+	return stats, texts, nil
 }

@@ -1,0 +1,233 @@
+package xq
+
+import (
+	"strings"
+
+	"xqdb/internal/xmltok"
+)
+
+// UpdateKind discriminates the three update statements.
+type UpdateKind int
+
+// Update statement kinds.
+const (
+	UInsert UpdateKind = iota
+	UDelete
+	UReplace
+)
+
+// InsertWhere selects where an insert places its fragment relative to
+// each target node.
+type InsertWhere int
+
+// Insert positions.
+const (
+	IntoLast InsertWhere = iota // last children of the target
+	Before                      // preceding siblings
+	After                       // following siblings
+)
+
+// PathStep is one exported axis::test step of an update's target path.
+type PathStep struct {
+	Axis Axis
+	Test NodeTest
+}
+
+// Update is a parsed update statement (an XQuery-Update-inspired
+// extension over the paper's read-only XQ fragment):
+//
+//	insert node <frag> (into|before|after) /path
+//	delete node /path
+//	replace node /path with <frag>
+//
+// The fragment must be constant: constructors and string literals only,
+// no embedded queries — the engine shreds it without evaluating anything.
+type Update struct {
+	Kind    UpdateKind
+	Where   InsertWhere // UInsert only
+	FragXML string      // UInsert, UReplace: the rendered fragment
+	Path    []PathStep  // rooted target path
+}
+
+// IsUpdate reports whether src starts like an update statement. Queries
+// never begin with a bare insert/delete/replace identifier, so the test
+// is unambiguous.
+func IsUpdate(src string) bool {
+	s := strings.TrimSpace(src)
+	for _, kw := range []string{"insert", "delete", "replace"} {
+		if strings.HasPrefix(s, kw) {
+			rest := s[len(kw):]
+			if rest == "" || !isNameChar(rest[0]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isNameChar(b byte) bool {
+	return b == '_' || b == '-' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}
+
+// ParseUpdate parses an update statement.
+func ParseUpdate(src string) (*Update, error) {
+	p := &parser{lex: newLexer(src)}
+	tok, err := p.lex.next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != tokIdent {
+		return nil, p.errf(tok.Pos, "expected update statement, found %s", tok.describe())
+	}
+	u := &Update{}
+	switch tok.Text {
+	case "insert":
+		u.Kind = UInsert
+		if err := p.expectKeyword("node"); err != nil {
+			return nil, err
+		}
+		if u.FragXML, err = p.parseFragment(); err != nil {
+			return nil, err
+		}
+		where, err := p.lex.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case where.Kind == tokIdent && where.Text == "into":
+			u.Where = IntoLast
+		case where.Kind == tokIdent && where.Text == "before":
+			u.Where = Before
+		case where.Kind == tokIdent && where.Text == "after":
+			u.Where = After
+		default:
+			return nil, p.errf(where.Pos, "expected into/before/after, found %s", where.describe())
+		}
+		if u.Path, err = p.parseTargetPath(); err != nil {
+			return nil, err
+		}
+	case "delete":
+		u.Kind = UDelete
+		if err := p.expectKeyword("node"); err != nil {
+			return nil, err
+		}
+		if u.Path, err = p.parseTargetPath(); err != nil {
+			return nil, err
+		}
+	case "replace":
+		u.Kind = UReplace
+		if err := p.expectKeyword("node"); err != nil {
+			return nil, err
+		}
+		if u.Path, err = p.parseTargetPath(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("with"); err != nil {
+			return nil, err
+		}
+		if u.FragXML, err = p.parseFragment(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf(tok.Pos, "expected insert/delete/replace, found %q", tok.Text)
+	}
+	end, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if end.Kind != tokEOF {
+		return nil, p.errf(end.Pos, "unexpected %s after update statement", end.describe())
+	}
+	return u, nil
+}
+
+// parseTargetPath parses the rooted path selecting the target nodes.
+func (p *parser) parseTargetPath() ([]PathStep, error) {
+	tok, err := p.lex.peek()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != tokSlash && tok.Kind != tokDSlash {
+		return nil, p.errf(tok.Pos, "update target must be a rooted path, found %s", tok.describe())
+	}
+	specs, err := p.parseSteps(true)
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]PathStep, len(specs))
+	for i, sp := range specs {
+		steps[i] = PathStep{Axis: sp.axis, Test: sp.test}
+	}
+	return steps, nil
+}
+
+// parseFragment parses a comma-separated list of constant constructors
+// and string literals and renders them to XML.
+func (p *parser) parseFragment() (string, error) {
+	var dst []byte
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return "", err
+		}
+		switch tok.Kind {
+		case tokLt:
+			c, err := p.parseConstructor()
+			if err != nil {
+				return "", err
+			}
+			if dst, err = p.appendConstXML(dst, c, tok.Pos); err != nil {
+				return "", err
+			}
+		case tokString:
+			p.lex.next()
+			dst = xmltok.AppendEscaped(dst, tok.Text)
+		default:
+			return "", p.errf(tok.Pos, "expected a constructor or string in update fragment, found %s", tok.describe())
+		}
+		la, err := p.lex.peek()
+		if err != nil {
+			return "", err
+		}
+		if la.Kind != tokComma {
+			return string(dst), nil
+		}
+		p.lex.next()
+	}
+}
+
+// appendConstXML renders a constant constructor expression to XML; any
+// non-constant part (variables, paths, embedded queries) is an error.
+func (p *parser) appendConstXML(dst []byte, e Expr, pos int) ([]byte, error) {
+	switch v := e.(type) {
+	case Empty:
+		return dst, nil
+	case *TextLit:
+		return xmltok.AppendEscaped(dst, v.Text), nil
+	case *Seq:
+		var err error
+		for _, it := range v.Items {
+			if dst, err = p.appendConstXML(dst, it, pos); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case *Constr:
+		dst = append(dst, '<')
+		dst = append(dst, v.Label...)
+		if _, empty := v.Body.(Empty); empty {
+			return append(dst, '/', '>'), nil
+		}
+		dst = append(dst, '>')
+		var err error
+		if dst, err = p.appendConstXML(dst, v.Body, pos); err != nil {
+			return nil, err
+		}
+		dst = append(dst, '<', '/')
+		dst = append(dst, v.Label...)
+		return append(dst, '>'), nil
+	default:
+		return nil, p.errf(pos, "update fragment must be constant (constructors and strings only)")
+	}
+}

@@ -1,0 +1,124 @@
+package xq
+
+import "testing"
+
+func TestIsUpdate(t *testing.T) {
+	for _, src := range []string{
+		"insert node <a/> into /b",
+		"  delete node //c",
+		"replace node /a with <b/>",
+	} {
+		if !IsUpdate(src) {
+			t.Errorf("IsUpdate(%q) = false", src)
+		}
+	}
+	for _, src := range []string{
+		"/journal//name",
+		"for $x in //a return <b/>",
+		"<inserted/>",
+		"insertion", // identifier prefix, not the keyword
+	} {
+		if IsUpdate(src) {
+			t.Errorf("IsUpdate(%q) = true", src)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	u, err := ParseUpdate(`insert node <name>Zoe</name> into /journal/authors`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != UInsert || u.Where != IntoLast {
+		t.Fatalf("kind/where = %v/%v", u.Kind, u.Where)
+	}
+	if u.FragXML != "<name>Zoe</name>" {
+		t.Fatalf("frag = %q", u.FragXML)
+	}
+	if len(u.Path) != 2 || u.Path[0].Axis != Child || u.Path[0].Test.Label != "journal" ||
+		u.Path[1].Test.Label != "authors" {
+		t.Fatalf("path = %+v", u.Path)
+	}
+}
+
+func TestParseInsertPositionsAndSequence(t *testing.T) {
+	u, err := ParseUpdate(`insert node <a/>, "two", <b>x</b> before //name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Where != Before {
+		t.Fatalf("where = %v", u.Where)
+	}
+	if u.FragXML != `<a/>two<b>x</b>` {
+		t.Fatalf("frag = %q", u.FragXML)
+	}
+	if len(u.Path) != 1 || u.Path[0].Axis != Descendant {
+		t.Fatalf("path = %+v", u.Path)
+	}
+	if u, err = ParseUpdate(`insert node "tail & more" after /j/title`); err != nil {
+		t.Fatal(err)
+	}
+	if u.Where != After || u.FragXML != "tail &amp; more" {
+		t.Fatalf("where/frag = %v/%q", u.Where, u.FragXML)
+	}
+}
+
+func TestParseDeleteReplace(t *testing.T) {
+	u, err := ParseUpdate(`delete node /journal//name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != UDelete || len(u.Path) != 2 || u.Path[1].Axis != Descendant {
+		t.Fatalf("u = %+v", u)
+	}
+	if u.Path[1].Test.Kind != TestLabel || u.Path[1].Test.Label != "name" {
+		t.Fatalf("test = %+v", u.Path[1].Test)
+	}
+
+	// Constructor content is literal characters, escaped on rendering —
+	// same treatment the query engines give TextLit on serialization.
+	u, err = ParseUpdate(`replace node //title with <title>A < B</title>`)
+	if err == nil {
+		t.Fatal("unescaped < in constructor should not parse as raw text")
+	}
+	u, err = ParseUpdate(`replace node //title with <title>A&B</title>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Kind != UReplace || u.FragXML != "<title>A&amp;B</title>" {
+		t.Fatalf("u = %+v", u)
+	}
+}
+
+func TestParseUpdateTextAndStarTests(t *testing.T) {
+	u, err := ParseUpdate(`delete node //authors/text()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Path[1].Test.Kind != TestText {
+		t.Fatalf("test = %+v", u.Path[1].Test)
+	}
+	u, err = ParseUpdate(`delete node /journal/*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Path[1].Test.Kind != TestStar {
+		t.Fatalf("test = %+v", u.Path[1].Test)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	for _, src := range []string{
+		`insert node <a/> upon /b`,                   // bad position keyword
+		`insert node <a/> into name`,                 // unrooted target
+		`insert node <a>{//x}</a> into /b`,           // non-constant fragment
+		`delete node`,                                // missing path
+		`replace node /a with <b/> extra`,            // trailing tokens
+		`insert <a/> into /b`,                        // missing "node"
+		`insert node for $x in /a return $x into /b`, // not a fragment
+	} {
+		if _, err := ParseUpdate(src); err == nil {
+			t.Errorf("ParseUpdate(%q) succeeded, want error", src)
+		}
+	}
+}

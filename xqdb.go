@@ -77,6 +77,10 @@ func (m Mode) coreMode() core.Mode {
 // ErrTimeout is returned when a query exceeds its configured timeout.
 var ErrTimeout = limit.ErrTimeout
 
+// ErrRecovery is wrapped by document-open failures that happened while
+// replaying the write-ahead log (crash recovery).
+var ErrRecovery = store.ErrRecovery
+
 // DB is a database directory holding named documents.
 type DB struct {
 	dir  string
@@ -215,6 +219,32 @@ func (d *Document) engine(opts []QueryOptions) *core.Engine {
 	})
 }
 
+// UpdateResult reports what an update statement did.
+type UpdateResult struct {
+	// Targets is how many nodes the target path selected.
+	Targets int
+	// Applied is how many subtree operations were performed.
+	Applied int
+	// Seq is the document's applied-update sequence after the statement.
+	Seq uint64
+}
+
+// Update applies one update statement to the stored document:
+//
+//	insert node <frag> (into|before|after) /path
+//	delete node /path
+//	replace node /path with <frag>
+//
+// The statement is atomic and durable: it is WAL-logged before any page
+// is rewritten, and a crash at any point recovers to either the pre- or
+// the post-update state on the next open. Queries running concurrently
+// (from other goroutines on this Document) are excluded for the duration
+// of the write, never corrupted.
+func (d *Document) Update(stmt string, opts ...QueryOptions) (UpdateResult, error) {
+	res, err := d.engine(opts).Update(stmt)
+	return UpdateResult{Targets: res.Targets, Applied: res.Applied, Seq: res.Seq}, err
+}
+
 // Stats summarizes a stored document.
 type Stats struct {
 	Nodes     int64
@@ -251,6 +281,8 @@ func (d *Document) Stats() Stats {
 // XML serializes the whole stored document back to XML (the
 // reconstruction property of the XASR encoding).
 func (d *Document) XML() (string, error) {
+	d.st.ReadLock() // a concurrent Update must not rewrite pages mid-walk
+	defer d.st.ReadUnlock()
 	out, err := d.st.AppendSubtree(nil, store.RootIn)
 	return string(out), err
 }
