@@ -9,7 +9,12 @@ import (
 
 func updEngine(t *testing.T, doc string) *Engine {
 	t.Helper()
-	st, err := store.Open(t.TempDir(), store.Options{})
+	return updEngineOpts(t, doc, store.Options{})
+}
+
+func updEngineOpts(t *testing.T, doc string, opts store.Options) *Engine {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), opts)
 	if err != nil {
 		t.Fatalf("store.Open: %v", err)
 	}
@@ -146,6 +151,46 @@ func TestEngineUpdateAllModesSeeChanges(t *testing.T) {
 		if got != want {
 			t.Errorf("%s disagrees after update:\n got: %s\nwant: %s", m, got, want)
 		}
+	}
+}
+
+// TestEngineUpdateMultiTargetRelabels pins stride 1 so every applied
+// insert relabels, moving the remaining targets' labels: each target must
+// translate through the composition of all earlier relabels.
+func TestEngineUpdateMultiTargetRelabels(t *testing.T) {
+	doc := `<r><x>a</x><x>b</x><x>c</x><x>d</x><x>e</x><x>f</x><x>g</x><x>h</x></r>`
+	e := updEngineOpts(t, doc, store.Options{LabelStride: 1})
+	res, err := e.Update(`insert node <z>new</z> into /r/x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 8 || res.Applied != 8 {
+		t.Fatalf("res = %+v", res)
+	}
+	want := `<r><x>a<z>new</z></x><x>b<z>new</z></x><x>c<z>new</z></x><x>d<z>new</z></x>` +
+		`<x>e<z>new</z></x><x>f<z>new</z></x><x>g<z>new</z></x><x>h<z>new</z></x></r>`
+	if got, _ := e.Query(`/r`); got != want {
+		t.Fatalf("after insert:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestEngineUpdateMultiTargetReplaceRelabels is the delete/replace face
+// of the same hazard: a stale or recycled translation here silently
+// replaces the wrong subtree (ErrNoNode is a benign nested-target skip,
+// so nothing would fail loudly).
+func TestEngineUpdateMultiTargetReplaceRelabels(t *testing.T) {
+	doc := `<r><x>a</x><x>b</x><x>c</x><x>d</x><x>e</x><x>f</x><x>g</x><x>h</x></r>`
+	e := updEngineOpts(t, doc, store.Options{LabelStride: 1})
+	res, err := e.Update(`replace node /r/x with <y>v</y>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 8 || res.Applied != 8 {
+		t.Fatalf("res = %+v", res)
+	}
+	want := `<r><y>v</y><y>v</y><y>v</y><y>v</y><y>v</y><y>v</y><y>v</y><y>v</y></r>`
+	if got, _ := e.Query(`/r`); got != want {
+		t.Fatalf("after replace:\n got: %s\nwant: %s", got, want)
 	}
 }
 

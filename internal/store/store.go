@@ -634,7 +634,26 @@ func (s *Store) saveStats() error {
 	if err := os.Rename(path+".tmp", path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// Make the rename durable; losing it to a crash only costs a rescan
+	// (the AppliedSeq stamp of the old file no longer matches), but the
+	// stats file should not silently stay stale on disk.
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making just-renamed entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 func (s *Store) loadStats() (stamp uint64, err error) {

@@ -46,7 +46,9 @@ type Tx struct {
 	stats   *xasr.Stats
 	texts   xasr.TextHashes
 	maxIn   uint32
-	moved   map[uint32]uint32 // pre-relabel in → current in
+	moved   map[uint32]uint32   // pre-Tx in → current in, live relabeled nodes only
+	rev     map[uint32]uint32   // current in → pre-Tx in (inverse of moved)
+	gone    map[uint32]struct{} // pre-Tx labels of nodes this Tx deleted
 	mutated bool
 	done    bool
 }
@@ -82,6 +84,8 @@ func (s *Store) Begin() (*Tx, error) {
 		texts: cloneTexts(s.textHashes),
 		maxIn: s.maxIn.Load(),
 		moved: map[uint32]uint32{},
+		rev:   map[uint32]uint32{},
+		gone:  map[uint32]struct{}{},
 	}, nil
 }
 
@@ -92,13 +96,57 @@ func (tx *Tx) Seq() uint64 { return tx.seq }
 func (tx *Tx) Mutated() bool { return tx.mutated }
 
 // Translate maps a node label captured before this Tx's operations to the
-// node's current label (relabeling may have moved it). Labels of deleted
-// nodes translate to themselves and then fail lookup.
+// node's current label (relabeling may have moved it, possibly more than
+// once). Labels of nodes this Tx deleted translate to 0 — never a live
+// label — so lookups fail with ErrNoNode even when a later relabel
+// recycled the position for a different node.
 func (tx *Tx) Translate(in uint32) uint32 {
+	if _, dead := tx.gone[in]; dead {
+		return 0
+	}
 	if n, ok := tx.moved[in]; ok {
 		return n
 	}
 	return in
+}
+
+// composeMoves folds one relabel's old→new mapping (keyed by the labels
+// current just before that relabel) into the pre-Tx translation state, so
+// Translate stays correct across any number of relabels.
+func (tx *Tx) composeMoves(delta map[uint32]uint32) {
+	if len(delta) == 0 {
+		return
+	}
+	// Tracked nodes the relabel moved again: chain pre-Tx → old → new.
+	for p, c := range tx.moved {
+		if n, ok := delta[c]; ok {
+			tx.moved[p] = n
+		}
+	}
+	// A relabeled node with no tracking entry is either the pre-Tx node
+	// still sitting at its original label (start tracking it) or a
+	// this-Tx insert occupying a label whose pre-Tx node moved away or
+	// died (must not be tracked: that would redirect the pre-Tx label to
+	// an unrelated node).
+	for o, n := range delta {
+		if _, occupied := tx.rev[o]; occupied {
+			continue
+		}
+		if _, away := tx.moved[o]; away {
+			continue
+		}
+		if _, dead := tx.gone[o]; dead {
+			continue
+		}
+		tx.moved[o] = n
+	}
+	// A new label can collide with a different node's old label, so the
+	// inverse is rebuilt from scratch rather than patched per entry.
+	rev := make(map[uint32]uint32, len(tx.moved))
+	for p, c := range tx.moved {
+		rev[c] = p
+	}
+	tx.rev = rev
 }
 
 // Commit makes the unit durable. It returns nil only when the unit is
@@ -343,14 +391,15 @@ func (tx *Tx) deleteNode(t xasr.Tuple) error {
 
 // emitForest assigns labels from next() to every node of the forest in
 // document order and inserts the tuples into all trees. Nodes carrying an
-// oldIn are recorded in the moved map.
-func (tx *Tx) emitForest(forest []*fnode, parentIn uint32, next func() uint32) error {
+// oldIn that actually moved are recorded in delta (old label → new label);
+// the caller composes delta into the Tx translation state.
+func (tx *Tx) emitForest(forest []*fnode, parentIn uint32, next func() uint32, delta map[uint32]uint32) error {
 	for _, n := range forest {
 		in := next()
 		if n.oldIn != 0 && n.oldIn != in {
-			tx.moved[n.oldIn] = in
+			delta[n.oldIn] = in
 		}
-		if err := tx.emitForest(n.kids, in, next); err != nil {
+		if err := tx.emitForest(n.kids, in, next, delta); err != nil {
 			return err
 		}
 		out := next()
@@ -618,6 +667,25 @@ func (tx *Tx) deleteSubtree(parent, t xasr.Tuple) error {
 		}
 	}
 
+	// Translation bookkeeping: each deleted node's pre-Tx label must keep
+	// translating to a dead position even if a later relabel recycles the
+	// node's current label for a different node.
+	for _, d := range tuples {
+		if p, ok := tx.rev[d.In]; ok {
+			// A node relabeled earlier this Tx: its pre-Tx label dies.
+			delete(tx.moved, p)
+			delete(tx.rev, d.In)
+			tx.gone[p] = struct{}{}
+		} else if _, away := tx.moved[d.In]; !away {
+			// Either the pre-Tx node still at its original label, or a
+			// this-Tx insert on a fresh label (harmless to mark: no
+			// pre-Tx label matches it). When moved[d.In] exists the
+			// pre-Tx node lives elsewhere and the dying occupant is a
+			// this-Tx insert — its label must NOT be marked gone.
+			tx.gone[d.In] = struct{}{}
+		}
+	}
+
 	for _, d := range tuples {
 		if err := tx.deleteNode(d); err != nil {
 			return err
@@ -657,7 +725,8 @@ func (tx *Tx) insertAt(parent xasr.Tuple, beforeIn, lo, hi uint32, forest []*fno
 			cur += step
 			return cur
 		}
-		if err := tx.emitForest(forest, parent.In, next); err != nil {
+		// Fragment nodes carry no oldIn, so no moves can be recorded here.
+		if err := tx.emitForest(forest, parent.In, next, nil); err != nil {
 			return err
 		}
 		tx.mutated = true
@@ -771,9 +840,11 @@ func (tx *Tx) relabel(anc xasr.Tuple, parentIn, beforeIn uint32, forest []*fnode
 		cur += step
 		return cur
 	}
-	if err := tx.emitForest(top.kids, anc.In, next); err != nil {
+	delta := map[uint32]uint32{}
+	if err := tx.emitForest(top.kids, anc.In, next, delta); err != nil {
 		return err
 	}
+	tx.composeMoves(delta)
 	if newRootOut != 0 {
 		// The root's own tuple changes shape: its out label grows.
 		root := xasr.Tuple{In: anc.In, Out: newRootOut, ParentIn: 0, Type: xasr.TypeRoot}

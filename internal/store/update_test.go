@@ -161,6 +161,72 @@ func TestRelabelFallback(t *testing.T) {
 	}
 }
 
+// TestTranslateComposesAcrossRelabels pins stride 1 so every insert
+// relabels, then applies one insert per pre-captured target inside a
+// single Tx. Each target label must translate through ALL earlier
+// relabels, not just the first one that touched it (a flat old→new map
+// returns stale intermediate labels here and redirects inserts to the
+// wrong nodes — historically surfacing as "cannot insert into a text
+// node").
+func TestTranslateComposesAcrossRelabels(t *testing.T) {
+	doc := `<r><x>a</x><x>b</x><x>c</x><x>d</x><x>e</x><x>f</x><x>g</x><x>h</x></r>`
+	s := newStore(t, doc, Options{LabelStride: 1})
+	var targets []xasr.Tuple
+	if err := s.ScanAll(func(tp xasr.Tuple) bool {
+		if tp.Type == xasr.TypeElem && tp.Value == "x" {
+			targets = append(targets, tp)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 8 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	tx := begin(t, s)
+	for i, tg := range targets {
+		if err := tx.InsertSubtree(tx.Translate(tg.In), InsertInto, `<z>new</z>`); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	commit(t, tx)
+	want := `<r><x>a<z>new</z></x><x>b<z>new</z></x><x>c<z>new</z></x><x>d<z>new</z></x>` +
+		`<x>e<z>new</z></x><x>f<z>new</z></x><x>g<z>new</z></x><x>h<z>new</z></x></r>`
+	if got := xml(t, s); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+	if got := s.Stats().Card("z"); got != 8 {
+		t.Errorf("Card(z) = %d", got)
+	}
+}
+
+// TestTranslateDeadTargetSurvivesRelabel deletes a subtree, forces a
+// relabel that recycles the freed labels, and checks the deleted target
+// still translates to a dead position: DeleteSubtree must fail with
+// ErrNoNode instead of deleting whatever node inherited the label.
+func TestTranslateDeadTargetSurvivesRelabel(t *testing.T) {
+	s := newStore(t, `<r><a><b>t</b></a><x>a</x></r>`, Options{LabelStride: 1})
+	a := lookupLabel(t, s, "a")
+	b := lookupLabel(t, s, "b")
+	x := lookupLabel(t, s, "x")
+	tx := begin(t, s)
+	if err := tx.DeleteSubtree(tx.Translate(a)); err != nil {
+		t.Fatalf("delete a: %v", err)
+	}
+	// Dense labels: this insert relabels the whole root interior, reusing
+	// the labels the deleted <a> subtree freed.
+	if err := tx.InsertSubtree(tx.Translate(x), InsertInto, `<z>n</z>`); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.DeleteSubtree(tx.Translate(b)); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("deleted target resolved after relabel: %v", err)
+	}
+	commit(t, tx)
+	if got := xml(t, s); got != `<r><x>a<z>n</z></x></r>` {
+		t.Errorf("got %s", got)
+	}
+}
+
 func TestAbortRestoresEverything(t *testing.T) {
 	s := newStore(t, figure2, Options{})
 	before := xml(t, s)

@@ -21,6 +21,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // LSN addresses a byte position in the logical (never-truncated) log
@@ -304,7 +305,27 @@ func (w *Log) Checkpoint(lastSeq uint64) error {
 	w.durable = int64(len(content))
 	w.lastSeq = lastSeq
 	w.lastCkpt = newBase + 1
+	// Make the rename itself durable. The in-memory swap above stands
+	// either way: the rename is visible to this process, and a crash that
+	// loses it only resurrects the old log, whose replay is idempotent.
+	if err := syncDir(w.path); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the directory containing path, making a just-renamed
+// directory entry durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // LastSeq returns the highest durable committed sequence number.
